@@ -1,0 +1,77 @@
+// Ablation A10 — matchmaking strategy versus enactment makespan and cost.
+//
+// Enacts the Figure 10 case repeatedly under each matchmaking strategy.
+// "Fastest" should minimize makespan, "cheapest" should minimize the
+// spot-market bill, and "balanced" should sit between them — the
+// Section 1 trade-off between resource quality and cost made measurable.
+#include <cstdio>
+#include <string>
+
+#include "services/environment.hpp"
+#include "services/user_interface.hpp"
+#include "util/stats.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+
+using namespace ig;
+
+namespace {
+
+struct StrategyResult {
+  util::SampleSet makespan;
+  util::SampleSet cost;
+  int successes = 0;
+};
+
+StrategyResult run_strategy(const std::string& strategy, int trials) {
+  StrategyResult result;
+  for (int trial = 0; trial < trials; ++trial) {
+    svc::EnvironmentOptions options;
+    options.coordination.match_strategy = strategy;
+    options.seed = 700 + static_cast<std::uint64_t>(trial);
+    auto environment = svc::make_environment(options);
+    auto& ui = environment->platform().spawn<svc::UserInterfaceAgent>("ui");
+    ui.submit_process(virolab::make_fig10_process(), virolab::make_case_description());
+    environment->run();
+    if (!ui.finished() || !ui.outcome().success) continue;
+    ++result.successes;
+    result.makespan.add(ui.outcome().makespan);
+    result.cost.add(ui.outcome().total_cost);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTrials = 8;
+  const char* strategies[] = {"balanced", "fastest", "reliable", "cheapest", "first-fit"};
+
+  std::printf("A10: matchmaking strategy vs makespan and spot-market cost (%d trials)\n\n",
+              kTrials);
+  std::printf("%-12s %-10s %-14s %-14s\n", "strategy", "success", "mean makespan",
+              "mean cost");
+
+  double fastest_makespan = 0;
+  double cheapest_cost = 0;
+  double cheapest_makespan = 0;
+  double fastest_cost = 0;
+  for (const char* strategy : strategies) {
+    const StrategyResult result = run_strategy(strategy, kTrials);
+    std::printf("%-12s %d/%-8d %-14.2f %-14.2f\n", strategy, result.successes, kTrials,
+                result.makespan.mean(), result.cost.mean());
+    if (std::string(strategy) == "fastest") {
+      fastest_makespan = result.makespan.mean();
+      fastest_cost = result.cost.mean();
+    }
+    if (std::string(strategy) == "cheapest") {
+      cheapest_cost = result.cost.mean();
+      cheapest_makespan = result.makespan.mean();
+    }
+  }
+  std::printf("\nexpected shape: 'fastest' yields the shortest makespans, 'cheapest' the\n"
+              "lowest bills, and each is worse on the other axis.\n");
+  const bool ok = fastest_makespan <= cheapest_makespan && cheapest_cost <= fastest_cost;
+  std::printf("shape holds: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

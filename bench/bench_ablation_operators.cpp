@@ -1,0 +1,49 @@
+// Ablation A4 — crossover / mutation rate grid.
+//
+// Table 1 fixes crossover at 0.7 and (per-node) mutation at 0.001. The grid
+// shows the planner is robust across a broad band: with a population of 200
+// on this four-service problem even mutation-only or crossover-only search
+// usually succeeds, but disabling both leaves pure selection over the
+// initial population, which finds valid plans only by initialization luck.
+#include <cstdio>
+
+#include "gp_sweep.hpp"
+
+using namespace ig;
+
+int main() {
+  const planner::PlanningProblem problem = bench::virolab_problem();
+  const double crossover_rates[] = {0.0, 0.3, 0.7, 0.9};
+  const double mutation_rates[] = {0.0, 0.001, 0.01, 0.05};
+  constexpr int kRuns = 4;
+
+  std::printf("A4: variation-operator grid (%d runs each; cell = optimal-runs, mean fitness)\n\n",
+              kRuns);
+  std::printf("%-12s", "cx \\ mut");
+  for (const double mutation : mutation_rates) std::printf("%-16.3f", mutation);
+  std::printf("\n");
+
+  int paper_cell_optimal = 0;
+  for (const double crossover : crossover_rates) {
+    std::printf("%-12.1f", crossover);
+    for (const double mutation : mutation_rates) {
+      planner::GpConfig config;
+      config.population_size = 100;
+      config.generations = 15;
+      config.crossover_rate = crossover;
+      config.mutation_rate = mutation;
+      const bench::SweepPoint point = bench::run_sweep_point(problem, config, kRuns);
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%d/%d f=%.3f", point.optimal_runs, kRuns,
+                    point.fitness.mean());
+      std::printf("%-16s", cell);
+      if (crossover == 0.7 && mutation == 0.001) paper_cell_optimal = point.optimal_runs;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape: the paper's cell (cx 0.7, mut 0.001) is optimal in every\n"
+              "run; quality degrades toward the no-variation corner.\n");
+  const bool ok = paper_cell_optimal == kRuns;
+  std::printf("shape holds: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

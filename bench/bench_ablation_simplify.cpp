@@ -1,0 +1,61 @@
+// Ablation A11 — plan simplification as a post-processing step.
+//
+// Repeats the Table 2 experiment and additionally simplifies each run's
+// best plan (fitness-preserving subtree deletion). The paper reports an
+// average best-plan size of 9.7 with Smax = 40; simplification shows how
+// much of that size is dead weight the fr term failed to squeeze out.
+#include <cstdio>
+
+#include "planner/gp.hpp"
+#include "planner/simplify.hpp"
+#include "util/stats.hpp"
+#include "virolab/catalogue.hpp"
+
+using namespace ig;
+
+int main() {
+  const planner::PlanningProblem problem = planner::PlanningProblem::from_case(
+      virolab::make_case_description(), virolab::make_catalogue());
+  planner::PlanEvaluator evaluator(problem);
+
+  constexpr int kRuns = 10;
+  util::SampleSet raw_size;
+  util::SampleSet simplified_size;
+  util::SampleSet raw_fitness;
+  util::SampleSet simplified_fitness;
+  std::size_t extra_evaluations = 0;
+
+  std::printf("A11: GP best plans before/after fitness-preserving simplification (%d runs)\n\n",
+              kRuns);
+  std::printf("%-5s %-18s %-18s %s\n", "run", "raw size/fitness", "simplified", "removed");
+  for (int run = 1; run <= kRuns; ++run) {
+    planner::GpConfig config;  // Table 1 defaults
+    config.seed = static_cast<std::uint64_t>(run);
+    const planner::GpResult result = planner::run_gp(problem, config);
+    const planner::SimplifyResult simplified =
+        planner::simplify_plan(result.best_plan, evaluator);
+
+    raw_size.add(static_cast<double>(result.best_fitness.size));
+    simplified_size.add(static_cast<double>(simplified.plan.size()));
+    raw_fitness.add(result.best_fitness.overall);
+    simplified_fitness.add(simplified.fitness.overall);
+    extra_evaluations += simplified.evaluations;
+    std::printf("%-5d %2zu / %-12.4f %2zu / %-12.4f %zu nodes\n", run,
+                result.best_fitness.size, result.best_fitness.overall,
+                simplified.plan.size(), simplified.fitness.overall,
+                simplified.removed_nodes);
+  }
+
+  std::printf("\n%-28s %-10s %s\n", "", "raw", "simplified");
+  std::printf("%-28s %-10.1f %.1f   (paper raw: 9.7)\n", "mean best-plan size",
+              raw_size.mean(), simplified_size.mean());
+  std::printf("%-28s %-10.4f %.4f (paper raw: 0.928)\n", "mean best fitness",
+              raw_fitness.mean(), simplified_fitness.mean());
+  std::printf("extra evaluations for simplification: %zu total (%0.1f per run)\n",
+              extra_evaluations, static_cast<double>(extra_evaluations) / kRuns);
+
+  const bool ok = simplified_size.mean() <= raw_size.mean() &&
+                  simplified_fitness.mean() + 1e-9 >= raw_fitness.mean();
+  std::printf("shape holds (simplification never hurts): %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Ablation A2 — Smax (plan-tree size bound) versus fitness and bloat.
+//
+// Section 3.4.1: "The value of Smax should be properly set to ensure the
+// efficiency of the search without compromising the quality of solutions."
+// Too small an Smax forbids valid plans (the minimal goal-reaching plan
+// needs 5 nodes); large Smax admits bloat that the fr term must fight.
+#include <cstdio>
+#include <string>
+
+#include "gp_sweep.hpp"
+
+using namespace ig;
+
+int main() {
+  const planner::PlanningProblem problem = bench::virolab_problem();
+  const std::size_t bounds[] = {4, 8, 10, 20, 40, 80};
+  constexpr int kRuns = 5;
+
+  std::printf("A2: Smax sweep (%d runs each; minimal valid plan = 5 nodes)\n\n", kRuns);
+  bench::print_sweep_header("Smax");
+  int optimal_at_4 = -1;
+  int optimal_at_40 = -1;
+  for (const std::size_t smax : bounds) {
+    planner::GpConfig config;
+    config.population_size = 100;
+    config.generations = 15;
+    config.evaluation.smax = smax;
+    const bench::SweepPoint point = bench::run_sweep_point(problem, config, kRuns);
+    bench::print_sweep_row(std::to_string(smax).c_str(), point);
+    if (smax == 4) optimal_at_4 = point.optimal_runs;
+    if (smax == 40) optimal_at_40 = point.optimal_runs;
+  }
+  std::printf("\nexpected shape: Smax = 4 cannot express the 5-node minimal valid plan\n"
+              "(goal fitness < 1); the paper's Smax = 40 succeeds in every run.\n");
+  const bool ok = optimal_at_4 == 0 && optimal_at_40 == kRuns;
+  std::printf("shape holds: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+// Ablation A6 — coordination-engine micro-benchmarks (google-benchmark).
+//
+// Measures the hot paths of the middleware substrate: condition evaluation,
+// plan-fitness evaluation, process lowering/lifting, XML round trips, and a
+// full end-to-end enactment of the Figure 10 case on the simulated grid.
+#include <benchmark/benchmark.h>
+
+#include "planner/convert.hpp"
+#include "planner/evaluate.hpp"
+#include "services/environment.hpp"
+#include "services/protocol.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+#include "wfl/structure.hpp"
+#include "wfl/xml_io.hpp"
+
+using namespace ig;
+
+namespace {
+
+void BM_ConditionEvaluate(benchmark::State& state) {
+  const wfl::Condition condition = wfl::Condition::parse(
+      "A.Classification = \"POR-Parameter\" and B.Classification = \"2D Image\" and "
+      "C.Classification = \"Orientation File\" and D.Classification = \"3D Model\"");
+  const wfl::DataSet data = virolab::make_initial_data();
+  const wfl::Bindings bindings = wfl::self_bindings(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(condition.evaluate(bindings));
+  }
+}
+BENCHMARK(BM_ConditionEvaluate);
+
+void BM_ConditionParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wfl::Condition::parse(
+        "A.Classification = \"PSF-Parameter\" and B.Classification = \"3D Model\" and "
+        "C.Classification = \"3D Model\" or not D.Value > 8"));
+  }
+}
+BENCHMARK(BM_ConditionParse);
+
+void BM_ServiceBindInputs(benchmark::State& state) {
+  const auto catalogue = virolab::make_catalogue();
+  const wfl::ServiceType* por = catalogue.find("POR");
+  wfl::DataSet data = virolab::make_initial_data();
+  data.put(wfl::DataSpec("D8").with_classification("Orientation File"));
+  data.put(wfl::DataSpec("D9").with_classification("3D Model"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(por->bind_inputs(data));
+  }
+}
+BENCHMARK(BM_ServiceBindInputs);
+
+void BM_PlanFitnessEvaluation(benchmark::State& state) {
+  const planner::PlanningProblem problem = planner::PlanningProblem::from_case(
+      virolab::make_case_description(), virolab::make_catalogue());
+  planner::PlanEvaluator evaluator(problem);
+  const planner::PlanNode plan = virolab::make_fig11_plan_tree();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(plan));
+  }
+}
+BENCHMARK(BM_PlanFitnessEvaluation);
+
+void BM_LowerAndLift(benchmark::State& state) {
+  const wfl::FlowExpr expr = virolab::make_flow_expr();
+  for (auto _ : state) {
+    const wfl::ProcessDescription process = wfl::lower_to_process(expr, "bench");
+    benchmark::DoNotOptimize(wfl::lift_from_process(process));
+  }
+}
+BENCHMARK(BM_LowerAndLift);
+
+void BM_ProcessXmlRoundTrip(benchmark::State& state) {
+  const wfl::ProcessDescription process = virolab::make_fig10_process();
+  for (auto _ : state) {
+    const std::string xml = wfl::process_to_xml_string(process);
+    benchmark::DoNotOptimize(wfl::process_from_xml_string(xml));
+  }
+}
+BENCHMARK(BM_ProcessXmlRoundTrip);
+
+/// Full enactment of the Figure 10 case: environment bootstrap + plan
+/// execution across agents, per iteration.
+void BM_EndToEndEnactment(benchmark::State& state) {
+  class Runner : public agent::Agent {
+   public:
+    using Agent::Agent;
+    void on_start() override {
+      agent::AclMessage request;
+      request.performative = agent::Performative::Request;
+      request.receiver = svc::names::kCoordination;
+      request.protocol = svc::protocols::kEnactCase;
+      request.content = wfl::process_to_xml_string(virolab::make_fig10_process());
+      request.params["case-xml"] =
+          wfl::case_to_xml_string(virolab::make_case_description());
+      send(std::move(request));
+    }
+    void handle_message(const agent::AclMessage& message) override {
+      if (message.protocol == svc::protocols::kCaseCompleted)
+        success = message.param("success") == "true";
+    }
+    bool success = false;
+  };
+
+  std::size_t completed = 0;
+  for (auto _ : state) {
+    svc::EnvironmentOptions options;
+    options.topology.domains = 2;
+    options.topology.nodes_per_domain = 2;
+    auto environment = svc::make_environment(options);
+    auto& runner = environment->platform().spawn<Runner>("bench-ui");
+    environment->run();
+    if (runner.success) ++completed;
+  }
+  state.counters["cases_ok"] = static_cast<double>(completed);
+}
+BENCHMARK(BM_EndToEndEnactment)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Figure 10 — The process description for the 3D reconstruction of virus
+// structures.
+//
+// Prints the full activity/transition listing (BEGIN..END with the Cons1
+// loop), checks the paper's stated inventory — "7 (seven) end-user
+// activities and 6 (six) flow control activities", 15 transitions — and
+// enacts the workflow once on the simulated grid to show it actually runs.
+#include <cstdio>
+
+#include "services/environment.hpp"
+#include "services/protocol.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+#include "wfl/validate.hpp"
+#include "wfl/xml_io.hpp"
+
+using namespace ig;
+
+namespace {
+
+class Runner : public agent::Agent {
+ public:
+  using Agent::Agent;
+  void on_start() override {
+    agent::AclMessage request;
+    request.performative = agent::Performative::Request;
+    request.receiver = svc::names::kCoordination;
+    request.protocol = svc::protocols::kEnactCase;
+    request.content = wfl::process_to_xml_string(virolab::make_fig10_process());
+    request.params["case-xml"] = wfl::case_to_xml_string(virolab::make_case_description());
+    send(std::move(request));
+  }
+  void handle_message(const agent::AclMessage& message) override {
+    if (message.protocol == svc::protocols::kCaseCompleted) outcome = message;
+  }
+  agent::AclMessage outcome;
+};
+
+}  // namespace
+
+int main() {
+  const wfl::ProcessDescription process = virolab::make_fig10_process();
+
+  std::printf("Figure 10: the process description for the 3D reconstruction\n\n");
+  std::printf("%s\n", process.to_display_string().c_str());
+  std::printf("workflow text form:\n%s\n\n", virolab::make_flow_expr().to_text().c_str());
+
+  const bool counts_ok = process.end_user_activity_count() == 7 &&
+                         process.flow_control_activity_count() == 6 &&
+                         process.transition_count() == 15;
+  std::printf("%-44s paper   measured\n", "");
+  std::printf("%-44s 7       %zu\n", "end-user activities", process.end_user_activity_count());
+  std::printf("%-44s 6       %zu\n", "flow control activities",
+              process.flow_control_activity_count());
+  std::printf("%-44s 15      %zu\n", "transitions", process.transition_count());
+  std::printf("%-44s valid   %s\n\n", "structural validation",
+              wfl::is_valid(process) ? "valid" : "INVALID");
+
+  // Enact it once for real.
+  svc::EnvironmentOptions options;
+  options.seed = 10;
+  auto environment = svc::make_environment(options);
+  auto& runner = environment->platform().spawn<Runner>("ui");
+  environment->run();
+  std::printf("enactment on the simulated grid: success=%s activities=%s makespan=%s\n",
+              runner.outcome.param("success").c_str(),
+              runner.outcome.param("activities-executed").c_str(),
+              runner.outcome.param("makespan").c_str());
+
+  const bool ok = counts_ok && wfl::is_valid(process) &&
+                  runner.outcome.param("success") == "true";
+  std::printf("figure 10 reproduced: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Ablation A7 — matchmaking latency versus registry size (google-benchmark).
+//
+// Measures ranking cost as the grid grows from tens to thousands of
+// containers, for each strategy. Brokers "must maintain full information
+// about resources with similar characteristics and group them in multiple
+// equivalence classes" — the equivalence-class grouping is measured too.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "agent/platform.hpp"
+#include "grid/grid.hpp"
+#include "services/brokerage.hpp"
+#include "services/matchmaking.hpp"
+#include "virolab/catalogue.hpp"
+
+using namespace ig;
+
+namespace {
+
+struct World {
+  grid::Simulation sim;
+  agent::AgentPlatform platform{sim};
+  grid::Grid grid;
+  svc::BrokerageService* brokerage = nullptr;
+  svc::MatchmakingService* matchmaking = nullptr;
+};
+
+std::unique_ptr<World> make_world(int containers) {
+  auto world = std::make_unique<World>();
+  grid::TopologyParams params;
+  params.domains = 4;
+  params.nodes_per_domain = std::max(1, containers / 4);
+  params.containers_per_node = 1;
+  params.service_names = virolab::make_catalogue().names();
+  util::Rng rng(1234);
+  grid::build_topology(world->grid, params, rng);
+  world->brokerage = &world->platform.spawn<svc::BrokerageService>("bs");
+  world->matchmaking = &world->platform.spawn<svc::MatchmakingService>(
+      "ms", world->grid, world->brokerage);
+  return world;
+}
+
+void BM_MatchmakingRank(benchmark::State& state) {
+  auto world = make_world(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world->matchmaking->rank("P3DR", {}, svc::MatchStrategy::Balanced));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatchmakingRank)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_MatchmakingStrategies(benchmark::State& state) {
+  auto world = make_world(512);
+  const svc::MatchStrategy strategies[] = {
+      svc::MatchStrategy::Balanced, svc::MatchStrategy::Fastest,
+      svc::MatchStrategy::Reliable, svc::MatchStrategy::FirstFit};
+  const auto strategy = strategies[state.range(0)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->matchmaking->rank("P3DR", {}, strategy));
+  }
+}
+BENCHMARK(BM_MatchmakingStrategies)->DenseRange(0, 3);
+
+void BM_ContainersHostingQuery(benchmark::State& state) {
+  auto world = make_world(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->grid.containers_hosting("PSF"));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ContainersHostingQuery)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Table 1 — Parameter settings in the experiments.
+//
+// Prints the configuration the experiment harness (bench_table2_planning)
+// uses, side by side with the paper's values. These are the library
+// defaults, so a mismatch here would mean the defaults drifted.
+#include <cstdio>
+
+#include "planner/gp.hpp"
+
+int main() {
+  const ig::planner::GpConfig config;  // library defaults = Table 1
+
+  std::printf("Table 1. Parameter Settings in the experiments.\n");
+  std::printf("%-28s %-12s %s\n", "Parameter", "Paper", "This library");
+  std::printf("%-28s %-12s %g\n", "Population Size", "200",
+              static_cast<double>(config.population_size));
+  std::printf("%-28s %-12s %g\n", "Number of Generation", "20",
+              static_cast<double>(config.generations));
+  std::printf("%-28s %-12s %g\n", "Crossover Rate", "0.7", config.crossover_rate);
+  std::printf("%-28s %-12s %g\n", "Mutation Rate", "0.001", config.mutation_rate);
+  std::printf("%-28s %-12s %g\n", "Smax", "40", static_cast<double>(config.evaluation.smax));
+  std::printf("%-28s %-12s %g\n", "wv", "0.2", config.evaluation.wv);
+  std::printf("%-28s %-12s %g\n", "wg", "0.5", config.evaluation.wg);
+  std::printf("%-28s %-12s %g   (wv+wg+wr = 1)\n", "wr (implied)", "0.3",
+              config.evaluation.wr);
+
+  const bool match = config.population_size == 200 && config.generations == 20 &&
+                     config.crossover_rate == 0.7 && config.mutation_rate == 0.001 &&
+                     config.evaluation.smax == 40 && config.evaluation.wv == 0.2 &&
+                     config.evaluation.wg == 0.5 && config.evaluation.wr == 0.3;
+  std::printf("\ndefaults match Table 1: %s\n", match ? "yes" : "NO");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Ablation A12 — planner behaviour on synthetic problem families.
+//
+// Uses the layered workload generator to vary problem depth (the length of
+// the causal chain the planner must discover) and distraction (executable
+// but goal-irrelevant services). Deep chains are the hard case for
+// fitness-guided search: intermediate artefacts earn validity credit but no
+// goal credit until the whole chain assembles.
+#include <cstdio>
+#include <string>
+
+#include "planner/gp.hpp"
+#include "planner/workload.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace ig;
+
+namespace {
+
+struct Cell {
+  int solved = 0;
+  double mean_fitness = 0.0;
+  double seconds = 0.0;
+};
+
+Cell run_cell(const planner::WorkloadParams& params, int runs) {
+  Cell cell;
+  const planner::PlanningProblem problem = planner::make_layered_problem(params);
+  util::Stopwatch watch;
+  util::SampleSet fitness;
+  for (int run = 0; run < runs; ++run) {
+    planner::GpConfig config;
+    config.population_size = 150;
+    config.generations = 20;
+    config.seed = 9000 + static_cast<std::uint64_t>(run);
+    const planner::GpResult result = planner::run_gp(problem, config);
+    fitness.add(result.best_fitness.overall);
+    if (result.best_fitness.goal >= 1.0) ++cell.solved;
+  }
+  cell.mean_fitness = fitness.mean();
+  cell.seconds = watch.elapsed_seconds();
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRuns = 4;
+  std::printf("A12: GP planner vs synthetic problem families (%d runs per cell)\n\n", kRuns);
+
+  std::printf("-- depth sweep (2 providers/layer, no distractors) --\n");
+  std::printf("%-8s %-10s %-10s %s\n", "depth", "solved", "fitness", "time(s)");
+  int solved_d2 = 0;
+  for (const int depth : {1, 2, 3, 4, 5}) {
+    planner::WorkloadParams params;
+    params.depth = depth;
+    params.services_per_layer = 2;
+    const Cell cell = run_cell(params, kRuns);
+    std::printf("%-8d %d/%-8d %-10.4f %.1f\n", depth, cell.solved, kRuns,
+                cell.mean_fitness, cell.seconds);
+    if (depth == 2) solved_d2 = cell.solved;
+  }
+
+  std::printf("\n-- distraction sweep (depth 2, K distractor chains of depth 3) --\n");
+  std::printf("%-8s %-10s %-10s %s\n", "chains", "solved", "fitness", "time(s)");
+  for (const int chains : {0, 2, 4, 8}) {
+    planner::WorkloadParams params;
+    params.depth = 2;
+    params.services_per_layer = 2;
+    params.distractor_chains = chains;
+    params.distractor_depth = 3;
+    const Cell cell = run_cell(params, kRuns);
+    std::printf("%-8d %d/%-8d %-10.4f %.1f\n", chains, cell.solved, kRuns,
+                cell.mean_fitness, cell.seconds);
+  }
+
+  std::printf("\nexpected shape: shallow problems solved in every run; solve rate decays\n"
+              "with depth (goal credit arrives only when the whole chain assembles) and\n"
+              "with distraction (validity credit leaks to goal-irrelevant services).\n");
+  const bool ok = solved_d2 == kRuns;
+  std::printf("shape holds: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Shared helper for the GP ablation benches: run N seeded GP runs for a
+// configuration and aggregate the best-of-run statistics.
+#pragma once
+
+#include <cstdio>
+
+#include "planner/gp.hpp"
+#include "util/stats.hpp"
+#include "virolab/catalogue.hpp"
+
+namespace ig::bench {
+
+struct SweepPoint {
+  util::SampleSet fitness;
+  util::SampleSet validity;
+  util::SampleSet goal;
+  util::SampleSet size;
+  int optimal_runs = 0;  ///< runs with fv = fg = 1
+  int runs = 0;
+};
+
+inline planner::PlanningProblem virolab_problem() {
+  return planner::PlanningProblem::from_case(virolab::make_case_description(),
+                                             virolab::make_catalogue());
+}
+
+inline SweepPoint run_sweep_point(const planner::PlanningProblem& problem,
+                                  planner::GpConfig config, int runs,
+                                  std::uint64_t seed_base = 1000) {
+  SweepPoint point;
+  point.runs = runs;
+  for (int run = 0; run < runs; ++run) {
+    config.seed = seed_base + static_cast<std::uint64_t>(run);
+    const planner::GpResult result = planner::run_gp(problem, config);
+    point.fitness.add(result.best_fitness.overall);
+    point.validity.add(result.best_fitness.validity);
+    point.goal.add(result.best_fitness.goal);
+    point.size.add(static_cast<double>(result.best_fitness.size));
+    if (result.best_fitness.validity == 1.0 && result.best_fitness.goal == 1.0)
+      ++point.optimal_runs;
+  }
+  return point;
+}
+
+inline void print_sweep_header(const char* parameter_name) {
+  std::printf("%-14s %-9s %-9s %-9s %-8s %s\n", parameter_name, "fitness", "validity",
+              "goal", "size", "optimal-runs");
+}
+
+inline void print_sweep_row(const char* label, const SweepPoint& point) {
+  std::printf("%-14s %-9.4f %-9.3f %-9.3f %-8.1f %d/%d\n", label, point.fitness.mean(),
+              point.validity.mean(), point.goal.mean(), point.size.mean(),
+              point.optimal_runs, point.runs);
+}
+
+}  // namespace ig::bench

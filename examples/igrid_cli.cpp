@@ -1,0 +1,181 @@
+// igrid_cli — command-line front end to the IntelliGrid library.
+//
+//   igrid_cli validate <workflow.txt>        check a Section 2 workflow text
+//   igrid_cli lower <workflow.txt>           print the activity/transition graph
+//   igrid_cli plan [seed]                    GP-plan the virolab case
+//   igrid_cli simulate <workflow.txt>        dry-run fitness vs the virolab case
+//   igrid_cli enact <workflow.txt> [seed]    execute on the simulated grid
+//   igrid_cli demo                           plan + enact the paper's case study
+//
+// Workflow files contain the concrete syntax, e.g.
+//   BEGIN, POD; P3DR1=P3DR; {ITERATIVE {COND R.Value > 8}
+//     {POR; {FORK {P3DR2=P3DR} {P3DR3=P3DR} {P3DR4=P3DR} JOIN}; PSF}}, END
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "planner/convert.hpp"
+#include "planner/evaluate.hpp"
+#include "planner/gp.hpp"
+#include "services/environment.hpp"
+#include "services/protocol.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+#include "wfl/structure.hpp"
+#include "wfl/validate.hpp"
+#include "wfl/xml_io.hpp"
+
+using namespace ig;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: igrid_cli <validate|lower|plan|simulate|enact|demo> [args]\n"
+               "  validate <workflow.txt>      parse + structural validation\n"
+               "  lower    <workflow.txt>      print the lowered graph\n"
+               "  plan     [seed]              GP-plan the virolab case\n"
+               "  simulate <workflow.txt>      dry-run fitness for the virolab case\n"
+               "  enact    <workflow.txt> [seed]  run on the simulated grid\n"
+               "  demo                         plan + enact the paper's case study\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+wfl::ProcessDescription load_process(const std::string& path) {
+  const std::string text = read_file(path);
+  // Accept either the concrete workflow syntax or a <process> XML document.
+  if (text.find("<process") != std::string::npos)
+    return wfl::process_from_xml_string(text);
+  return wfl::lower_to_process(wfl::parse_flow(text), path);
+}
+
+int cmd_validate(const std::string& path) {
+  const wfl::ProcessDescription process = load_process(path);
+  const auto errors = wfl::validate(process);
+  std::printf("%s: %zu activities (%zu end-user), %zu transitions\n", path.c_str(),
+              process.activity_count(), process.end_user_activity_count(),
+              process.transition_count());
+  if (errors.empty()) {
+    std::printf("valid\n");
+    return 0;
+  }
+  std::printf("INVALID:\n%s", wfl::to_string(errors).c_str());
+  return 1;
+}
+
+int cmd_lower(const std::string& path) {
+  const wfl::ProcessDescription process = load_process(path);
+  std::printf("%s", process.to_display_string().c_str());
+  std::printf("\nworkflow text: %s\n", wfl::lift_from_process(process).to_text().c_str());
+  return 0;
+}
+
+int cmd_plan(std::uint64_t seed) {
+  planner::PlanningProblem problem = planner::PlanningProblem::from_case(
+      virolab::make_case_description(), virolab::make_catalogue());
+  planner::GpConfig config;
+  config.seed = seed;
+  const planner::GpResult result = planner::run_gp(problem, config);
+  std::printf("fitness %.4f  (fv %.2f, fg %.2f, size %zu) after %zu evaluations\n",
+              result.best_fitness.overall, result.best_fitness.validity,
+              result.best_fitness.goal, result.best_fitness.size, result.evaluations);
+  std::printf("%s\n", planner::to_flow_expr(result.best_plan).to_text().c_str());
+  std::printf("%s", result.best_plan.to_tree_string().c_str());
+  return result.best_fitness.goal >= 1.0 ? 0 : 1;
+}
+
+int cmd_simulate(const std::string& path) {
+  const wfl::ProcessDescription process = load_process(path);
+  const planner::PlanNode plan = planner::from_process(process);
+  planner::PlanningProblem problem = planner::PlanningProblem::from_case(
+      virolab::make_case_description(), virolab::make_catalogue());
+  planner::PlanEvaluator evaluator(problem);
+  const planner::Fitness fitness = evaluator.evaluate(plan);
+  std::printf("f=%.4f fv=%.4f fg=%.4f fr=%.4f size=%zu flows=%zu%s\n", fitness.overall,
+              fitness.validity, fitness.goal, fitness.representation, fitness.size,
+              fitness.flows, fitness.flows_truncated ? " (truncated)" : "");
+  return 0;
+}
+
+class CliUser : public agent::Agent {
+ public:
+  CliUser(std::string name, wfl::ProcessDescription process)
+      : Agent(std::move(name)), process_(std::move(process)) {}
+  void on_start() override {
+    agent::AclMessage request;
+    request.performative = agent::Performative::Request;
+    request.receiver = svc::names::kCoordination;
+    request.protocol = svc::protocols::kEnactCase;
+    request.content = wfl::process_to_xml_string(process_);
+    request.params["case-xml"] = wfl::case_to_xml_string(virolab::make_case_description());
+    send(std::move(request));
+  }
+  void handle_message(const agent::AclMessage& message) override {
+    if (message.protocol == svc::protocols::kCaseCompleted) outcome = message;
+  }
+  wfl::ProcessDescription process_;
+  agent::AclMessage outcome;
+};
+
+int cmd_enact(const std::string& path, std::uint64_t seed) {
+  svc::EnvironmentOptions options;
+  options.seed = seed;
+  auto environment = svc::make_environment(options);
+  auto& user = environment->platform().spawn<CliUser>("cli", load_process(path));
+  environment->run();
+  std::printf("success=%s makespan=%s activities=%s failures=%s replans=%s\n",
+              user.outcome.param("success").c_str(), user.outcome.param("makespan").c_str(),
+              user.outcome.param("activities-executed").c_str(),
+              user.outcome.param("dispatch-failures").c_str(),
+              user.outcome.param("replans").c_str());
+  if (user.outcome.param("success") != "true") {
+    std::printf("error: %s\n", user.outcome.param("error").c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_demo() {
+  std::printf("== planning the 3DSD case (Table 1 parameters) ==\n");
+  if (cmd_plan(2004) != 0) return 1;
+  std::printf("\n== enacting the paper's Figure 10 workflow ==\n");
+  svc::EnvironmentOptions options;
+  auto environment = svc::make_environment(options);
+  auto& user =
+      environment->platform().spawn<CliUser>("cli", virolab::make_fig10_process());
+  environment->run();
+  std::printf("success=%s makespan=%s activities=%s\n",
+              user.outcome.param("success").c_str(), user.outcome.param("makespan").c_str(),
+              user.outcome.param("activities-executed").c_str());
+  return user.outcome.param("success") == "true" ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "validate" && argc >= 3) return cmd_validate(argv[2]);
+    if (command == "lower" && argc >= 3) return cmd_lower(argv[2]);
+    if (command == "plan")
+      return cmd_plan(argc >= 3 ? std::stoull(argv[2]) : 1);
+    if (command == "simulate" && argc >= 3) return cmd_simulate(argv[2]);
+    if (command == "enact" && argc >= 3)
+      return cmd_enact(argv[2], argc >= 4 ? std::stoull(argv[3]) : 42);
+    if (command == "demo") return cmd_demo();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

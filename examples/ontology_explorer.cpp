@@ -1,0 +1,111 @@
+// Metainformation tour: the Figure 12 ontology shell and the Figure 13
+// instances, served over the ontology service's wire protocol.
+//
+//   $ ./ontology_explorer [class-name]
+//
+// Prints the logic view of the standard grid ontology (classes and slots),
+// then fetches the populated 3DSD ontology through the ontology service and
+// dumps the task/activity/data instances. With an argument, prints only the
+// named class and its instances.
+#include <cstdio>
+#include <string>
+
+#include "meta/standard.hpp"
+#include "meta/xml_io.hpp"
+#include "services/environment.hpp"
+#include "services/protocol.hpp"
+#include "util/strings.hpp"
+
+using namespace ig;
+namespace names = svc::names;
+namespace protocols = svc::protocols;
+
+namespace {
+
+void print_class(const meta::Ontology& ontology, const meta::OntologyClass& cls) {
+  std::printf("%s%s%s\n", cls.name().c_str(), cls.parent().empty() ? "" : " : ",
+              cls.parent().c_str());
+  if (!cls.documentation().empty()) std::printf("  # %s\n", cls.documentation().c_str());
+  for (const auto& slot : ontology.effective_slots(cls.name())) {
+    const std::string allowed =
+        slot.allowed_values.empty()
+            ? std::string()
+            : "  in {" + util::join(slot.allowed_values, ", ") + "}";
+    std::printf("  %-24s %-8s%s%s\n", slot.name.c_str(),
+                std::string(meta::to_string(slot.type)).c_str(),
+                slot.required ? " required" : "", allowed.c_str());
+  }
+}
+
+void print_instances(const meta::Ontology& ontology, const std::string& class_name) {
+  const auto instances = ontology.instances_of(class_name);
+  if (instances.empty()) return;
+  std::printf("\n-- instances of %s (%zu) --\n", class_name.c_str(), instances.size());
+  for (const auto* instance : instances) {
+    std::printf("%s:\n", instance->id().c_str());
+    for (const auto& [slot, value] : instance->slots())
+      std::printf("  %-24s %s\n", slot.c_str(), value.to_display_string().c_str());
+  }
+}
+
+class Fetcher : public agent::Agent {
+ public:
+  using Agent::Agent;
+  void on_start() override {
+    agent::AclMessage query;
+    query.performative = agent::Performative::QueryRef;
+    query.receiver = names::kOntology;
+    query.protocol = protocols::kGetOntology;
+    query.params["name"] = "3DSD-instances";
+    send(std::move(query));
+  }
+  void handle_message(const agent::AclMessage& message) override {
+    if (message.performative == agent::Performative::Inform) payload = message.content;
+  }
+  std::string payload;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string filter = argc > 1 ? argv[1] : "";
+
+  std::printf("=== Figure 12: the standard grid ontology (logic view) ===\n\n");
+  const meta::Ontology shell = meta::standard_grid_ontology();
+  for (const auto* cls : shell.classes()) {
+    if (!filter.empty() && cls->name() != filter) continue;
+    print_class(shell, *cls);
+    std::printf("\n");
+  }
+
+  // Fetch the populated ontology over the wire, exactly as a user interface
+  // agent would.
+  svc::EnvironmentOptions options;
+  options.topology.domains = 1;
+  options.topology.nodes_per_domain = 1;
+  auto environment = svc::make_environment(options);
+  auto& fetcher = environment->platform().spawn<Fetcher>("explorer");
+  environment->run();
+
+  if (fetcher.payload.empty()) {
+    std::fprintf(stderr, "ontology service returned nothing\n");
+    return 1;
+  }
+  const meta::Ontology populated = meta::from_xml_string(fetcher.payload);
+  std::printf("=== Figure 13: populated ontology '%s' (%zu instances) ===\n",
+              populated.name().c_str(), populated.instance_count());
+  if (filter.empty()) {
+    for (const char* class_name :
+         {meta::classes::kTask, meta::classes::kProcessDescription,
+          meta::classes::kCaseDescription, meta::classes::kActivity,
+          meta::classes::kTransition, meta::classes::kData, meta::classes::kService}) {
+      print_instances(populated, class_name);
+    }
+  } else {
+    print_instances(populated, filter);
+  }
+
+  const auto issues = populated.validate();
+  std::printf("\nvalidation: %zu issues\n", issues.size());
+  return issues.empty() ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Quickstart: define a planning problem, run the GP planner, inspect the
+// plan in all three representations (plan tree, workflow text, process
+// description graph).
+//
+//   $ ./quickstart
+//
+// The problem is a miniature two-step pipeline: a "Extract" service turns a
+// raw dataset into features, and a "Train" service turns features into a
+// model. The planner must discover the Extract -> Train sequence on its own.
+#include <cstdio>
+#include <iostream>
+
+#include "planner/convert.hpp"
+#include "planner/gp.hpp"
+#include "wfl/service.hpp"
+#include "wfl/validate.hpp"
+
+using namespace ig;
+
+int main() {
+  // 1. Describe the available end-user services (the set T).
+  wfl::ServiceCatalogue catalogue;
+  {
+    wfl::ServiceType extract("Extract");
+    extract.set_inputs({"A"});
+    extract.set_input_condition(wfl::Condition::parse("A.Classification = \"Raw Data\""));
+    extract.set_outputs({"B"});
+    extract.set_output_condition(wfl::Condition::parse("B.Classification = \"Features\""));
+    catalogue.add(std::move(extract));
+
+    wfl::ServiceType train("Train");
+    train.set_inputs({"A", "B"});
+    train.set_input_condition(wfl::Condition::parse(
+        "A.Classification = \"Features\" and B.Classification = \"Train-Config\""));
+    train.set_outputs({"C"});
+    train.set_output_condition(wfl::Condition::parse("C.Classification = \"Model\""));
+    catalogue.add(std::move(train));
+  }
+
+  // 2. The initial state Sinit and the goal G.
+  planner::PlanningProblem problem;
+  problem.name = "train-a-model";
+  problem.initial_state.put(wfl::DataSpec("raw").with_classification("Raw Data"));
+  problem.initial_state.put(wfl::DataSpec("config").with_classification("Train-Config"));
+  wfl::GoalSpec goal;
+  goal.description = "a trained model exists";
+  goal.condition = wfl::Condition::parse("M.Classification = \"Model\"");
+  problem.goals.push_back(goal);
+  problem.catalogue = catalogue;
+
+  // 3. Run the genetic planner (Table 1 parameters are the defaults).
+  planner::GpConfig config;
+  config.population_size = 100;
+  config.generations = 15;
+  config.seed = 7;
+  const planner::GpResult result = planner::run_gp(problem, config);
+
+  std::printf("fitness      : %.4f\n", result.best_fitness.overall);
+  std::printf("validity  fv : %.4f\n", result.best_fitness.validity);
+  std::printf("goal      fg : %.4f\n", result.best_fitness.goal);
+  std::printf("plan size    : %zu nodes\n", result.best_fitness.size);
+  std::printf("evaluations  : %zu\n\n", result.evaluations);
+
+  std::printf("-- plan tree (Figure 11 style) --\n%s\n",
+              result.best_plan.to_tree_string().c_str());
+
+  const wfl::FlowExpr expr = planner::to_flow_expr(result.best_plan);
+  std::printf("-- process description text (Section 2 grammar) --\n%s\n\n",
+              expr.to_text().c_str());
+
+  const wfl::ProcessDescription process = planner::to_process(result.best_plan, "quickstart");
+  std::printf("-- process description graph (Figure 10 style) --\n%s",
+              process.to_display_string().c_str());
+  std::printf("structurally valid: %s\n", wfl::is_valid(process) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "agent/agent.hpp"
+
+#include <stdexcept>
+
+#include "agent/platform.hpp"
+
+namespace ig::agent {
+
+void Agent::send(AclMessage message) {
+  message.sender = name_;
+  platform().send(std::move(message));
+}
+
+grid::EventId Agent::schedule(grid::SimTime delay, std::function<void()> action) {
+  return sim().schedule(delay, std::move(action));
+}
+
+AgentPlatform& Agent::platform() {
+  if (platform_ == nullptr)
+    throw std::logic_error("agent '" + name_ + "' is not registered with a platform");
+  return *platform_;
+}
+
+grid::Simulation& Agent::sim() { return platform().sim(); }
+
+grid::SimTime Agent::now() { return sim().now(); }
+
+}  // namespace ig::agent

@@ -1,0 +1,58 @@
+#include "agent/message.hpp"
+
+namespace ig::agent {
+
+std::string_view to_string(Performative performative) noexcept {
+  switch (performative) {
+    case Performative::Request: return "REQUEST";
+    case Performative::Inform: return "INFORM";
+    case Performative::Agree: return "AGREE";
+    case Performative::Refuse: return "REFUSE";
+    case Performative::Failure: return "FAILURE";
+    case Performative::QueryRef: return "QUERY-REF";
+    case Performative::QueryIf: return "QUERY-IF";
+    case Performative::Propose: return "PROPOSE";
+    case Performative::AcceptProposal: return "ACCEPT-PROPOSAL";
+    case Performative::RejectProposal: return "REJECT-PROPOSAL";
+    case Performative::Subscribe: return "SUBSCRIBE";
+    case Performative::Cancel: return "CANCEL";
+    case Performative::NotUnderstood: return "NOT-UNDERSTOOD";
+  }
+  return "?";
+}
+
+std::string AclMessage::param(std::string_view key, std::string_view fallback) const {
+  auto it = params.find(std::string(key));
+  return it != params.end() ? it->second : std::string(fallback);
+}
+
+bool AclMessage::has_param(std::string_view key) const {
+  return params.find(std::string(key)) != params.end();
+}
+
+AclMessage AclMessage::make_reply(Performative reply_performative) const {
+  AclMessage reply;
+  reply.performative = reply_performative;
+  reply.sender = receiver;
+  reply.receiver = sender;
+  reply.conversation_id = conversation_id;
+  reply.protocol = protocol;
+  reply.ontology = ontology;
+  return reply;
+}
+
+std::string AclMessage::to_display_string() const {
+  std::string out(to_string(performative));
+  out += ' ';
+  out += sender;
+  out += " -> ";
+  out += receiver;
+  if (!protocol.empty()) {
+    out += " [";
+    out += protocol;
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace ig::agent

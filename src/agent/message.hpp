@@ -1,0 +1,58 @@
+// ACL messages: the lingua franca of the multi-agent system.
+//
+// The paper builds its services on the Jade framework, whose agents speak
+// FIPA ACL. This module provides the equivalent message shape: a
+// performative, sender/receiver, a conversation id correlating a whole
+// exchange (e.g. one re-planning episode), a protocol name, and content.
+// Content travels either as a free-form string (often XML produced by the
+// wfl/meta serializers) or as lightweight key-value parameters.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ig::agent {
+
+/// FIPA-style performatives (the subset the core services use).
+enum class Performative {
+  Request,
+  Inform,
+  Agree,
+  Refuse,
+  Failure,
+  QueryRef,
+  QueryIf,
+  Propose,
+  AcceptProposal,
+  RejectProposal,
+  Subscribe,
+  Cancel,
+  NotUnderstood,
+};
+
+std::string_view to_string(Performative performative) noexcept;
+
+struct AclMessage {
+  Performative performative = Performative::Inform;
+  std::string sender;
+  std::string receiver;
+  std::string conversation_id;  ///< correlates a whole exchange
+  std::string protocol;         ///< e.g. "planning-request", "service-query"
+  std::string ontology;         ///< vocabulary of the content, e.g. "grid-standard"
+  std::string content;          ///< free-form payload (often XML)
+  std::map<std::string, std::string> params;  ///< structured payload fields
+
+  /// Returns params[key] or `fallback`.
+  std::string param(std::string_view key, std::string_view fallback = "") const;
+  bool has_param(std::string_view key) const;
+
+  /// Builds a reply: swaps sender/receiver, keeps conversation id and
+  /// protocol, sets the performative.
+  AclMessage make_reply(Performative reply_performative) const;
+
+  /// One-line rendering for traces: "REQUEST cs -> ps [planning-request]".
+  std::string to_display_string() const;
+};
+
+}  // namespace ig::agent

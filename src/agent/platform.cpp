@@ -1,0 +1,96 @@
+#include "agent/platform.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ig::agent {
+
+Agent& AgentPlatform::register_agent(std::unique_ptr<Agent> agent) {
+  if (agent == nullptr) throw std::invalid_argument("register_agent: null agent");
+  if (has_agent(agent->name()))
+    throw std::invalid_argument("duplicate agent name '" + agent->name() + "'");
+  agent->platform_ = this;
+  agents_.push_back(std::move(agent));
+  Agent& reference = *agents_.back();
+  reference.on_start();
+  return reference;
+}
+
+bool AgentPlatform::deregister_agent(std::string_view name) {
+  for (auto it = agents_.begin(); it != agents_.end(); ++it) {
+    if ((*it)->name() == name) {
+      agents_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Agent* AgentPlatform::find_agent(std::string_view name) noexcept {
+  for (auto& agent : agents_) {
+    if (agent->name() == name) return agent.get();
+  }
+  return nullptr;
+}
+
+bool AgentPlatform::has_agent(std::string_view name) const noexcept {
+  for (const auto& agent : agents_) {
+    if (agent->name() == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> AgentPlatform::agent_names() const {
+  std::vector<std::string> names;
+  names.reserve(agents_.size());
+  for (const auto& agent : agents_) names.push_back(agent->name());
+  return names;
+}
+
+void AgentPlatform::send(AclMessage message) {
+  ++messages_sent_;
+  const grid::SimTime sent_at = sim_.now();
+  const grid::SimTime latency =
+      latency_fn_ ? latency_fn_(message.sender, message.receiver) : 0.001;
+  sim_.schedule(latency, [this, message = std::move(message), sent_at]() mutable {
+    deliver(std::move(message), sent_at);
+  });
+}
+
+void AgentPlatform::deliver(AclMessage message, grid::SimTime sent_at) {
+  Agent* receiver = find_agent(message.receiver);
+  if (tracing_) {
+    trace_.push_back({sent_at, sim_.now(), message, receiver != nullptr});
+  }
+  if (receiver == nullptr) {
+    // Bounce: notify the sender (if it still exists) of the failed delivery.
+    Agent* sender = find_agent(message.sender);
+    if (sender != nullptr && message.performative != Performative::Failure) {
+      AclMessage bounce = message.make_reply(Performative::Failure);
+      bounce.sender = message.receiver;  // nominal originator
+      bounce.protocol = "platform-error";
+      bounce.params["error"] = "agent '" + message.receiver + "' not found";
+      bounce.params["original-protocol"] = message.protocol;
+      sim_.schedule(0.0, [this, bounce = std::move(bounce), when = sim_.now()]() mutable {
+        deliver(std::move(bounce), when);
+      });
+    }
+    return;
+  }
+  ++messages_delivered_;
+  receiver->handle_message(message);
+}
+
+std::string AgentPlatform::trace_to_string() const {
+  std::string out;
+  for (const auto& record : trace_) {
+    out += "t=" + util::format_number(record.delivered_at, 4) + "  " +
+           record.message.to_display_string();
+    if (!record.delivered) out += "  (UNDELIVERABLE)";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ig::agent

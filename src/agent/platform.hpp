@@ -1,0 +1,93 @@
+// The agent platform: registration, message transport, and tracing.
+//
+// Substitutes for Jade. Delivery is asynchronous on the virtual clock: a
+// sent message arrives after a latency determined by a pluggable function
+// (by default a small constant; the services install a domain-aware function
+// backed by the grid's network model). The platform records a trace of every
+// delivery, which the Figure 2/3 harnesses print as the paper's message
+// flows.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "agent/message.hpp"
+#include "grid/sim.hpp"
+
+namespace ig::agent {
+
+/// One delivered (or dropped) message, for diagnostics and the flow benches.
+struct TraceRecord {
+  grid::SimTime sent_at = 0.0;
+  grid::SimTime delivered_at = 0.0;
+  AclMessage message;
+  bool delivered = false;  ///< false when the receiver did not exist
+};
+
+class AgentPlatform {
+ public:
+  explicit AgentPlatform(grid::Simulation& sim) : sim_(sim) {}
+
+  AgentPlatform(const AgentPlatform&) = delete;
+  AgentPlatform& operator=(const AgentPlatform&) = delete;
+
+  grid::Simulation& sim() noexcept { return sim_; }
+
+  // -- lifecycle --------------------------------------------------------------
+  /// Registers an agent; its name must be unique. `on_start` runs
+  /// immediately. Returns a reference to the stored agent.
+  Agent& register_agent(std::unique_ptr<Agent> agent);
+
+  /// Convenience: constructs and registers an agent of type T.
+  template <typename T, typename... Args>
+  T& spawn(Args&&... args) {
+    auto agent = std::make_unique<T>(std::forward<Args>(args)...);
+    T& reference = *agent;
+    register_agent(std::move(agent));
+    return reference;
+  }
+
+  /// Deregisters (kills) an agent; queued deliveries to it are dropped.
+  bool deregister_agent(std::string_view name);
+
+  Agent* find_agent(std::string_view name) noexcept;
+  bool has_agent(std::string_view name) const noexcept;
+  std::vector<std::string> agent_names() const;
+
+  // -- messaging ---------------------------------------------------------------
+  /// Queues a message for delivery after the transport latency. Messages to
+  /// unknown agents bounce: the sender receives a platform FAILURE reply.
+  void send(AclMessage message);
+
+  /// Transport latency function (sender, receiver) -> seconds.
+  void set_latency_function(std::function<grid::SimTime(const std::string&, const std::string&)> fn) {
+    latency_fn_ = std::move(fn);
+  }
+
+  std::size_t messages_sent() const noexcept { return messages_sent_; }
+  std::size_t messages_delivered() const noexcept { return messages_delivered_; }
+
+  // -- tracing ------------------------------------------------------------------
+  void set_tracing(bool enabled) noexcept { tracing_ = enabled; }
+  const std::vector<TraceRecord>& trace() const noexcept { return trace_; }
+  void clear_trace() { trace_.clear(); }
+  /// Multi-line "t=0.001 REQUEST cs -> ps [planning-request]" rendering.
+  std::string trace_to_string() const;
+
+ private:
+  void deliver(AclMessage message, grid::SimTime sent_at);
+
+  grid::Simulation& sim_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::function<grid::SimTime(const std::string&, const std::string&)> latency_fn_;
+  bool tracing_ = false;
+  std::vector<TraceRecord> trace_;
+  std::size_t messages_sent_ = 0;
+  std::size_t messages_delivered_ = 0;
+};
+
+}  // namespace ig::agent

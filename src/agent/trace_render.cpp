@@ -1,0 +1,120 @@
+#include "agent/trace_render.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace ig::agent {
+
+namespace {
+
+bool listed(const std::vector<std::string>& list, const std::string& value) {
+  return list.empty() || std::find(list.begin(), list.end(), value) != list.end();
+}
+
+bool selected(const TraceRecord& record, const TraceRenderOptions& options) {
+  if (!record.delivered) return false;
+  if (!listed(options.protocols, record.message.protocol)) return false;
+  if (options.participants.empty()) return true;
+  return listed(options.participants, record.message.sender) ||
+         listed(options.participants, record.message.receiver);
+}
+
+std::string clip(const std::string& text, std::size_t width) {
+  if (text.size() <= width) return text;
+  if (width <= 3) return text.substr(0, width);
+  return text.substr(0, width - 3) + "...";
+}
+
+}  // namespace
+
+std::string render_arrows(const std::vector<TraceRecord>& trace,
+                          const TraceRenderOptions& options) {
+  std::string out;
+  for (const auto& record : trace) {
+    if (!selected(record, options)) continue;
+    const std::string label =
+        clip(record.message.protocol.empty() ? std::string(to_string(record.message.performative))
+                                             : record.message.protocol,
+             options.max_label_width);
+    std::string arrow = "──" + label + "──";
+    out += "t=" + util::format_number(record.delivered_at, 4);
+    out.append(out.size() % 2, ' ');  // keep simple alignment stable
+    out += "  " + record.message.sender + " " + arrow + "▶ " + record.message.receiver;
+    out += "  [" + std::string(to_string(record.message.performative)) + "]\n";
+  }
+  return out;
+}
+
+std::string render_sequence_diagram(const std::vector<TraceRecord>& trace,
+                                    const TraceRenderOptions& options) {
+  // Collect participants in first-appearance order.
+  std::vector<std::string> participants;
+  auto note = [&participants](const std::string& name) {
+    if (std::find(participants.begin(), participants.end(), name) == participants.end())
+      participants.push_back(name);
+  };
+  std::vector<const TraceRecord*> rows;
+  for (const auto& record : trace) {
+    if (!selected(record, options)) continue;
+    note(record.message.sender);
+    note(record.message.receiver);
+    rows.push_back(&record);
+  }
+  if (rows.empty()) return "(no matching messages)\n";
+
+  // Column layout: fixed-width lanes, one per participant.
+  const std::size_t lane_width =
+      std::max<std::size_t>(12, options.max_label_width + 4);
+  std::map<std::string, std::size_t> column;
+  for (std::size_t i = 0; i < participants.size(); ++i) column[participants[i]] = i;
+  const std::size_t time_width = 12;
+
+  std::string out(time_width, ' ');
+  for (const auto& participant : participants) {
+    std::string cell = clip(participant, lane_width - 2);
+    const std::size_t pad = lane_width - cell.size();
+    out += std::string(pad / 2, ' ') + cell + std::string(pad - pad / 2, ' ');
+  }
+  out += '\n';
+
+  for (const TraceRecord* record : rows) {
+    const std::size_t from = column[record->message.sender];
+    const std::size_t to = column[record->message.receiver];
+    const std::size_t lo = std::min(from, to);
+    const std::size_t hi = std::max(from, to);
+
+    std::string line = "t=" + util::format_number(record->delivered_at, 3);
+    line.resize(time_width, ' ');
+
+    // Lifelines up to the arrow's start column.
+    const std::size_t center_offset = lane_width / 2;
+    std::string lanes(participants.size() * lane_width, ' ');
+    for (std::size_t i = 0; i < participants.size(); ++i)
+      lanes[i * lane_width + center_offset] = '|';
+
+    const std::size_t start = lo * lane_width + center_offset;
+    const std::size_t end = hi * lane_width + center_offset;
+    if (start < end) {
+      for (std::size_t i = start + 1; i < end; ++i) lanes[i] = '-';
+      if (from < to) lanes[end - 1] = '>';
+      else lanes[start + 1] = '<';
+      // Label in the middle of the span.
+      const std::string label = clip(record->message.protocol, end - start > 4
+                                                                   ? end - start - 4
+                                                                   : 1);
+      const std::size_t label_start = start + 1 + (end - start - label.size()) / 2;
+      for (std::size_t i = 0; i < label.size(); ++i) lanes[label_start + i] = label[i];
+    } else {
+      // Self-message.
+      const std::string label = "(self) " + clip(record->message.protocol, 18);
+      for (std::size_t i = 0; i < label.size() && start + 2 + i < lanes.size(); ++i)
+        lanes[start + 2 + i] = label[i];
+    }
+    out += line + lanes + '\n';
+  }
+  return out;
+}
+
+}  // namespace ig::agent

@@ -1,0 +1,37 @@
+// ASCII sequence-diagram rendering of platform message traces.
+//
+// Turns the flat TraceRecord list into the lifeline diagrams the paper's
+// Figures 2 and 3 draw by hand:
+//
+//   t=0.0010        cs ──planning-request──────────▶ ps
+//   t=0.5012        ps ──planning-request──────────▶ cs   (INFORM)
+//
+// Used by the figure benches and the replanning demo to show message flows
+// straight from the recorded execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agent/platform.hpp"
+
+namespace ig::agent {
+
+struct TraceRenderOptions {
+  /// Only records whose protocol is in this list are drawn (empty: all).
+  std::vector<std::string> protocols;
+  /// Only messages touching one of these agents are drawn (empty: all).
+  std::vector<std::string> participants;
+  std::size_t max_label_width = 28;
+};
+
+/// Renders an arrow-per-message listing, one line per delivered record.
+std::string render_arrows(const std::vector<TraceRecord>& trace,
+                          const TraceRenderOptions& options = {});
+
+/// Renders a full lifeline diagram: a column per participating agent,
+/// a row per message, arrows spanning sender to receiver.
+std::string render_sequence_diagram(const std::vector<TraceRecord>& trace,
+                                    const TraceRenderOptions& options = {});
+
+}  // namespace ig::agent

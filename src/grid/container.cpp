@@ -1,0 +1,19 @@
+#include "grid/container.hpp"
+
+#include <algorithm>
+
+namespace ig::grid {
+
+bool ApplicationContainer::unhost_service(std::string_view service_name) {
+  auto it = std::find(hosted_services_.begin(), hosted_services_.end(), service_name);
+  if (it == hosted_services_.end()) return false;
+  hosted_services_.erase(it);
+  return true;
+}
+
+bool ApplicationContainer::hosts(std::string_view service_name) const noexcept {
+  return std::find(hosted_services_.begin(), hosted_services_.end(), service_name) !=
+         hosted_services_.end();
+}
+
+}  // namespace ig::grid

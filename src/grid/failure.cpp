@@ -1,0 +1,27 @@
+#include "grid/failure.hpp"
+
+#include "grid/grid.hpp"
+
+namespace ig::grid {
+
+void FailureInjector::schedule_container_outage(Simulation& sim, Grid& grid,
+                                                const std::string& container_id, SimTime at,
+                                                SimTime duration) {
+  sim.schedule_at(at, [&grid, container_id] { grid.set_container_available(container_id, false); });
+  if (duration > 0) {
+    sim.schedule_at(at + duration,
+                    [&grid, container_id] { grid.set_container_available(container_id, true); });
+  }
+}
+
+void FailureInjector::schedule_node_outage(Simulation& sim, Grid& grid,
+                                           const std::string& node_id, SimTime at,
+                                           SimTime duration) {
+  sim.schedule_at(at, [&grid, node_id] { grid.set_node_state(node_id, NodeState::Down); });
+  if (duration > 0) {
+    sim.schedule_at(at + duration,
+                    [&grid, node_id] { grid.set_node_state(node_id, NodeState::Up); });
+  }
+}
+
+}  // namespace ig::grid

@@ -1,0 +1,44 @@
+// Failure injection for robustness experiments.
+//
+// "The ability to recover from errors caused by the failure of individual
+// nodes is a critical aspect for the execution of complex tasks." The
+// injector drives two failure modes: per-dispatch execution failures
+// (container crashes mid-task) and scheduled outages (a container or node
+// goes down at a virtual time and possibly comes back).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "grid/sim.hpp"
+#include "util/rng.hpp"
+
+namespace ig::grid {
+
+class Grid;
+
+/// Draws per-dispatch failures and schedules outages on the simulation.
+class FailureInjector {
+ public:
+  explicit FailureInjector(util::Rng rng) : rng_(rng) {}
+
+  /// Samples whether a dispatch to a container with the given failure
+  /// probability (already combined with node reliability) fails.
+  bool draw_failure(double failure_probability) { return rng_.next_bool(failure_probability); }
+
+  /// Schedules a container outage at `at`; restored after `duration`
+  /// (duration <= 0 means permanent).
+  void schedule_container_outage(Simulation& sim, Grid& grid, const std::string& container_id,
+                                 SimTime at, SimTime duration);
+
+  /// Schedules a node outage (all containers on it become unavailable).
+  void schedule_node_outage(Simulation& sim, Grid& grid, const std::string& node_id, SimTime at,
+                            SimTime duration);
+
+  util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace ig::grid

@@ -1,0 +1,31 @@
+#include "grid/hardware.hpp"
+
+#include "util/strings.hpp"
+
+namespace ig::grid {
+
+std::string HardwareSpec::to_display_string() const {
+  std::string out = type;
+  out += " speed=" + util::format_number(speed);
+  out += " mem=" + util::format_number(memory_gb) + "GB";
+  out += " bw=" + util::format_number(bandwidth_mbps) + "Mbps";
+  out += " lat=" + util::format_number(latency_ms) + "ms";
+  if (!model.empty()) out += " (" + model + ")";
+  return out;
+}
+
+bool satisfies(const SoftwareSpec& installed, const SoftwareSpec& required) {
+  if (!required.name.empty() && installed.name != required.name) return false;
+  if (!required.version.empty() && installed.version != required.version) return false;
+  if (!required.type.empty() && installed.type != required.type) return false;
+  return true;
+}
+
+bool has_software(const std::vector<SoftwareSpec>& installed, const SoftwareSpec& required) {
+  for (const auto& software : installed) {
+    if (satisfies(software, required)) return true;
+  }
+  return false;
+}
+
+}  // namespace ig::grid

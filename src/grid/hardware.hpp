@@ -1,0 +1,44 @@
+// Hardware and software characteristics of grid resources.
+//
+// Mirrors the Hardware and Software frames of Figure 12. The matchmaking
+// discussion in Section 1 motivates the fields: "if a parallel computation
+// involves fine grain parallel computations, then a PC cluster with a switch
+// with high latency and low bandwidth will be a poor choice".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ig::grid {
+
+/// Hardware frame: the properties brokerage and matchmaking reason about.
+struct HardwareSpec {
+  std::string type = "cluster";  ///< "cluster", "smp", "workstation", ...
+  double speed = 1.0;            ///< abstract operations per virtual second per node
+  double memory_gb = 4.0;        ///< main memory per node
+  double disk_gb = 100.0;        ///< secondary storage
+  double bandwidth_mbps = 100.0; ///< interconnect bandwidth
+  double latency_ms = 1.0;       ///< interconnect latency
+  std::string manufacturer;
+  std::string model;
+
+  std::string to_display_string() const;
+};
+
+/// Software frame: one installed package.
+struct SoftwareSpec {
+  std::string name;
+  std::string type;  ///< "compiler", "mpi", "application", ...
+  std::string manufacturer;
+  std::string version;
+  std::string distribution;
+};
+
+/// True when `installed` satisfies a requirement on name (and, when the
+/// requirement specifies one, version).
+bool satisfies(const SoftwareSpec& installed, const SoftwareSpec& required);
+
+/// True when any element of `installed` satisfies `required`.
+bool has_software(const std::vector<SoftwareSpec>& installed, const SoftwareSpec& required);
+
+}  // namespace ig::grid

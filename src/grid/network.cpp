@@ -1,0 +1,51 @@
+#include "grid/network.hpp"
+
+namespace ig::grid {
+
+double TransformSpec::effective_size(double size_mb) const noexcept {
+  double size = size_mb;
+  if (compress) size *= compress_ratio;
+  if (encrypt) size *= encrypt_overhead;
+  return size;
+}
+
+double TransformSpec::processing_time(double size_mb) const noexcept {
+  if (!any() || cpu_mb_s <= 0) return 0.0;
+  int passes = 0;
+  if (compress) passes += 2;   // compress at the source, decompress at the sink
+  if (encrypt) passes += 2;    // encrypt + decrypt
+  if (byte_swap) passes += 1;  // swap once on arrival
+  return static_cast<double>(passes) * size_mb / cpu_mb_s;
+}
+
+std::pair<std::string, std::string> NetworkModel::key(std::string_view a, std::string_view b) {
+  std::string first(a);
+  std::string second(b);
+  if (first > second) std::swap(first, second);
+  return {std::move(first), std::move(second)};
+}
+
+void NetworkModel::set_link(std::string_view a, std::string_view b, LinkSpec link) {
+  links_[key(a, b)] = link;
+}
+
+const LinkSpec& NetworkModel::link(std::string_view a, std::string_view b) const {
+  if (a == b) return local_link_;
+  auto it = links_.find(key(a, b));
+  return it != links_.end() ? it->second : default_link_;
+}
+
+SimTime NetworkModel::transfer_time(std::string_view a, std::string_view b, double size_mb,
+                                    double transform_factor) const {
+  const LinkSpec& spec = link(a, b);
+  const double inflated = size_mb * (transform_factor > 0 ? transform_factor : 1.0);
+  const double on_wire = spec.transform.effective_size(inflated);
+  const double transfer = spec.bandwidth_mb_s > 0 ? on_wire / spec.bandwidth_mb_s : 0.0;
+  return spec.latency_s + transfer + spec.transform.processing_time(inflated);
+}
+
+SimTime NetworkModel::message_latency(std::string_view a, std::string_view b) const {
+  return link(a, b).latency_s;
+}
+
+}  // namespace ig::grid

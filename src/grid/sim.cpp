@@ -1,0 +1,66 @@
+#include "grid/sim.hpp"
+
+namespace ig::grid {
+
+EventId Simulation::schedule(SimTime delay, std::function<void()> action) {
+  return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(action));
+}
+
+EventId Simulation::schedule_at(SimTime at, std::function<void()> action) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_sequence_++, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  if (actions_.find(id) == actions_.end()) return false;
+  cancelled_.insert(id);
+  actions_.erase(id);
+  return true;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    auto cancelled = cancelled_.find(event.id);
+    if (cancelled != cancelled_.end()) {
+      cancelled_.erase(cancelled);
+      continue;
+    }
+    auto action = actions_.find(event.id);
+    if (action == actions_.end()) continue;  // defensive; should not happen
+    std::function<void()> callback = std::move(action->second);
+    actions_.erase(action);
+    now_ = event.time;
+    ++executed_;
+    callback();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && step()) ++count;
+  return count;
+}
+
+std::size_t Simulation::run_until(SimTime until) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    // Peek through cancellations.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().time > until) break;
+    if (step()) ++count;
+  }
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+}  // namespace ig::grid

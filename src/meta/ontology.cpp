@@ -1,0 +1,252 @@
+#include "meta/ontology.hpp"
+
+#include <algorithm>
+
+namespace ig::meta {
+
+namespace {
+const Value kNone{};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OntologyClass
+// ---------------------------------------------------------------------------
+
+void OntologyClass::add_slot(SlotDef slot) {
+  if (find_own_slot(slot.name) != nullptr)
+    throw OntologyError("duplicate slot '" + slot.name + "' on class '" + name_ + "'");
+  slots_.push_back(std::move(slot));
+}
+
+const SlotDef* OntologyClass::find_own_slot(std::string_view name) const noexcept {
+  for (const auto& slot : slots_) {
+    if (slot.name == name) return &slot;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Instance
+// ---------------------------------------------------------------------------
+
+void Instance::set(std::string_view slot, Value value) {
+  values_.insert_or_assign(std::string(slot), std::move(value));
+}
+
+const Value& Instance::get(std::string_view slot) const noexcept {
+  auto it = values_.find(slot);
+  return it != values_.end() ? it->second : kNone;
+}
+
+bool Instance::has(std::string_view slot) const noexcept {
+  auto it = values_.find(slot);
+  return it != values_.end() && !it->second.is_none();
+}
+
+std::string Instance::get_string(std::string_view slot, std::string_view fallback) const {
+  const Value& value = get(slot);
+  return value.type() == ValueType::String ? value.as_string() : std::string(fallback);
+}
+
+double Instance::get_number(std::string_view slot, double fallback) const {
+  const Value& value = get(slot);
+  return value.type() == ValueType::Number ? value.as_number() : fallback;
+}
+
+std::vector<std::string> Instance::get_string_list(std::string_view slot) const {
+  return get(slot).as_string_list();
+}
+
+// ---------------------------------------------------------------------------
+// Ontology
+// ---------------------------------------------------------------------------
+
+OntologyClass& Ontology::add_class(std::string name, std::string parent) {
+  if (has_class(name)) throw OntologyError("duplicate class '" + name + "'");
+  if (!parent.empty() && !has_class(parent))
+    throw OntologyError("unknown parent class '" + parent + "' for '" + name + "'");
+  classes_.emplace_back(std::move(name), std::move(parent));
+  return classes_.back();
+}
+
+const OntologyClass* Ontology::find_class(std::string_view name) const noexcept {
+  for (const auto& cls : classes_) {
+    if (cls.name() == name) return &cls;
+  }
+  return nullptr;
+}
+
+std::vector<const OntologyClass*> Ontology::classes() const {
+  std::vector<const OntologyClass*> out;
+  out.reserve(classes_.size());
+  for (const auto& cls : classes_) out.push_back(&cls);
+  return out;
+}
+
+std::vector<SlotDef> Ontology::effective_slots(std::string_view class_name) const {
+  const OntologyClass* cls = find_class(class_name);
+  if (cls == nullptr) throw OntologyError("unknown class '" + std::string(class_name) + "'");
+  std::vector<SlotDef> slots;
+  if (!cls->parent().empty()) slots = effective_slots(cls->parent());
+  for (const auto& slot : cls->own_slots()) {
+    // A subclass may refine (override) an inherited slot of the same name.
+    auto it = std::find_if(slots.begin(), slots.end(),
+                           [&](const SlotDef& s) { return s.name == slot.name; });
+    if (it != slots.end()) *it = slot;
+    else slots.push_back(slot);
+  }
+  return slots;
+}
+
+bool Ontology::is_subclass_of(std::string_view descendant, std::string_view ancestor) const {
+  std::string_view current = descendant;
+  while (!current.empty()) {
+    if (current == ancestor) return true;
+    const OntologyClass* cls = find_class(current);
+    if (cls == nullptr) return false;
+    current = cls->parent();
+  }
+  return false;
+}
+
+Instance& Ontology::add_instance(std::string id, std::string class_name) {
+  if (!has_class(class_name))
+    throw OntologyError("cannot instantiate unknown class '" + class_name + "'");
+  if (find_instance(id) != nullptr) throw OntologyError("duplicate instance id '" + id + "'");
+  instances_.emplace_back(std::move(id), std::move(class_name));
+  return instances_.back();
+}
+
+const Instance* Ontology::find_instance(std::string_view id) const noexcept {
+  for (const auto& instance : instances_) {
+    if (instance.id() == id) return &instance;
+  }
+  return nullptr;
+}
+
+Instance* Ontology::find_instance_mutable(std::string_view id) noexcept {
+  for (auto& instance : instances_) {
+    if (instance.id() == id) return &instance;
+  }
+  return nullptr;
+}
+
+std::vector<const Instance*> Ontology::instances() const {
+  std::vector<const Instance*> out;
+  out.reserve(instances_.size());
+  for (const auto& instance : instances_) out.push_back(&instance);
+  return out;
+}
+
+std::vector<const Instance*> Ontology::instances_of(std::string_view class_name) const {
+  std::vector<const Instance*> out;
+  for (const auto& instance : instances_) {
+    if (is_subclass_of(instance.class_name(), class_name)) out.push_back(&instance);
+  }
+  return out;
+}
+
+bool Ontology::remove_instance(std::string_view id) {
+  auto it = std::find_if(instances_.begin(), instances_.end(),
+                         [&](const Instance& i) { return i.id() == id; });
+  if (it == instances_.end()) return false;
+  instances_.erase(it);
+  return true;
+}
+
+Ontology Ontology::shell() const {
+  Ontology copy(name_);
+  copy.classes_ = classes_;
+  return copy;
+}
+
+namespace {
+
+bool value_matches_type(const Value& value, ValueType type) noexcept {
+  return value.type() == type;
+}
+
+bool value_allowed(const Value& value, const std::vector<std::string>& allowed) {
+  if (allowed.empty()) return true;
+  auto ok = [&](const Value& v) {
+    return v.type() == ValueType::String &&
+           std::find(allowed.begin(), allowed.end(), v.as_string()) != allowed.end();
+  };
+  if (value.type() == ValueType::List) {
+    return std::all_of(value.as_list().begin(), value.as_list().end(), ok);
+  }
+  return ok(value);
+}
+
+}  // namespace
+
+void Ontology::validate_instance(const Instance& instance,
+                                 std::vector<ValidationIssue>& issues) const {
+  const OntologyClass* cls = find_class(instance.class_name());
+  if (cls == nullptr) {
+    issues.push_back({instance.id(), "", "unknown class '" + instance.class_name() + "'"});
+    return;
+  }
+  const std::vector<SlotDef> slots = effective_slots(instance.class_name());
+  for (const auto& slot : slots) {
+    const Value& value = instance.get(slot.name);
+    if (value.is_none()) {
+      if (slot.required)
+        issues.push_back({instance.id(), slot.name, "required slot is not filled"});
+      continue;
+    }
+    if (!value_matches_type(value, slot.type)) {
+      issues.push_back({instance.id(), slot.name,
+                        "expected " + std::string(to_string(slot.type)) + ", got " +
+                            std::string(to_string(value.type()))});
+      continue;
+    }
+    if (!value_allowed(value, slot.allowed_values)) {
+      issues.push_back(
+          {instance.id(), slot.name, "value '" + value.to_display_string() + "' not allowed"});
+    }
+  }
+  // Slots not declared anywhere on the class chain are facet violations too.
+  for (const auto& [name, value] : instance.slots()) {
+    (void)value;
+    const bool declared = std::any_of(slots.begin(), slots.end(),
+                                      [&](const SlotDef& s) { return s.name == name; });
+    if (!declared)
+      issues.push_back({instance.id(), name, "slot not declared on class '" +
+                                                 instance.class_name() + "'"});
+  }
+}
+
+std::vector<ValidationIssue> Ontology::validate() const {
+  std::vector<ValidationIssue> issues;
+  for (const auto& instance : instances_) validate_instance(instance, issues);
+  return issues;
+}
+
+void Ontology::merge(const Ontology& other) {
+  for (const auto* cls : other.classes()) {
+    const OntologyClass* existing = find_class(cls->name());
+    if (existing == nullptr) {
+      if (!cls->parent().empty() && !has_class(cls->parent()))
+        throw OntologyError("merge: parent class '" + cls->parent() + "' missing");
+      classes_.push_back(*cls);
+      continue;
+    }
+    // Same-named classes must agree on their frame definition.
+    if (existing->parent() != cls->parent() ||
+        existing->own_slots().size() != cls->own_slots().size())
+      throw OntologyError("merge: conflicting definitions of class '" + cls->name() + "'");
+    for (std::size_t i = 0; i < cls->own_slots().size(); ++i) {
+      if (existing->own_slots()[i].name != cls->own_slots()[i].name ||
+          existing->own_slots()[i].type != cls->own_slots()[i].type)
+        throw OntologyError("merge: conflicting slot on class '" + cls->name() + "'");
+    }
+  }
+  for (const auto* instance : other.instances()) {
+    if (find_instance(instance->id()) != nullptr)
+      throw OntologyError("merge: duplicate instance id '" + instance->id() + "'");
+    instances_.push_back(*instance);
+  }
+}
+
+}  // namespace ig::meta

@@ -1,0 +1,161 @@
+// Frame-based ontology model (Protégé-style classes, slots, instances).
+//
+// The paper's ontology service "maintains and distributes ontology shells
+// (i.e., ontologies with classes and slots but without instances) as well as
+// ontologies populated with instances". This module implements that model:
+//
+//   Ontology            a named collection of classes and instances
+//   OntologyClass       a frame: name, documentation, optional parent class,
+//                       and slot definitions
+//   SlotDef             a slot with a value type, cardinality and facets
+//   Instance            a frame instance: id, class, slot values
+//
+// Validation mirrors Protégé's facet checking: an instance conforms to its
+// class when every required slot is filled and every filled slot matches the
+// declared value type and allowed values.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "meta/value.hpp"
+
+namespace ig::meta {
+
+/// Raised on structural errors (unknown class, duplicate id, bad slot).
+class OntologyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A slot definition (frame attribute) with Protégé-style facets.
+struct SlotDef {
+  std::string name;
+  ValueType type = ValueType::String;
+  bool required = false;
+  /// Non-empty: value (or each list item) must be one of these strings.
+  std::vector<std::string> allowed_values;
+  std::string documentation;
+};
+
+/// A frame class: slots plus optional single inheritance.
+class OntologyClass {
+ public:
+  explicit OntologyClass(std::string name, std::string parent = {})
+      : name_(std::move(name)), parent_(std::move(parent)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& parent() const noexcept { return parent_; }
+
+  const std::string& documentation() const noexcept { return documentation_; }
+  void set_documentation(std::string doc) { documentation_ = std::move(doc); }
+
+  /// Adds a slot; throws OntologyError on duplicate slot names.
+  void add_slot(SlotDef slot);
+  /// Slots declared directly on this class (excludes inherited).
+  const std::vector<SlotDef>& own_slots() const noexcept { return slots_; }
+  const SlotDef* find_own_slot(std::string_view name) const noexcept;
+
+ private:
+  std::string name_;
+  std::string parent_;
+  std::string documentation_;
+  std::vector<SlotDef> slots_;
+};
+
+/// A populated frame: id, class name, and slot assignments.
+class Instance {
+ public:
+  Instance(std::string id, std::string class_name)
+      : id_(std::move(id)), class_name_(std::move(class_name)) {}
+
+  const std::string& id() const noexcept { return id_; }
+  const std::string& class_name() const noexcept { return class_name_; }
+
+  void set(std::string_view slot, Value value);
+  /// Value of a slot; none-typed Value when unset.
+  const Value& get(std::string_view slot) const noexcept;
+  bool has(std::string_view slot) const noexcept;
+
+  /// Convenience accessors with fallbacks.
+  std::string get_string(std::string_view slot, std::string_view fallback = "") const;
+  double get_number(std::string_view slot, double fallback = 0.0) const;
+  std::vector<std::string> get_string_list(std::string_view slot) const;
+
+  const std::map<std::string, Value, std::less<>>& slots() const noexcept { return values_; }
+
+ private:
+  std::string id_;
+  std::string class_name_;
+  std::map<std::string, Value, std::less<>> values_;
+};
+
+/// One slot-level validation failure.
+struct ValidationIssue {
+  std::string instance_id;
+  std::string slot;
+  std::string message;
+};
+
+/// A named ontology: classes, optional instances, and validation.
+class Ontology {
+ public:
+  explicit Ontology(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // -- classes --------------------------------------------------------------
+  /// Adds a class; parent (if set) must already exist. Throws on duplicates.
+  OntologyClass& add_class(std::string name, std::string parent = {});
+  const OntologyClass* find_class(std::string_view name) const noexcept;
+  bool has_class(std::string_view name) const noexcept { return find_class(name) != nullptr; }
+  std::vector<const OntologyClass*> classes() const;
+  std::size_t class_count() const noexcept { return classes_.size(); }
+
+  /// Slots of a class including inherited ones (base-class slots first).
+  /// Throws OntologyError for an unknown class.
+  std::vector<SlotDef> effective_slots(std::string_view class_name) const;
+
+  /// True if `descendant` equals `ancestor` or inherits from it.
+  bool is_subclass_of(std::string_view descendant, std::string_view ancestor) const;
+
+  // -- instances --------------------------------------------------------------
+  /// Adds an instance; its class must exist and the id must be fresh.
+  Instance& add_instance(std::string id, std::string class_name);
+  const Instance* find_instance(std::string_view id) const noexcept;
+  Instance* find_instance_mutable(std::string_view id) noexcept;
+  std::vector<const Instance*> instances() const;
+  /// All instances whose class is `class_name` or a subclass of it.
+  std::vector<const Instance*> instances_of(std::string_view class_name) const;
+  std::size_t instance_count() const noexcept { return instances_.size(); }
+  bool remove_instance(std::string_view id);
+
+  /// A shell has classes and slots but no instances.
+  bool is_shell() const noexcept { return instances_.empty(); }
+  /// Copy with all instances stripped — what the ontology service hands out
+  /// when a user asks for the schema only.
+  Ontology shell() const;
+
+  /// Facet-checks all instances against their classes.
+  std::vector<ValidationIssue> validate() const;
+
+  /// Imports all classes and instances of `other`; duplicate class names must
+  /// define identical frames, duplicate instance ids raise OntologyError.
+  void merge(const Ontology& other);
+
+ private:
+  void validate_instance(const Instance& instance, std::vector<ValidationIssue>& issues) const;
+
+  std::string name_;
+  // Insertion order matters for display and serialization fidelity, so keep
+  // vectors and do linear lookup; ontologies here hold tens of entries.
+  std::vector<OntologyClass> classes_;
+  std::vector<Instance> instances_;
+};
+
+}  // namespace ig::meta

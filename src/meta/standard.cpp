@@ -1,0 +1,188 @@
+#include "meta/standard.hpp"
+
+namespace ig::meta {
+
+namespace {
+
+SlotDef str(std::string name, bool required = false) {
+  SlotDef slot;
+  slot.name = std::move(name);
+  slot.type = ValueType::String;
+  slot.required = required;
+  return slot;
+}
+
+SlotDef num(std::string name, bool required = false) {
+  SlotDef slot;
+  slot.name = std::move(name);
+  slot.type = ValueType::Number;
+  slot.required = required;
+  return slot;
+}
+
+SlotDef boolean(std::string name, bool required = false) {
+  SlotDef slot;
+  slot.name = std::move(name);
+  slot.type = ValueType::Boolean;
+  slot.required = required;
+  return slot;
+}
+
+SlotDef list(std::string name, bool required = false) {
+  SlotDef slot;
+  slot.name = std::move(name);
+  slot.type = ValueType::List;
+  slot.required = required;
+  return slot;
+}
+
+SlotDef enumeration(std::string name, std::vector<std::string> allowed, bool required = false) {
+  SlotDef slot;
+  slot.name = std::move(name);
+  slot.type = ValueType::String;
+  slot.required = required;
+  slot.allowed_values = std::move(allowed);
+  return slot;
+}
+
+}  // namespace
+
+Ontology standard_grid_ontology() {
+  Ontology ontology("grid-standard");
+
+  auto& task = ontology.add_class(classes::kTask);
+  task.set_documentation("A complex problem submitted by an end user.");
+  task.add_slot(str("ID", /*required=*/true));
+  task.add_slot(str("Name", /*required=*/true));
+  task.add_slot(str("Owner"));
+  task.add_slot(str("Submit Location"));
+  task.add_slot(enumeration("Status", {"Submitted", "Planning", "Running", "Suspended",
+                                       "Completed", "Failed"}));
+  task.add_slot(list("Data Set"));
+  task.add_slot(list("Result Set"));
+  task.add_slot(str("Case Description"));
+  task.add_slot(str("Process Description"));
+  task.add_slot(boolean("Need Planning"));
+
+  auto& process = ontology.add_class(classes::kProcessDescription);
+  process.set_documentation(
+      "Formal ATN-style description of the complex problem the user wishes to solve.");
+  process.add_slot(str("ID"));
+  process.add_slot(str("Name", /*required=*/true));
+  process.add_slot(str("Location"));
+  process.add_slot(list("Activity Set", /*required=*/true));
+  process.add_slot(list("Transition Set", /*required=*/true));
+  process.add_slot(str("Creator"));
+
+  auto& transition = ontology.add_class(classes::kTransition);
+  transition.set_documentation("A directed edge between two activities.");
+  transition.add_slot(str("ID", /*required=*/true));
+  transition.add_slot(str("Source Activity", /*required=*/true));
+  transition.add_slot(str("Destination Activity", /*required=*/true));
+
+  auto& case_description = ontology.add_class(classes::kCaseDescription);
+  case_description.set_documentation(
+      "Per-instance binding: actual data, constraints, conditions and goal.");
+  case_description.add_slot(str("ID"));
+  case_description.add_slot(str("Name", /*required=*/true));
+  case_description.add_slot(list("Initial Data Set"));
+  case_description.add_slot(list("Result Set"));
+  case_description.add_slot(str("Constraint"));
+  case_description.add_slot(str("Goal"));
+  case_description.add_slot(str("Condition"));
+
+  auto& activity = ontology.add_class(classes::kActivity);
+  activity.set_documentation("One node of a process description.");
+  activity.add_slot(str("ID", /*required=*/true));
+  activity.add_slot(str("Name", /*required=*/true));
+  activity.add_slot(str("Task ID"));
+  activity.add_slot(str("Owner"));
+  activity.add_slot(str("Service Name"));
+  activity.add_slot(enumeration("Type", {"Begin", "End", "Choice", "Fork", "Join", "Merge",
+                                         "End-user"},
+                                /*required=*/true));
+  activity.add_slot(str("Execution Location"));
+  activity.add_slot(list("Input Data Set"));
+  activity.add_slot(list("Output Data Set"));
+  activity.add_slot(list("Input Data Order"));
+  activity.add_slot(list("Output Data Order"));
+  activity.add_slot(str("Status"));
+  activity.add_slot(str("Constraint"));
+  activity.add_slot(str("Work Directory"));
+  activity.add_slot(list("Direct Predecessor Set"));
+  activity.add_slot(list("Direct Successor Set"));
+  activity.add_slot(num("Retry Count"));
+  activity.add_slot(str("Dispatched By"));
+
+  auto& data = ontology.add_class(classes::kData);
+  data.set_documentation("A data item consumed or produced by activities.");
+  data.add_slot(str("Name", /*required=*/true));
+  data.add_slot(str("Location"));
+  data.add_slot(str("Time Stamp"));
+  data.add_slot(str("Value"));
+  data.add_slot(str("Category"));
+  data.add_slot(str("Format"));
+  data.add_slot(str("Owner"));
+  data.add_slot(str("Creator"));
+  data.add_slot(num("Size"));
+  data.add_slot(str("Creation Date"));
+  data.add_slot(str("Description"));
+  data.add_slot(str("Latest Modified Date"));
+  data.add_slot(str("Classification"));
+  data.add_slot(str("Type"));
+  data.add_slot(str("Access Right"));
+
+  auto& service = ontology.add_class(classes::kService);
+  service.set_documentation("An end-user computing service hosted by an application container.");
+  service.add_slot(str("Name", /*required=*/true));
+  service.add_slot(str("Type"));
+  service.add_slot(str("Time Stamp"));
+  service.add_slot(list("User Set"));
+  service.add_slot(str("Location"));
+  service.add_slot(str("Creation Date"));
+  service.add_slot(str("Version"));
+  service.add_slot(str("Description"));
+  service.add_slot(list("Command History"));
+  service.add_slot(str("Input Condition"));
+  service.add_slot(str("Output Condition"));
+  service.add_slot(list("Input Data Set"));
+  service.add_slot(list("Output Data Set"));
+  service.add_slot(list("Input Data Order"));
+  service.add_slot(list("Output Data Order"));
+  service.add_slot(num("Cost"));
+  service.add_slot(str("Resource"));
+
+  auto& resource = ontology.add_class(classes::kResource);
+  resource.set_documentation("A computational resource (site, cluster, host).");
+  resource.add_slot(str("Name", /*required=*/true));
+  resource.add_slot(str("Type"));
+  resource.add_slot(str("Location"));
+  resource.add_slot(num("Number of Nodes"));
+  resource.add_slot(str("Administration Domain"));
+  resource.add_slot(str("Hardware"));
+  resource.add_slot(str("Software"));
+  resource.add_slot(list("Access Set"));
+
+  auto& hardware = ontology.add_class(classes::kHardware);
+  hardware.set_documentation("Hardware characteristics of a resource.");
+  hardware.add_slot(str("Type"));
+  hardware.add_slot(num("Speed"));
+  hardware.add_slot(num("Size"));
+  hardware.add_slot(num("Bandwidth"));
+  hardware.add_slot(num("Latency"));
+  hardware.add_slot(str("Manufacturer"));
+  hardware.add_slot(str("Model"));
+  hardware.add_slot(str("Comment"));
+
+  auto& software = ontology.add_class(classes::kSoftware);
+  software.set_documentation("Software installed on a resource.");
+  software.add_slot(str("Name", /*required=*/true));
+  software.add_slot(str("Type"));
+  software.add_slot(str("Manufacturer"));
+  software.add_slot(str("Version"));
+  software.add_slot(str("Distribution"));
+
+  return ontology;
+}
+
+}  // namespace ig::meta

@@ -1,0 +1,31 @@
+// The standard grid ontology of Figure 12.
+//
+// Ten frame classes describe the metainformation manipulated by the agents:
+// Task, ProcessDescription, Transition, CaseDescription, Activity, Data,
+// Service, Resource, Hardware and Software. Slot names follow the figure
+// verbatim (including spaces) so that serialized documents read like the
+// paper's tables.
+#pragma once
+
+#include "meta/ontology.hpp"
+
+namespace ig::meta {
+
+/// Builds the Figure 12 ontology shell (classes + slots, no instances).
+Ontology standard_grid_ontology();
+
+/// Class-name constants for the standard ontology.
+namespace classes {
+inline constexpr const char* kTask = "Task";
+inline constexpr const char* kProcessDescription = "Process Description";
+inline constexpr const char* kTransition = "Transition";
+inline constexpr const char* kCaseDescription = "Case Description";
+inline constexpr const char* kActivity = "Activity";
+inline constexpr const char* kData = "Data";
+inline constexpr const char* kService = "Service";
+inline constexpr const char* kResource = "Resource";
+inline constexpr const char* kHardware = "Hardware";
+inline constexpr const char* kSoftware = "Software";
+}  // namespace classes
+
+}  // namespace ig::meta

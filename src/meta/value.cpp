@@ -1,0 +1,71 @@
+#include "meta/value.hpp"
+
+#include "util/strings.hpp"
+
+namespace ig::meta {
+
+std::string_view to_string(ValueType type) noexcept {
+  switch (type) {
+    case ValueType::None: return "none";
+    case ValueType::String: return "string";
+    case ValueType::Number: return "number";
+    case ValueType::Boolean: return "boolean";
+    case ValueType::List: return "list";
+  }
+  return "?";
+}
+
+Value Value::list_of(const std::vector<std::string>& items) {
+  std::vector<Value> values;
+  values.reserve(items.size());
+  for (const auto& item : items) values.emplace_back(item);
+  return Value(std::move(values));
+}
+
+ValueType Value::type() const noexcept {
+  switch (data_.index()) {
+    case 0: return ValueType::None;
+    case 1: return ValueType::String;
+    case 2: return ValueType::Number;
+    case 3: return ValueType::Boolean;
+    case 4: return ValueType::List;
+  }
+  return ValueType::None;
+}
+
+std::vector<std::string> Value::as_string_list() const {
+  std::vector<std::string> items;
+  if (type() == ValueType::String) {
+    items.push_back(as_string());
+    return items;
+  }
+  if (type() != ValueType::List) return items;
+  for (const auto& item : as_list()) {
+    if (item.type() == ValueType::String) items.push_back(item.as_string());
+  }
+  return items;
+}
+
+std::string Value::to_display_string() const {
+  switch (type()) {
+    case ValueType::None: return "";
+    case ValueType::String: return as_string();
+    case ValueType::Number: return util::format_number(as_number());
+    case ValueType::Boolean: return as_boolean() ? "true" : "false";
+    case ValueType::List: {
+      std::string out = "{";
+      const auto& items = as_list();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items[i].to_display_string();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "";
+}
+
+bool Value::operator==(const Value& other) const noexcept { return data_ == other.data_; }
+
+}  // namespace ig::meta

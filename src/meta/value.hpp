@@ -1,0 +1,56 @@
+// Slot values for the frame-based metainformation model.
+//
+// Figure 13 of the paper shows slots holding strings ("3DSD"), numbers
+// (sizes), and sets ({D1, D2, ..., D7}); Value covers exactly those shapes
+// plus booleans, with a none state for unfilled optional slots.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ig::meta {
+
+enum class ValueType { None, String, Number, Boolean, List };
+
+std::string_view to_string(ValueType type) noexcept;
+
+/// A dynamically-typed slot value: none | string | number | bool | list.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  Value(const char* text) : data_(std::string(text)) {}
+  Value(std::string text) : data_(std::move(text)) {}
+  Value(double number) : data_(number) {}
+  Value(int number) : data_(static_cast<double>(number)) {}
+  Value(bool flag) : data_(flag) {}
+  Value(std::vector<Value> items) : data_(std::move(items)) {}
+
+  /// Builds a list of strings; convenience for ID-set slots.
+  static Value list_of(const std::vector<std::string>& items);
+
+  ValueType type() const noexcept;
+  bool is_none() const noexcept { return type() == ValueType::None; }
+
+  /// Typed accessors; throw std::bad_variant_access on type mismatch.
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  double as_number() const { return std::get<double>(data_); }
+  bool as_boolean() const { return std::get<bool>(data_); }
+  const std::vector<Value>& as_list() const { return std::get<std::vector<Value>>(data_); }
+  std::vector<Value>& as_list() { return std::get<std::vector<Value>>(data_); }
+
+  /// List of the string items in a list value (non-strings are skipped).
+  std::vector<std::string> as_string_list() const;
+
+  /// Human-readable rendering: strings verbatim, lists as "{a, b, c}".
+  std::string to_display_string() const;
+
+  bool operator==(const Value& other) const noexcept;
+  bool operator!=(const Value& other) const noexcept { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, std::string, double, bool, std::vector<Value>> data_;
+};
+
+}  // namespace ig::meta

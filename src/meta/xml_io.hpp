@@ -1,0 +1,41 @@
+// XML interchange for ontologies (schema + instances).
+//
+// The ontology service distributes shells and populated ontologies as XML
+// documents; this module defines that format:
+//
+//   <ontology name="...">
+//     <class name="..." parent="...">
+//       <documentation>...</documentation>
+//       <slot name="..." type="string|number|boolean|list" required="true"
+//             allowed="a|b|c"/>
+//     </class>
+//     <instance id="..." class="...">
+//       <slot name="..."><value type="...">...</value></slot>
+//     </instance>
+//   </ontology>
+#pragma once
+
+#include <string>
+
+#include "meta/ontology.hpp"
+#include "xml/xml.hpp"
+
+namespace ig::meta {
+
+/// Serializes an ontology (classes and instances) to an XML document.
+xml::Document to_xml(const Ontology& ontology);
+
+/// Serializes a slot value to an XML element named `element_name`.
+void value_to_xml(const Value& value, xml::Element& parent, const std::string& element_name);
+
+/// Parses a slot value from an element produced by `value_to_xml`.
+Value value_from_xml(const xml::Element& element);
+
+/// Parses an ontology document; throws OntologyError / xml::ParseError.
+Ontology from_xml(const xml::Document& document);
+
+/// Round-trip helpers on strings.
+std::string to_xml_string(const Ontology& ontology);
+Ontology from_xml_string(const std::string& text);
+
+}  // namespace ig::meta

@@ -1,0 +1,116 @@
+#include "planner/convert.hpp"
+
+#include <map>
+
+namespace ig::planner {
+
+namespace {
+
+void count_services(const PlanNode& node, std::map<std::string, int>& totals) {
+  if (node.is_terminal()) {
+    ++totals[node.service];
+    return;
+  }
+  for (const auto& child : node.children) count_services(child, totals);
+}
+
+wfl::FlowExpr convert_node(const PlanNode& node, const std::map<std::string, int>& totals,
+                           std::map<std::string, int>& seen) {
+  switch (node.kind) {
+    case PlanNode::Kind::Terminal: {
+      const int total = totals.at(node.service);
+      std::string name = node.service;
+      if (total > 1) name += std::to_string(++seen[node.service]);
+      return wfl::FlowExpr::activity(std::move(name), node.service);
+    }
+    case PlanNode::Kind::Sequential: {
+      std::vector<wfl::FlowExpr> elements;
+      elements.reserve(node.children.size());
+      for (const auto& child : node.children)
+        elements.push_back(convert_node(child, totals, seen));
+      return wfl::FlowExpr::sequence(std::move(elements));
+    }
+    case PlanNode::Kind::Concurrent: {
+      std::vector<wfl::FlowExpr> branches;
+      branches.reserve(node.children.size());
+      for (const auto& child : node.children)
+        branches.push_back(convert_node(child, totals, seen));
+      return wfl::FlowExpr::concurrent(std::move(branches));
+    }
+    case PlanNode::Kind::Selective: {
+      std::vector<wfl::FlowExpr> branches;
+      branches.reserve(node.children.size());
+      for (const auto& child : node.children)
+        branches.push_back(convert_node(child, totals, seen));
+      return wfl::FlowExpr::selective(node.guards, std::move(branches));
+    }
+    case PlanNode::Kind::Iterative: {
+      std::vector<wfl::FlowExpr> body;
+      body.reserve(node.children.size());
+      for (const auto& child : node.children)
+        body.push_back(convert_node(child, totals, seen));
+      return wfl::FlowExpr::iterative(node.continue_condition,
+                                      wfl::FlowExpr::sequence(std::move(body)));
+    }
+  }
+  throw wfl::ProcessError("convert: unknown plan node kind");
+}
+
+}  // namespace
+
+wfl::FlowExpr to_flow_expr(const PlanNode& plan) {
+  std::map<std::string, int> totals;
+  count_services(plan, totals);
+  std::map<std::string, int> seen;
+  return convert_node(plan, totals, seen);
+}
+
+PlanNode from_flow_expr(const wfl::FlowExpr& expr) {
+  switch (expr.kind) {
+    case wfl::FlowExpr::Kind::Activity:
+      return PlanNode::terminal(expr.service);
+    case wfl::FlowExpr::Kind::Sequence: {
+      std::vector<PlanNode> children;
+      children.reserve(expr.children.size());
+      for (const auto& child : expr.children) children.push_back(from_flow_expr(child));
+      if (children.size() == 1) return std::move(children.front());
+      return PlanNode::sequential(std::move(children));
+    }
+    case wfl::FlowExpr::Kind::Concurrent: {
+      std::vector<PlanNode> children;
+      children.reserve(expr.children.size());
+      for (const auto& child : expr.children) children.push_back(from_flow_expr(child));
+      return PlanNode::concurrent(std::move(children));
+    }
+    case wfl::FlowExpr::Kind::Selective: {
+      std::vector<PlanNode> children;
+      children.reserve(expr.children.size());
+      for (const auto& child : expr.children) children.push_back(from_flow_expr(child));
+      return PlanNode::selective(std::move(children), expr.guards);
+    }
+    case wfl::FlowExpr::Kind::Iterative: {
+      // The flow expression's single body (a sequence) flattens back into
+      // the iterative node's child list, as in Figure 11.
+      const wfl::FlowExpr& body = expr.children.front();
+      std::vector<PlanNode> children;
+      if (body.kind == wfl::FlowExpr::Kind::Sequence) {
+        children.reserve(body.children.size());
+        for (const auto& element : body.children) children.push_back(from_flow_expr(element));
+      } else {
+        children.push_back(from_flow_expr(body));
+      }
+      return PlanNode::iterative(std::move(children), expr.guards.front());
+    }
+  }
+  throw wfl::ProcessError("convert: unknown flow expression kind");
+}
+
+wfl::ProcessDescription to_process(const PlanNode& plan, std::string name) {
+  return wfl::lower_to_process(to_flow_expr(plan), std::move(name));
+}
+
+PlanNode from_process(const wfl::ProcessDescription& process) {
+  return from_flow_expr(wfl::lift_from_process(process));
+}
+
+}  // namespace ig::planner

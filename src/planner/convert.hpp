@@ -1,0 +1,34 @@
+// Conversion between plan trees and workflow expressions / process
+// descriptions ("The similar methods can be used to convert a plan tree to a
+// process description", Section 3.4.1).
+//
+// Plan-tree controller kinds map one-to-one onto flow-expression kinds:
+// Sequential <-> Sequence, Concurrent <-> Concurrent (FORK/JOIN),
+// Selective <-> Selective (CHOICE/MERGE), Iterative <-> Iterative
+// (MERGE/CHOICE loop). Terminals become end-user activities; when a service
+// appears several times, its activity instances are numbered (P3DR1..P3DR4
+// in Figure 10).
+#pragma once
+
+#include "planner/plan_tree.hpp"
+#include "wfl/flowexpr.hpp"
+#include "wfl/process.hpp"
+#include "wfl/structure.hpp"
+
+namespace ig::planner {
+
+/// Plan tree -> flow expression, numbering repeated service instances.
+wfl::FlowExpr to_flow_expr(const PlanNode& plan);
+
+/// Flow expression -> plan tree (activity instance names are dropped;
+/// terminals keep the service name).
+PlanNode from_flow_expr(const wfl::FlowExpr& expr);
+
+/// Plan tree -> full process description (lowers through the flow
+/// expression; always yields a Begin/End-delimited graph).
+wfl::ProcessDescription to_process(const PlanNode& plan, std::string name);
+
+/// Process description -> plan tree (lifts through the flow expression).
+PlanNode from_process(const wfl::ProcessDescription& process);
+
+}  // namespace ig::planner

@@ -1,0 +1,225 @@
+#include "planner/evaluate.hpp"
+
+#include <iterator>
+#include <memory>
+#include <string>
+
+namespace ig::planner {
+
+namespace {
+
+/// One simulated execution flow: the evolving world state plus validity
+/// counters ("each execution is counted in the validity check").
+///
+/// Items are immutable once produced, so the state is a vector of shared
+/// pointers: branching a flow (selective/concurrent/iterative enumeration)
+/// copies pointers, not property maps. Output names are made unique by a
+/// per-flow counter, so plain append suffices (no by-name dedup needed).
+struct Flow {
+  std::vector<std::shared_ptr<const wfl::DataSpec>> state;
+  std::size_t valid = 0;
+  std::size_t executed = 0;
+  /// Per-service execution counts in this flow (occurrence index into the
+  /// output cache). Linear scan; catalogues hold a handful of services.
+  std::vector<std::pair<const wfl::ServiceType*, std::size_t>> service_counts;
+
+  std::size_t next_occurrence(const wfl::ServiceType* service) {
+    for (auto& [known, count] : service_counts) {
+      if (known == service) return count++;
+    }
+    service_counts.emplace_back(service, 1);
+    return 0;
+  }
+};
+
+class Simulator {
+ public:
+  Simulator(const PlanningProblem& problem, const EvaluationConfig& config, OutputCache& cache)
+      : problem_(problem), config_(config), cache_(cache) {}
+
+  std::vector<Flow> run(const PlanNode& plan) {
+    Flow initial;
+    initial.state.reserve(problem_.initial_state.size());
+    for (const auto& item : problem_.initial_state.items())
+      initial.state.push_back(std::make_shared<wfl::DataSpec>(item));
+    std::vector<Flow> flows;
+    flows.push_back(std::move(initial));
+    simulate(plan, flows);
+    return flows;
+  }
+
+  bool truncated() const noexcept { return truncated_; }
+
+ private:
+  /// Executes one terminal activity on one flow.
+  void execute_terminal(const PlanNode& node, Flow& flow) {
+    ++flow.executed;
+    const wfl::ServiceType* service = problem_.catalogue.find(node.service);
+    if (service == nullptr) return;  // unknown service: executed but invalid
+    scratch_items_.clear();
+    scratch_items_.reserve(flow.state.size());
+    for (const auto& item : flow.state) scratch_items_.push_back(item.get());
+    auto bindings = service->bind_inputs(scratch_items_);
+    if (!bindings.has_value()) return;  // precondition unmet: invalid
+    ++flow.valid;
+    // Postcondition: append the (cached, immutable) produced data.
+    const auto& outputs = cache_.get(*service, flow.next_occurrence(service));
+    flow.state.insert(flow.state.end(), outputs.begin(), outputs.end());
+  }
+
+  void cap_flows(std::vector<Flow>& flows) {
+    if (flows.size() > config_.max_flows) {
+      flows.resize(config_.max_flows);
+      truncated_ = true;
+    }
+  }
+
+  void simulate(const PlanNode& node, std::vector<Flow>& flows) {
+    switch (node.kind) {
+      case PlanNode::Kind::Terminal:
+        for (auto& flow : flows) execute_terminal(node, flow);
+        return;
+      case PlanNode::Kind::Sequential:
+        // Children execute strictly left to right.
+        for (const auto& child : node.children) simulate(child, flows);
+        return;
+      case PlanNode::Kind::Concurrent: {
+        // "All activities ... can be executed either sequentially or
+        // concurrently. If the activities are executed sequentially, they
+        // can be executed in any order." A correct concurrent block must be
+        // valid under every serialization; checking the forward and reverse
+        // orders catches order-dependent children at 2x cost instead of n!.
+        if (node.children.size() <= 1 || config_.concurrent_orders <= 1) {
+          for (const auto& child : node.children) simulate(child, flows);
+          return;
+        }
+        std::vector<Flow> reversed_flows = flows;
+        for (const auto& child : node.children) simulate(child, flows);
+        for (auto it = node.children.rbegin(); it != node.children.rend(); ++it)
+          simulate(*it, reversed_flows);
+        flows.insert(flows.end(), std::make_move_iterator(reversed_flows.begin()),
+                     std::make_move_iterator(reversed_flows.end()));
+        cap_flows(flows);
+        return;
+      }
+      case PlanNode::Kind::Selective: {
+        // Enumerate: each branch spawns an alternative flow set.
+        std::vector<Flow> combined;
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+          std::vector<Flow> branch_flows = flows;
+          simulate(node.children[i], branch_flows);
+          combined.insert(combined.end(), std::make_move_iterator(branch_flows.begin()),
+                          std::make_move_iterator(branch_flows.end()));
+          cap_flows(combined);
+          if (combined.size() >= config_.max_flows) {
+            // Remaining branches would be dropped: that is truncation too.
+            if (i + 1 < node.children.size()) truncated_ = true;
+            break;
+          }
+        }
+        flows = std::move(combined);
+        return;
+      }
+      case PlanNode::Kind::Iterative: {
+        // Enumerate 1..max_unroll passes over the body.
+        std::vector<Flow> combined;
+        std::vector<Flow> current = flows;
+        for (std::size_t pass = 1; pass <= config_.max_unroll; ++pass) {
+          for (const auto& child : node.children) simulate(child, current);
+          combined.insert(combined.end(), current.begin(), current.end());
+          cap_flows(combined);
+          if (combined.size() >= config_.max_flows) {
+            if (pass < config_.max_unroll) truncated_ = true;
+            break;
+          }
+        }
+        flows = std::move(combined);
+        return;
+      }
+    }
+  }
+
+  const PlanningProblem& problem_;
+  const EvaluationConfig& config_;
+  OutputCache& cache_;
+  bool truncated_ = false;
+  std::vector<const wfl::DataSpec*> scratch_items_;
+};
+
+}  // namespace
+
+const std::vector<std::shared_ptr<const wfl::DataSpec>>& OutputCache::get(
+    const wfl::ServiceType& service, std::size_t occurrence) {
+  auto& per_occurrence = cache_[service.name()];
+  while (per_occurrence.size() <= occurrence) {
+    const std::string prefix =
+        service.name() + "#" + std::to_string(per_occurrence.size() + 1) + ":";
+    std::vector<std::shared_ptr<const wfl::DataSpec>> items;
+    for (auto& output : service.produce_outputs(prefix))
+      items.push_back(std::make_shared<wfl::DataSpec>(std::move(output)));
+    per_occurrence.push_back(std::move(items));
+  }
+  return per_occurrence[occurrence];
+}
+
+Fitness PlanEvaluator::evaluate(const PlanNode& plan) const {
+  ++evaluations_;
+  Fitness fitness;
+  fitness.size = plan.size();
+
+  Simulator simulator(*problem_, config_, output_cache_);
+  const std::vector<Flow> flows = simulator.run(plan);
+  fitness.flows = flows.size();
+  fitness.flows_truncated = simulator.truncated();
+
+  // Eq. 1 — validity: totals across all enumerated executions.
+  std::size_t total_valid = 0;
+  std::size_t total_executed = 0;
+  for (const auto& flow : flows) {
+    total_valid += flow.valid;
+    total_executed += flow.executed;
+  }
+  fitness.validity =
+      total_executed > 0 ? static_cast<double>(total_valid) / static_cast<double>(total_executed)
+                         : 0.0;
+
+  // Eq. 2 — goal fitness, averaged over flows ("the goal fitness is given as
+  // the average goal fitness of each execution"). Goals bind their single
+  // variable existentially over the flow's final items.
+  double goal_sum = 0.0;
+  for (const auto& flow : flows) {
+    std::size_t satisfied = 0;
+    for (const auto& goal : problem_->goals) {
+      const auto variables = goal.condition.variables();
+      if (variables.empty()) {
+        if (goal.condition.evaluate({})) ++satisfied;
+        continue;
+      }
+      for (const auto& item : flow.state) {
+        wfl::Bindings bindings;
+        bindings[variables.front()] = item.get();
+        if (goal.condition.evaluate(bindings)) {
+          ++satisfied;
+          break;
+        }
+      }
+    }
+    goal_sum += problem_->goals.empty()
+                    ? 1.0
+                    : static_cast<double>(satisfied) / static_cast<double>(problem_->goals.size());
+  }
+  fitness.goal = flows.empty() ? 0.0 : goal_sum / static_cast<double>(flows.size());
+
+  // Eq. 3 — representation efficiency.
+  const double size_ratio =
+      config_.smax > 0 ? static_cast<double>(fitness.size) / static_cast<double>(config_.smax)
+                       : 1.0;
+  fitness.representation = size_ratio < 1.0 ? 1.0 - size_ratio : 0.0;
+
+  // Eq. 4 — weighted sum.
+  fitness.overall = config_.wv * fitness.validity + config_.wg * fitness.goal +
+                    config_.wr * fitness.representation;
+  return fitness;
+}
+
+}  // namespace ig::planner

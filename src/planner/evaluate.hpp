@@ -1,0 +1,99 @@
+// Plan evaluation by simulated execution (Section 3.4.4).
+//
+// Fitness is the weighted sum of three components:
+//
+//   fv (Eq. 1)  validity: valid activity executions / total executions,
+//               measured by simulating the plan against the world state and
+//               checking each activity's preconditions;
+//   fg (Eq. 2)  goal satisfaction of the final state(s);
+//   fr (Eq. 3)  representation efficiency: 1 − size/Smax;
+//   f  (Eq. 4)  wv·fv + wg·fg + wr·fr.
+//
+// Selective and iterative nodes cause conditional execution: "we need to
+// enumerate each possible flow of execution and simulate the execution of a
+// plan multiple times". Each selective node multiplies the flow set by its
+// branch count; each iterative node is unrolled 1..max_unroll times (the
+// paper notes the cycle count "cannot be pre-determined"). Validity counts
+// are totalled across flows; goal fitness is averaged across flows (both per
+// the paper's text). The flow set is capped at `max_flows` to bound the
+// combinatorics of adversarially nested plans; the cap is recorded in the
+// result so harnesses can report truncation.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "planner/plan_tree.hpp"
+#include "planner/problem.hpp"
+
+namespace ig::planner {
+
+/// Weights and bounds of the fitness function (Table 1's parameters).
+struct EvaluationConfig {
+  double wv = 0.2;  ///< validity weight
+  double wg = 0.5;  ///< goal weight
+  double wr = 0.3;  ///< representation-efficiency weight (wv+wg+wr = 1)
+  std::size_t smax = 40;
+  std::size_t max_unroll = 2;   ///< iterative nodes simulate 1..max_unroll passes
+  std::size_t max_flows = 64;   ///< cap on enumerated execution flows
+  /// Concurrent children "can be executed ... in any order"; the simulator
+  /// checks this many serializations (1 = left-to-right only, 2 adds the
+  /// reverse order, which catches order-dependent children without paying
+  /// for all n! interleavings).
+  std::size_t concurrent_orders = 2;
+};
+
+struct Fitness {
+  double overall = 0.0;   ///< f  (Eq. 4)
+  double validity = 0.0;  ///< fv (Eq. 1)
+  double goal = 0.0;      ///< fg (Eq. 2)
+  double representation = 0.0;  ///< fr (Eq. 3)
+  std::size_t size = 0;         ///< plan tree node count
+  std::size_t flows = 0;        ///< execution flows enumerated
+  bool flows_truncated = false; ///< true when max_flows clipped enumeration
+
+  /// Fitness-comparable ordering.
+  bool operator<(const Fitness& other) const noexcept { return overall < other.overall; }
+};
+
+/// Immutable output items, cached per (service, occurrence index): the k-th
+/// execution of a service always produces the same specification, so flows
+/// share one allocation instead of rebuilding property maps. Occurrence
+/// indices keep the items *distinct* (binding never reuses one item for two
+/// formals, and a service like PSF genuinely needs two different 3-D
+/// models).
+class OutputCache {
+ public:
+  const std::vector<std::shared_ptr<const wfl::DataSpec>>& get(const wfl::ServiceType& service,
+                                                               std::size_t occurrence);
+
+ private:
+  std::map<std::string, std::vector<std::vector<std::shared_ptr<const wfl::DataSpec>>>>
+      cache_;
+};
+
+/// Evaluates plans against one planning problem. Not thread-safe (the
+/// output cache and counters are shared across evaluations).
+class PlanEvaluator {
+ public:
+  PlanEvaluator(const PlanningProblem& problem, EvaluationConfig config = {})
+      : problem_(&problem), config_(config) {}
+
+  const EvaluationConfig& config() const noexcept { return config_; }
+  const PlanningProblem& problem() const noexcept { return *problem_; }
+
+  Fitness evaluate(const PlanNode& plan) const;
+
+  /// Number of plans evaluated so far (for effort accounting).
+  std::size_t evaluations() const noexcept { return evaluations_; }
+
+ private:
+  const PlanningProblem* problem_;
+  EvaluationConfig config_;
+  mutable std::size_t evaluations_ = 0;
+  mutable OutputCache output_cache_;
+};
+
+}  // namespace ig::planner

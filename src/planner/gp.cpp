@@ -1,0 +1,89 @@
+#include "planner/gp.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ig::planner {
+
+GpResult run_gp(const PlanningProblem& problem, const GpConfig& config) {
+  util::Rng rng(config.seed);
+  PlanEvaluator evaluator(problem, config.evaluation);
+
+  // 1. Initialize population.
+  std::vector<PlanNode> population;
+  population.reserve(config.population_size);
+  for (std::size_t i = 0; i < config.population_size; ++i)
+    population.push_back(
+        random_tree(rng, problem.catalogue, config.evaluation.smax, config.init_style));
+
+  GpResult result;
+  bool have_best = false;
+
+  std::vector<Fitness> fitnesses(population.size());
+  for (std::size_t generation = 0; generation <= config.generations; ++generation) {
+    // 2a. Evaluate.
+    for (std::size_t i = 0; i < population.size(); ++i)
+      fitnesses[i] = evaluator.evaluate(population[i]);
+
+    // Track the best-so-far individual.
+    std::size_t generation_best = 0;
+    double fitness_sum = 0.0;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      fitness_sum += fitnesses[i].overall;
+      if (fitnesses[i].overall > fitnesses[generation_best].overall) generation_best = i;
+    }
+    if (!have_best || fitnesses[generation_best].overall > result.best_fitness.overall) {
+      result.best_plan = population[generation_best];
+      result.best_fitness = fitnesses[generation_best];
+      have_best = true;
+    }
+
+    GenerationStats stats;
+    stats.generation = generation;
+    stats.best_fitness = fitnesses[generation_best].overall;
+    stats.mean_fitness =
+        population.empty() ? 0.0 : fitness_sum / static_cast<double>(population.size());
+    stats.best_validity = fitnesses[generation_best].validity;
+    stats.best_goal = fitnesses[generation_best].goal;
+    stats.best_size = fitnesses[generation_best].size;
+    result.history.push_back(stats);
+
+    if (config.target_fitness.has_value() &&
+        result.best_fitness.overall >= *config.target_fitness)
+      break;
+    if (generation == config.generations) break;  // final evaluation only
+
+    // 2b. Select.
+    const std::vector<std::size_t> selected = select(
+        fitnesses, population.size(), config.selection, rng, config.tournament_size);
+    std::vector<PlanNode> next;
+    next.reserve(population.size());
+    for (const std::size_t index : selected) next.push_back(population[index]);
+
+    // Elitism: overwrite the head of the new population with the best-so-far.
+    for (std::size_t e = 0; e < config.elitism && e < next.size(); ++e)
+      next[e] = result.best_plan;
+
+    // 2c. Crossover over consecutive pairs (elites excluded).
+    for (std::size_t i = config.elitism; i + 1 < next.size(); i += 2) {
+      CrossoverResult crossed =
+          crossover(next[i], next[i + 1], rng, config.crossover_rate, config.evaluation.smax);
+      if (crossed.applied) {
+        next[i] = std::move(crossed.first);
+        next[i + 1] = std::move(crossed.second);
+      }
+    }
+
+    // 2d. Mutate (elites excluded).
+    for (std::size_t i = config.elitism; i < next.size(); ++i)
+      mutate(next[i], rng, problem.catalogue, config.mutation_rate, config.evaluation.smax,
+             config.init_style);
+
+    population = std::move(next);
+  }
+
+  result.evaluations = evaluator.evaluations();
+  return result;
+}
+
+}  // namespace ig::planner

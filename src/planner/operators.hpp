@@ -1,0 +1,63 @@
+// Genetic operators: initialization, crossover, mutation, selection
+// (Sections 3.4.2, 3.4.3, 3.4.5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "planner/evaluate.hpp"
+#include "planner/plan_tree.hpp"
+#include "util/rng.hpp"
+#include "wfl/service.hpp"
+
+namespace ig::planner {
+
+/// How random plan trees are shaped (Section 3.4.2 leaves the distribution
+/// open: "we generate an arbitrary tree structure for a plan of a given
+/// size").
+enum class InitStyle {
+  Grow,    ///< free-form: arities and depths vary, terminals may appear early
+  Full,    ///< bushy: controllers until the budget runs out, terminals at the frontier
+  Ramped,  ///< GP's ramped half-and-half: alternate Grow and Full
+};
+
+/// Generates a random plan tree ("first ... an arbitrary tree structure for
+/// a plan of a given size; second ... instantiate each node": internal nodes
+/// get one of the four controller kinds, leaves get end-user activities).
+/// The result has between 1 and `max_size` nodes.
+PlanNode random_tree(util::Rng& rng, const wfl::ServiceCatalogue& catalogue,
+                     std::size_t max_size, InitStyle style = InitStyle::Grow);
+
+/// Result of a crossover attempt.
+struct CrossoverResult {
+  bool applied = false;  ///< false: rate said no, or a child exceeded Smax
+  PlanNode first;
+  PlanNode second;
+};
+
+/// Subtree crossover: picks a random node in each parent and swaps the
+/// subtrees. "In case the size of a new tree exceeds Smax, crossover fails
+/// and both parents are kept." The crossover_rate gate is applied inside.
+CrossoverResult crossover(const PlanNode& parent_a, const PlanNode& parent_b, util::Rng& rng,
+                          double crossover_rate, std::size_t smax);
+
+/// Subtree-replacement mutation: every node is independently selected with
+/// probability `mutation_rate`; a selected node's subtree is replaced by a
+/// freshly generated random tree ("using the same method as plan
+/// initialization", hence the style parameter). "If ... the new tree
+/// exceeds the size limitation, mutation fails and we keep the original
+/// tree." Returns true when the tree changed.
+bool mutate(PlanNode& tree, util::Rng& rng, const wfl::ServiceCatalogue& catalogue,
+            double mutation_rate, std::size_t smax, InitStyle style = InitStyle::Grow);
+
+enum class SelectionScheme {
+  Tournament,  ///< the paper's scheme: binary tournament with replacement
+  Roulette,    ///< fitness-proportional (ablation A5)
+};
+
+/// Selects `count` indices into `fitnesses` forming the next generation.
+std::vector<std::size_t> select(const std::vector<Fitness>& fitnesses, std::size_t count,
+                                SelectionScheme scheme, util::Rng& rng,
+                                std::size_t tournament_size = 2);
+
+}  // namespace ig::planner

@@ -1,0 +1,38 @@
+// The planning problem P = {Sinit, G, T} (Section 3.2).
+//
+//   Sinit — initial state: "all the initial data provided by an end user and
+//           their specifications";
+//   G     — goal specification: "the specification of all data expected from
+//           the execution of a computing task";
+//   T     — "a complete set of end-user activities available to the grid
+//           computing system".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wfl/case_description.hpp"
+#include "wfl/data.hpp"
+#include "wfl/service.hpp"
+
+namespace ig::planner {
+
+struct PlanningProblem {
+  std::string name = "problem";
+  wfl::DataSet initial_state;          ///< Sinit
+  std::vector<wfl::GoalSpec> goals;    ///< G
+  wfl::ServiceCatalogue catalogue;     ///< T
+
+  /// Builds a problem from a case description plus the available services.
+  static PlanningProblem from_case(const wfl::CaseDescription& case_description,
+                                   wfl::ServiceCatalogue catalogue) {
+    PlanningProblem problem;
+    problem.name = case_description.name();
+    problem.initial_state = case_description.initial_data();
+    problem.goals = case_description.goals();
+    problem.catalogue = std::move(catalogue);
+    return problem;
+  }
+};
+
+}  // namespace ig::planner

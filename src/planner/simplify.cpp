@@ -1,0 +1,91 @@
+#include "planner/simplify.hpp"
+
+namespace ig::planner {
+
+namespace {
+
+/// Collapses controllers with exactly one child into that child (repeated
+/// until stable); Sequential children splice into Sequential parents.
+PlanNode normalize(PlanNode node) {
+  for (auto& child : node.children) child = normalize(std::move(child));
+  if (node.is_terminal()) return node;
+  if (node.children.size() == 1 && node.kind != PlanNode::Kind::Iterative) {
+    // A one-child sequential/concurrent/selective is just its child.
+    return std::move(node.children.front());
+  }
+  if (node.kind == PlanNode::Kind::Sequential) {
+    std::vector<PlanNode> flattened;
+    flattened.reserve(node.children.size());
+    for (auto& child : node.children) {
+      if (child.kind == PlanNode::Kind::Sequential) {
+        for (auto& nested : child.children) flattened.push_back(std::move(nested));
+      } else {
+        flattened.push_back(std::move(child));
+      }
+    }
+    node.children = std::move(flattened);
+    if (node.children.size() == 1) return std::move(node.children.front());
+  }
+  return node;
+}
+
+/// Builds every plan obtainable by deleting one child of one controller.
+void collect_deletions(const PlanNode& root, const PlanNode& node,
+                       std::vector<std::size_t>& path, std::vector<PlanNode>& out) {
+  if (node.is_terminal()) return;
+  if (node.children.size() >= 2) {
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      // Rebuild the root with child i of the node at `path` removed.
+      PlanNode candidate = root;
+      PlanNode* cursor = &candidate;
+      for (const std::size_t step : path) cursor = &cursor->children[step];
+      cursor->children.erase(cursor->children.begin() + static_cast<std::ptrdiff_t>(i));
+      if (cursor->kind == PlanNode::Kind::Selective &&
+          i < cursor->guards.size())
+        cursor->guards.erase(cursor->guards.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(normalize(std::move(candidate)));
+    }
+  }
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    path.push_back(i);
+    collect_deletions(root, node.children[i], path, out);
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+SimplifyResult simplify_plan(const PlanNode& plan, const PlanEvaluator& evaluator,
+                             double tolerance) {
+  SimplifyResult result;
+  result.plan = normalize(plan);
+  result.fitness = evaluator.evaluate(result.plan);
+  ++result.evaluations;
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::vector<PlanNode> candidates;
+    std::vector<std::size_t> path;
+    collect_deletions(result.plan, result.plan, path, candidates);
+    for (auto& candidate : candidates) {
+      if (check_structure(candidate) != "") continue;
+      const Fitness fitness = evaluator.evaluate(candidate);
+      ++result.evaluations;
+      // Accept any removal that does not lose validity/goal quality. The
+      // overall fitness can only rise when size falls (fr grows), so the
+      // guard is on the fv/fg components.
+      if (fitness.validity + tolerance < result.fitness.validity) continue;
+      if (fitness.goal + tolerance < result.fitness.goal) continue;
+      if (fitness.overall + tolerance < result.fitness.overall) continue;
+      result.removed_nodes += result.plan.size() - candidate.size();
+      result.plan = std::move(candidate);
+      result.fitness = fitness;
+      improved = true;
+      break;  // restart enumeration on the smaller plan
+    }
+  }
+  return result;
+}
+
+}  // namespace ig::planner

@@ -1,0 +1,30 @@
+// Plan simplification: fitness-preserving shrinking of evolved plans.
+//
+// Eq. 3 rewards small plans only linearly (weight wr), so GP runs often
+// settle on plans carrying dead subtrees — branches whose removal loses no
+// validity or goal fitness. This pass greedily deletes child subtrees while
+// the overall fitness does not decrease, converging on a locally minimal
+// plan. It is a post-processing step (the paper's planner does not include
+// it); ablation A11 measures its effect on the Table 2 size statistic.
+#pragma once
+
+#include "planner/evaluate.hpp"
+#include "planner/plan_tree.hpp"
+
+namespace ig::planner {
+
+struct SimplifyResult {
+  PlanNode plan;
+  Fitness fitness;
+  std::size_t removed_nodes = 0;  ///< total nodes eliminated
+  std::size_t evaluations = 0;    ///< fitness evaluations spent
+};
+
+/// Greedy child-subtree deletion until no removal keeps fitness from
+/// dropping (tolerance covers floating-point noise). Structure invariants
+/// are preserved: a controller never loses its last child; one-child
+/// controllers left behind are collapsed into their child.
+SimplifyResult simplify_plan(const PlanNode& plan, const PlanEvaluator& evaluator,
+                             double tolerance = 1e-12);
+
+}  // namespace ig::planner

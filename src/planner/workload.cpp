@@ -1,0 +1,97 @@
+#include "planner/workload.hpp"
+
+#include <algorithm>
+
+namespace ig::planner {
+
+namespace {
+
+std::string layer_classification(int layer) { return "Artefact-L" + std::to_string(layer); }
+
+std::string distractor_classification(int chain, int stage) {
+  return "Noise-" + std::to_string(chain) + "-" + std::to_string(stage);
+}
+
+/// Builds one service consuming `fan_in` distinct items of classification
+/// `input_class` and producing one item of `output_class`.
+wfl::ServiceType make_stage_service(const std::string& name, const std::string& input_class,
+                                    int fan_in, const std::string& output_class) {
+  wfl::ServiceType service(name);
+  std::vector<std::string> formals;
+  wfl::Condition precondition = wfl::Condition::always_true();
+  for (int i = 0; i < fan_in; ++i) {
+    const std::string formal(1, static_cast<char>('A' + i));
+    formals.push_back(formal);
+    precondition = wfl::Condition::conjunction(
+        precondition, wfl::Condition::comparison(formal, "Classification",
+                                                 wfl::CompareOp::Equal,
+                                                 meta::Value(input_class)));
+  }
+  service.set_inputs(std::move(formals));
+  service.set_input_condition(std::move(precondition));
+  service.set_outputs({"Z"});
+  service.set_output_condition(wfl::Condition::comparison(
+      "Z", "Classification", wfl::CompareOp::Equal, meta::Value(output_class)));
+  return service;
+}
+
+}  // namespace
+
+PlanningProblem make_layered_problem(const WorkloadParams& params) {
+  PlanningProblem problem;
+  problem.name = "layered-d" + std::to_string(params.depth) + "-s" +
+                 std::to_string(params.services_per_layer) + "-f" +
+                 std::to_string(params.fan_in);
+  util::Rng rng(params.seed);
+
+  // Initial data: enough layer-0 artefacts for the widest fan-in, plus seeds
+  // for every distractor chain.
+  const int layer0_items = std::max(params.fan_in, 1) * 2;
+  for (int i = 0; i < layer0_items; ++i) {
+    problem.initial_state.put(wfl::DataSpec("seed-" + std::to_string(i))
+                                  .with_classification(layer_classification(0)));
+  }
+
+  // Goal chain services. Layer 1 consumes layer 0 with the configured
+  // fan-in; deeper layers consume one artefact each (fan-in applies to the
+  // first layer so minimal plans stay predictable).
+  for (int layer = 1; layer <= params.depth; ++layer) {
+    const int fan_in = layer == 1 ? std::max(params.fan_in, 1) : 1;
+    for (int provider = 0; provider < std::max(params.services_per_layer, 1); ++provider) {
+      const std::string name =
+          "Stage" + std::to_string(layer) + (provider > 0 ? ("v" + std::to_string(provider))
+                                                          : std::string());
+      problem.catalogue.add(make_stage_service(name, layer_classification(layer - 1), fan_in,
+                                               layer_classification(layer)));
+    }
+  }
+
+  // Distractor chains: executable but never contributing to the goal.
+  for (int chain = 0; chain < params.distractor_chains; ++chain) {
+    problem.initial_state.put(
+        wfl::DataSpec("noise-seed-" + std::to_string(chain))
+            .with_classification(distractor_classification(chain, 0)));
+    for (int stage = 1; stage <= params.distractor_depth; ++stage) {
+      problem.catalogue.add(make_stage_service(
+          "Distract" + std::to_string(chain) + "s" + std::to_string(stage),
+          distractor_classification(chain, stage - 1), 1,
+          distractor_classification(chain, stage)));
+    }
+  }
+
+  wfl::GoalSpec goal;
+  goal.description = "final-layer artefact produced";
+  goal.condition = wfl::Condition::comparison(
+      "G", "Classification", wfl::CompareOp::Equal,
+      meta::Value(layer_classification(params.depth)));
+  problem.goals.push_back(std::move(goal));
+  return problem;
+}
+
+std::size_t minimal_activity_count(const WorkloadParams& params) {
+  // One provider invocation per layer; layer 1's fan-in is satisfied by the
+  // initial data, so depth invocations suffice.
+  return static_cast<std::size_t>(std::max(params.depth, 0));
+}
+
+}  // namespace ig::planner

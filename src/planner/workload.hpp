@@ -1,0 +1,41 @@
+// Synthetic planning-problem generator.
+//
+// The paper evaluates the planner on one problem (the Section 4 virus
+// laboratory). To study scaling behaviour we need families of problems with
+// controllable difficulty; this generator builds layered service chains:
+//
+//   layer 0: initial data classifications (in Sinit)
+//   layer k: services consuming layer k-1 artefacts and producing layer-k
+//            artefacts; the goal requires the final layer's artefact.
+//
+// Knobs: chain depth, services per layer (redundant providers), inputs per
+// service (fan-in), and distractor chains that are executable but unrelated
+// to the goal. Problems are solvable by construction; the minimal plan
+// executes one service per layer (times the fan-in of deeper layers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "planner/problem.hpp"
+#include "util/rng.hpp"
+
+namespace ig::planner {
+
+struct WorkloadParams {
+  int depth = 3;              ///< layers between Sinit and the goal
+  int services_per_layer = 2; ///< redundant providers per layer
+  int fan_in = 1;             ///< distinct layer-(k-1) artefacts each service needs
+  int distractor_chains = 0;  ///< executable chains unrelated to the goal
+  int distractor_depth = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a solvable synthetic problem per the parameters.
+PlanningProblem make_layered_problem(const WorkloadParams& params);
+
+/// Lower bound on the number of end-user activities a goal-reaching plan
+/// must execute (one provider per layer, times cumulative fan-in).
+std::size_t minimal_activity_count(const WorkloadParams& params);
+
+}  // namespace ig::planner

@@ -1,0 +1,80 @@
+#include "services/authentication.hpp"
+
+#include <cstdio>
+
+#include "services/protocol.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+
+namespace {
+
+/// FNV-1a over the token material; hex-encoded.
+std::string digest(const std::string& material) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : material) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+}  // namespace
+
+void AuthenticationService::add_principal(std::string principal, std::string secret) {
+  secrets_.insert_or_assign(std::move(principal), std::move(secret));
+}
+
+std::string AuthenticationService::issue_token(const std::string& principal) {
+  ++issued_;
+  const std::string token =
+      digest(principal + "#" + std::to_string(++nonce_) + "#" + secrets_[principal]);
+  active_tokens_[principal] = token;
+  return token;
+}
+
+bool AuthenticationService::verify(const std::string& principal, const std::string& token) const {
+  auto it = active_tokens_.find(principal);
+  return it != active_tokens_.end() && !token.empty() && it->second == token;
+}
+
+void AuthenticationService::on_start() {
+  register_with_information_service(*this, platform(), "authentication");
+}
+
+void AuthenticationService::handle_message(const AclMessage& message) {
+  if (message.protocol == protocols::kAuthenticate) {
+    const std::string principal = message.param("principal", message.sender);
+    auto it = secrets_.find(principal);
+    if (it == secrets_.end() || it->second != message.param("secret")) {
+      AclMessage reply = message.make_reply(Performative::Refuse);
+      reply.params["error"] = "invalid credentials";
+      send(std::move(reply));
+      return;
+    }
+    AclMessage reply = message.make_reply(Performative::Inform);
+    reply.params["principal"] = principal;
+    reply.params["token"] = issue_token(principal);
+    send(std::move(reply));
+    return;
+  }
+
+  if (message.protocol == protocols::kVerifyToken) {
+    AclMessage reply = message.make_reply(Performative::Inform);
+    reply.params["valid"] =
+        verify(message.param("principal"), message.param("token")) ? "true" : "false";
+    send(std::move(reply));
+    return;
+  }
+
+  if (!should_bounce_unknown(message)) return;
+  AclMessage reply = message.make_reply(Performative::NotUnderstood);
+  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+  send(std::move(reply));
+}
+
+}  // namespace ig::svc

@@ -1,0 +1,43 @@
+// Authentication service.
+//
+// "The authentication services contribute to the security of the
+// environment." Principals present a shared secret and receive a session
+// token; other services can verify tokens before honouring requests.
+// Tokens are deterministic HMAC-like digests of (principal, nonce) — enough
+// to exercise the protocol without real cryptography (documented
+// substitution; the paper gives no construction at all).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "agent/agent.hpp"
+
+namespace ig::svc {
+
+class AuthenticationService : public agent::Agent {
+ public:
+  explicit AuthenticationService(std::string name = "as") : Agent(std::move(name)) {}
+
+  /// Registers a principal with a shared secret.
+  void add_principal(std::string principal, std::string secret);
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+
+  /// Direct verification for other services.
+  bool verify(const std::string& principal, const std::string& token) const;
+
+  std::size_t issued_tokens() const noexcept { return issued_; }
+
+ private:
+  std::string issue_token(const std::string& principal);
+
+  std::map<std::string, std::string> secrets_;        ///< principal -> secret
+  std::map<std::string, std::string> active_tokens_;  ///< principal -> token
+  std::uint64_t nonce_ = 0;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace ig::svc

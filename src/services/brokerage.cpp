@@ -1,0 +1,93 @@
+#include "services/brokerage.hpp"
+
+#include <algorithm>
+
+#include "services/protocol.hpp"
+#include "util/strings.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+
+void BrokerageService::on_start() {
+  register_with_information_service(*this, platform(), "brokerage");
+}
+
+void BrokerageService::handle_message(const AclMessage& message) {
+  if (message.protocol == protocols::kAdvertise) return handle_advertise(message);
+  if (message.protocol == protocols::kQueryProviders) return handle_query_providers(message);
+  if (message.protocol == protocols::kReportPerformance) return handle_report(message);
+  if (message.protocol == protocols::kQueryHistory) return handle_query_history(message);
+  if (!should_bounce_unknown(message)) return;
+  AclMessage reply = message.make_reply(Performative::NotUnderstood);
+  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+  send(std::move(reply));
+}
+
+void BrokerageService::handle_advertise(const AclMessage& message) {
+  const std::string container = message.param("container", message.sender);
+  const std::vector<std::string> services =
+      util::split_trimmed(message.param("services"), ',');
+  advertised_[container] = services;
+  for (const auto& service : services) {
+    auto& providers = offers_[service];
+    if (std::find(providers.begin(), providers.end(), container) == providers.end())
+      providers.push_back(container);
+  }
+  send(message.make_reply(Performative::Agree));
+}
+
+void BrokerageService::handle_query_providers(const AclMessage& message) {
+  AclMessage reply = message.make_reply(Performative::Inform);
+  const std::string service = message.param("service");
+  reply.params["service"] = service;
+  reply.params["containers"] = util::join(providers_of(service), ",");
+  send(std::move(reply));
+}
+
+void BrokerageService::handle_report(const AclMessage& message) {
+  auto& history = history_[message.param("container")];
+  if (message.param("outcome") == "success") {
+    ++history.successes;
+    history.total_duration += std::stod(message.param("duration", "0"));
+  } else {
+    ++history.failures;
+  }
+  // Performance reports are fire-and-forget; no reply.
+}
+
+void BrokerageService::handle_query_history(const AclMessage& message) {
+  AclMessage reply = message.make_reply(Performative::Inform);
+  const std::string container = message.param("container");
+  reply.params["container"] = container;
+  const PerformanceHistory* history = history_of(container);
+  reply.params["successes"] = std::to_string(history ? history->successes : 0);
+  reply.params["failures"] = std::to_string(history ? history->failures : 0);
+  reply.params["success-rate"] = util::format_number(history ? history->success_rate() : 1.0, 4);
+  reply.params["mean-duration"] =
+      util::format_number(history ? history->mean_duration() : 0.0, 4);
+  send(std::move(reply));
+}
+
+std::vector<std::string> BrokerageService::providers_of(const std::string& service_type) const {
+  auto it = offers_.find(service_type);
+  return it != offers_.end() ? it->second : std::vector<std::string>{};
+}
+
+const PerformanceHistory* BrokerageService::history_of(const std::string& container_id) const {
+  auto it = history_.find(container_id);
+  return it != history_.end() ? &it->second : nullptr;
+}
+
+std::map<std::string, std::vector<std::string>> BrokerageService::equivalence_classes() const {
+  std::map<std::string, std::vector<std::string>> classes;
+  for (const auto& [container, services] : advertised_) {
+    std::vector<std::string> key_parts = services;
+    std::sort(key_parts.begin(), key_parts.end());
+    classes[util::join(key_parts, "+")].push_back(container);
+  }
+  return classes;
+}
+
+}  // namespace ig::svc

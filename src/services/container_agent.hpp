@@ -1,0 +1,56 @@
+// Application-container agents: the end-user service hosts.
+//
+// One agent fronts each grid ApplicationContainer. On start it registers
+// with the information service and advertises its hosted service types to
+// the brokerage service. It answers two protocols:
+//
+//   execute-activity   run a service on bound input data; replies INFORM
+//                       with the produced data at the virtual completion
+//                       time, or FAILURE (container down, precondition
+//                       unmet, or injected execution failure);
+//   query-executable   the re-planning probe of Figure 3 steps 6-7.
+#pragma once
+
+#include <string>
+
+#include "agent/agent.hpp"
+#include "grid/grid.hpp"
+#include "virolab/kernels.hpp"
+#include "wfl/service.hpp"
+
+namespace ig::svc {
+
+class ContainerAgent : public agent::Agent {
+ public:
+  /// `kernels` may be null: outputs then come from the services' declarative
+  /// postconditions instead of the synthetic compute kernels.
+  ContainerAgent(std::string name, grid::Grid& grid, grid::Simulation& sim,
+                 grid::FailureInjector& injector, std::string container_id,
+                 const wfl::ServiceCatalogue& catalogue, virolab::SyntheticKernels* kernels)
+      : Agent(std::move(name)),
+        grid_(&grid),
+        gsim_(&sim),
+        injector_(&injector),
+        container_id_(std::move(container_id)),
+        catalogue_(&catalogue),
+        kernels_(kernels) {}
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+
+  const std::string& container_id() const noexcept { return container_id_; }
+
+ private:
+  void handle_execute(const agent::AclMessage& message);
+  void handle_query_executable(const agent::AclMessage& message);
+  void report_performance(const std::string& outcome, double duration);
+
+  grid::Grid* grid_;
+  grid::Simulation* gsim_;
+  grid::FailureInjector* injector_;
+  std::string container_id_;
+  const wfl::ServiceCatalogue* catalogue_;
+  virolab::SyntheticKernels* kernels_;
+};
+
+}  // namespace ig::svc

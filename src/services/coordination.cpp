@@ -1,0 +1,423 @@
+#include "services/coordination.hpp"
+
+#include <algorithm>
+
+#include "services/protocol.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "wfl/validate.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+using wfl::ActivityKind;
+
+void CoordinationService::on_start() {
+  register_with_information_service(*this, platform(), "coordination");
+}
+
+std::vector<std::string> CoordinationService::split_conversation(
+    const std::string& conversation_id) {
+  return util::split(conversation_id, '/');
+}
+
+CoordinationService::Enactment* CoordinationService::find_enactment(const std::string& id) {
+  auto it = enactments_.find(id);
+  return it != enactments_.end() ? &it->second : nullptr;
+}
+
+void CoordinationService::handle_message(const AclMessage& message) {
+  if (message.protocol == protocols::kEnactCase) return handle_enact(message);
+  if (message.protocol == protocols::kCheckpointCase) return handle_checkpoint(message);
+  if (message.protocol == protocols::kRestoreCase) return handle_restore(message);
+
+  const auto parts = split_conversation(message.conversation_id);
+  if (parts.size() >= 2 && find_enactment(parts[0]) != nullptr) {
+    if (parts[1] == "match") return handle_match_reply(message);
+    if (parts[1] == "exec") return handle_execution_reply(message);
+    if (parts[1] == "replan") return handle_plan_reply(message);
+  }
+  if (!should_bounce_unknown(message)) return;
+  AclMessage reply = message.make_reply(Performative::NotUnderstood);
+  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+  send(std::move(reply));
+}
+
+void CoordinationService::handle_enact(const AclMessage& message) {
+  const std::string id = "case-" + std::to_string(next_enactment_++);
+  Enactment& enactment = enactments_[id];
+  enactment.id = id;
+  enactment.original = message;
+  enactment.started = now();
+  try {
+    enactment.process = wfl::process_from_xml_string(message.param("process-xml").empty()
+                                                         ? message.content
+                                                         : message.param("process-xml"));
+    if (message.has_param("case-xml"))
+      enactment.case_description = wfl::case_from_xml_string(message.param("case-xml"));
+    const auto errors = wfl::validate(enactment.process);
+    if (!errors.empty())
+      throw wfl::ProcessError("invalid process description: " + errors.front().message);
+  } catch (const std::exception& error) {
+    AclMessage reply = message.make_reply(Performative::Failure);
+    reply.params["error"] = error.what();
+    send(std::move(reply));
+    enactments_.erase(id);
+    return;
+  }
+  enactment.data = enactment.case_description.initial_data();
+  IG_LOG_DEBUG("cs") << "enacting " << enactment.process.name() << " as " << id;
+  start_enactment(enactment);
+}
+
+void CoordinationService::handle_checkpoint(const AclMessage& message) {
+  Enactment* enactment = find_enactment(message.param("case"));
+  if (enactment == nullptr) {
+    AclMessage reply = message.make_reply(Performative::Failure);
+    reply.params["error"] = "unknown case '" + message.param("case") + "'";
+    send(std::move(reply));
+    return;
+  }
+  xml::Document document("checkpoint");
+  xml::Element& root = document.root();
+  root.set_attribute("case", enactment->id);
+  root.add_child("process-xml")
+      .set_text(wfl::process_to_xml_string(enactment->process));
+  root.add_child("case-xml")
+      .set_text(wfl::case_to_xml_string(enactment->case_description));
+  root.add_child("dataset-xml").set_text(wfl::dataset_to_xml_string(enactment->data));
+  xml::Element& completions = root.add_child("completions");
+  for (const auto& [activity_id, count] : enactment->completions) {
+    const wfl::Activity* activity = enactment->process.find_activity(activity_id);
+    // Only end-user completions are credited on restore; flow-control
+    // token state is reconstructed by the replay walk itself.
+    if (activity == nullptr || activity->kind != wfl::ActivityKind::EndUser) continue;
+    if (count <= 0) continue;
+    xml::Element& node = completions.add_child("completed");
+    node.set_attribute("activity", activity_id);
+    node.set_attribute("count", std::to_string(count));
+  }
+  root.set_attribute("replans", std::to_string(enactment->replans));
+  root.set_attribute("activities-executed", std::to_string(enactment->activities_executed));
+
+  AclMessage reply = message.make_reply(Performative::Inform);
+  reply.params["case"] = enactment->id;
+  reply.content = document.to_string();
+  send(std::move(reply));
+}
+
+void CoordinationService::handle_restore(const AclMessage& message) {
+  const std::string id = "case-" + std::to_string(next_enactment_++);
+  Enactment& enactment = enactments_[id];
+  enactment.id = id;
+  enactment.original = message;
+  enactment.started = now();
+  try {
+    const xml::Document document = xml::parse(message.content);
+    const xml::Element& root = document.root();
+    if (root.name() != "checkpoint") throw wfl::ProcessError("not a checkpoint document");
+    enactment.process = wfl::process_from_xml_string(root.child_text("process-xml"));
+    enactment.case_description = wfl::case_from_xml_string(root.child_text("case-xml"));
+    enactment.data = wfl::dataset_from_xml_string(root.child_text("dataset-xml"));
+    const xml::Element* completions = root.find_child("completions");
+    if (completions != nullptr) {
+      for (const auto* node : completions->find_children("completed")) {
+        enactment.replay_credits[node->attribute_or("activity", "")] =
+            std::stoi(node->attribute_or("count", "0"));
+      }
+    }
+    enactment.replans = std::stoi(root.attribute_or("replans", "0"));
+  } catch (const std::exception& error) {
+    AclMessage reply = message.make_reply(Performative::Failure);
+    reply.params["error"] = std::string("bad checkpoint: ") + error.what();
+    send(std::move(reply));
+    enactments_.erase(id);
+    return;
+  }
+  IG_LOG_DEBUG("cs") << "restoring checkpointed case as " << id;
+  start_enactment(enactment);
+}
+
+void CoordinationService::start_enactment(Enactment& enactment) {
+  ++enactment.epoch;
+  enactment.completions.clear();
+  enactment.running.clear();
+  enactment.join_arrivals.clear();
+  enactment.retries.clear();
+  complete_activity(enactment, enactment.process.begin_activity().id);
+}
+
+void CoordinationService::complete_activity(Enactment& enactment,
+                                            const std::string& activity_id) {
+  if (enactment.finished) return;
+  const wfl::Activity* activity = enactment.process.find_activity(activity_id);
+  if (activity == nullptr) return finish(enactment, false, "activity vanished");
+  ++enactment.completions[activity_id];
+
+  if (activity->kind == ActivityKind::End) {
+    // Reaching End only succeeds when the case's goals are met; otherwise
+    // the coordinator escalates to re-planning (or fails once the budget is
+    // exhausted) instead of reporting a hollow success.
+    const double satisfaction =
+        enactment.case_description.goal_satisfaction(enactment.data);
+    if (satisfaction >= 1.0) return finish(enactment, true, "");
+    if (enactment.replans < config_.max_replans)
+      return request_replanning(enactment, "");
+    return finish(enactment, false, "plan completed without satisfying the case goals");
+  }
+
+  const auto outgoing = enactment.process.outgoing(activity_id);
+  if (activity->kind == ActivityKind::Choice) {
+    // Evaluate guards in transition order against the current data.
+    const wfl::Transition* chosen = nullptr;
+    const wfl::Transition* fallback = nullptr;
+    for (const auto* transition : outgoing) {
+      const bool back_edge = enactment.completions[transition->destination] > 0;
+      const bool satisfied = wfl::evaluate_against_state(transition->guard, enactment.data);
+      if (!satisfied) continue;
+      // Guardrail: once a loop has run its allotted iterations, prefer a
+      // forward transition even if the (possibly trivially-true) back-edge
+      // guard still holds.
+      if (back_edge &&
+          enactment.completions[activity_id] >= config_.max_loop_iterations) {
+        fallback = transition;
+        continue;
+      }
+      chosen = transition;
+      break;
+    }
+    if (chosen == nullptr) {
+      // No guard satisfied: prefer any forward transition, then fallback.
+      for (const auto* transition : outgoing) {
+        if (enactment.completions[transition->destination] == 0) {
+          chosen = transition;
+          break;
+        }
+      }
+      if (chosen == nullptr) chosen = fallback;
+    }
+    if (chosen == nullptr)
+      return finish(enactment, false, "Choice '" + activity->name + "' has no viable transition");
+    return follow_transition(enactment, *chosen);
+  }
+
+  // Begin, EndUser, Fork, Join, Merge: follow every outgoing transition
+  // (Fork has several; the others exactly one).
+  for (const auto* transition : outgoing) follow_transition(enactment, *transition);
+}
+
+void CoordinationService::follow_transition(Enactment& enactment,
+                                            const wfl::Transition& transition) {
+  trigger(enactment, transition.destination, transition.source);
+}
+
+void CoordinationService::trigger(Enactment& enactment, const std::string& activity_id,
+                                  const std::string& from_activity) {
+  if (enactment.finished) return;
+  const wfl::Activity* activity = enactment.process.find_activity(activity_id);
+  if (activity == nullptr) return finish(enactment, false, "dangling transition");
+
+  switch (activity->kind) {
+    case ActivityKind::Begin:
+      return finish(enactment, false, "transition into Begin");
+    case ActivityKind::End:
+    case ActivityKind::Fork:
+    case ActivityKind::Choice:
+      return complete_activity(enactment, activity_id);
+    case ActivityKind::Merge:
+      // "A Merge activity is triggered after the completion of any activity
+      // in its predecessor set."
+      return complete_activity(enactment, activity_id);
+    case ActivityKind::Join: {
+      // "A Join activity can be triggered only after all of its predecessor
+      // activities are completed."
+      auto& arrivals = enactment.join_arrivals[activity_id];
+      arrivals.insert(from_activity);
+      const auto predecessors = enactment.process.predecessors(activity_id);
+      if (arrivals.size() < predecessors.size()) return;
+      arrivals.clear();  // reset for the next loop iteration, if any
+      return complete_activity(enactment, activity_id);
+    }
+    case ActivityKind::EndUser:
+      return dispatch(enactment, *activity);
+  }
+}
+
+void CoordinationService::dispatch(Enactment& enactment, const wfl::Activity& activity) {
+  // Restore replay: a credited activity already ran before the checkpoint;
+  // its outputs are in the data snapshot, so it completes without dispatch.
+  auto credit = enactment.replay_credits.find(activity.id);
+  if (credit != enactment.replay_credits.end() && credit->second > 0) {
+    --credit->second;
+    ++enactment.activities_replayed;
+    return complete_activity(enactment, activity.id);
+  }
+  enactment.running.insert(activity.id);
+  AclMessage query;
+  query.performative = Performative::QueryRef;
+  query.receiver = names::kMatchmaking;
+  query.protocol = protocols::kFindContainer;
+  query.conversation_id =
+      enactment.id + "/match/" + activity.id + "/" + std::to_string(enactment.epoch);
+  query.params["service"] = activity.service_name;
+  query.params["strategy"] = config_.match_strategy;
+  query.params["exclude"] =
+      util::join(enactment.excluded_containers[activity.id], ",");
+  send(std::move(query));
+}
+
+void CoordinationService::handle_match_reply(const AclMessage& message) {
+  const auto parts = split_conversation(message.conversation_id);
+  Enactment* enactment = find_enactment(parts[0]);
+  if (enactment == nullptr || enactment->finished) return;
+  // Replies carrying a stale epoch belong to a superseded plan: drop them.
+  if (parts.size() > 3 && std::stoi(parts[3]) != enactment->epoch) return;
+  const std::string activity_id = parts.size() > 2 ? parts[2] : "";
+  const wfl::Activity* activity = enactment->process.find_activity(activity_id);
+  if (activity == nullptr) return;
+
+  if (message.performative != Performative::Inform) {
+    // No container can host the service at all: go straight to re-planning.
+    enactment->running.erase(activity_id);
+    ++enactment->dispatch_failures;
+    return request_replanning(*enactment, activity->service_name);
+  }
+
+  AclMessage execute;
+  execute.performative = Performative::Request;
+  execute.receiver = message.param("container");
+  execute.protocol = protocols::kExecuteActivity;
+  execute.conversation_id =
+      enactment->id + "/exec/" + activity_id + "/" + std::to_string(enactment->epoch);
+  execute.params["service"] = activity->service_name;
+  execute.params["activity"] = activity_id;
+  execute.params["outputs"] = util::join(activity->output_data, ",");
+  // Ship the whole current data set; the container binds the precondition.
+  execute.content = wfl::dataset_to_xml_string(enactment->data);
+  send(std::move(execute));
+}
+
+void CoordinationService::handle_execution_reply(const AclMessage& message) {
+  const auto parts = split_conversation(message.conversation_id);
+  Enactment* enactment = find_enactment(parts[0]);
+  if (enactment == nullptr || enactment->finished) return;
+  // Replies carrying a stale epoch belong to a superseded plan: drop them.
+  if (parts.size() > 3 && std::stoi(parts[3]) != enactment->epoch) return;
+  const std::string activity_id = parts.size() > 2 ? parts[2] : "";
+
+  if (message.performative == Performative::Failure) {
+    return handle_dispatch_failure(*enactment, activity_id, message.param("container"),
+                                   message.param("error"));
+  }
+  if (message.performative != Performative::Inform) return;
+
+  // Merge produced data into the case's world state.
+  try {
+    const wfl::DataSet produced = wfl::dataset_from_xml_string(message.content);
+    for (const auto& item : produced.items()) enactment->data.put(item);
+  } catch (const std::exception& error) {
+    return handle_dispatch_failure(*enactment, activity_id, message.param("container"),
+                                   std::string("bad result payload: ") + error.what());
+  }
+  enactment->running.erase(activity_id);
+  enactment->retries[activity_id] = 0;
+  ++enactment->activities_executed;
+  enactment->total_cost += std::stod(message.param("cost", "0"));
+  complete_activity(*enactment, activity_id);
+}
+
+void CoordinationService::handle_dispatch_failure(Enactment& enactment,
+                                                  const std::string& activity_id,
+                                                  const std::string& container,
+                                                  const std::string& reason) {
+  ++enactment.dispatch_failures;
+  const wfl::Activity* activity = enactment.process.find_activity(activity_id);
+  if (activity == nullptr) return;
+  IG_LOG_DEBUG("cs") << activity->name << " failed on " << container << ": " << reason;
+
+  // A container that failed this activity is excluded from the retry
+  // (Figure 3's excluded-runner discipline), unless the data itself was the
+  // problem — then another container would fail identically.
+  const bool data_problem = reason.find("precondition") != std::string::npos;
+  if (!container.empty() && !data_problem)
+    enactment.excluded_containers[activity_id].push_back(container);
+
+  int& attempts = enactment.retries[activity_id];
+  ++attempts;
+  if (!data_problem && attempts <= config_.max_retries) {
+    return dispatch(enactment, *activity);  // try the next-best container
+  }
+  enactment.running.erase(activity_id);
+  request_replanning(enactment, activity->service_name);
+}
+
+void CoordinationService::request_replanning(Enactment& enactment,
+                                             const std::string& failed_service) {
+  if (enactment.awaiting_plan) return;
+  if (enactment.replans >= config_.max_replans)
+    return finish(enactment, false,
+                  "re-planning budget exhausted after failure of '" + failed_service + "'");
+  ++enactment.replans;
+  ++replans_triggered_;
+  enactment.awaiting_plan = true;
+
+  // Ship all available data: initial + everything created so far.
+  wfl::CaseDescription current = enactment.case_description;
+  current.initial_data() = enactment.data;
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.receiver = names::kPlanning;
+  request.protocol = protocols::kReplanRequest;
+  request.conversation_id = enactment.id + "/replan";
+  request.params["failed-services"] = failed_service;
+  request.params["probe"] = "true";
+  request.content = wfl::case_to_xml_string(current);
+  send(std::move(request));
+}
+
+void CoordinationService::handle_plan_reply(const AclMessage& message) {
+  const auto parts = split_conversation(message.conversation_id);
+  Enactment* enactment = find_enactment(parts[0]);
+  if (enactment == nullptr || enactment->finished) return;
+  enactment->awaiting_plan = false;
+
+  if (message.performative != Performative::Inform) {
+    return finish(*enactment, false, "re-planning failed: " + message.param("error"));
+  }
+  try {
+    enactment->process = wfl::process_from_xml_string(message.content);
+  } catch (const std::exception& error) {
+    return finish(*enactment, false, std::string("bad re-plan payload: ") + error.what());
+  }
+  IG_LOG_DEBUG("cs") << enactment->id << " restarting on new plan '"
+                     << enactment->process.name() << "'";
+  start_enactment(*enactment);
+}
+
+void CoordinationService::finish(Enactment& enactment, bool success, const std::string& reason) {
+  if (enactment.finished) return;
+  enactment.finished = true;
+  if (success) ++cases_completed_;
+  else ++cases_failed_;
+
+  AclMessage reply = enactment.original.make_reply(success ? Performative::Inform
+                                                           : Performative::Failure);
+  reply.protocol = protocols::kCaseCompleted;
+  reply.params["case"] = enactment.id;
+  reply.params["success"] = success ? "true" : "false";
+  if (!reason.empty()) reply.params["error"] = reason;
+  reply.params["makespan"] = util::format_number(now() - enactment.started, 6);
+  reply.params["activities-executed"] = std::to_string(enactment.activities_executed);
+  reply.params["activities-replayed"] = std::to_string(enactment.activities_replayed);
+  reply.params["total-cost"] = util::format_number(enactment.total_cost, 6);
+  reply.params["dispatch-failures"] = std::to_string(enactment.dispatch_failures);
+  reply.params["replans"] = std::to_string(enactment.replans);
+  // Goal check against the final state.
+  reply.params["goal-satisfaction"] = util::format_number(
+      enactment.case_description.goal_satisfaction(enactment.data), 4);
+  reply.content = wfl::dataset_to_xml_string(enactment.data);
+  send(std::move(reply));
+}
+
+}  // namespace ig::svc

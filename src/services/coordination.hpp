@@ -1,0 +1,123 @@
+// Coordination service: the abstract ATN machine (Section 2).
+//
+// "A coordination service receives a case description and controls the
+// enactment of the workflow." The service walks the process description as
+// a token machine: Begin fires immediately; end-user activities are
+// dispatched to application containers located through the matchmaking
+// service; Fork triggers all successors; Join waits for all predecessors;
+// Merge fires on any predecessor; Choice evaluates its transition guards
+// against the current data state and follows one transition.
+//
+// Failure handling implements Section 3.3's escalation: a failed dispatch is
+// retried on other containers (the failed one excluded); when retries are
+// exhausted the coordination service triggers re-planning, shipping "all
+// available data, including the initial set of data and the data modified,
+// or created during the execution" to the planning service, then enacts the
+// new plan.
+//
+// Checkpointing (Section 1: "some of the computational tasks are long
+// lasting and require checkpointing"): `checkpoint-case` snapshots a running
+// enactment — process, case, accumulated data, and per-activity completion
+// counts — as one XML document. `restore-case` replays it: completed
+// end-user activities are credited and skipped (their outputs are already in
+// the data snapshot), and execution resumes live from the first activity
+// without credit. In-flight dispatches at snapshot time are the only lost
+// work.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "wfl/case_description.hpp"
+#include "wfl/process.hpp"
+#include "wfl/xml_io.hpp"
+
+namespace ig::svc {
+
+/// Tunables of the enactment machine.
+struct CoordinationConfig {
+  int max_retries = 2;          ///< container retries per activity dispatch
+  int max_replans = 2;          ///< re-planning episodes per case
+  int max_loop_iterations = 8;  ///< guardrail for trivially-true loop guards
+  std::string match_strategy = "balanced";
+};
+
+class CoordinationService : public agent::Agent {
+ public:
+  explicit CoordinationService(std::string name = "cs", CoordinationConfig config = {})
+      : Agent(std::move(name)), config_(config) {}
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+
+  const CoordinationConfig& config() const noexcept { return config_; }
+
+  std::size_t cases_completed() const noexcept { return cases_completed_; }
+  std::size_t cases_failed() const noexcept { return cases_failed_; }
+  std::size_t replans_triggered() const noexcept { return replans_triggered_; }
+
+ private:
+  struct Enactment {
+    std::string id;
+    agent::AclMessage original;  ///< the enact-case request to answer
+    wfl::ProcessDescription process{"empty"};
+    wfl::CaseDescription case_description;
+    wfl::DataSet data;  ///< current world data, merged as activities finish
+    grid::SimTime started = 0.0;
+
+    std::map<std::string, int> completions;  ///< activity id -> completion count
+    std::set<std::string> running;           ///< activity ids dispatched, awaiting reply
+    std::map<std::string, std::set<std::string>> join_arrivals;
+    std::map<std::string, std::vector<std::string>> excluded_containers;
+    std::map<std::string, int> retries;
+    /// Restore-time credits: an end-user activity with credit completes
+    /// immediately (its outputs are already in `data`).
+    std::map<std::string, int> replay_credits;
+
+    /// Incremented on every (re)start; conversation ids carry it so replies
+    /// belonging to a superseded plan are recognized and dropped.
+    int epoch = 0;
+
+    int activities_replayed = 0;
+    int activities_executed = 0;
+    int dispatch_failures = 0;
+    double total_cost = 0.0;  ///< spot-market charges accumulated so far
+    int replans = 0;
+    bool awaiting_plan = false;
+    bool finished = false;
+  };
+
+  void handle_enact(const agent::AclMessage& message);
+  void handle_checkpoint(const agent::AclMessage& message);
+  void handle_restore(const agent::AclMessage& message);
+  void handle_match_reply(const agent::AclMessage& message);
+  void handle_execution_reply(const agent::AclMessage& message);
+  void handle_plan_reply(const agent::AclMessage& message);
+
+  void start_enactment(Enactment& enactment);
+  void complete_activity(Enactment& enactment, const std::string& activity_id);
+  void follow_transition(Enactment& enactment, const wfl::Transition& transition);
+  void trigger(Enactment& enactment, const std::string& activity_id,
+               const std::string& from_activity);
+  void dispatch(Enactment& enactment, const wfl::Activity& activity);
+  void handle_dispatch_failure(Enactment& enactment, const std::string& activity_id,
+                               const std::string& container, const std::string& reason);
+  void request_replanning(Enactment& enactment, const std::string& failed_service);
+  void finish(Enactment& enactment, bool success, const std::string& reason);
+
+  Enactment* find_enactment(const std::string& id);
+  /// Conversation ids look like "<enactment>/<kind>/<activity>".
+  static std::vector<std::string> split_conversation(const std::string& conversation_id);
+
+  CoordinationConfig config_;
+  std::map<std::string, Enactment> enactments_;
+  std::uint64_t next_enactment_ = 1;
+  std::size_t cases_completed_ = 0;
+  std::size_t cases_failed_ = 0;
+  std::size_t replans_triggered_ = 0;
+};
+
+}  // namespace ig::svc

@@ -1,0 +1,59 @@
+#include "services/environment.hpp"
+
+#include "meta/standard.hpp"
+#include "services/container_agent.hpp"
+#include "services/protocol.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/ontology.hpp"
+
+namespace ig::svc {
+
+Environment::Environment(const EnvironmentOptions& options)
+    : injector_(util::Rng(options.seed)),
+      platform_(sim_),
+      catalogue_(options.catalogue.empty() ? virolab::make_catalogue() : options.catalogue),
+      kernels_(options.kernels) {
+  // -- grid topology -----------------------------------------------------------
+  grid::TopologyParams topology = options.topology;
+  if (topology.service_names.empty()) topology.service_names = catalogue_.names();
+  util::Rng topology_rng(options.seed ^ 0x9E3779B97F4A7C15ULL);
+  grid::build_topology(grid_, topology, topology_rng);
+
+  platform_.set_tracing(options.tracing);
+
+  // -- core services (information service first so registrations succeed) -------
+  information_ = &platform_.spawn<InformationService>(names::kInformation);
+  brokerage_ = &platform_.spawn<BrokerageService>(names::kBrokerage);
+  matchmaking_ =
+      &platform_.spawn<MatchmakingService>(names::kMatchmaking, grid_, brokerage_);
+  monitoring_ = &platform_.spawn<MonitoringService>(names::kMonitoring, grid_,
+                                                    options.monitor_period);
+  ontology_ = &platform_.spawn<OntologyService>(names::kOntology);
+  ontology_->store(meta::standard_grid_ontology());
+  ontology_->store(virolab::make_fig13_ontology());
+  authentication_ = &platform_.spawn<AuthenticationService>(names::kAuthentication);
+  storage_ = &platform_.spawn<PersistentStorageService>(names::kPersistentStorage);
+  scheduling_ = &platform_.spawn<SchedulingService>(names::kScheduling);
+  simulation_ =
+      &platform_.spawn<SimulationService>(names::kSimulation, catalogue_, options.gp.evaluation);
+  planning_ = &platform_.spawn<PlanningService>(names::kPlanning, catalogue_, options.gp);
+  coordination_ =
+      &platform_.spawn<CoordinationService>(names::kCoordination, options.coordination);
+
+  // -- one agent per application container ----------------------------------------
+  virolab::SyntheticKernels* kernels =
+      options.use_synthetic_kernels ? &kernels_ : nullptr;
+  for (const auto& container : grid_.containers()) {
+    platform_.spawn<ContainerAgent>(container->id(), grid_, sim_, injector_, container->id(),
+                                    catalogue_, kernels);
+  }
+
+  // Flush registrations and advertisements so the environment is ready.
+  sim_.run(100'000);
+}
+
+std::unique_ptr<Environment> make_environment(EnvironmentOptions options) {
+  return std::make_unique<Environment>(options);
+}
+
+}  // namespace ig::svc

@@ -1,0 +1,104 @@
+#include "services/information.hpp"
+
+#include <algorithm>
+
+#include "services/protocol.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+
+void InformationService::handle_message(const AclMessage& message) {
+  if (message.protocol == protocols::kRegister) return handle_register(message);
+  if (message.protocol == protocols::kDeregister) return handle_deregister(message);
+  if (message.protocol == protocols::kQueryService) {
+    // A reply from the parent (correlated by a pending forward) resolves a
+    // delegated query; anything else is a fresh query.
+    if (message.performative == Performative::Inform ||
+        message.performative == Performative::Failure) {
+      if (pending_.find(message.conversation_id) != pending_.end())
+        return handle_parent_reply(message);
+      return;  // stray reply, drop
+    }
+    return handle_query(message);
+  }
+  if (!should_bounce_unknown(message)) return;
+  AclMessage reply = message.make_reply(Performative::NotUnderstood);
+  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+  send(std::move(reply));
+}
+
+void InformationService::handle_register(const AclMessage& message) {
+  const std::string type = message.param("type");
+  const std::string provider = message.param("provider", message.sender);
+  auto& providers = registry_[type];
+  if (std::find(providers.begin(), providers.end(), provider) == providers.end())
+    providers.push_back(provider);
+  IG_LOG_DEBUG("is") << "registered " << provider << " as " << type;
+  AclMessage reply = message.make_reply(Performative::Agree);
+  reply.params["type"] = type;
+  send(std::move(reply));
+}
+
+void InformationService::handle_deregister(const AclMessage& message) {
+  const std::string type = message.param("type");
+  const std::string provider = message.param("provider", message.sender);
+  auto it = registry_.find(type);
+  if (it != registry_.end()) {
+    auto& providers = it->second;
+    providers.erase(std::remove(providers.begin(), providers.end(), provider), providers.end());
+  }
+  send(message.make_reply(Performative::Agree));
+}
+
+void InformationService::handle_query(const AclMessage& message) {
+  const std::string type = message.param("type");
+  const std::vector<std::string> local = providers_of(type);
+  if (local.empty() && !parent_.empty() && platform().has_agent(parent_)) {
+    // DNS-style delegation: miss locally, ask the next level up.
+    ++delegated_;
+    const std::string forward_id =
+        name() + "-fwd-" + std::to_string(next_forward_++);
+    pending_[forward_id] = message;
+    AclMessage forward;
+    forward.performative = Performative::QueryRef;
+    forward.receiver = parent_;
+    forward.protocol = protocols::kQueryService;
+    forward.conversation_id = forward_id;
+    forward.params["type"] = type;
+    send(std::move(forward));
+    return;
+  }
+  AclMessage reply = message.make_reply(Performative::Inform);
+  reply.params["type"] = type;
+  reply.params["providers"] = util::join(local, ",");
+  send(std::move(reply));
+}
+
+void InformationService::handle_parent_reply(const AclMessage& message) {
+  auto it = pending_.find(message.conversation_id);
+  if (it == pending_.end()) return;
+  const AclMessage original = it->second;
+  pending_.erase(it);
+  AclMessage reply = original.make_reply(Performative::Inform);
+  reply.params["type"] = message.param("type");
+  reply.params["providers"] = message.param("providers");
+  reply.params["resolved-by"] = message.sender;
+  send(std::move(reply));
+}
+
+std::vector<std::string> InformationService::providers_of(const std::string& type) const {
+  auto it = registry_.find(type);
+  return it != registry_.end() ? it->second : std::vector<std::string>{};
+}
+
+std::size_t InformationService::registration_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [type, providers] : registry_) total += providers.size();
+  return total;
+}
+
+}  // namespace ig::svc

@@ -1,0 +1,50 @@
+// Information service: the registry of service offerings.
+//
+// "Information services play an important role; all end-user services and
+// other core services register their offerings with the information
+// services." Core services may be replicated and "organized hierarchically,
+// in a manner similar to the DNS": an information service constructed with a
+// parent forwards local query misses up the hierarchy and relays the
+// answer, so a domain-local registry transparently resolves global types.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+
+namespace ig::svc {
+
+class InformationService : public agent::Agent {
+ public:
+  /// `parent` (optional) names the next information service up the
+  /// hierarchy; queries that miss locally are delegated to it.
+  explicit InformationService(std::string name = "is", std::string parent = {})
+      : Agent(std::move(name)), parent_(std::move(parent)) {}
+
+  void handle_message(const agent::AclMessage& message) override;
+
+  /// Direct (non-message) lookup for tests and harnesses (local only).
+  std::vector<std::string> providers_of(const std::string& type) const;
+  std::size_t registration_count() const noexcept;
+  const std::string& parent() const noexcept { return parent_; }
+  std::size_t delegated_queries() const noexcept { return delegated_; }
+
+ private:
+  void handle_register(const agent::AclMessage& message);
+  void handle_deregister(const agent::AclMessage& message);
+  void handle_query(const agent::AclMessage& message);
+  void handle_parent_reply(const agent::AclMessage& message);
+
+  /// type -> registered agent names (insertion order preserved).
+  std::map<std::string, std::vector<std::string>> registry_;
+  std::string parent_;
+  std::uint64_t next_forward_ = 1;
+  std::size_t delegated_ = 0;
+  /// forward conversation id -> the original query awaiting the answer.
+  std::map<std::string, agent::AclMessage> pending_;
+};
+
+}  // namespace ig::svc

@@ -1,0 +1,149 @@
+#include "services/matchmaking.hpp"
+
+#include <algorithm>
+
+#include "services/protocol.hpp"
+#include "util/strings.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+
+MatchStrategy match_strategy_from_string(const std::string& text) {
+  if (text == "fastest") return MatchStrategy::Fastest;
+  if (text == "reliable") return MatchStrategy::Reliable;
+  if (text == "first-fit") return MatchStrategy::FirstFit;
+  if (text == "deadline") return MatchStrategy::Deadline;
+  if (text == "cheapest") return MatchStrategy::Cheapest;
+  return MatchStrategy::Balanced;
+}
+
+double MatchmakingService::expected_duration(const grid::ApplicationContainer& container,
+                                             double work, grid::SimTime now) const {
+  const grid::GridNode* node = grid_->find_node(container.node_id());
+  if (node == nullptr) return 1e18;
+  const double effective_speed =
+      std::max(node->hardware().speed * node->node_count(), 1e-9);
+  const double backlog = std::max(0.0, node->next_free() - now);
+  double estimate = backlog + work / effective_speed;
+  // History sanity check: when the container has past executions, a much
+  // larger observed mean dominates the model-based estimate (the resource
+  // may be slower than advertised — brokerage data "may be obsolete").
+  if (brokerage_ != nullptr) {
+    const PerformanceHistory* history = brokerage_->history_of(container.id());
+    if (history != nullptr && history->successes > 0)
+      estimate = std::max(estimate, history->mean_duration());
+  }
+  return estimate;
+}
+
+std::vector<std::string> MatchmakingService::rank_deadline(
+    const std::string& service_type, const std::vector<std::string>& excluded, double work,
+    double deadline_s, grid::SimTime now) const {
+  struct Candidate {
+    bool feasible;
+    double key;  // feasible: -reliability (higher better); infeasible: duration
+    std::string id;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto* container : grid_->containers_hosting(service_type)) {
+    if (std::find(excluded.begin(), excluded.end(), container->id()) != excluded.end()) continue;
+    const double duration = expected_duration(*container, work, now);
+    const bool feasible = duration <= deadline_s;
+    const double key = feasible ? -score(*container, MatchStrategy::Reliable) : duration;
+    candidates.push_back({feasible, key, container->id()});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(), [](const Candidate& a,
+                                                            const Candidate& b) {
+    if (a.feasible != b.feasible) return a.feasible;  // feasible first
+    return a.key < b.key;
+  });
+  std::vector<std::string> ranked;
+  ranked.reserve(candidates.size());
+  for (auto& candidate : candidates) ranked.push_back(std::move(candidate.id));
+  return ranked;
+}
+
+double MatchmakingService::score(const grid::ApplicationContainer& container,
+                                 MatchStrategy strategy) const {
+  const grid::GridNode* node = grid_->find_node(container.node_id());
+  if (node == nullptr) return 0.0;
+  const double effective_speed = node->hardware().speed * node->node_count();
+  const double backlog = node->next_free();
+  double history_rate = 1.0;
+  if (brokerage_ != nullptr) {
+    const PerformanceHistory* history = brokerage_->history_of(container.id());
+    if (history != nullptr) history_rate = history->success_rate();
+  }
+  switch (strategy) {
+    case MatchStrategy::Fastest:
+      return effective_speed;
+    case MatchStrategy::Reliable:
+      return node->reliability() * history_rate;
+    case MatchStrategy::FirstFit:
+      return 1.0;  // order preserved by stable sort
+    case MatchStrategy::Cheapest:
+      return 1.0 / std::max(container.price_factor(), 1e-9);
+    case MatchStrategy::Deadline:  // handled by rank_deadline
+    case MatchStrategy::Balanced:
+      break;
+  }
+  return effective_speed / (1.0 + backlog) * node->reliability() * history_rate;
+}
+
+std::vector<std::string> MatchmakingService::rank(const std::string& service_type,
+                                                  const std::vector<std::string>& excluded,
+                                                  MatchStrategy strategy) const {
+  std::vector<std::pair<double, std::string>> scored;
+  for (const auto* container : grid_->containers_hosting(service_type)) {
+    if (std::find(excluded.begin(), excluded.end(), container->id()) != excluded.end()) continue;
+    scored.emplace_back(score(*container, strategy), container->id());
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> ranked;
+  ranked.reserve(scored.size());
+  for (auto& [points, id] : scored) {
+    (void)points;
+    ranked.push_back(std::move(id));
+  }
+  return ranked;
+}
+
+void MatchmakingService::on_start() {
+  register_with_information_service(*this, platform(), "matchmaking");
+}
+
+void MatchmakingService::handle_message(const AclMessage& message) {
+  if (message.protocol != protocols::kFindContainer) {
+    if (!should_bounce_unknown(message)) return;
+    AclMessage reply = message.make_reply(Performative::NotUnderstood);
+    reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+    send(std::move(reply));
+    return;
+  }
+  const std::string service = message.param("service");
+  const std::vector<std::string> excluded = util::split_trimmed(message.param("exclude"), ',');
+  const MatchStrategy strategy = match_strategy_from_string(message.param("strategy"));
+  const std::vector<std::string> ranked =
+      strategy == MatchStrategy::Deadline
+          ? rank_deadline(service, excluded, std::stod(message.param("work", "1")),
+                          std::stod(message.param("deadline", "1e18")), now())
+          : rank(service, excluded, strategy);
+
+  if (ranked.empty()) {
+    AclMessage reply = message.make_reply(Performative::Failure);
+    reply.params["service"] = service;
+    reply.params["error"] = "no available container hosts '" + service + "'";
+    send(std::move(reply));
+    return;
+  }
+  AclMessage reply = message.make_reply(Performative::Inform);
+  reply.params["service"] = service;
+  reply.params["container"] = ranked.front();
+  reply.params["candidates"] = util::join(ranked, ",");
+  send(std::move(reply));
+}
+
+}  // namespace ig::svc

@@ -1,0 +1,71 @@
+// Matchmaking service: locating resources in the spot market.
+//
+// "Matchmaking services allow individual users represented by their proxies
+// (coordination services) to locate resources in a spot market, subject to a
+// wide range of conditions." Given a service type and optional exclusions,
+// the matchmaker ranks the live candidate containers by a pluggable
+// strategy combining node speed, queue backlog, reliability and the
+// brokerage performance history ("the search ... must be complemented by
+// the ability to access history information about the past execution").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "grid/grid.hpp"
+#include "services/brokerage.hpp"
+
+namespace ig::svc {
+
+enum class MatchStrategy {
+  Balanced,  ///< speed / (1 + backlog) x reliability x history
+  Fastest,   ///< raw effective speed
+  Reliable,  ///< reliability x history success rate
+  FirstFit,  ///< first live candidate (baseline)
+  Deadline,  ///< soft-deadline aware (see rank_deadline)
+  Cheapest,  ///< lowest spot-market price factor
+};
+
+MatchStrategy match_strategy_from_string(const std::string& text);
+
+class MatchmakingService : public agent::Agent {
+ public:
+  /// `brokerage` may be null; history then defaults to neutral.
+  MatchmakingService(std::string name, const grid::Grid& grid,
+                     const BrokerageService* brokerage)
+      : Agent(std::move(name)), grid_(&grid), brokerage_(brokerage) {}
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+
+  /// Direct matchmaking (used by tests and by the simulation service).
+  /// Returns the ranked container ids, best first.
+  std::vector<std::string> rank(const std::string& service_type,
+                                const std::vector<std::string>& excluded,
+                                MatchStrategy strategy) const;
+
+  /// Soft-deadline matchmaking (Section 1: "if a task has soft deadlines
+  /// ... the search for a site with adequate resources must be complemented
+  /// by the ability to access history information"). Candidates whose
+  /// expected completion (queue backlog + work/effective speed, sanity-
+  /// checked against the brokerage history) fits within `deadline_s` are
+  /// ranked by reliability; when none fits, the fastest candidates follow
+  /// so a best-effort dispatch is still possible.
+  std::vector<std::string> rank_deadline(const std::string& service_type,
+                                         const std::vector<std::string>& excluded,
+                                         double work, double deadline_s,
+                                         grid::SimTime now) const;
+
+  /// Expected completion delay of `work` on this container's node.
+  double expected_duration(const grid::ApplicationContainer& container, double work,
+                           grid::SimTime now) const;
+
+ private:
+  double score(const grid::ApplicationContainer& container, MatchStrategy strategy) const;
+
+  const grid::Grid* grid_;
+  const BrokerageService* brokerage_;
+};
+
+}  // namespace ig::svc

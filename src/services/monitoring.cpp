@@ -1,0 +1,73 @@
+#include "services/monitoring.hpp"
+
+#include "services/protocol.hpp"
+#include "util/strings.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+
+void MonitoringService::on_start() {
+  register_with_information_service(*this, platform(), "monitoring");
+  if (sample_period_ > 0) sample();
+}
+
+void MonitoringService::sample() {
+  const grid::SimTime elapsed = now() > 0 ? now() : 1.0;
+  bool capacity_left = false;
+  for (const auto& node : grid_->nodes()) {
+    auto& series = samples_[node->id()];
+    if (series.size() < max_samples_) {
+      series.push_back(node->busy_time() / elapsed);
+      capacity_left = true;
+    }
+  }
+  // Stop rescheduling once full so a drained simulation can terminate.
+  if (capacity_left) schedule(sample_period_, [this] { sample(); });
+}
+
+void MonitoringService::handle_message(const AclMessage& message) {
+  if (message.protocol != protocols::kQueryStatus) {
+    if (!should_bounce_unknown(message)) return;
+    AclMessage reply = message.make_reply(Performative::NotUnderstood);
+    reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+    send(std::move(reply));
+    return;
+  }
+  AclMessage reply = message.make_reply(Performative::Inform);
+  if (message.has_param("node")) {
+    const std::string node_id = message.param("node");
+    const grid::GridNode* node = grid_->find_node(node_id);
+    reply.params["node"] = node_id;
+    if (node == nullptr) {
+      reply.performative = Performative::Failure;
+      reply.params["error"] = "unknown node";
+    } else {
+      reply.params["state"] = node->is_up() ? "up" : "down";
+      reply.params["next-free"] = util::format_number(node->next_free(), 4);
+      reply.params["busy-time"] = util::format_number(node->busy_time(), 4);
+      reply.params["completed-tasks"] = std::to_string(node->completed_tasks());
+    }
+  } else if (message.has_param("container")) {
+    const std::string container_id = message.param("container");
+    const grid::ApplicationContainer* container = grid_->find_container(container_id);
+    reply.params["container"] = container_id;
+    if (container == nullptr) {
+      reply.performative = Performative::Failure;
+      reply.params["error"] = "unknown container";
+    } else {
+      const grid::GridNode* node = grid_->find_node(container->node_id());
+      const bool usable = container->available() && node != nullptr && node->is_up();
+      reply.params["available"] = usable ? "true" : "false";
+      reply.params["dispatches"] = std::to_string(container->dispatch_count());
+      reply.params["failures"] = std::to_string(container->failure_count());
+    }
+  } else {
+    reply.params["nodes"] = std::to_string(grid_->nodes().size());
+    reply.params["containers"] = std::to_string(grid_->containers().size());
+  }
+  send(std::move(reply));
+}
+
+}  // namespace ig::svc

@@ -1,0 +1,38 @@
+// Monitoring service: accurate, current resource state.
+//
+// "Accurate information about the status of a resource may be obtained using
+// monitoring services" — unlike brokerage data, which may be obsolete, the
+// monitor reads the grid directly. It also samples utilization periodically
+// for the soft-deadline history discussed in Section 1.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "grid/grid.hpp"
+
+namespace ig::svc {
+
+class MonitoringService : public agent::Agent {
+ public:
+  MonitoringService(std::string name, const grid::Grid& grid, grid::SimTime sample_period = 0.0)
+      : Agent(std::move(name)), grid_(&grid), sample_period_(sample_period) {}
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+
+  /// Utilization samples per node id (busy fraction at each sample time).
+  const std::map<std::string, std::vector<double>>& samples() const noexcept { return samples_; }
+
+ private:
+  void sample();
+
+  const grid::Grid* grid_;
+  grid::SimTime sample_period_;  ///< 0 disables periodic sampling
+  std::size_t max_samples_ = 1024;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+}  // namespace ig::svc

@@ -1,0 +1,82 @@
+#include "services/ontology_service.hpp"
+
+#include "meta/xml_io.hpp"
+#include "services/protocol.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+
+void OntologyService::store(meta::Ontology ontology) {
+  ontologies_.insert_or_assign(ontology.name(), std::move(ontology));
+}
+
+const meta::Ontology* OntologyService::find(const std::string& name) const {
+  auto it = ontologies_.find(name);
+  return it != ontologies_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> OntologyService::ontology_names() const {
+  std::vector<std::string> names;
+  names.reserve(ontologies_.size());
+  for (const auto& [name, ontology] : ontologies_) names.push_back(name);
+  return names;
+}
+
+void OntologyService::on_start() {
+  register_with_information_service(*this, platform(), "ontology");
+}
+
+void OntologyService::handle_message(const AclMessage& message) {
+  if (message.protocol == protocols::kStoreOntology) {
+    try {
+      meta::Ontology ontology = meta::from_xml_string(message.content);
+      // Reject documents whose instances violate their own schema.
+      const auto issues = ontology.validate();
+      if (!issues.empty()) {
+        AclMessage reply = message.make_reply(Performative::Refuse);
+        reply.params["error"] = "ontology has " + std::to_string(issues.size()) +
+                                " validation issues (first: " + issues.front().message + ")";
+        send(std::move(reply));
+        return;
+      }
+      const std::string name = ontology.name();
+      store(std::move(ontology));
+      AclMessage reply = message.make_reply(Performative::Agree);
+      reply.params["name"] = name;
+      send(std::move(reply));
+    } catch (const std::exception& error) {
+      AclMessage reply = message.make_reply(Performative::Failure);
+      reply.params["error"] = error.what();
+      send(std::move(reply));
+    }
+    return;
+  }
+
+  if (message.protocol == protocols::kGetOntology || message.protocol == protocols::kGetShell) {
+    const std::string name = message.param("name");
+    const meta::Ontology* ontology = find(name);
+    if (ontology == nullptr) {
+      AclMessage reply = message.make_reply(Performative::Failure);
+      reply.params["error"] = "unknown ontology '" + name + "'";
+      send(std::move(reply));
+      return;
+    }
+    AclMessage reply = message.make_reply(Performative::Inform);
+    reply.params["name"] = name;
+    reply.ontology = name;
+    reply.content = message.protocol == protocols::kGetShell
+                        ? meta::to_xml_string(ontology->shell())
+                        : meta::to_xml_string(*ontology);
+    send(std::move(reply));
+    return;
+  }
+
+  if (!should_bounce_unknown(message)) return;
+  AclMessage reply = message.make_reply(Performative::NotUnderstood);
+  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+  send(std::move(reply));
+}
+
+}  // namespace ig::svc

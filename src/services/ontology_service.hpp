@@ -1,0 +1,35 @@
+// Ontology service: maintains and distributes ontologies.
+//
+// "Ontology services maintain and distribute ontology shells (i.e.,
+// ontologies with classes and slots but without instances) as well as
+// ontologies populated with instances, global ontologies, and user-specific
+// ontologies." Ontologies travel as XML documents (meta/xml_io).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "meta/ontology.hpp"
+
+namespace ig::svc {
+
+class OntologyService : public agent::Agent {
+ public:
+  explicit OntologyService(std::string name = "os") : Agent(std::move(name)) {}
+
+  /// Preloads an ontology (e.g. the standard grid ontology at bootstrap).
+  void store(meta::Ontology ontology);
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+
+  const meta::Ontology* find(const std::string& name) const;
+  std::vector<std::string> ontology_names() const;
+
+ private:
+  std::map<std::string, meta::Ontology> ontologies_;
+};
+
+}  // namespace ig::svc

@@ -1,0 +1,201 @@
+#include "services/planning_service.hpp"
+
+#include "planner/convert.hpp"
+#include "services/protocol.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "wfl/xml_io.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+
+void PlanningService::on_start() {
+  register_with_information_service(*this, platform(), "planning");
+}
+
+void PlanningService::handle_message(const AclMessage& message) {
+  if (message.protocol == protocols::kPlanRequest) return handle_plan_request(message);
+  if (message.protocol == protocols::kReplanRequest) return handle_replan_request(message);
+  if (message.protocol == protocols::kQueryService &&
+      message.performative == Performative::Inform)
+    return handle_information_reply(message);
+  if (message.protocol == protocols::kQueryProviders &&
+      message.performative == Performative::Inform)
+    return handle_provider_reply(message);
+  if (message.protocol == protocols::kQueryExecutable &&
+      message.performative == Performative::Inform)
+    return handle_probe_reply(message);
+  if (!should_bounce_unknown(message)) return;
+  AclMessage reply = message.make_reply(Performative::NotUnderstood);
+  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+  send(std::move(reply));
+}
+
+void PlanningService::plan_and_reply(const AclMessage& request,
+                                     const wfl::ServiceCatalogue& catalogue) {
+  AclMessage reply = request.make_reply(Performative::Inform);
+  try {
+    const wfl::CaseDescription case_description = wfl::case_from_xml_string(request.content);
+    planner::PlanningProblem problem =
+        planner::PlanningProblem::from_case(case_description, catalogue);
+
+    planner::GpConfig config = gp_config_;
+    // Each planning episode explores from a different (still deterministic)
+    // seed, so a re-planning retry does not just reproduce the failed plan.
+    config.seed = gp_config_.seed + plans_produced_ * 7919;
+    if (request.has_param("seed"))
+      config.seed = static_cast<std::uint64_t>(std::stoull(request.param("seed")));
+
+    // GP is stochastic: when a run falls short of full goal fitness, retry
+    // with fresh seeds before settling for the best attempt.
+    planner::GpResult result = planner::run_gp(problem, config);
+    for (int attempt = 1; attempt < 3 && result.best_fitness.goal < 1.0; ++attempt) {
+      config.seed = config.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      planner::GpResult retry = planner::run_gp(problem, config);
+      if (retry.best_fitness.overall > result.best_fitness.overall) result = std::move(retry);
+      if (result.best_fitness.goal >= 1.0) break;
+    }
+
+    std::string plan_name = case_description.process_name();
+    if (plan_name.empty()) plan_name = "plan-" + case_description.name();
+    const wfl::ProcessDescription process = planner::to_process(result.best_plan, plan_name);
+
+    ++plans_produced_;
+    reply.content = wfl::process_to_xml_string(process);
+    reply.params["plan"] = plan_name;
+    reply.params["fitness"] = util::format_number(result.best_fitness.overall, 4);
+    reply.params["validity-fitness"] = util::format_number(result.best_fitness.validity, 4);
+    reply.params["goal-fitness"] = util::format_number(result.best_fitness.goal, 4);
+    reply.params["size"] = std::to_string(result.best_fitness.size);
+
+    // Archive the process description in the system knowledge base.
+    if (platform().has_agent(names::kPersistentStorage)) {
+      AclMessage archive;
+      archive.performative = Performative::Request;
+      archive.receiver = names::kPersistentStorage;
+      archive.protocol = protocols::kStorePut;
+      archive.params["key"] = "process/" + plan_name;
+      archive.content = reply.content;
+      send(std::move(archive));
+    }
+  } catch (const std::exception& error) {
+    reply.performative = Performative::Failure;
+    reply.params["error"] = error.what();
+  }
+  // Charge the GP runtime to the virtual clock before replying.
+  schedule(planning_latency_, [this, reply]() mutable { send(std::move(reply)); });
+}
+
+void PlanningService::handle_plan_request(const AclMessage& message) {
+  IG_LOG_DEBUG("ps") << "planning request from " << message.sender;
+  plan_and_reply(message, catalogue_);
+}
+
+void PlanningService::handle_replan_request(const AclMessage& message) {
+  const std::string session_id = "replan-" + std::to_string(next_session_++);
+  ReplanSession session;
+  session.original = message;
+  for (const auto& service : util::split_trimmed(message.param("failed-services"), ','))
+    session.excluded.insert(service);
+
+  if (message.param("probe", "true") != "true") {
+    // Method 1: the knowledge is given directly by the coordination service.
+    wfl::ServiceCatalogue reduced;
+    for (const auto& service : catalogue_.services()) {
+      if (session.excluded.count(service.name()) == 0) reduced.add(service);
+    }
+    plan_and_reply(message, reduced);
+    return;
+  }
+
+  // Method 2, step 2: ask the information service for a brokerage service.
+  sessions_[session_id] = std::move(session);
+  AclMessage query;
+  query.performative = Performative::QueryRef;
+  query.receiver = names::kInformation;
+  query.protocol = protocols::kQueryService;
+  query.conversation_id = session_id;
+  query.params["type"] = "brokerage";
+  send(std::move(query));
+}
+
+void PlanningService::handle_information_reply(const AclMessage& message) {
+  auto it = sessions_.find(message.conversation_id);
+  if (it == sessions_.end()) return;
+  ReplanSession& session = it->second;
+
+  const auto providers = util::split_trimmed(message.param("providers"), ',');
+  session.brokerage = providers.empty() ? names::kBrokerage : providers.front();
+
+  // Step 4: ask the brokerage for containers, one query per service type.
+  for (const auto& service : catalogue_.services()) {
+    if (session.excluded.count(service.name()) > 0) continue;
+    session.to_probe.push_back(service.name());
+    ++session.pending_provider_queries;
+    AclMessage query;
+    query.performative = Performative::QueryRef;
+    query.receiver = session.brokerage;
+    query.protocol = protocols::kQueryProviders;
+    query.conversation_id = message.conversation_id;
+    query.params["service"] = service.name();
+    send(std::move(query));
+  }
+  if (session.pending_provider_queries == 0) finish_replan(message.conversation_id);
+}
+
+void PlanningService::handle_provider_reply(const AclMessage& message) {
+  auto it = sessions_.find(message.conversation_id);
+  if (it == sessions_.end()) return;
+  ReplanSession& session = it->second;
+  --session.pending_provider_queries;
+
+  const std::string service = message.param("service");
+  const auto containers = util::split_trimmed(message.param("containers"), ',');
+  // Step 6: probe each advertised container for current executability.
+  for (const auto& container : containers) {
+    if (!platform().has_agent(container)) continue;
+    ++session.pending_probes;
+    AclMessage probe;
+    probe.performative = Performative::QueryIf;
+    probe.receiver = container;
+    probe.protocol = protocols::kQueryExecutable;
+    probe.conversation_id = message.conversation_id;
+    probe.params["service"] = service;
+    send(std::move(probe));
+  }
+  if (session.pending_provider_queries == 0 && session.pending_probes == 0)
+    finish_replan(message.conversation_id);
+}
+
+void PlanningService::handle_probe_reply(const AclMessage& message) {
+  auto it = sessions_.find(message.conversation_id);
+  if (it == sessions_.end()) return;
+  ReplanSession& session = it->second;
+  --session.pending_probes;
+  if (message.param("executable") == "true") session.executable.insert(message.param("service"));
+  if (session.pending_provider_queries == 0 && session.pending_probes == 0)
+    finish_replan(message.conversation_id);
+}
+
+void PlanningService::finish_replan(const std::string& session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  ReplanSession session = std::move(it->second);
+  sessions_.erase(it);
+
+  // "The activity can be included in the new plan only if there is at least
+  // one application container that can provide the execution."
+  wfl::ServiceCatalogue reduced;
+  for (const auto& service : catalogue_.services()) {
+    if (session.excluded.count(service.name()) > 0) continue;
+    if (session.executable.count(service.name()) == 0) continue;
+    reduced.add(service);
+  }
+  IG_LOG_DEBUG("ps") << "replan over " << reduced.size() << "/" << catalogue_.size()
+                     << " executable services";
+  plan_and_reply(session.original, reduced);
+}
+
+}  // namespace ig::svc

@@ -1,0 +1,83 @@
+// Planning service agent (Section 3.3, Figures 2 and 3).
+//
+// Accepts planning requests from the coordination service: the assignment
+// carries 1) the initial data, 2) the goal, 3) other useful information —
+// all inside a case-description XML payload. The service runs the
+// genetic-based planner, converts the best plan tree into a process
+// description, archives it with the persistent storage service, and replies.
+//
+// Re-planning (Figure 3) additionally interrogates the runtime environment
+// so the new plan avoids activities that cannot currently execute:
+//
+//   1. CS -> PS   replanning request (+ optional failed-services list)
+//   2. PS -> IS   "Brokerage Service?"
+//   3. IS -> PS   brokerage found
+//   4. PS -> BS   "Application Containers for the activity?"  (per service)
+//   5. BS -> PS   a group of containers
+//   6. PS -> AC   "Activities executable?"                    (per container)
+//   7. AC -> PS   executable or not
+//   8. PS -> CS   a new plan over the executable services only
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "planner/gp.hpp"
+#include "wfl/service.hpp"
+
+namespace ig::svc {
+
+class PlanningService : public agent::Agent {
+ public:
+  PlanningService(std::string name, wfl::ServiceCatalogue catalogue,
+                  planner::GpConfig gp_config = {})
+      : Agent(std::move(name)),
+        catalogue_(std::move(catalogue)),
+        gp_config_(gp_config) {}
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+
+  const planner::GpConfig& gp_config() const noexcept { return gp_config_; }
+  void set_gp_config(planner::GpConfig config) { gp_config_ = config; }
+
+  /// Virtual-time cost charged per planning episode (models GP runtime).
+  void set_planning_latency(grid::SimTime latency) noexcept { planning_latency_ = latency; }
+
+  std::size_t plans_produced() const noexcept { return plans_produced_; }
+
+ private:
+  struct ReplanSession {
+    agent::AclMessage original;           ///< request to answer in step 8
+    std::set<std::string> excluded;       ///< services named non-executable up front
+    std::vector<std::string> to_probe;    ///< services awaiting provider lists
+    std::size_t pending_provider_queries = 0;
+    std::size_t pending_probes = 0;
+    std::set<std::string> executable;     ///< services with >= 1 live container
+    std::map<std::string, std::string> probe_service;  ///< probe conv-id -> service
+    std::string brokerage;                ///< provider found in step 3
+  };
+
+  void handle_plan_request(const agent::AclMessage& message);
+  void handle_replan_request(const agent::AclMessage& message);
+  void handle_information_reply(const agent::AclMessage& message);
+  void handle_provider_reply(const agent::AclMessage& message);
+  void handle_probe_reply(const agent::AclMessage& message);
+  void finish_replan(const std::string& session_id);
+
+  /// Runs the GP over `catalogue` for the case in `request`'s content and
+  /// replies with the process-description XML (after planning_latency_).
+  void plan_and_reply(const agent::AclMessage& request, const wfl::ServiceCatalogue& catalogue);
+
+  wfl::ServiceCatalogue catalogue_;
+  planner::GpConfig gp_config_;
+  grid::SimTime planning_latency_ = 0.5;
+  std::size_t plans_produced_ = 0;
+  std::uint64_t next_session_ = 1;
+  std::map<std::string, ReplanSession> sessions_;  ///< keyed by conversation id
+};
+
+}  // namespace ig::svc

@@ -1,0 +1,97 @@
+// Well-known agent names and protocol identifiers of the core services.
+//
+// Core services in the paper are persistent and locatable; here each service
+// type has a canonical agent name (replicas get numeric suffixes and
+// register their type with the information service).
+#pragma once
+
+#include "agent/agent.hpp"
+#include "agent/message.hpp"
+#include "agent/platform.hpp"
+
+namespace ig::svc {
+
+/// Canonical agent names (Figure 1's service boxes).
+namespace names {
+inline constexpr const char* kInformation = "is";
+inline constexpr const char* kBrokerage = "bs";
+inline constexpr const char* kMatchmaking = "ms";
+inline constexpr const char* kMonitoring = "mons";
+inline constexpr const char* kOntology = "os";
+inline constexpr const char* kAuthentication = "as";
+inline constexpr const char* kPersistentStorage = "pss";
+inline constexpr const char* kScheduling = "schs";
+inline constexpr const char* kSimulation = "sims";
+inline constexpr const char* kCoordination = "cs";
+inline constexpr const char* kPlanning = "ps";
+inline constexpr const char* kUserInterface = "ui";
+}  // namespace names
+
+/// Protocol identifiers (the `protocol` field of AclMessage).
+namespace protocols {
+// Information service.
+inline constexpr const char* kRegister = "register";
+inline constexpr const char* kDeregister = "deregister";
+inline constexpr const char* kQueryService = "service-query";
+// Brokerage service.
+inline constexpr const char* kAdvertise = "advertise";
+inline constexpr const char* kQueryProviders = "provider-query";
+inline constexpr const char* kReportPerformance = "performance-report";
+inline constexpr const char* kQueryHistory = "history-query";
+// Matchmaking.
+inline constexpr const char* kFindContainer = "find-container";
+// Monitoring.
+inline constexpr const char* kQueryStatus = "status-query";
+// Ontology service.
+inline constexpr const char* kGetOntology = "get-ontology";
+inline constexpr const char* kGetShell = "get-ontology-shell";
+inline constexpr const char* kStoreOntology = "store-ontology";
+// Authentication.
+inline constexpr const char* kAuthenticate = "authenticate";
+inline constexpr const char* kVerifyToken = "verify-token";
+// Persistent storage.
+inline constexpr const char* kStorePut = "storage-put";
+inline constexpr const char* kStoreGet = "storage-get";
+inline constexpr const char* kStoreList = "storage-list";
+// Scheduling.
+inline constexpr const char* kScheduleRequest = "schedule-request";
+// Application containers.
+inline constexpr const char* kExecuteActivity = "execute-activity";
+inline constexpr const char* kQueryExecutable = "query-executable";
+// Planning (Figures 2 and 3).
+inline constexpr const char* kPlanRequest = "planning-request";
+inline constexpr const char* kReplanRequest = "replanning-request";
+// Coordination.
+inline constexpr const char* kEnactCase = "enact-case";
+inline constexpr const char* kCaseCompleted = "case-completed";
+inline constexpr const char* kCheckpointCase = "checkpoint-case";
+inline constexpr const char* kRestoreCase = "restore-case";
+// Simulation service.
+inline constexpr const char* kSimulateCase = "simulate-case";
+inline constexpr const char* kSimulatePlan = "simulate-plan";
+}  // namespace protocols
+
+/// True when an unrecognized message deserves a NOT-UNDERSTOOD bounce:
+/// only initiating performatives are bounced; stray acknowledgements,
+/// informs and failures are dropped to prevent reply loops.
+inline bool should_bounce_unknown(const agent::AclMessage& message) {
+  return message.performative == agent::Performative::Request ||
+         message.performative == agent::Performative::QueryRef ||
+         message.performative == agent::Performative::QueryIf;
+}
+
+/// Sends the standard registration message to the information service.
+inline void register_with_information_service(agent::Agent& agent_ref,
+                                              agent::AgentPlatform& platform,
+                                              const std::string& type) {
+  if (!platform.has_agent(names::kInformation)) return;
+  agent::AclMessage registration;
+  registration.performative = agent::Performative::Request;
+  registration.sender = agent_ref.name();
+  registration.receiver = names::kInformation;
+  registration.protocol = protocols::kRegister;
+  registration.params["type"] = type;
+  platform.send(std::move(registration));
+}
+
+}  // namespace ig::svc

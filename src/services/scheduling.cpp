@@ -1,0 +1,145 @@
+#include "services/scheduling.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "services/protocol.hpp"
+#include "util/strings.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+
+Schedule schedule_lpt(std::vector<ScheduledTask> tasks, const std::vector<double>& speeds) {
+  Schedule schedule;
+  if (speeds.empty()) {
+    schedule.tasks = std::move(tasks);
+    return schedule;
+  }
+  std::sort(tasks.begin(), tasks.end(),
+            [](const ScheduledTask& a, const ScheduledTask& b) { return a.work > b.work; });
+  std::vector<double> finish(speeds.size(), 0.0);
+  for (auto& task : tasks) {
+    // Place on the machine that finishes this task earliest.
+    std::size_t best = 0;
+    double best_finish = std::numeric_limits<double>::max();
+    for (std::size_t m = 0; m < speeds.size(); ++m) {
+      const double speed = speeds[m] > 0 ? speeds[m] : 1e-9;
+      const double candidate = finish[m] + task.work / speed;
+      if (candidate < best_finish) {
+        best_finish = candidate;
+        best = m;
+      }
+    }
+    task.assigned_machine = static_cast<int>(best);
+    finish[best] = best_finish;
+  }
+  schedule.tasks = std::move(tasks);
+  schedule.makespan = *std::max_element(finish.begin(), finish.end());
+  return schedule;
+}
+
+namespace {
+
+void branch(const std::vector<ScheduledTask>& tasks, const std::vector<double>& speeds,
+            std::size_t index, std::vector<double>& finish, std::vector<int>& assignment,
+            double current_max, double& best_makespan, std::vector<int>& best_assignment) {
+  if (current_max >= best_makespan) return;  // bound
+  if (index == tasks.size()) {
+    best_makespan = current_max;
+    best_assignment = assignment;
+    return;
+  }
+  for (std::size_t m = 0; m < speeds.size(); ++m) {
+    const double speed = speeds[m] > 0 ? speeds[m] : 1e-9;
+    const double added = tasks[index].work / speed;
+    finish[m] += added;
+    assignment[index] = static_cast<int>(m);
+    branch(tasks, speeds, index + 1, finish, assignment, std::max(current_max, finish[m]),
+           best_makespan, best_assignment);
+    finish[m] -= added;
+  }
+}
+
+}  // namespace
+
+Schedule schedule_optimal(std::vector<ScheduledTask> tasks, const std::vector<double>& speeds) {
+  Schedule schedule;
+  if (speeds.empty() || tasks.empty()) {
+    schedule.tasks = std::move(tasks);
+    return schedule;
+  }
+  // Sorting big-first makes the bound effective.
+  std::sort(tasks.begin(), tasks.end(),
+            [](const ScheduledTask& a, const ScheduledTask& b) { return a.work > b.work; });
+  // Warm start: the greedy (LPT) solution on this exact order seeds both the
+  // incumbent bound and the incumbent assignment, so the search only has to
+  // *improve* on it (and a -1 assignment can never leak out).
+  std::vector<double> finish(speeds.size(), 0.0);
+  std::vector<int> best_assignment(tasks.size(), -1);
+  double best_makespan = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    std::size_t best_machine = 0;
+    double best_finish = std::numeric_limits<double>::max();
+    for (std::size_t m = 0; m < speeds.size(); ++m) {
+      const double speed = speeds[m] > 0 ? speeds[m] : 1e-9;
+      const double candidate = finish[m] + tasks[i].work / speed;
+      if (candidate < best_finish) {
+        best_finish = candidate;
+        best_machine = m;
+      }
+    }
+    best_assignment[i] = static_cast<int>(best_machine);
+    finish[best_machine] = best_finish;
+    best_makespan = std::max(best_makespan, best_finish);
+  }
+  std::fill(finish.begin(), finish.end(), 0.0);
+  std::vector<int> assignment(tasks.size(), -1);
+  branch(tasks, speeds, 0, finish, assignment, 0.0, best_makespan, best_assignment);
+  for (std::size_t i = 0; i < tasks.size(); ++i) tasks[i].assigned_machine = best_assignment[i];
+  schedule.tasks = std::move(tasks);
+  schedule.makespan = best_makespan;
+  return schedule;
+}
+
+void SchedulingService::on_start() {
+  register_with_information_service(*this, platform(), "scheduling");
+}
+
+void SchedulingService::handle_message(const AclMessage& message) {
+  if (message.protocol != protocols::kScheduleRequest) {
+    if (!should_bounce_unknown(message)) return;
+    AclMessage reply = message.make_reply(Performative::NotUnderstood);
+    reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+    send(std::move(reply));
+    return;
+  }
+  // params: tasks = "id:work,id:work,..." ; speeds = "1.0,2.0,..."
+  std::vector<ScheduledTask> tasks;
+  for (const auto& entry : util::split_trimmed(message.param("tasks"), ',')) {
+    const auto parts = util::split(entry, ':');
+    ScheduledTask task;
+    task.task_id = parts.empty() ? entry : parts[0];
+    task.work = parts.size() > 1 ? std::stod(parts[1]) : 1.0;
+    tasks.push_back(std::move(task));
+  }
+  std::vector<double> speeds;
+  for (const auto& entry : util::split_trimmed(message.param("speeds"), ','))
+    speeds.push_back(std::stod(entry));
+
+  const bool optimal = message.param("mode") == "optimal" && tasks.size() <= 12;
+  const Schedule schedule =
+      optimal ? schedule_optimal(std::move(tasks), speeds) : schedule_lpt(std::move(tasks), speeds);
+
+  AclMessage reply = message.make_reply(Performative::Inform);
+  reply.params["makespan"] = util::format_number(schedule.makespan, 6);
+  std::vector<std::string> assignments;
+  assignments.reserve(schedule.tasks.size());
+  for (const auto& task : schedule.tasks)
+    assignments.push_back(task.task_id + ":" + std::to_string(task.assigned_machine));
+  reply.params["assignment"] = util::join(assignments, ",");
+  send(std::move(reply));
+}
+
+}  // namespace ig::svc

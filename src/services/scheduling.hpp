@@ -1,0 +1,45 @@
+// Scheduling service.
+//
+// "Scheduling services provide optimal schedules for sites offering to host
+// application containers for different end-user services." Given a bag of
+// independent tasks (work amounts) and the candidate nodes' speeds, the
+// service produces a makespan-minimizing assignment. Exact optimum is
+// NP-hard; LPT (longest processing time first) list scheduling is the
+// classic 4/3-approximation and is what the service implements, with an
+// exhaustive branch-and-bound for small instances (<= 12 tasks) so harnesses
+// can quantify the LPT gap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+
+namespace ig::svc {
+
+struct ScheduledTask {
+  std::string task_id;
+  double work = 1.0;
+  int assigned_machine = -1;  ///< index into the machine speed vector
+};
+
+struct Schedule {
+  std::vector<ScheduledTask> tasks;
+  double makespan = 0.0;
+};
+
+/// LPT list scheduling onto machines with the given speeds.
+Schedule schedule_lpt(std::vector<ScheduledTask> tasks, const std::vector<double>& speeds);
+
+/// Exhaustive optimal schedule (branch and bound); intended for <= ~12 tasks.
+Schedule schedule_optimal(std::vector<ScheduledTask> tasks, const std::vector<double>& speeds);
+
+class SchedulingService : public agent::Agent {
+ public:
+  explicit SchedulingService(std::string name = "schs") : Agent(std::move(name)) {}
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+};
+
+}  // namespace ig::svc

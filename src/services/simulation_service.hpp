@@ -1,0 +1,34 @@
+// Simulation service.
+//
+// "Simulation services are necessary to study the scalability of the system
+// and they are also useful for end-users to simulate an experiment before
+// actually conducting it." Given a process description and a case, the
+// service dry-runs the plan with the planner's execution-flow simulator and
+// reports the predicted validity / goal satisfaction — no grid resources are
+// consumed.
+#pragma once
+
+#include "agent/agent.hpp"
+#include "planner/evaluate.hpp"
+#include "wfl/service.hpp"
+
+namespace ig::svc {
+
+class SimulationService : public agent::Agent {
+ public:
+  SimulationService(std::string name, wfl::ServiceCatalogue catalogue,
+                    planner::EvaluationConfig config = {})
+      : Agent(std::move(name)), catalogue_(std::move(catalogue)), config_(config) {}
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+
+  std::size_t simulations_run() const noexcept { return simulations_; }
+
+ private:
+  wfl::ServiceCatalogue catalogue_;
+  planner::EvaluationConfig config_;
+  std::size_t simulations_ = 0;
+};
+
+}  // namespace ig::svc

@@ -1,0 +1,65 @@
+#include "services/storage.hpp"
+
+#include "services/protocol.hpp"
+#include "util/strings.hpp"
+
+namespace ig::svc {
+
+using agent::AclMessage;
+using agent::Performative;
+
+void PersistentStorageService::put(const std::string& key, std::string value) {
+  store_.insert_or_assign(key, std::move(value));
+}
+
+const std::string* PersistentStorageService::get(const std::string& key) const {
+  auto it = store_.find(key);
+  return it != store_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> PersistentStorageService::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : store_) {
+    (void)value;
+    if (util::starts_with(key, prefix)) keys.push_back(key);
+  }
+  return keys;
+}
+
+void PersistentStorageService::on_start() {
+  register_with_information_service(*this, platform(), "persistent-storage");
+}
+
+void PersistentStorageService::handle_message(const AclMessage& message) {
+  if (message.protocol == protocols::kStorePut) {
+    put(message.param("key"), message.content);
+    AclMessage reply = message.make_reply(Performative::Agree);
+    reply.params["key"] = message.param("key");
+    send(std::move(reply));
+    return;
+  }
+  if (message.protocol == protocols::kStoreGet) {
+    const std::string key = message.param("key");
+    const std::string* value = get(key);
+    AclMessage reply =
+        message.make_reply(value != nullptr ? Performative::Inform : Performative::Failure);
+    reply.params["key"] = key;
+    if (value != nullptr) reply.content = *value;
+    else reply.params["error"] = "no document under key '" + key + "'";
+    send(std::move(reply));
+    return;
+  }
+  if (message.protocol == protocols::kStoreList) {
+    AclMessage reply = message.make_reply(Performative::Inform);
+    reply.params["keys"] = util::join(keys_with_prefix(message.param("prefix")), ",");
+    send(std::move(reply));
+    return;
+  }
+  if (!should_bounce_unknown(message)) return;
+  AclMessage reply = message.make_reply(Performative::NotUnderstood);
+  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
+  send(std::move(reply));
+}
+
+}  // namespace ig::svc

@@ -1,0 +1,34 @@
+// Persistent storage service.
+//
+// "Persistent storage services provide access to the data needed for the
+// execution of user tasks." It also backs the "system knowledge base" where
+// process descriptions are archived (Section 3). A keyed document store with
+// optional namespaces is sufficient for both roles.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+
+namespace ig::svc {
+
+class PersistentStorageService : public agent::Agent {
+ public:
+  explicit PersistentStorageService(std::string name = "pss") : Agent(std::move(name)) {}
+
+  void on_start() override;
+  void handle_message(const agent::AclMessage& message) override;
+
+  // Direct access for tests and harnesses.
+  void put(const std::string& key, std::string value);
+  const std::string* get(const std::string& key) const;
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+  std::size_t size() const noexcept { return store_.size(); }
+
+ private:
+  std::map<std::string, std::string> store_;
+};
+
+}  // namespace ig::svc

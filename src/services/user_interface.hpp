@@ -1,0 +1,72 @@
+// User-interface agent (the UI box of Figure 1).
+//
+// "The User Interface (UI) provides access to the environment." This agent
+// packages the canonical end-user workflow — submit a case description,
+// obtain a plan from the planning service (Figure 2), hand it to the
+// coordination service for enactment, and surface the outcome — so that
+// applications embed one agent instead of re-implementing the exchange.
+//
+// Callbacks fire on the simulation thread; keep them short.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "agent/agent.hpp"
+#include "wfl/case_description.hpp"
+#include "wfl/process.hpp"
+
+namespace ig::svc {
+
+/// Outcome of a completed (or failed) task submission.
+struct TaskOutcome {
+  bool success = false;
+  std::string error;
+  double makespan = 0.0;
+  int activities_executed = 0;
+  int dispatch_failures = 0;
+  int replans = 0;
+  double goal_satisfaction = 0.0;
+  double total_cost = 0.0;
+  wfl::DataSet final_data;
+};
+
+class UserInterfaceAgent : public agent::Agent {
+ public:
+  using PlanCallback = std::function<void(const wfl::ProcessDescription&)>;
+  using OutcomeCallback = std::function<void(const TaskOutcome&)>;
+
+  explicit UserInterfaceAgent(std::string name) : Agent(std::move(name)) {}
+
+  /// Submits a case for automated planning + enactment. `seed` pins the
+  /// planner's RNG for reproducible experiments (nullopt: service default).
+  void submit_case(const wfl::CaseDescription& case_description,
+                   std::optional<std::uint64_t> seed = std::nullopt);
+
+  /// Enacts a user-supplied process description (no planning step).
+  void submit_process(const wfl::ProcessDescription& process,
+                      const wfl::CaseDescription& case_description);
+
+  /// Observers (optional).
+  void on_plan(PlanCallback callback) { plan_callback_ = std::move(callback); }
+  void on_outcome(OutcomeCallback callback) { outcome_callback_ = std::move(callback); }
+
+  /// Polling accessors for harnesses that drive the simulation directly.
+  bool finished() const noexcept { return outcome_.has_value(); }
+  const TaskOutcome& outcome() const { return *outcome_; }
+  const std::optional<wfl::ProcessDescription>& plan() const noexcept { return plan_; }
+
+  void handle_message(const agent::AclMessage& message) override;
+
+ private:
+  void start_enactment(const std::string& process_xml);
+
+  std::string case_xml_;
+  std::optional<wfl::ProcessDescription> plan_;
+  std::optional<TaskOutcome> outcome_;
+  PlanCallback plan_callback_;
+  OutcomeCallback outcome_callback_;
+};
+
+}  // namespace ig::svc

@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace ig::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() : level_(LogLevel::Warn), stream_(&std::clog) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_stream(std::ostream* stream) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stream_ = stream;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream_ == nullptr) return;
+  (*stream_) << '[' << to_string(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace ig::util

@@ -1,0 +1,84 @@
+// Lightweight leveled logger for the IntelliGrid library.
+//
+// The logger is intentionally minimal: a process-global level, synchronized
+// writes to a std::ostream, and printf-free formatting via ostream insertion.
+// Core services and the grid simulator log through this one sink so traces
+// from agents interleave in a deterministic, readable order.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ig::util {
+
+/// Severity levels, ordered from most to least verbose.
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Human-readable name of a level ("TRACE", "DEBUG", ...).
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-global logger configuration and sink.
+class Logger {
+ public:
+  /// Returns the process-wide logger instance.
+  static Logger& instance();
+
+  /// Sets the minimum level that will be emitted.
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  /// Redirects output; the stream must outlive the logger's use of it.
+  void set_stream(std::ostream* stream) noexcept;
+
+  /// True if a message at `level` would be emitted.
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Emits one line: "[LEVEL] component: message".
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+
+  LogLevel level_;
+  std::ostream* stream_;
+  std::mutex mutex_;
+};
+
+/// Builds a log line with ostream syntax and emits it on destruction.
+///
+/// Usage: `LogLine(LogLevel::Info, "planner") << "gen " << g;`
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component), enabled_(Logger::instance().enabled(level)) {}
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  ~LogLine() {
+    if (enabled_) Logger::instance().write(level_, component_, buffer_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace ig::util
+
+#define IG_LOG_TRACE(component) ::ig::util::LogLine(::ig::util::LogLevel::Trace, component)
+#define IG_LOG_DEBUG(component) ::ig::util::LogLine(::ig::util::LogLevel::Debug, component)
+#define IG_LOG_INFO(component) ::ig::util::LogLine(::ig::util::LogLevel::Info, component)
+#define IG_LOG_WARN(component) ::ig::util::LogLine(::ig::util::LogLevel::Warn, component)
+#define IG_LOG_ERROR(component) ::ig::util::LogLine(::ig::util::LogLevel::Error, component)

@@ -1,0 +1,91 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace ig::util {
+
+namespace {
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == separator) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::vector<std::string> split_trimmed(std::string_view text, char separator) {
+  std::vector<std::string> fields;
+  for (const auto& field : split(text, separator)) {
+    auto trimmed = trim(field);
+    if (!trimmed.empty()) fields.emplace_back(trimmed);
+  }
+  return fields;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view separator) {
+  std::string result;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) result += separator;
+    result += items[i];
+  }
+  return result;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string result(text);
+  std::transform(result.begin(), result.end(), result.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return result;
+}
+
+bool is_number(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return false;
+  double value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  return ec == std::errc() && ptr == last;
+}
+
+std::string format_number(double value, int max_decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", max_decimals, value);
+  std::string text(buffer);
+  if (text.find('.') != std::string::npos) {
+    while (!text.empty() && text.back() == '0') text.pop_back();
+    if (!text.empty() && text.back() == '.') text.pop_back();
+  }
+  if (text == "-0") text = "0";
+  return text;
+}
+
+}  // namespace ig::util

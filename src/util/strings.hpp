@@ -1,0 +1,35 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ig::util {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Splits on a separator and trims each field; empty fields are dropped.
+std::vector<std::string> split_trimmed(std::string_view text, char separator);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view separator);
+
+/// Case-sensitive prefix / suffix tests.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view text);
+
+/// True if `text` parses fully as a (possibly signed) decimal number.
+bool is_number(std::string_view text) noexcept;
+
+/// Formats a double with trailing-zero trimming ("1.5", "3", "0.25").
+std::string format_number(double value, int max_decimals = 6);
+
+}  // namespace ig::util

@@ -1,0 +1,124 @@
+#include "virolab/catalogue.hpp"
+
+#include "util/strings.hpp"
+
+namespace ig::virolab {
+
+using wfl::Condition;
+
+wfl::ServiceCatalogue make_catalogue() {
+  wfl::ServiceCatalogue catalogue;
+
+  // POD — "ab initio" parallel orientation determination.
+  {
+    wfl::ServiceType service("POD");
+    service.set_description("ab initio orientation determination of 2D virus projections");
+    service.set_inputs({"A", "B"});
+    service.set_input_condition(Condition::parse(
+        "A.Classification = \"POD-Parameter\" and B.Classification = \"2D Image\""));  // C1
+    service.set_outputs({"C"});
+    service.set_output_condition(
+        Condition::parse("C.Classification = \"Orientation File\""));  // C2 (normalized)
+    service.set_cost(4.0);
+    service.set_base_work(40.0);
+    catalogue.add(std::move(service));
+  }
+
+  // P3DR — parallel 3-D reconstruction.
+  {
+    wfl::ServiceType service("P3DR");
+    service.set_description("parallel 3D reconstruction of the electron density map");
+    service.set_inputs({"A", "B", "C"});
+    service.set_input_condition(Condition::parse(
+        "A.Classification = \"P3DR-Parameter\" and B.Classification = \"2D Image\" and "
+        "C.Classification = \"Orientation File\""));  // C3
+    service.set_outputs({"D"});
+    service.set_output_condition(Condition::parse("D.Classification = \"3D Model\""));  // C4
+    service.set_cost(10.0);
+    service.set_base_work(120.0);
+    catalogue.add(std::move(service));
+  }
+
+  // POR — parallel orientation refinement.
+  {
+    wfl::ServiceType service("POR");
+    service.set_description("parallel orientation refinement against the current 3D model");
+    service.set_inputs({"A", "B", "C", "D"});
+    service.set_input_condition(Condition::parse(
+        "A.Classification = \"POR-Parameter\" and B.Classification = \"2D Image\" and "
+        "C.Classification = \"Orientation File\" and D.Classification = \"3D Model\""));  // C5
+    service.set_outputs({"E"});
+    service.set_output_condition(
+        Condition::parse("E.Classification = \"Orientation File\""));  // C6
+    service.set_cost(8.0);
+    service.set_base_work(90.0);
+    catalogue.add(std::move(service));
+  }
+
+  // PSF — parallel structure-factor correlation (resolution determination).
+  {
+    wfl::ServiceType service("PSF");
+    service.set_description("correlates two 3D models to determine the achieved resolution");
+    service.set_inputs({"A", "B", "C"});
+    service.set_input_condition(Condition::parse(
+        "A.Classification = \"PSF-Parameter\" and B.Classification = \"3D Model\" and "
+        "C.Classification = \"3D Model\""));  // C7
+    service.set_outputs({"D"});
+    service.set_output_condition(
+        Condition::parse("D.Classification = \"Resolution File\""));  // C8
+    service.set_cost(3.0);
+    service.set_base_work(25.0);
+    catalogue.add(std::move(service));
+  }
+
+  return catalogue;
+}
+
+wfl::DataSet make_initial_data() {
+  wfl::DataSet data;
+  auto parameter = [](const char* name, const char* classification) {
+    wfl::DataSpec item(name);
+    item.with_classification(classification)
+        .with(wfl::props::kFormat, meta::Value("Text"))
+        .with(wfl::props::kSize, meta::Value(0.003))  // 3 KB, in MB
+        .with(wfl::props::kCreator, meta::Value("User"));
+    return item;
+  };
+  data.put(parameter("D1", cls::kPodParameter));
+  data.put(parameter("D2", cls::kP3drParameter));
+  data.put(parameter("D3", cls::kP3drParameter));
+  data.put(parameter("D4", cls::kP3drParameter));
+  data.put(parameter("D5", cls::kPorParameter));
+  data.put(parameter("D6", cls::kPsfParameter));
+
+  wfl::DataSpec images("D7");
+  images.with_classification(cls::k2dImage)
+      .with(wfl::props::kSize, meta::Value(1536.0))  // "1.5G" in MB
+      .with(wfl::props::kCreator, meta::Value("User"))
+      .with(wfl::props::kFormat, meta::Value("Image Stack"));
+  data.put(std::move(images));
+  return data;
+}
+
+wfl::CaseDescription make_case_description(double target_resolution) {
+  wfl::CaseDescription case_description("CD-3DSD");
+  case_description.set_id("CD-3DSD");
+  case_description.set_process_name("PD-3DSD");
+  case_description.initial_data() = make_initial_data();
+
+  wfl::GoalSpec goal;
+  goal.description = "a resolution file for the reconstructed density map exists";
+  goal.condition = Condition::parse("R.Classification = \"Resolution File\"");
+  case_description.add_goal(std::move(goal));
+  case_description.add_expected_result("D12");
+
+  // Cons1: "if (Classification = 'Resolution File' and Value > 8) then Merge
+  // else End" — continue refining while the resolution is still coarser than
+  // the target.
+  case_description.add_constraint(
+      "Cons1", Condition::parse("R.Classification = \"Resolution File\" and R.Value > " +
+                                util::format_number(target_resolution)));
+  return case_description;
+}
+
+}  // namespace ig::virolab

@@ -1,0 +1,48 @@
+// The virtual laboratory for computational biology (Section 4).
+//
+// Four parallel programs reconstruct 3-D virus structure from electron
+// micrographs:
+//
+//   POD   "ab initio" orientation determination;
+//   P3DR  3-D reconstruction;
+//   POR   orientation refinement;
+//   PSF   structure-factor correlation (resolution determination).
+//
+// Their input/output conditions C1–C8 follow Figure 13. Note: the paper's
+// C2 reads `C.Type = "Orientation File"` while every consumer (C3, C5)
+// checks `Classification`; we normalize C2 to Classification — otherwise the
+// published workflow would never satisfy its own preconditions (documented
+// in DESIGN.md).
+#pragma once
+
+#include "wfl/case_description.hpp"
+#include "wfl/data.hpp"
+#include "wfl/service.hpp"
+
+namespace ig::virolab {
+
+/// Data classifications used by the case study.
+namespace cls {
+inline constexpr const char* kPodParameter = "POD-Parameter";
+inline constexpr const char* kP3drParameter = "P3DR-Parameter";
+inline constexpr const char* kPorParameter = "POR-Parameter";
+inline constexpr const char* kPsfParameter = "PSF-Parameter";
+inline constexpr const char* k2dImage = "2D Image";
+inline constexpr const char* kOrientationFile = "Orientation File";
+inline constexpr const char* k3dModel = "3D Model";
+inline constexpr const char* kResolutionFile = "Resolution File";
+}  // namespace cls
+
+/// The service set T of the case study: POD, P3DR, POR, PSF.
+wfl::ServiceCatalogue make_catalogue();
+
+/// The initial data set {D1..D7} of the Figure 13 case description:
+/// parameter files D1–D6 plus the 1.5 GB 2-D image stack D7.
+wfl::DataSet make_initial_data();
+
+/// The CD-3DSD case description: initial data {D1..D7}, goal "a Resolution
+/// File exists" (result set {D12}), constraint Cons1 driving the refinement
+/// loop (continue while the resolution value is still above `target`).
+wfl::CaseDescription make_case_description(double target_resolution = 8.0);
+
+}  // namespace ig::virolab

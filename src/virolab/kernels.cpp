@@ -1,0 +1,84 @@
+#include "virolab/kernels.hpp"
+
+#include <cmath>
+
+#include "virolab/catalogue.hpp"
+
+namespace ig::virolab {
+
+double SyntheticKernels::current_resolution() const noexcept {
+  const double resolution =
+      params_.initial_resolution *
+      std::pow(params_.refinement_factor, static_cast<double>(refinements_));
+  return resolution > params_.resolution_floor ? resolution : params_.resolution_floor;
+}
+
+std::vector<wfl::DataSpec> SyntheticKernels::execute(const wfl::ServiceType& service,
+                                                     const wfl::Bindings& inputs,
+                                                     const std::vector<std::string>& output_names) {
+  ++executions_;
+  std::vector<wfl::DataSpec> produced;
+  auto output_name = [&](std::size_t index, const std::string& fallback) {
+    if (index < output_names.size() && !output_names[index].empty()) return output_names[index];
+    return fallback + "#" + std::to_string(executions_);
+  };
+
+  if (service.name() == "POD") {
+    wfl::DataSpec orientations(output_name(0, "orientations"));
+    orientations.with_classification(cls::kOrientationFile)
+        .with(wfl::props::kSize, meta::Value(params_.orientation_size_mb))
+        .with(wfl::props::kCreator, meta::Value("POD"));
+    produced.push_back(std::move(orientations));
+    return produced;
+  }
+
+  if (service.name() == "P3DR") {
+    wfl::DataSpec model(output_name(0, "model"));
+    model.with_classification(cls::k3dModel)
+        .with(wfl::props::kSize, meta::Value(params_.model_size_mb))
+        .with(wfl::props::kCreator, meta::Value("P3DR"));
+    produced.push_back(std::move(model));
+    return produced;
+  }
+
+  if (service.name() == "POR") {
+    // One completed refinement pass improves every subsequent model.
+    ++refinements_;
+    wfl::DataSpec orientations(output_name(0, "orientations-refined"));
+    orientations.with_classification(cls::kOrientationFile)
+        .with(wfl::props::kSize, meta::Value(params_.orientation_size_mb))
+        .with(wfl::props::kCreator, meta::Value("POR"));
+    produced.push_back(std::move(orientations));
+    return produced;
+  }
+
+  if (service.name() == "PSF") {
+    wfl::DataSpec resolution(output_name(0, "resolution"));
+    resolution.with_classification(cls::kResolutionFile)
+        .with(wfl::props::kValue, meta::Value(current_resolution()))
+        .with(wfl::props::kSize, meta::Value(0.001))
+        .with(wfl::props::kCreator, meta::Value("PSF"));
+    produced.push_back(std::move(resolution));
+    return produced;
+  }
+
+  // Unknown service: fall back to the declarative postcondition.
+  (void)inputs;
+  return service.produce_outputs(output_name(0, service.name()) + ":");
+}
+
+std::vector<wfl::DataSpec> make_micrographs(util::Rng& rng, int count, double mean_size_mb) {
+  std::vector<wfl::DataSpec> images;
+  images.reserve(static_cast<std::size_t>(count > 0 ? count : 0));
+  for (int i = 0; i < count; ++i) {
+    wfl::DataSpec image("micrograph-" + std::to_string(i + 1));
+    image.with_classification(cls::k2dImage)
+        .with(wfl::props::kSize, meta::Value(mean_size_mb * rng.next_double(0.6, 1.4)))
+        .with(wfl::props::kFormat, meta::Value("Image"))
+        .with(wfl::props::kCreator, meta::Value("Microscope"));
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+}  // namespace ig::virolab

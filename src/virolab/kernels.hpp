@@ -1,0 +1,67 @@
+// Synthetic compute kernels for the four reconstruction programs.
+//
+// The real POD/P3DR/POR/PSF are parallel electron-microscopy codes operating
+// on GB-scale micrographs we do not have. These kernels preserve what the
+// middleware observes: the I/O signatures (conditions C1–C8), data sizes,
+// and the convergence behaviour that drives the Cons1 loop — every
+// refinement pass improves the resolution multiplicatively until it crosses
+// the target, so the CHOICE activity eventually takes the END branch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "wfl/data.hpp"
+#include "wfl/service.hpp"
+
+namespace ig::virolab {
+
+/// Convergence model of the synthetic reconstruction.
+struct KernelParams {
+  double initial_resolution = 18.0;  ///< Å after the first reconstruction
+  double refinement_factor = 0.65;   ///< resolution multiplier per refinement pass
+  double resolution_floor = 5.5;     ///< physical limit of the instrument
+  double model_size_mb = 64.0;       ///< size of a produced 3-D model
+  double orientation_size_mb = 2.0;  ///< size of an orientation file
+};
+
+/// Stateful executor: produces concrete output data for each service
+/// invocation. The resolution improves with each completed refinement pass
+/// (POR execution), so iterative enactment converges.
+class SyntheticKernels {
+ public:
+  explicit SyntheticKernels(KernelParams params = {}) : params_(params) {}
+
+  /// Executes `service` with the given bound inputs; returns the produced
+  /// data items (named `outputs[i]` when `output_names` provides them,
+  /// otherwise generated names). Unknown services produce nothing.
+  std::vector<wfl::DataSpec> execute(const wfl::ServiceType& service,
+                                     const wfl::Bindings& inputs,
+                                     const std::vector<std::string>& output_names = {});
+
+  /// Current model resolution in Å (what the next PSF will report).
+  double current_resolution() const noexcept;
+
+  std::size_t refinement_passes() const noexcept { return refinements_; }
+  std::size_t executions() const noexcept { return executions_; }
+
+  void reset() noexcept {
+    refinements_ = 0;
+    executions_ = 0;
+  }
+
+  const KernelParams& params() const noexcept { return params_; }
+
+ private:
+  KernelParams params_;
+  std::size_t refinements_ = 0;
+  std::size_t executions_ = 0;
+};
+
+/// Generates a synthetic set of 2-D virus projections (for the examples):
+/// `count` image items with jittered sizes, classification "2D Image".
+std::vector<wfl::DataSpec> make_micrographs(util::Rng& rng, int count,
+                                            double mean_size_mb = 12.0);
+
+}  // namespace ig::virolab

@@ -1,0 +1,180 @@
+#include "virolab/ontology.hpp"
+
+#include "meta/standard.hpp"
+
+namespace ig::virolab {
+
+using meta::Value;
+namespace classes = meta::classes;
+
+meta::Ontology make_fig13_ontology() {
+  meta::Ontology ontology = meta::standard_grid_ontology();
+  ontology.set_name("3DSD-instances");
+
+  // -- Task ------------------------------------------------------------------
+  auto& task = ontology.add_instance("T1", classes::kTask);
+  task.set("ID", Value("T1"));
+  task.set("Name", Value("3DSD"));
+  task.set("Owner", Value("UCF"));
+  task.set("Process Description", Value("PD-3DSD"));
+  task.set("Case Description", Value("CD-3DSD"));
+  task.set("Status", Value("Submitted"));
+  task.set("Need Planning", Value(false));
+
+  // -- Process description -----------------------------------------------------
+  auto& process = ontology.add_instance("PD-3DSD", classes::kProcessDescription);
+  process.set("ID", Value("PD-3DSD"));
+  process.set("Name", Value("PD-3DSD"));
+  process.set("Activity Set",
+              Value::list_of({"BEGIN", "POD", "P3DR1", "MERGE", "POR", "FORK", "P3DR2", "P3DR3",
+                              "P3DR4", "JOIN", "PSF", "CHOICE", "END"}));
+  process.set("Transition Set",
+              Value::list_of({"TR1", "TR2", "TR3", "TR4", "TR5", "TR6", "TR7", "TR8", "TR9",
+                              "TR10", "TR11", "TR12", "TR13", "TR14", "TR15"}));
+  process.set("Creator", Value("Planning Service"));
+
+  // -- Case description ----------------------------------------------------------
+  auto& case_description = ontology.add_instance("CD-3DSD", classes::kCaseDescription);
+  case_description.set("ID", Value("CD-3DSD"));
+  case_description.set("Name", Value("CD-3DSD"));
+  case_description.set("Initial Data Set",
+                       Value::list_of({"D1", "D2", "D3", "D4", "D5", "D6", "D7"}));
+  case_description.set("Result Set", Value::list_of({"D12"}));
+  case_description.set("Constraint", Value("Cons1"));
+  case_description.set("Goal", Value("resolution file with Value <= 8"));
+
+  // -- Activities (the A1..A13 table) ---------------------------------------------
+  struct ActivityRow {
+    const char* id;
+    const char* name;
+    const char* type;
+    const char* service;
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+    const char* constraint;
+  };
+  const std::vector<ActivityRow> activity_rows = {
+      {"A1", "BEGIN", "Begin", "", {}, {}, ""},
+      {"A2", "POD", "End-user", "POD", {"D1", "D7"}, {"D8"}, ""},
+      {"A3", "P3DR1", "End-user", "P3DR", {"D2", "D7", "D8"}, {"D9"}, ""},
+      {"A4", "MERGE", "Merge", "", {}, {}, ""},
+      {"A5", "POR", "End-user", "POR", {"D5", "D7", "D8", "D9"}, {"D8"}, ""},
+      {"A6", "FORK", "Fork", "", {}, {}, ""},
+      {"A7", "P3DR2", "End-user", "P3DR", {"D3", "D7", "D8"}, {"D10"}, ""},
+      {"A8", "P3DR3", "End-user", "P3DR", {"D4", "D7", "D8"}, {"D11"}, ""},
+      {"A9", "P3DR4", "End-user", "P3DR", {"D2", "D7", "D8"}, {"D9"}, ""},
+      {"A10", "JOIN", "Join", "", {}, {}, ""},
+      {"A11", "PSF", "End-user", "PSF", {"D10", "D11"}, {"D12"}, "Cons1"},
+      {"A12", "CHOICE", "Choice", "", {}, {}, ""},
+      {"A13", "END", "End", "", {}, {}, ""},
+  };
+  for (const auto& row : activity_rows) {
+    auto& activity = ontology.add_instance(row.id, classes::kActivity);
+    activity.set("ID", Value(row.id));
+    activity.set("Name", Value(row.name));
+    activity.set("Task ID", Value("T1"));
+    activity.set("Type", Value(row.type));
+    if (row.service[0] != '\0') activity.set("Service Name", Value(row.service));
+    if (!row.inputs.empty()) activity.set("Input Data Set", Value::list_of(row.inputs));
+    if (!row.outputs.empty()) activity.set("Output Data Set", Value::list_of(row.outputs));
+    if (row.constraint[0] != '\0') activity.set("Constraint", Value(row.constraint));
+  }
+
+  // -- Transitions (TR1..TR15) ------------------------------------------------------
+  struct TransitionRow {
+    const char* id;
+    const char* source;
+    const char* destination;
+  };
+  const std::vector<TransitionRow> transition_rows = {
+      {"TR1", "BEGIN", "POD"},    {"TR2", "POD", "P3DR1"},   {"TR3", "P3DR1", "MERGE"},
+      {"TR4", "MERGE", "POR"},    {"TR5", "POR", "FORK"},    {"TR6", "FORK", "P3DR2"},
+      {"TR7", "FORK", "P3DR3"},   {"TR8", "FORK", "P3DR4"},  {"TR9", "P3DR2", "JOIN"},
+      {"TR10", "P3DR3", "JOIN"},  {"TR11", "P3DR4", "JOIN"}, {"TR12", "JOIN", "PSF"},
+      {"TR13", "PSF", "CHOICE"},  {"TR14", "CHOICE", "MERGE"}, {"TR15", "CHOICE", "END"},
+  };
+  for (const auto& row : transition_rows) {
+    auto& transition = ontology.add_instance(row.id, classes::kTransition);
+    transition.set("ID", Value(row.id));
+    transition.set("Source Activity", Value(row.source));
+    transition.set("Destination Activity", Value(row.destination));
+  }
+
+  // -- Data (D1..D12) ------------------------------------------------------------------
+  struct DataRow {
+    const char* name;
+    const char* creator;
+    double size_mb;  ///< 0 = unspecified
+    const char* classification;
+    const char* format;
+  };
+  const std::vector<DataRow> data_rows = {
+      {"D1", "User", 0.003, "POD-Parameter", "Text"},
+      {"D2", "User", 0, "P3DR-Parameter", "Text"},
+      {"D3", "User", 0, "P3DR-Parameter", "Text"},
+      {"D4", "User", 0, "P3DR-Parameter", "Text"},
+      {"D5", "User", 0, "POR-Parameter", "Text"},
+      {"D6", "User", 0, "PSF-Parameter", "Text"},
+      {"D7", "User", 1536.0, "2D Image", "Image Stack"},
+      {"D8", "POD, POR", 0, "Orientation File", ""},
+      {"D9", "P3DR1,P3DR4", 0, "3D Model", ""},
+      {"D10", "P3DR2", 0, "3D Model", ""},
+      {"D11", "P3DR3", 0, "3D Model", ""},
+      {"D12", "PSF", 0, "Resolution File", ""},
+  };
+  for (const auto& row : data_rows) {
+    auto& data = ontology.add_instance(row.name, classes::kData);
+    data.set("Name", Value(row.name));
+    data.set("Creator", Value(row.creator));
+    if (row.size_mb > 0) data.set("Size", Value(row.size_mb));
+    data.set("Classification", Value(row.classification));
+    if (row.format[0] != '\0') data.set("Format", Value(row.format));
+  }
+
+  // -- Services (with their condition texts C1..C8) -----------------------------------
+  struct ServiceRow {
+    const char* name;
+    std::vector<std::string> inputs;
+    const char* input_condition;
+    std::vector<std::string> outputs;
+    const char* output_condition;
+  };
+  const std::vector<ServiceRow> service_rows = {
+      {"POD",
+       {"A", "B"},
+       "A.Classification = \"POD-Parameter\" and B.Classification = \"2D Image\"",
+       {"C"},
+       "C.Classification = \"Orientation File\""},
+      {"P3DR",
+       {"A", "B", "C"},
+       "A.Classification = \"P3DR-Parameter\" and B.Classification = \"2D Image\" and "
+       "C.Classification = \"Orientation File\"",
+       {"D"},
+       "D.Classification = \"3D Model\""},
+      {"POR",
+       {"A", "B", "C", "D"},
+       "A.Classification = \"POR-Parameter\" and B.Classification = \"2D Image\" and "
+       "C.Classification = \"Orientation File\" and D.Classification = \"3D Model\"",
+       {"E"},
+       "E.Classification = \"Orientation File\""},
+      {"PSF",
+       {"A", "B", "C"},
+       "A.Classification = \"PSF-Parameter\" and B.Classification = \"3D Model\" and "
+       "C.Classification = \"3D Model\"",
+       {"D"},
+       "D.Classification = \"Resolution File\""},
+  };
+  for (const auto& row : service_rows) {
+    auto& service = ontology.add_instance(std::string("svc-") + row.name, classes::kService);
+    service.set("Name", Value(row.name));
+    service.set("Type", Value("End-user computing service"));
+    service.set("Input Data Set", Value::list_of(row.inputs));
+    service.set("Input Condition", Value(row.input_condition));
+    service.set("Output Data Set", Value::list_of(row.outputs));
+    service.set("Output Condition", Value(row.output_condition));
+  }
+
+  return ontology;
+}
+
+}  // namespace ig::virolab

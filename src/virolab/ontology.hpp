@@ -1,0 +1,17 @@
+// Figure 13: the populated ontology for task T1 (3DSD).
+//
+// Builds the standard grid ontology shell and fills it with the instances
+// shown in the figure: task T1, process description PD-3DSD, case
+// description CD-3DSD, activities A1..A13, transitions TR1..TR15, data items
+// D1..D12, and the four service frames with their condition texts.
+#pragma once
+
+#include "meta/ontology.hpp"
+
+namespace ig::virolab {
+
+/// The populated ontology used by the coordination service to automate the
+/// 3-D reconstruction (Figure 13).
+meta::Ontology make_fig13_ontology();
+
+}  // namespace ig::virolab

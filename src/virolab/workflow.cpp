@@ -1,0 +1,108 @@
+#include "virolab/workflow.hpp"
+
+#include "util/strings.hpp"
+#include "virolab/catalogue.hpp"
+
+namespace ig::virolab {
+
+using planner::PlanNode;
+using wfl::ActivityKind;
+using wfl::Condition;
+using wfl::FlowExpr;
+
+Condition loop_condition(double target_resolution) {
+  return Condition::parse("R.Classification = \"Resolution File\" and R.Value > " +
+                          util::format_number(target_resolution));
+}
+
+wfl::ProcessDescription make_fig10_process(double target_resolution) {
+  wfl::ProcessDescription process("PD-3DSD");
+
+  auto add = [&process](const char* id, const char* name, ActivityKind kind,
+                        const char* service, std::vector<std::string> inputs,
+                        std::vector<std::string> outputs) -> wfl::Activity& {
+    wfl::Activity activity;
+    activity.id = id;
+    activity.name = name;
+    activity.kind = kind;
+    activity.service_name = service;
+    activity.input_data = std::move(inputs);
+    activity.output_data = std::move(outputs);
+    return process.add_activity(std::move(activity));
+  };
+
+  // Figure 13's activity table (A1..A13 with service bindings and data sets).
+  add("A1", "BEGIN", ActivityKind::Begin, "", {}, {});
+  add("A2", "POD", ActivityKind::EndUser, "POD", {"D1", "D7"}, {"D8"});
+  add("A3", "P3DR1", ActivityKind::EndUser, "P3DR", {"D2", "D7", "D8"}, {"D9"});
+  add("A4", "MERGE", ActivityKind::Merge, "", {}, {});
+  add("A5", "POR", ActivityKind::EndUser, "POR", {"D5", "D7", "D8", "D9"}, {"D8"});
+  add("A6", "FORK", ActivityKind::Fork, "", {}, {});
+  add("A7", "P3DR2", ActivityKind::EndUser, "P3DR", {"D3", "D7", "D8"}, {"D10"});
+  add("A8", "P3DR3", ActivityKind::EndUser, "P3DR", {"D4", "D7", "D8"}, {"D11"});
+  add("A9", "P3DR4", ActivityKind::EndUser, "P3DR", {"D2", "D7", "D8"}, {"D9"});
+  add("A10", "JOIN", ActivityKind::Join, "", {}, {});
+  add("A11", "PSF", ActivityKind::EndUser, "PSF", {"D10", "D11"}, {"D12"});
+  auto& choice = add("A12", "CHOICE", ActivityKind::Choice, "", {}, {});
+  choice.constraint = "Cons1";
+  add("A13", "END", ActivityKind::End, "", {}, {});
+
+  const Condition continue_condition = loop_condition(target_resolution);
+
+  // Figure 13's transition table (TR1..TR15).
+  process.add_transition("A1", "A2", Condition(), "TR1");
+  process.add_transition("A2", "A3", Condition(), "TR2");
+  process.add_transition("A3", "A4", Condition(), "TR3");
+  process.add_transition("A4", "A5", Condition(), "TR4");
+  process.add_transition("A5", "A6", Condition(), "TR5");
+  process.add_transition("A6", "A7", Condition(), "TR6");
+  process.add_transition("A6", "A8", Condition(), "TR7");
+  process.add_transition("A6", "A9", Condition(), "TR8");
+  process.add_transition("A7", "A10", Condition(), "TR9");
+  process.add_transition("A8", "A10", Condition(), "TR10");
+  process.add_transition("A9", "A10", Condition(), "TR11");
+  process.add_transition("A10", "A11", Condition(), "TR12");
+  process.add_transition("A11", "A12", Condition(), "TR13");
+  process.add_transition("A12", "A4", continue_condition, "TR14");
+  process.add_transition("A12", "A13", Condition::negation(continue_condition), "TR15");
+  return process;
+}
+
+FlowExpr make_flow_expr(double target_resolution) {
+  std::vector<FlowExpr> fork_branches;
+  fork_branches.push_back(FlowExpr::activity("P3DR2", "P3DR"));
+  fork_branches.push_back(FlowExpr::activity("P3DR3", "P3DR"));
+  fork_branches.push_back(FlowExpr::activity("P3DR4", "P3DR"));
+
+  std::vector<FlowExpr> body;
+  body.push_back(FlowExpr::activity("POR", "POR"));
+  body.push_back(FlowExpr::concurrent(std::move(fork_branches)));
+  body.push_back(FlowExpr::activity("PSF", "PSF"));
+
+  std::vector<FlowExpr> top;
+  top.push_back(FlowExpr::activity("POD", "POD"));
+  top.push_back(FlowExpr::activity("P3DR1", "P3DR"));
+  top.push_back(FlowExpr::iterative(loop_condition(target_resolution),
+                                    FlowExpr::sequence(std::move(body))));
+  return FlowExpr::sequence(std::move(top));
+}
+
+PlanNode make_fig11_plan_tree(double target_resolution) {
+  std::vector<PlanNode> concurrent;
+  concurrent.push_back(PlanNode::terminal("P3DR"));
+  concurrent.push_back(PlanNode::terminal("P3DR"));
+  concurrent.push_back(PlanNode::terminal("P3DR"));
+
+  std::vector<PlanNode> body;
+  body.push_back(PlanNode::terminal("POR"));
+  body.push_back(PlanNode::concurrent(std::move(concurrent)));
+  body.push_back(PlanNode::terminal("PSF"));
+
+  std::vector<PlanNode> top;
+  top.push_back(PlanNode::terminal("POD"));
+  top.push_back(PlanNode::terminal("P3DR"));
+  top.push_back(PlanNode::iterative(std::move(body), loop_condition(target_resolution)));
+  return PlanNode::sequential(std::move(top));
+}
+
+}  // namespace ig::virolab

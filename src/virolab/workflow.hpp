@@ -1,0 +1,31 @@
+// The Figure 10 process description and Figure 11 plan tree.
+//
+// BEGIN -> POD -> P3DR1 -> MERGE -> POR -> FORK -> {P3DR2, P3DR3, P3DR4}
+//   -> JOIN -> PSF -> CHOICE -> (back to MERGE | END)
+//
+// Activity ids A1..A13 and transition ids TR1..TR15 follow Figure 13's
+// instance tables; the CHOICE activity carries constraint Cons1.
+#pragma once
+
+#include "planner/plan_tree.hpp"
+#include "wfl/flowexpr.hpp"
+#include "wfl/process.hpp"
+
+namespace ig::virolab {
+
+/// The continue condition of the refinement loop (Cons1's then-branch).
+wfl::Condition loop_condition(double target_resolution = 8.0);
+
+/// Figure 10's graph, verbatim: 7 end-user + 6 flow-control activities,
+/// 15 transitions, input/output data sets from Figure 13.
+wfl::ProcessDescription make_fig10_process(double target_resolution = 8.0);
+
+/// The same workflow as a structured flow expression (parseable/printable
+/// via the Section 2 grammar).
+wfl::FlowExpr make_flow_expr(double target_resolution = 8.0);
+
+/// Figure 11's plan tree: Sequential(POD, P3DR, Iterative(POR,
+/// Concurrent(P3DR, P3DR, P3DR), PSF)).
+planner::PlanNode make_fig11_plan_tree(double target_resolution = 8.0);
+
+}  // namespace ig::virolab

@@ -1,0 +1,44 @@
+#include "wfl/case_description.hpp"
+
+namespace ig::wfl {
+
+bool GoalSpec::satisfied_by(const DataSet& data) const {
+  const auto variables = condition.variables();
+  if (variables.empty()) return condition.evaluate({});
+  // Existential: bind the (single) variable to each item in turn.
+  const std::string& variable = variables.front();
+  for (const auto& item : data.items()) {
+    Bindings bindings;
+    bindings[variable] = &item;
+    if (condition.evaluate(bindings)) return true;
+  }
+  return false;
+}
+
+double CaseDescription::goal_satisfaction(const DataSet& data) const {
+  if (goals_.empty()) return 1.0;
+  std::size_t satisfied = 0;
+  for (const auto& goal : goals_) {
+    if (goal.satisfied_by(data)) ++satisfied;
+  }
+  return static_cast<double>(satisfied) / static_cast<double>(goals_.size());
+}
+
+void CaseDescription::add_constraint(std::string name, Condition condition) {
+  for (auto& [existing_name, existing_condition] : constraints_) {
+    if (existing_name == name) {
+      existing_condition = std::move(condition);
+      return;
+    }
+  }
+  constraints_.emplace_back(std::move(name), std::move(condition));
+}
+
+const Condition* CaseDescription::find_constraint(std::string_view name) const noexcept {
+  for (const auto& [constraint_name, condition] : constraints_) {
+    if (constraint_name == name) return &condition;
+  }
+  return nullptr;
+}
+
+}  // namespace ig::wfl

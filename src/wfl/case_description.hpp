@@ -1,0 +1,82 @@
+// Case descriptions: per-instance bindings for a process description.
+//
+// "A case description provides additional information for a particular
+// instance of the process the user wishes to perform, e.g., it provides the
+// location of the actual data for the computation, additional constraints,
+// and conditions." The Figure 13 instance carries the initial data set
+// {D1..D7}, the goal result set {D12}, and the constraint Cons1 that drives
+// the refinement loop.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wfl/condition.hpp"
+#include "wfl/data.hpp"
+
+namespace ig::wfl {
+
+/// One goal: "the final state must contain a data item satisfying this
+/// condition". The condition references a single variable which is bound,
+/// in turn, to every item of the final state (existential semantics).
+struct GoalSpec {
+  std::string description;  ///< human-readable label, e.g. "resolution file produced"
+  Condition condition;
+
+  /// True when some item of `data` satisfies the condition.
+  bool satisfied_by(const DataSet& data) const;
+};
+
+/// A case description (the Case Description frame of Figure 12).
+class CaseDescription {
+ public:
+  explicit CaseDescription(std::string name = "case") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& id() const noexcept { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+
+  /// Name of the process description this case instantiates.
+  const std::string& process_name() const noexcept { return process_name_; }
+  void set_process_name(std::string name) { process_name_ = std::move(name); }
+
+  // -- initial data -----------------------------------------------------------
+  DataSet& initial_data() noexcept { return initial_data_; }
+  const DataSet& initial_data() const noexcept { return initial_data_; }
+
+  // -- goals -------------------------------------------------------------------
+  void add_goal(GoalSpec goal) { goals_.push_back(std::move(goal)); }
+  const std::vector<GoalSpec>& goals() const noexcept { return goals_; }
+  /// Fraction of goals satisfied by `data` (1.0 when there are no goals).
+  double goal_satisfaction(const DataSet& data) const;
+
+  // -- named constraints --------------------------------------------------------
+  /// Registers a named constraint such as Cons1; referenced by activities.
+  void add_constraint(std::string name, Condition condition);
+  const Condition* find_constraint(std::string_view name) const noexcept;
+  const std::vector<std::pair<std::string, Condition>>& constraints() const noexcept {
+    return constraints_;
+  }
+
+  // -- expected results -----------------------------------------------------------
+  void add_expected_result(std::string data_name) {
+    expected_results_.push_back(std::move(data_name));
+  }
+  const std::vector<std::string>& expected_results() const noexcept { return expected_results_; }
+
+ private:
+  std::string id_;
+  std::string name_;
+  std::string process_name_;
+  DataSet initial_data_;
+  std::vector<GoalSpec> goals_;
+  std::vector<std::pair<std::string, Condition>> constraints_;
+  std::vector<std::string> expected_results_;
+};
+
+}  // namespace ig::wfl

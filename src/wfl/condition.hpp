@@ -1,0 +1,113 @@
+// The condition sub-language of the process-description grammar.
+//
+// Section 2 of the paper defines conditions of the form
+//
+//   <DataName>.<Property> <op> <Value>        op ∈ { <, >, = }
+//
+// combined into condition sets. The paper's Figure 13 uses conjunctions
+// ("C1: A.Classification = 'POD-Parameter' and B.Classification = '2D
+// Image'") and the constraint Cons1 compares numeric values
+// ("D10.Value > 8"). We implement the full boolean closure (and/or/not,
+// parentheses) plus the inequality operators the examples imply.
+//
+// Conditions are immutable values; copying shares the expression tree.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "meta/value.hpp"
+#include "wfl/data.hpp"
+
+namespace ig::wfl {
+
+class ConditionParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class CompareOp { Less, Greater, Equal, NotEqual, LessEqual, GreaterEqual };
+
+std::string_view to_string(CompareOp op) noexcept;
+
+/// Variable bindings for evaluation: variable name -> data item.
+using Bindings = std::map<std::string, const DataSpec*, std::less<>>;
+
+/// Builds bindings where each data item is bound to its own name
+/// (the common case for case-description constraints like Cons1).
+Bindings self_bindings(const DataSet& data);
+
+class Condition;
+
+/// Guard evaluation against a world state: variables matching data names
+/// bind by name; a remaining single free variable is bound existentially
+/// (true if some item satisfies the condition). Used by the coordination
+/// service for Choice guards such as Cons1.
+bool evaluate_against_state(const Condition& condition, const DataSet& data);
+
+/// An immutable boolean expression over data properties.
+class Condition {
+ public:
+  /// The always-true condition (used for unconditioned transitions).
+  Condition();
+
+  static Condition comparison(std::string variable, std::string property, CompareOp op,
+                              meta::Value value);
+  static Condition conjunction(Condition lhs, Condition rhs);
+  static Condition disjunction(Condition lhs, Condition rhs);
+  static Condition negation(Condition operand);
+  static Condition always_true();
+  static Condition always_false();
+
+  /// Parses the textual grammar; throws ConditionParseError.
+  static Condition parse(std::string_view text);
+
+  /// Evaluates under the given bindings. A comparison whose variable is
+  /// unbound or whose property is unset evaluates to false (the data does
+  /// not meet the specification).
+  bool evaluate(const Bindings& bindings) const;
+
+  /// Convenience: bind every data item in `data` to its own name.
+  bool evaluate_on(const DataSet& data) const;
+
+  /// Fast path for unary filters: evaluates with exactly one binding,
+  /// `variable` -> `item`, without building a Bindings map. Comparisons on
+  /// any other variable evaluate to false (unbound).
+  bool evaluate_single(std::string_view variable, const DataSpec& item) const;
+
+  /// True when this is the trivially-true condition.
+  bool is_trivially_true() const noexcept;
+
+  /// Distinct variable names referenced, in first-appearance order.
+  std::vector<std::string> variables() const;
+
+  /// Splits a top-level conjunction into its conjuncts (a non-conjunction
+  /// yields itself). The service binder uses this to turn an input
+  /// condition into per-formal unary filters.
+  std::vector<Condition> conjuncts() const;
+
+  /// Canonical textual rendering (parses back to an equal condition).
+  std::string to_string() const;
+
+  /// All atomic comparisons mentioning `variable` with Equal op — used by
+  /// the planner to *construct* data satisfying a postcondition.
+  std::vector<std::pair<std::string, meta::Value>> equality_requirements(
+      std::string_view variable) const;
+
+  bool operator==(const Condition& other) const;
+
+  /// Expression node; public for the implementation's free helpers,
+  /// opaque (forward-declared) to library users.
+  struct Node;
+
+ private:
+  explicit Condition(std::shared_ptr<const Node> root);
+
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace ig::wfl

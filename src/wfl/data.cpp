@@ -1,0 +1,99 @@
+#include "wfl/data.hpp"
+
+#include <algorithm>
+
+namespace ig::wfl {
+
+namespace {
+const meta::Value kNone{};
+}
+
+void DataSpec::set(std::string_view property, meta::Value value) {
+  properties_.insert_or_assign(std::string(property), std::move(value));
+}
+
+const meta::Value& DataSpec::get(std::string_view property) const noexcept {
+  auto it = properties_.find(property);
+  return it != properties_.end() ? it->second : kNone;
+}
+
+bool DataSpec::has(std::string_view property) const noexcept {
+  auto it = properties_.find(property);
+  return it != properties_.end() && !it->second.is_none();
+}
+
+std::string DataSpec::classification() const {
+  const meta::Value& value = get(props::kClassification);
+  return value.type() == meta::ValueType::String ? value.as_string() : std::string();
+}
+
+DataSpec& DataSpec::with_classification(std::string_view value) {
+  set(props::kClassification, meta::Value(std::string(value)));
+  return *this;
+}
+
+DataSpec& DataSpec::with(std::string_view property, meta::Value value) {
+  set(property, std::move(value));
+  return *this;
+}
+
+std::string DataSpec::to_display_string() const {
+  std::string out = name_;
+  out += '{';
+  bool first = true;
+  for (const auto& [property, value] : properties_) {
+    if (!first) out += ", ";
+    first = false;
+    out += property;
+    out += '=';
+    out += value.to_display_string();
+  }
+  out += '}';
+  return out;
+}
+
+DataSet::DataSet(std::vector<DataSpec> items) {
+  for (auto& item : items) put(std::move(item));
+}
+
+void DataSet::put(DataSpec item) {
+  for (auto& existing : items_) {
+    if (existing.name() == item.name()) {
+      existing = std::move(item);
+      return;
+    }
+  }
+  items_.push_back(std::move(item));
+}
+
+const DataSpec* DataSet::find(std::string_view name) const noexcept {
+  for (const auto& item : items_) {
+    if (item.name() == name) return &item;
+  }
+  return nullptr;
+}
+
+bool DataSet::remove(std::string_view name) {
+  auto it = std::find_if(items_.begin(), items_.end(),
+                         [&](const DataSpec& d) { return d.name() == name; });
+  if (it == items_.end()) return false;
+  items_.erase(it);
+  return true;
+}
+
+std::vector<std::string> DataSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(items_.size());
+  for (const auto& item : items_) out.push_back(item.name());
+  return out;
+}
+
+std::vector<const DataSpec*> DataSet::with_classification(std::string_view classification) const {
+  std::vector<const DataSpec*> out;
+  for (const auto& item : items_) {
+    if (item.classification() == classification) out.push_back(&item);
+  }
+  return out;
+}
+
+}  // namespace ig::wfl

@@ -1,0 +1,93 @@
+// Data items and their metainformation properties.
+//
+// Activities consume and produce *data* whose relevant attributes —
+// Classification, Size, Location, Format, Value, ... (the Data frame of
+// Figure 12) — drive condition evaluation, matchmaking, and planning. A
+// DataSpec is the in-memory form of one Data-frame instance.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "meta/value.hpp"
+
+namespace ig::wfl {
+
+/// Property names used throughout the paper's examples.
+namespace props {
+inline constexpr const char* kClassification = "Classification";
+inline constexpr const char* kSize = "Size";
+inline constexpr const char* kLocation = "Location";
+inline constexpr const char* kFormat = "Format";
+inline constexpr const char* kValue = "Value";
+inline constexpr const char* kType = "Type";
+inline constexpr const char* kCreator = "Creator";
+inline constexpr const char* kOwner = "Owner";
+}  // namespace props
+
+/// A data item: a name plus a property map.
+class DataSpec {
+ public:
+  DataSpec() = default;
+  explicit DataSpec(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void set(std::string_view property, meta::Value value);
+  /// Property value; none-typed when unset.
+  const meta::Value& get(std::string_view property) const noexcept;
+  bool has(std::string_view property) const noexcept;
+
+  /// Shorthand for the ubiquitous Classification property.
+  std::string classification() const;
+  DataSpec& with_classification(std::string_view value);
+  DataSpec& with(std::string_view property, meta::Value value);
+
+  const std::map<std::string, meta::Value, std::less<>>& properties() const noexcept {
+    return properties_;
+  }
+
+  /// "name{Prop=val, ...}" rendering for traces and tests.
+  std::string to_display_string() const;
+
+  bool operator==(const DataSpec& other) const noexcept {
+    return name_ == other.name_ && properties_ == other.properties_;
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, meta::Value, std::less<>> properties_;
+};
+
+/// A set of data items keyed by name (a world-state fragment).
+class DataSet {
+ public:
+  DataSet() = default;
+  explicit DataSet(std::vector<DataSpec> items);
+
+  /// Adds or replaces by name.
+  void put(DataSpec item);
+  const DataSpec* find(std::string_view name) const noexcept;
+  bool contains(std::string_view name) const noexcept { return find(name) != nullptr; }
+  bool remove(std::string_view name);
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+
+  const std::vector<DataSpec>& items() const noexcept { return items_; }
+  std::vector<std::string> names() const;
+
+  /// All items whose Classification equals `classification`.
+  std::vector<const DataSpec*> with_classification(std::string_view classification) const;
+
+  bool operator==(const DataSet& other) const noexcept { return items_ == other.items_; }
+
+ private:
+  std::vector<DataSpec> items_;
+};
+
+}  // namespace ig::wfl

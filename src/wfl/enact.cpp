@@ -1,0 +1,208 @@
+#include "wfl/enact.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "wfl/service.hpp"
+#include "wfl/validate.hpp"
+
+namespace ig::wfl {
+
+ActivityExecutor make_catalogue_executor(const ServiceCatalogue& catalogue) {
+  // The shared counter gives produced items unique names across the run.
+  auto counter = std::make_shared<std::size_t>(0);
+  return [&catalogue, counter](const Activity& activity,
+                               const DataSet& state) -> std::optional<std::vector<DataSpec>> {
+    const ServiceType* service = catalogue.find(activity.service_name);
+    if (service == nullptr) return std::nullopt;
+    if (!service->bind_inputs(state).has_value()) return std::nullopt;
+    std::vector<DataSpec> outputs =
+        service->produce_outputs(activity.service_name + "#" + std::to_string(++*counter) + ":");
+    // Stable names from the activity's declared output set (D8, D9, ...).
+    for (std::size_t i = 0; i < outputs.size() && i < activity.output_data.size(); ++i)
+      outputs[i].set_name(activity.output_data[i]);
+    return outputs;
+  };
+}
+
+namespace {
+
+/// The machine: a token queue plus Join synchronization state.
+class Machine {
+ public:
+  Machine(const ProcessDescription& process, const CaseDescription& case_description,
+          const ActivityExecutor& executor, const EnactmentOptions& options)
+      : process_(process),
+        case_(case_description),
+        executor_(executor),
+        options_(options) {}
+
+  EnactmentResult run() {
+    EnactmentResult result;
+    const auto errors = validate(process_);
+    if (!errors.empty()) {
+      result.error = "invalid process description: " + errors.front().message;
+      return result;
+    }
+    data_ = case_.initial_data();
+
+    // Seed: the Begin activity fires immediately.
+    trigger(process_.begin_activity().id, "");
+    int steps = 0;
+    while (!tokens_.empty()) {
+      if (++steps > options_.max_steps) {
+        result.error = "step budget exhausted (malformed or runaway graph)";
+        result.trace = std::move(trace_);
+        return result;
+      }
+      const Token token = tokens_.front();
+      tokens_.pop_front();
+      if (!consume(token, result)) {
+        result.final_data = data_;
+        result.trace = std::move(trace_);
+        return result;  // error already recorded
+      }
+      if (reached_end_) break;
+    }
+    if (!reached_end_) {
+      result.error = "control flow stalled before reaching End (Join never satisfied?)";
+      result.trace = std::move(trace_);
+      result.final_data = data_;
+      return result;
+    }
+    result.final_data = data_;
+    result.goal_satisfaction = case_.goal_satisfaction(data_);
+    result.success = result.goal_satisfaction >= 1.0;
+    if (!result.success) result.error = "plan completed without satisfying the case goals";
+    result.activities_executed = executed_;
+    result.trace = std::move(trace_);
+    return result;
+  }
+
+ private:
+  struct Token {
+    std::string activity_id;
+    std::string from;
+  };
+
+  void trigger(const std::string& activity_id, const std::string& from) {
+    tokens_.push_back({activity_id, from});
+  }
+
+  void record(const Activity& activity, bool executed, bool failed) {
+    trace_.push_back({activity.id, activity.name, executed, failed});
+  }
+
+  /// Processes one token; returns false on fatal failure.
+  bool consume(const Token& token, EnactmentResult& result) {
+    const Activity* activity = process_.find_activity(token.activity_id);
+    if (activity == nullptr) {
+      result.error = "dangling transition to '" + token.activity_id + "'";
+      return false;
+    }
+    visited_.insert(activity->id);
+    switch (activity->kind) {
+      case ActivityKind::Begin:
+        record(*activity, false, false);
+        return propagate(*activity);
+      case ActivityKind::End:
+        record(*activity, false, false);
+        reached_end_ = true;
+        return true;
+      case ActivityKind::Fork:
+      case ActivityKind::Merge:
+        record(*activity, false, false);
+        return propagate(*activity);
+      case ActivityKind::Join: {
+        auto& arrivals = join_arrivals_[activity->id];
+        arrivals.insert(token.from);
+        if (arrivals.size() < process_.predecessors(activity->id).size()) return true;
+        arrivals.clear();
+        record(*activity, false, false);
+        return propagate(*activity);
+      }
+      case ActivityKind::Choice:
+        record(*activity, false, false);
+        return choose(*activity, result);
+      case ActivityKind::EndUser: {
+        auto produced = executor_(*activity, data_);
+        if (!produced.has_value()) {
+          record(*activity, true, true);
+          result.error = "activity '" + activity->name + "' failed";
+          return false;
+        }
+        ++executed_;
+        record(*activity, true, false);
+        for (auto& item : *produced) data_.put(std::move(item));
+        return propagate(*activity);
+      }
+    }
+    result.error = "unknown activity kind";
+    return false;
+  }
+
+  /// Follows every outgoing transition (Fork fans out; others have one).
+  bool propagate(const Activity& activity) {
+    for (const auto* transition : process_.outgoing(activity.id))
+      trigger(transition->destination, activity.id);
+    return true;
+  }
+
+  /// Choice semantics: first satisfied guard wins, with the loop guardrail
+  /// preferring a forward transition once the iteration budget is spent.
+  bool choose(const Activity& activity, EnactmentResult& result) {
+    const int visits = ++choice_visits_[activity.id];
+    const Transition* chosen = nullptr;
+    const Transition* fallback = nullptr;
+    for (const auto* transition : process_.outgoing(activity.id)) {
+      const bool back_edge = visited_.count(transition->destination) > 0;
+      if (!evaluate_against_state(transition->guard, data_)) continue;
+      if (back_edge && visits >= options_.max_loop_iterations) {
+        fallback = transition;
+        continue;
+      }
+      chosen = transition;
+      break;
+    }
+    if (chosen == nullptr) {
+      for (const auto* transition : process_.outgoing(activity.id)) {
+        if (visited_.count(transition->destination) == 0) {
+          chosen = transition;
+          break;
+        }
+      }
+      if (chosen == nullptr) chosen = fallback;
+    }
+    if (chosen == nullptr) {
+      result.error = "Choice '" + activity.name + "' has no viable transition";
+      return false;
+    }
+    trigger(chosen->destination, activity.id);
+    return true;
+  }
+
+  const ProcessDescription& process_;
+  const CaseDescription& case_;
+  const ActivityExecutor& executor_;
+  const EnactmentOptions& options_;
+
+  DataSet data_;
+  std::deque<Token> tokens_;
+  std::map<std::string, std::set<std::string>> join_arrivals_;
+  std::map<std::string, int> choice_visits_;
+  std::set<std::string> visited_;  ///< activities seen at least once
+  std::vector<EnactmentStep> trace_;
+  bool reached_end_ = false;
+  int executed_ = 0;
+};
+
+}  // namespace
+
+EnactmentResult enact(const ProcessDescription& process,
+                      const CaseDescription& case_description,
+                      const ActivityExecutor& executor, const EnactmentOptions& options) {
+  return Machine(process, case_description, executor, options).run();
+}
+
+}  // namespace ig::wfl

@@ -1,0 +1,69 @@
+// The abstract ATN machine, synchronous form.
+//
+// "The coordination service implements an abstract ATN machine" whose
+// configurations are token markings over the process description: Begin
+// seeds one token; end-user activities transform the world state through an
+// executor; Fork duplicates tokens, Join synchronizes them, Merge passes any
+// token through, and Choice routes its token along the first transition
+// whose guard holds in the current world state.
+//
+// This module is the agent-free core of that machine. The coordination
+// service runs the same semantics asynchronously across container agents;
+// the simulation service and the test suite drive this synchronous engine
+// directly ("simulate an experiment before actually conducting it").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfl/case_description.hpp"
+#include "wfl/process.hpp"
+#include "wfl/service.hpp"
+
+namespace ig::wfl {
+
+/// Executes one end-user activity: receives the activity and the current
+/// world state, returns the produced data items, or nullopt on failure.
+using ActivityExecutor =
+    std::function<std::optional<std::vector<DataSpec>>(const Activity&, const DataSet&)>;
+
+/// A declarative executor backed by a service catalogue: binds the
+/// activity's service preconditions against the state and produces the
+/// postcondition-implied outputs (named after the activity's output set
+/// when given). Fails when the precondition cannot be met.
+ActivityExecutor make_catalogue_executor(const ServiceCatalogue& catalogue);
+
+struct EnactmentOptions {
+  /// Guardrail for loops whose continue-guard never falsifies.
+  int max_loop_iterations = 8;
+  /// Upper bound on machine steps (malformed graphs cannot spin forever).
+  int max_steps = 100000;
+};
+
+/// One executed (or attempted) activity, for the trace.
+struct EnactmentStep {
+  std::string activity_id;
+  std::string activity_name;
+  bool executed = false;  ///< true for end-user activities that ran
+  bool failed = false;
+};
+
+struct EnactmentResult {
+  bool success = false;
+  std::string error;
+  DataSet final_data;
+  int activities_executed = 0;
+  double goal_satisfaction = 0.0;
+  std::vector<EnactmentStep> trace;
+};
+
+/// Synchronously enacts `process` for `case_description`. The executor runs
+/// each end-user activity; an executor failure fails the whole enactment
+/// (the asynchronous coordination service adds retry/re-planning on top).
+EnactmentResult enact(const ProcessDescription& process,
+                      const CaseDescription& case_description,
+                      const ActivityExecutor& executor, const EnactmentOptions& options = {});
+
+}  // namespace ig::wfl

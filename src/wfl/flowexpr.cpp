@@ -1,0 +1,429 @@
+#include "wfl/flowexpr.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace ig::wfl {
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+FlowExpr FlowExpr::activity(std::string name, std::string service) {
+  FlowExpr expr;
+  expr.kind = Kind::Activity;
+  expr.service = service.empty() ? name : std::move(service);
+  expr.name = std::move(name);
+  return expr;
+}
+
+FlowExpr FlowExpr::sequence(std::vector<FlowExpr> elements) {
+  // Canonical form: sequences never nest directly (a; (b; c) == a; b; c in
+  // the grammar, which has no way to even write the nested form), and a
+  // one-element sequence is its element.
+  std::vector<FlowExpr> flattened;
+  flattened.reserve(elements.size());
+  for (auto& element : elements) {
+    if (element.kind == Kind::Sequence) {
+      for (auto& nested : element.children) flattened.push_back(std::move(nested));
+    } else {
+      flattened.push_back(std::move(element));
+    }
+  }
+  if (flattened.size() == 1) return std::move(flattened.front());
+  FlowExpr expr;
+  expr.kind = Kind::Sequence;
+  expr.children = std::move(flattened);
+  return expr;
+}
+
+FlowExpr FlowExpr::concurrent(std::vector<FlowExpr> branches) {
+  // A one-branch FORK is just its branch: Fork/Join pairs need fan-out to be
+  // well-formed, so degenerate blocks collapse here.
+  if (branches.size() == 1) return std::move(branches.front());
+  FlowExpr expr;
+  expr.kind = Kind::Concurrent;
+  expr.children = std::move(branches);
+  return expr;
+}
+
+FlowExpr FlowExpr::selective(std::vector<Condition> guards, std::vector<FlowExpr> branches) {
+  if (guards.size() != branches.size())
+    throw FlowParseError("selective: guard count must equal branch count");
+  // A one-branch CHOICE always takes its only alternative; collapse it so
+  // the lowered graph stays well-formed (Choice requires fan-out).
+  if (branches.size() == 1) return std::move(branches.front());
+  FlowExpr expr;
+  expr.kind = Kind::Selective;
+  expr.guards = std::move(guards);
+  expr.children = std::move(branches);
+  return expr;
+}
+
+FlowExpr FlowExpr::iterative(Condition continue_condition, FlowExpr body) {
+  FlowExpr expr;
+  expr.kind = Kind::Iterative;
+  expr.guards.push_back(std::move(continue_condition));
+  expr.children.push_back(std::move(body));
+  return expr;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+std::size_t FlowExpr::activity_count() const noexcept {
+  if (kind == Kind::Activity) return 1;
+  std::size_t count = 0;
+  for (const auto& child : children) count += child.activity_count();
+  return count;
+}
+
+std::size_t FlowExpr::node_count() const noexcept {
+  std::size_t count = 1;
+  for (const auto& child : children) count += child.node_count();
+  return count;
+}
+
+std::size_t FlowExpr::depth() const noexcept {
+  std::size_t deepest = 0;
+  for (const auto& child : children) deepest = std::max(deepest, child.depth());
+  return deepest + 1;
+}
+
+namespace {
+void collect_services(const FlowExpr& expr, std::vector<std::string>& out) {
+  if (expr.kind == FlowExpr::Kind::Activity) {
+    out.push_back(expr.service);
+    return;
+  }
+  for (const auto& child : expr.children) collect_services(child, out);
+}
+}  // namespace
+
+std::vector<std::string> FlowExpr::service_references() const {
+  std::vector<std::string> out;
+  collect_services(*this, out);
+  return out;
+}
+
+bool FlowExpr::operator==(const FlowExpr& other) const {
+  if (kind != other.kind || name != other.name || service != other.service) return false;
+  if (children != other.children) return false;
+  if (guards.size() != other.guards.size()) return false;
+  for (std::size_t i = 0; i < guards.size(); ++i) {
+    if (!(guards[i] == other.guards[i])) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void render_element(const FlowExpr& expr, std::string& out);
+
+void render_sequence_items(const FlowExpr& expr, std::string& out) {
+  // A Sequence node renders its children joined by ';'. Any other node is a
+  // single element.
+  if (expr.kind == FlowExpr::Kind::Sequence) {
+    for (std::size_t i = 0; i < expr.children.size(); ++i) {
+      if (i > 0) out += "; ";
+      render_element(expr.children[i], out);
+    }
+    return;
+  }
+  render_element(expr, out);
+}
+
+void render_element(const FlowExpr& expr, std::string& out) {
+  switch (expr.kind) {
+    case FlowExpr::Kind::Activity:
+      out += expr.name;
+      if (expr.service != expr.name) {
+        out += '=';
+        out += expr.service;
+      }
+      return;
+    case FlowExpr::Kind::Sequence:
+      // A nested sequence inside another sequence is flattened by the
+      // factories; when it does appear (e.g. a fork branch), the caller
+      // wraps it in braces, so render items inline here.
+      render_sequence_items(expr, out);
+      return;
+    case FlowExpr::Kind::Concurrent:
+      out += "{FORK ";
+      for (const auto& branch : expr.children) {
+        out += '{';
+        render_sequence_items(branch, out);
+        out += "} ";
+      }
+      out += "JOIN}";
+      return;
+    case FlowExpr::Kind::Selective:
+      out += "{CHOICE ";
+      for (std::size_t i = 0; i < expr.children.size(); ++i) {
+        out += '{';
+        out += expr.guards[i].to_string();
+        out += "} {";
+        render_sequence_items(expr.children[i], out);
+        out += "} ";
+      }
+      out += "MERGE}";
+      return;
+    case FlowExpr::Kind::Iterative:
+      out += "{ITERATIVE {COND ";
+      out += expr.guards.front().to_string();
+      out += "} {";
+      render_sequence_items(expr.children.front(), out);
+      out += "}}";
+      return;
+  }
+}
+
+const char* kind_label(FlowExpr::Kind kind) {
+  switch (kind) {
+    case FlowExpr::Kind::Activity: return "Activity";
+    case FlowExpr::Kind::Sequence: return "Sequential";
+    case FlowExpr::Kind::Concurrent: return "Concurrent";
+    case FlowExpr::Kind::Selective: return "Selective";
+    case FlowExpr::Kind::Iterative: return "Iterative";
+  }
+  return "?";
+}
+
+void render_tree(const FlowExpr& expr, std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  if (expr.kind == FlowExpr::Kind::Activity) {
+    out += expr.name;
+    if (expr.service != expr.name) out += " (" + expr.service + ")";
+    out += '\n';
+    return;
+  }
+  out += kind_label(expr.kind);
+  if (expr.kind == FlowExpr::Kind::Iterative)
+    out += " [while " + expr.guards.front().to_string() + "]";
+  out += '\n';
+  for (std::size_t i = 0; i < expr.children.size(); ++i) {
+    if (expr.kind == FlowExpr::Kind::Selective) {
+      out.append(static_cast<std::size_t>(depth + 1) * 2, ' ');
+      out += "[when " + expr.guards[i].to_string() + "]\n";
+      render_tree(expr.children[i], out, depth + 2);
+    } else {
+      render_tree(expr.children[i], out, depth + 1);
+    }
+  }
+}
+
+}  // namespace
+
+std::string FlowExpr::to_text() const {
+  std::string out = "BEGIN, ";
+  render_sequence_items(*this, out);
+  out += ", END";
+  return out;
+}
+
+std::string FlowExpr::to_tree_string() const {
+  std::string out;
+  render_tree(*this, out, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class FlowParser {
+ public:
+  explicit FlowParser(std::string_view text) : text_(text) {}
+
+  FlowExpr parse_workflow() {
+    expect_keyword("BEGIN");
+    expect(',');
+    FlowExpr body = parse_sequence();
+    expect(',');
+    expect_keyword("END");
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing input after END");
+    return body;
+  }
+
+  /// Parses a bare sequence (no BEGIN/END wrapper).
+  FlowExpr parse_bare() {
+    FlowExpr body = parse_sequence();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing input");
+    return body;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw FlowParseError(message + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_space();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool match_keyword(std::string_view keyword) {
+    skip_space();
+    if (text_.size() - pos_ < keyword.size()) return false;
+    if (text_.substr(pos_, keyword.size()) != keyword) return false;
+    const std::size_t end = pos_ + keyword.size();
+    if (end < text_.size()) {
+      const char next = text_[end];
+      if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  void expect_keyword(std::string_view keyword) {
+    if (!match_keyword(keyword)) fail("expected '" + std::string(keyword) + "'");
+  }
+
+  bool peek_keyword(std::string_view keyword) {
+    const std::size_t saved = pos_;
+    const bool matched = match_keyword(keyword);
+    pos_ = saved;
+    return matched;
+  }
+
+  std::string parse_name() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("expected activity name");
+    const char first = text_[pos_];
+    if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_')
+      fail("expected activity name");
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-') ++pos_;
+      else break;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// A sequence ends at ',', '}' or end-of-input.
+  FlowExpr parse_sequence() {
+    std::vector<FlowExpr> elements;
+    elements.push_back(parse_element());
+    while (peek() == ';') {
+      ++pos_;
+      elements.push_back(parse_element());
+    }
+    return FlowExpr::sequence(std::move(elements));
+  }
+
+  FlowExpr parse_element() {
+    if (peek() == '{') return parse_block_element();
+    std::string name = parse_name();
+    std::string service;
+    if (peek() == '=') {
+      ++pos_;
+      service = parse_name();
+    }
+    return FlowExpr::activity(std::move(name), std::move(service));
+  }
+
+  /// Reads the raw text of a brace-delimited condition block.
+  std::string parse_condition_text() {
+    expect('{');
+    const std::size_t start = pos_;
+    int depth = 1;
+    while (pos_ < text_.size() && depth > 0) {
+      if (text_[pos_] == '{') ++depth;
+      else if (text_[pos_] == '}') --depth;
+      if (depth > 0) ++pos_;
+    }
+    if (depth != 0) fail("unterminated condition block");
+    const std::string inner(text_.substr(start, pos_ - start));
+    ++pos_;  // consume '}'
+    return inner;
+  }
+
+  /// Parses "{ sequence? }" — an activity-set block; empty means no-op.
+  FlowExpr parse_block() {
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return FlowExpr::sequence({});
+    }
+    FlowExpr body = parse_sequence();
+    expect('}');
+    return body;
+  }
+
+  FlowExpr parse_block_element() {
+    expect('{');
+    if (match_keyword("FORK")) {
+      std::vector<FlowExpr> branches;
+      while (peek() == '{') branches.push_back(parse_block());
+      expect_keyword("JOIN");
+      expect('}');
+      if (branches.empty()) fail("FORK requires at least one branch");
+      return FlowExpr::concurrent(std::move(branches));
+    }
+    if (match_keyword("CHOICE")) {
+      std::vector<Condition> guards;
+      std::vector<FlowExpr> branches;
+      while (peek() == '{') {
+        guards.push_back(Condition::parse(parse_condition_text()));
+        branches.push_back(parse_block());
+      }
+      expect_keyword("MERGE");
+      expect('}');
+      if (branches.empty()) fail("CHOICE requires at least one guarded branch");
+      return FlowExpr::selective(std::move(guards), std::move(branches));
+    }
+    if (match_keyword("ITERATIVE")) {
+      expect('{');
+      expect_keyword("COND");
+      // Condition text runs to the matching close brace.
+      const std::size_t start = pos_;
+      int depth = 1;
+      while (pos_ < text_.size() && depth > 0) {
+        if (text_[pos_] == '{') ++depth;
+        else if (text_[pos_] == '}') --depth;
+        if (depth > 0) ++pos_;
+      }
+      if (depth != 0) fail("unterminated COND block");
+      const std::string condition_text(text_.substr(start, pos_ - start));
+      ++pos_;
+      FlowExpr body = parse_block();
+      expect('}');
+      return FlowExpr::iterative(Condition::parse(condition_text), std::move(body));
+    }
+    fail("expected FORK, CHOICE or ITERATIVE");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FlowExpr parse_flow(std::string_view text) {
+  const std::string_view trimmed = util::trim(text);
+  if (util::starts_with(trimmed, "BEGIN")) return FlowParser(trimmed).parse_workflow();
+  return FlowParser(trimmed).parse_bare();
+}
+
+}  // namespace ig::wfl

@@ -1,0 +1,83 @@
+// Structured workflow expressions and the Section-2 concrete syntax.
+//
+// The process-description grammar of the paper composes activity sets out of
+// sequences, `{FORK {...} {...} JOIN}` concurrent blocks,
+// `{CHOICE {cond} {...} ... MERGE}` selective blocks and
+// `{ITERATIVE {COND cond} {...}}` loops. FlowExpr is the abstract syntax of
+// that language; `lower_to_process` / `lift_from_process` (structure.hpp)
+// convert between expressions and activity/transition graphs.
+//
+// Concrete syntax accepted by `parse_flow` (whitespace-insensitive):
+//
+//   workflow   := 'BEGIN' ',' sequence ',' 'END'
+//   sequence   := element (';' element)*
+//   element    := activity | concurrent | selective | iterative
+//   activity   := NAME ('=' SERVICE)?          -- e.g. P3DR1=P3DR
+//   concurrent := '{' 'FORK' block+ 'JOIN' '}'
+//   selective  := '{' 'CHOICE' (condblock block)+ 'MERGE' '}'
+//   iterative  := '{' 'ITERATIVE' '{' 'COND' condition '}' block '}'
+//   block      := '{' sequence? '}'
+//   condblock  := '{' condition '}'
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wfl/condition.hpp"
+
+namespace ig::wfl {
+
+class FlowParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Abstract syntax of the process-description language.
+struct FlowExpr {
+  enum class Kind { Activity, Sequence, Concurrent, Selective, Iterative };
+
+  Kind kind = Kind::Sequence;
+
+  // Activity payload.
+  std::string name;     ///< activity display name (e.g. "P3DR1")
+  std::string service;  ///< service type invoked (e.g. "P3DR"); equals name when omitted
+
+  /// Sequence: the elements, in order. Concurrent: the parallel branches.
+  /// Selective: the alternative branches. Iterative: exactly one body.
+  std::vector<FlowExpr> children;
+
+  /// Selective: guards()[i] selects children[i]. Iterative: guards()[0] is
+  /// the *continue* condition. Empty otherwise.
+  std::vector<Condition> guards;
+
+  // -- factories --------------------------------------------------------------
+  static FlowExpr activity(std::string name, std::string service = {});
+  static FlowExpr sequence(std::vector<FlowExpr> elements);
+  static FlowExpr concurrent(std::vector<FlowExpr> branches);
+  static FlowExpr selective(std::vector<Condition> guards, std::vector<FlowExpr> branches);
+  static FlowExpr iterative(Condition continue_condition, FlowExpr body);
+
+  // -- queries ----------------------------------------------------------------
+  /// Number of end-user activity references in the expression.
+  std::size_t activity_count() const noexcept;
+  /// Total node count (activities + structure nodes), the GP "size" measure.
+  std::size_t node_count() const noexcept;
+  /// Depth of the expression tree (an activity alone has depth 1).
+  std::size_t depth() const noexcept;
+  /// Names of all referenced services, with duplicates.
+  std::vector<std::string> service_references() const;
+
+  bool operator==(const FlowExpr& other) const;
+
+  /// Serializes to the concrete syntax above (single line).
+  std::string to_text() const;
+  /// Pretty indented multi-line rendering for humans.
+  std::string to_tree_string() const;
+};
+
+/// Parses the concrete syntax; throws FlowParseError.
+FlowExpr parse_flow(std::string_view text);
+
+}  // namespace ig::wfl

@@ -1,0 +1,35 @@
+// Conversion between structured flow expressions and process-description
+// graphs (Figures 4–7 of the paper).
+//
+// `lower_to_process` expands a FlowExpr into the activity/transition graph:
+// Concurrent -> FORK/JOIN pair, Selective -> CHOICE/MERGE pair,
+// Iterative -> MERGE (loop header) + CHOICE (loop exit) with a back edge,
+// exactly the shapes shown in the figures. `lift_from_process` recovers the
+// expression from any well-structured graph produced this way (or drawn by a
+// user following the same discipline, like Figure 10).
+#pragma once
+
+#include "wfl/flowexpr.hpp"
+#include "wfl/process.hpp"
+
+namespace ig::wfl {
+
+/// Options controlling activity/transition naming during lowering.
+struct LowerOptions {
+  /// Prefix for generated activity ids ("A" -> A1, A2, ...).
+  std::string activity_id_prefix = "A";
+  /// Prefix for generated transition ids ("TR" -> TR1, TR2, ...).
+  std::string transition_id_prefix = "TR";
+};
+
+/// Expands a flow expression into a process description named `name`.
+/// The generated graph always has exactly one Begin and one End activity.
+ProcessDescription lower_to_process(const FlowExpr& expr, std::string name,
+                                    const LowerOptions& options = {});
+
+/// Recovers the flow expression from a well-structured process description.
+/// Throws ProcessError when the graph is not well-structured (e.g. a Fork
+/// whose branches do not reconverge on a single Join).
+FlowExpr lift_from_process(const ProcessDescription& process);
+
+}  // namespace ig::wfl

@@ -1,0 +1,131 @@
+#include "wfl/validate.hpp"
+
+#include <map>
+#include <set>
+
+namespace ig::wfl {
+
+namespace {
+
+void check_degree(const ProcessDescription& process, const Activity& activity,
+                  std::vector<ValidationError>& errors) {
+  const std::size_t in = process.predecessors(activity.id).size();
+  const std::size_t out = process.successors(activity.id).size();
+  auto report = [&](const std::string& message) {
+    errors.push_back({activity.id, activity.name + ": " + message});
+  };
+  switch (activity.kind) {
+    case ActivityKind::Begin:
+      if (in != 0) report("Begin must have no predecessors");
+      if (out != 1) report("Begin must have exactly one successor");
+      break;
+    case ActivityKind::End:
+      if (out != 0) report("End must have no successors");
+      if (in != 1) report("End must have exactly one predecessor");
+      break;
+    case ActivityKind::EndUser:
+      if (in != 1) report("end-user activity must have exactly one predecessor");
+      if (out != 1) report("end-user activity must have exactly one successor");
+      if (activity.service_name.empty()) report("end-user activity must name a service");
+      break;
+    case ActivityKind::Fork:
+      if (in != 1) report("Fork must have exactly one predecessor");
+      if (out < 2) report("Fork must have at least two successors");
+      break;
+    case ActivityKind::Choice:
+      if (in != 1) report("Choice must have exactly one predecessor");
+      if (out < 2) report("Choice must have at least two successors");
+      break;
+    case ActivityKind::Join:
+      if (in < 2) report("Join must have at least two predecessors");
+      if (out != 1) report("Join must have exactly one successor");
+      break;
+    case ActivityKind::Merge:
+      if (in < 2) report("Merge must have at least two predecessors");
+      if (out != 1) report("Merge must have exactly one successor");
+      break;
+  }
+}
+
+std::set<std::string> reachable(const ProcessDescription& process, const std::string& start,
+                                bool forward) {
+  std::set<std::string> seen{start};
+  std::vector<std::string> frontier{start};
+  while (!frontier.empty()) {
+    const std::string id = frontier.back();
+    frontier.pop_back();
+    const auto next = forward ? process.successors(id) : process.predecessors(id);
+    for (const auto& neighbor : next) {
+      if (seen.insert(neighbor).second) frontier.push_back(neighbor);
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<ValidationError> validate(const ProcessDescription& process) {
+  std::vector<ValidationError> errors;
+
+  std::size_t begin_count = 0;
+  std::size_t end_count = 0;
+  for (const auto& activity : process.activities()) {
+    if (activity.kind == ActivityKind::Begin) ++begin_count;
+    if (activity.kind == ActivityKind::End) ++end_count;
+  }
+  if (begin_count != 1)
+    errors.push_back({"", "process must have exactly one Begin activity, has " +
+                              std::to_string(begin_count)});
+  if (end_count != 1)
+    errors.push_back(
+        {"", "process must have exactly one End activity, has " + std::to_string(end_count)});
+
+  // Duplicate transitions between the same pair of activities.
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const auto& transition : process.transitions()) {
+    if (!edges.insert({transition.source, transition.destination}).second)
+      errors.push_back({transition.source, "duplicate transition to '" + transition.destination +
+                                               "' (" + transition.id + ")"});
+  }
+
+  // Guards are only meaningful on transitions leaving a Choice.
+  for (const auto& transition : process.transitions()) {
+    if (transition.guard.is_trivially_true()) continue;
+    const Activity* source = process.find_activity(transition.source);
+    if (source != nullptr && source->kind != ActivityKind::Choice)
+      errors.push_back({transition.source,
+                        "transition " + transition.id + " carries a guard but its source is " +
+                            std::string(to_string(source->kind))});
+  }
+
+  for (const auto& activity : process.activities()) check_degree(process, activity, errors);
+
+  if (begin_count == 1 && end_count == 1) {
+    const std::string begin_id = process.begin_activity().id;
+    const std::string end_id = process.end_activity().id;
+    const auto from_begin = reachable(process, begin_id, /*forward=*/true);
+    const auto to_end = reachable(process, end_id, /*forward=*/false);
+    for (const auto& activity : process.activities()) {
+      if (from_begin.count(activity.id) == 0)
+        errors.push_back({activity.id, activity.name + ": not reachable from Begin"});
+      if (to_end.count(activity.id) == 0)
+        errors.push_back({activity.id, activity.name + ": End not reachable from it"});
+    }
+  }
+
+  return errors;
+}
+
+bool is_valid(const ProcessDescription& process) { return validate(process).empty(); }
+
+std::string to_string(const std::vector<ValidationError>& errors) {
+  std::string out;
+  for (const auto& error : errors) {
+    if (!error.activity_id.empty()) out += "[" + error.activity_id + "] ";
+    out += error.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ig::wfl

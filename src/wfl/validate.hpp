@@ -1,0 +1,31 @@
+// Structural validation of process descriptions.
+//
+// The coordination service refuses to enact a malformed process description;
+// this module implements the well-formedness rules implied by Section 3.1:
+// exactly one Begin (no predecessors) and one End (no successors), Fork and
+// Choice fan out, Join and Merge fan in, guards only on Choice out-edges,
+// every activity reachable from Begin and co-reachable from End.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wfl/process.hpp"
+
+namespace ig::wfl {
+
+struct ValidationError {
+  std::string activity_id;  ///< offending activity, or empty for global errors
+  std::string message;
+};
+
+/// Returns all structural violations (empty == valid).
+std::vector<ValidationError> validate(const ProcessDescription& process);
+
+/// True when `validate` finds no violations.
+bool is_valid(const ProcessDescription& process);
+
+/// Renders violations as one line each, for diagnostics.
+std::string to_string(const std::vector<ValidationError>& errors);
+
+}  // namespace ig::wfl

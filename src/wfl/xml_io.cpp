@@ -1,0 +1,170 @@
+#include "wfl/xml_io.hpp"
+
+#include "meta/xml_io.hpp"
+#include "util/strings.hpp"
+
+namespace ig::wfl {
+
+namespace {
+
+ActivityKind kind_from_string(const std::string& text) {
+  if (text == "Begin") return ActivityKind::Begin;
+  if (text == "End") return ActivityKind::End;
+  if (text == "End-user") return ActivityKind::EndUser;
+  if (text == "Fork") return ActivityKind::Fork;
+  if (text == "Join") return ActivityKind::Join;
+  if (text == "Choice") return ActivityKind::Choice;
+  if (text == "Merge") return ActivityKind::Merge;
+  throw ProcessError("unknown activity kind '" + text + "'");
+}
+
+}  // namespace
+
+xml::Document process_to_xml(const ProcessDescription& process) {
+  xml::Document document("process");
+  document.root().set_attribute("name", process.name());
+  for (const auto& activity : process.activities()) {
+    xml::Element& node = document.root().add_child("activity");
+    node.set_attribute("id", activity.id);
+    node.set_attribute("name", activity.name);
+    node.set_attribute("kind", to_string(activity.kind));
+    if (!activity.service_name.empty()) node.set_attribute("service", activity.service_name);
+    if (!activity.constraint.empty()) node.set_attribute("constraint", activity.constraint);
+    for (const auto& input : activity.input_data) node.add_child_text("input", input);
+    for (const auto& output : activity.output_data) node.add_child_text("output", output);
+  }
+  for (const auto& transition : process.transitions()) {
+    xml::Element& node = document.root().add_child("transition");
+    node.set_attribute("id", transition.id);
+    node.set_attribute("source", transition.source);
+    node.set_attribute("destination", transition.destination);
+    if (!transition.guard.is_trivially_true())
+      node.set_attribute("guard", transition.guard.to_string());
+  }
+  return document;
+}
+
+ProcessDescription process_from_xml(const xml::Document& document) {
+  const xml::Element& root = document.root();
+  if (root.name() != "process") throw ProcessError("root element must be <process>");
+  ProcessDescription process(root.attribute_or("name", "process"));
+  for (const auto* node : root.find_children("activity")) {
+    Activity activity;
+    activity.id = node->attribute_or("id", "");
+    activity.name = node->attribute_or("name", "");
+    activity.kind = kind_from_string(node->attribute_or("kind", "End-user"));
+    activity.service_name = node->attribute_or("service", "");
+    activity.constraint = node->attribute_or("constraint", "");
+    for (const auto* input : node->find_children("input"))
+      activity.input_data.push_back(input->text());
+    for (const auto* output : node->find_children("output"))
+      activity.output_data.push_back(output->text());
+    process.add_activity(std::move(activity));
+  }
+  for (const auto* node : root.find_children("transition")) {
+    Condition guard;
+    if (node->has_attribute("guard")) guard = Condition::parse(node->attribute_or("guard", ""));
+    process.add_transition(node->attribute_or("source", ""),
+                           node->attribute_or("destination", ""), std::move(guard),
+                           node->attribute_or("id", ""));
+  }
+  return process;
+}
+
+void data_to_xml(const DataSpec& data, xml::Element& parent) {
+  xml::Element& node = parent.add_child("data");
+  node.set_attribute("name", data.name());
+  for (const auto& [property, value] : data.properties()) {
+    xml::Element& property_node = node.add_child("property");
+    property_node.set_attribute("name", property);
+    meta::value_to_xml(value, property_node, "value");
+  }
+}
+
+DataSpec data_from_xml(const xml::Element& element) {
+  DataSpec data(element.attribute_or("name", ""));
+  for (const auto* property_node : element.find_children("property")) {
+    const xml::Element* value_node = property_node->find_child("value");
+    if (value_node == nullptr) continue;
+    data.set(property_node->attribute_or("name", ""), meta::value_from_xml(*value_node));
+  }
+  return data;
+}
+
+std::string dataset_to_xml_string(const DataSet& data) {
+  xml::Document document("dataset");
+  for (const auto& item : data.items()) data_to_xml(item, document.root());
+  return document.to_string();
+}
+
+DataSet dataset_from_xml_string(const std::string& text) {
+  const xml::Document document = xml::parse(text);
+  DataSet data;
+  for (const auto* node : document.root().find_children("data")) data.put(data_from_xml(*node));
+  return data;
+}
+
+xml::Document case_to_xml(const CaseDescription& case_description) {
+  xml::Document document("case");
+  xml::Element& root = document.root();
+  if (!case_description.id().empty()) root.set_attribute("id", case_description.id());
+  root.set_attribute("name", case_description.name());
+  if (!case_description.process_name().empty())
+    root.set_attribute("process", case_description.process_name());
+  for (const auto& item : case_description.initial_data().items()) data_to_xml(item, root);
+  for (const auto& goal : case_description.goals()) {
+    xml::Element& node = root.add_child("goal");
+    node.set_attribute("description", goal.description);
+    node.set_text(goal.condition.to_string());
+  }
+  for (const auto& [name, condition] : case_description.constraints()) {
+    xml::Element& node = root.add_child("constraint");
+    node.set_attribute("name", name);
+    node.set_text(condition.to_string());
+  }
+  for (const auto& result : case_description.expected_results()) {
+    root.add_child("result").set_attribute("name", result);
+  }
+  return document;
+}
+
+CaseDescription case_from_xml(const xml::Document& document) {
+  const xml::Element& root = document.root();
+  if (root.name() != "case") throw ProcessError("root element must be <case>");
+  CaseDescription case_description(root.attribute_or("name", "case"));
+  case_description.set_id(root.attribute_or("id", ""));
+  case_description.set_process_name(root.attribute_or("process", ""));
+  for (const auto* node : root.find_children("data"))
+    case_description.initial_data().put(data_from_xml(*node));
+  for (const auto* node : root.find_children("goal")) {
+    GoalSpec goal;
+    goal.description = node->attribute_or("description", "");
+    goal.condition = Condition::parse(node->text());
+    case_description.add_goal(std::move(goal));
+  }
+  for (const auto* node : root.find_children("constraint")) {
+    case_description.add_constraint(node->attribute_or("name", ""),
+                                    Condition::parse(node->text()));
+  }
+  for (const auto* node : root.find_children("result"))
+    case_description.add_expected_result(node->attribute_or("name", ""));
+  return case_description;
+}
+
+std::string process_to_xml_string(const ProcessDescription& process) {
+  return process_to_xml(process).to_string();
+}
+
+ProcessDescription process_from_xml_string(const std::string& text) {
+  return process_from_xml(xml::parse(text));
+}
+
+std::string case_to_xml_string(const CaseDescription& case_description) {
+  return case_to_xml(case_description).to_string();
+}
+
+CaseDescription case_from_xml_string(const std::string& text) {
+  return case_from_xml(xml::parse(text));
+}
+
+}  // namespace ig::wfl

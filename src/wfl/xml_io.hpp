@@ -1,0 +1,45 @@
+// XML interchange for process and case descriptions.
+//
+// The coordination service archives process descriptions in the system
+// knowledge base and ships case descriptions between services; both travel
+// as XML documents in this format:
+//
+//   <process name="...">
+//     <activity id="A1" name="BEGIN" kind="Begin" service="..." constraint="..."/>
+//     <transition id="TR1" source="A1" destination="A2" guard="..."/>
+//   </process>
+//
+//   <case id="..." name="..." process="...">
+//     <data name="D1"><property name="Classification" ...>...</property></data>
+//     <goal description="...">condition text</goal>
+//     <constraint name="Cons1">condition text</constraint>
+//     <result name="D12"/>
+//   </case>
+#pragma once
+
+#include "wfl/case_description.hpp"
+#include "wfl/process.hpp"
+#include "xml/xml.hpp"
+
+namespace ig::wfl {
+
+xml::Document process_to_xml(const ProcessDescription& process);
+ProcessDescription process_from_xml(const xml::Document& document);
+
+xml::Document case_to_xml(const CaseDescription& case_description);
+CaseDescription case_from_xml(const xml::Document& document);
+
+/// DataSpec <-> XML element (shared with the services' message payloads).
+void data_to_xml(const DataSpec& data, xml::Element& parent);
+DataSpec data_from_xml(const xml::Element& element);
+
+/// Whole data sets travel in agent message payloads as <dataset> documents.
+std::string dataset_to_xml_string(const DataSet& data);
+DataSet dataset_from_xml_string(const std::string& text);
+
+std::string process_to_xml_string(const ProcessDescription& process);
+ProcessDescription process_from_xml_string(const std::string& text);
+std::string case_to_xml_string(const CaseDescription& case_description);
+CaseDescription case_from_xml_string(const std::string& text);
+
+}  // namespace ig::wfl

@@ -1,0 +1,317 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+namespace ig::xml {
+
+// ---------------------------------------------------------------------------
+// Element
+// ---------------------------------------------------------------------------
+
+void Element::set_attribute(std::string_view name, std::string_view value) {
+  for (auto& attribute : attributes_) {
+    if (attribute.name == name) {
+      attribute.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+}
+
+std::optional<std::string> Element::attribute(std::string_view name) const {
+  for (const auto& attribute : attributes_) {
+    if (attribute.name == name) return attribute.value;
+  }
+  return std::nullopt;
+}
+
+std::string Element::attribute_or(std::string_view name, std::string_view fallback) const {
+  auto value = attribute(name);
+  return value ? *value : std::string(fallback);
+}
+
+bool Element::has_attribute(std::string_view name) const {
+  return attribute(name).has_value();
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::add_child_text(std::string name, std::string_view text) {
+  Element& child = add_child(std::move(name));
+  child.set_text(std::string(text));
+  return child;
+}
+
+const Element* Element::find_child(std::string_view name) const noexcept {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::find_children(std::string_view name) const {
+  std::vector<const Element*> matches;
+  for (const auto& child : children_) {
+    if (child->name() == name) matches.push_back(child.get());
+  }
+  return matches;
+}
+
+std::string Element::child_text(std::string_view name) const {
+  const Element* child = find_child(name);
+  return child ? child->text() : std::string();
+}
+
+void Element::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                                 : std::string();
+  out += pad;
+  out += '<';
+  out += name_;
+  for (const auto& attribute : attributes_) {
+    out += ' ';
+    out += attribute.name;
+    out += "=\"";
+    out += escape(attribute.value);
+    out += '"';
+  }
+  if (children_.empty() && text_.empty()) {
+    out += "/>";
+    if (pretty) out += '\n';
+    return;
+  }
+  out += '>';
+  if (children_.empty()) {
+    out += escape(text_);
+    out += "</";
+    out += name_;
+    out += '>';
+    if (pretty) out += '\n';
+    return;
+  }
+  if (pretty) out += '\n';
+  if (!text_.empty()) {
+    if (pretty) out += std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    out += escape(text_);
+    if (pretty) out += '\n';
+  }
+  for (const auto& child : children_) child->write(out, indent, depth + 1);
+  out += pad;
+  out += "</";
+  out += name_;
+  out += '>';
+  if (pretty) out += '\n';
+}
+
+std::string Element::to_string(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+std::string Document::to_string(int indent) const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  out += indent >= 0 ? "\n" : "";
+  out += root_->to_string(indent);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Escaping
+// ---------------------------------------------------------------------------
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '&') {
+      out += text[i];
+      continue;
+    }
+    const std::size_t end = text.find(';', i);
+    if (end == std::string_view::npos) throw ParseError("unterminated entity", i);
+    const std::string_view entity = text.substr(i + 1, end - i - 1);
+    if (entity == "amp") out += '&';
+    else if (entity == "lt") out += '<';
+    else if (entity == "gt") out += '>';
+    else if (entity == "quot") out += '"';
+    else if (entity == "apos") out += '\'';
+    else throw ParseError("unknown entity '" + std::string(entity) + "'", i);
+    i = end;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Document parse_document() {
+    skip_prolog();
+    auto root = parse_element();
+    skip_misc();
+    if (pos_ != input_.size()) throw ParseError("trailing content after root element", pos_);
+    return Document(std::move(root));
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const { throw ParseError(message, pos_); }
+
+  bool eof() const noexcept { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+
+  bool starts(std::string_view prefix) const noexcept {
+    return input_.size() - pos_ >= prefix.size() && input_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void expect(std::string_view token) {
+    if (!starts(token)) fail("expected '" + std::string(token) + "'");
+    pos_ += token.size();
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  void skip_comment() {
+    expect("<!--");
+    const std::size_t end = input_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skip_prolog() {
+    skip_whitespace();
+    if (starts("<?xml")) {
+      const std::size_t end = input_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_misc();
+  }
+
+  void skip_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (starts("<!--")) skip_comment();
+      else return;
+    }
+  }
+
+  static bool is_name_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool is_name_char(char c) noexcept {
+    return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    if (eof() || !is_name_start(peek())) fail("expected name");
+    const std::size_t start = pos_;
+    while (!eof() && is_name_char(peek())) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string parse_attribute_value() {
+    if (eof() || (peek() != '"' && peek() != '\'')) fail("expected quoted attribute value");
+    const char quote = peek();
+    ++pos_;
+    const std::size_t start = pos_;
+    while (!eof() && peek() != quote) ++pos_;
+    if (eof()) fail("unterminated attribute value");
+    const std::string value = unescape(input_.substr(start, pos_ - start));
+    ++pos_;
+    return value;
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    expect("<");
+    auto element = std::make_unique<Element>(parse_name());
+    for (;;) {
+      skip_whitespace();
+      if (eof()) fail("unterminated start tag");
+      if (starts("/>")) {
+        pos_ += 2;
+        return element;
+      }
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string name = parse_name();
+      skip_whitespace();
+      expect("=");
+      skip_whitespace();
+      element->set_attribute(name, parse_attribute_value());
+    }
+    // Content: text, comments, and child elements until the end tag.
+    for (;;) {
+      if (eof()) fail("unterminated element '" + element->name() + "'");
+      if (starts("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (starts("</")) {
+        pos_ += 2;
+        const std::string name = parse_name();
+        if (name != element->name())
+          fail("mismatched end tag '" + name + "' for '" + element->name() + "'");
+        skip_whitespace();
+        expect(">");
+        return element;
+      }
+      if (peek() == '<') {
+        element->children_mutable().push_back(parse_element());
+        continue;
+      }
+      const std::size_t start = pos_;
+      while (!eof() && peek() != '<') ++pos_;
+      const std::string raw = std::string(input_.substr(start, pos_ - start));
+      // Whitespace-only runs between child elements are formatting noise.
+      const std::string text = unescape(raw);
+      bool all_space = true;
+      for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_space = false;
+          break;
+        }
+      }
+      if (!all_space) element->append_text(text);
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Document parse(std::string_view input) { return Parser(input).parse_document(); }
+
+}  // namespace ig::xml

@@ -1,0 +1,112 @@
+// Minimal XML document model, writer and parser.
+//
+// Ontologies, process descriptions and case descriptions are archived and
+// exchanged between services as XML (the paper's middleware is
+// metadata/XML-heavy). This module implements exactly the subset needed for
+// that interchange: elements, attributes, character data, comments and an
+// XML declaration. It does not implement namespaces, DTDs or entities beyond
+// the five predefined ones.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ig::xml {
+
+/// Raised by the parser on malformed input; carries a byte offset.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// An XML element: tag name, attributes, child elements, and text content.
+///
+/// Mixed content is simplified: all character data directly inside an
+/// element is concatenated into `text`, which is sufficient for the
+/// record-style documents the services exchange.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& text() const noexcept { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view text) { text_.append(text); }
+
+  // -- attributes ----------------------------------------------------------
+  const std::vector<Attribute>& attributes() const noexcept { return attributes_; }
+  void set_attribute(std::string_view name, std::string_view value);
+  std::optional<std::string> attribute(std::string_view name) const;
+  /// Returns the attribute value or `fallback` when absent.
+  std::string attribute_or(std::string_view name, std::string_view fallback) const;
+  bool has_attribute(std::string_view name) const;
+
+  // -- children ------------------------------------------------------------
+  const std::vector<std::unique_ptr<Element>>& children() const noexcept { return children_; }
+  std::vector<std::unique_ptr<Element>>& children_mutable() noexcept { return children_; }
+  /// Appends a child element and returns a reference to it.
+  Element& add_child(std::string name);
+  /// Appends a child with text content; convenience for leaf records.
+  Element& add_child_text(std::string name, std::string_view text);
+  /// First child with the given tag name, or nullptr.
+  const Element* find_child(std::string_view name) const noexcept;
+  /// All children with the given tag name.
+  std::vector<const Element*> find_children(std::string_view name) const;
+  /// Text of the first child with the given name, or empty string.
+  std::string child_text(std::string_view name) const;
+
+  /// Serializes this element (and subtree). `indent` < 0 means compact.
+  std::string to_string(int indent = 2) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// A document is a root element plus the standard declaration.
+class Document {
+ public:
+  explicit Document(std::string root_name) : root_(std::make_unique<Element>(std::move(root_name))) {}
+  explicit Document(std::unique_ptr<Element> root) : root_(std::move(root)) {}
+
+  Element& root() noexcept { return *root_; }
+  const Element& root() const noexcept { return *root_; }
+
+  /// Serializes with an `<?xml version="1.0"?>` declaration.
+  std::string to_string(int indent = 2) const;
+
+ private:
+  std::unique_ptr<Element> root_;
+};
+
+/// Escapes the five predefined entities in character data / attributes.
+std::string escape(std::string_view text);
+/// Reverses `escape`; unknown entities raise ParseError.
+std::string unescape(std::string_view text);
+
+/// Parses a document; the input must contain exactly one root element.
+Document parse(std::string_view input);
+
+}  // namespace ig::xml

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "agent/platform.hpp"
+#include "agent/trace_render.hpp"
+
+namespace ig::agent {
+namespace {
+
+/// Records everything it receives; can auto-reply.
+class EchoAgent : public Agent {
+ public:
+  explicit EchoAgent(std::string name, bool reply = false)
+      : Agent(std::move(name)), reply_(reply) {}
+
+  void handle_message(const AclMessage& message) override {
+    received.push_back(message);
+    if (reply_ && message.performative == Performative::Request) {
+      send(message.make_reply(Performative::Inform));
+    }
+  }
+
+  std::vector<AclMessage> received;
+
+ private:
+  bool reply_;
+};
+
+TEST(Message, ParamAccess) {
+  AclMessage message;
+  message.params["k"] = "v";
+  EXPECT_EQ(message.param("k"), "v");
+  EXPECT_EQ(message.param("missing", "fb"), "fb");
+  EXPECT_TRUE(message.has_param("k"));
+  EXPECT_FALSE(message.has_param("missing"));
+}
+
+TEST(Message, MakeReplySwapsEndpoints) {
+  AclMessage message;
+  message.performative = Performative::Request;
+  message.sender = "cs";
+  message.receiver = "ps";
+  message.conversation_id = "c1";
+  message.protocol = "planning-request";
+  const AclMessage reply = message.make_reply(Performative::Inform);
+  EXPECT_EQ(reply.sender, "ps");
+  EXPECT_EQ(reply.receiver, "cs");
+  EXPECT_EQ(reply.conversation_id, "c1");
+  EXPECT_EQ(reply.protocol, "planning-request");
+  EXPECT_EQ(reply.performative, Performative::Inform);
+}
+
+TEST(Message, DisplayString) {
+  AclMessage message;
+  message.performative = Performative::Request;
+  message.sender = "cs";
+  message.receiver = "ps";
+  message.protocol = "planning-request";
+  EXPECT_EQ(message.to_display_string(), "REQUEST cs -> ps [planning-request]");
+}
+
+TEST(Platform, RegisterAndLookup) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.spawn<EchoAgent>("a");
+  EXPECT_TRUE(platform.has_agent("a"));
+  EXPECT_NE(platform.find_agent("a"), nullptr);
+  EXPECT_EQ(platform.find_agent("b"), nullptr);
+  EXPECT_EQ(platform.agent_names(), (std::vector<std::string>{"a"}));
+}
+
+TEST(Platform, DuplicateNameThrows) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.spawn<EchoAgent>("a");
+  EXPECT_THROW(platform.spawn<EchoAgent>("a"), std::invalid_argument);
+}
+
+TEST(Platform, DeliversAfterLatency) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  auto& receiver = platform.spawn<EchoAgent>("rx");
+  platform.spawn<EchoAgent>("tx");
+  platform.set_latency_function([](const std::string&, const std::string&) { return 0.25; });
+
+  AclMessage message;
+  message.sender = "tx";
+  message.receiver = "rx";
+  platform.send(message);
+  EXPECT_TRUE(receiver.received.empty());  // not yet delivered
+  sim.run();
+  ASSERT_EQ(receiver.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.25);
+  EXPECT_EQ(platform.messages_delivered(), 1u);
+}
+
+TEST(Platform, RequestReplyConversation) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  auto& client = platform.spawn<EchoAgent>("client");
+  platform.spawn<EchoAgent>("server", /*reply=*/true);
+
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.sender = "client";
+  request.receiver = "server";
+  request.conversation_id = "conv-9";
+  platform.send(request);
+  sim.run();
+  ASSERT_EQ(client.received.size(), 1u);
+  EXPECT_EQ(client.received[0].performative, Performative::Inform);
+  EXPECT_EQ(client.received[0].conversation_id, "conv-9");
+}
+
+TEST(Platform, UnknownReceiverBouncesToSender) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  auto& sender = platform.spawn<EchoAgent>("tx");
+  AclMessage message;
+  message.performative = Performative::Request;
+  message.sender = "tx";
+  message.receiver = "ghost";
+  message.protocol = "anything";
+  platform.send(message);
+  sim.run();
+  ASSERT_EQ(sender.received.size(), 1u);
+  EXPECT_EQ(sender.received[0].performative, Performative::Failure);
+  EXPECT_EQ(sender.received[0].protocol, "platform-error");
+  EXPECT_NE(sender.received[0].param("error").find("ghost"), std::string::npos);
+}
+
+TEST(Platform, FailureToUnknownDoesNotLoop) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  AclMessage message;
+  message.performative = Performative::Failure;  // failures never bounce
+  message.sender = "ghost-a";
+  message.receiver = "ghost-b";
+  platform.send(message);
+  EXPECT_LT(sim.run(1000), 1000u);  // terminates
+}
+
+TEST(Platform, DeregisterDropsAgent) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.spawn<EchoAgent>("a");
+  EXPECT_TRUE(platform.deregister_agent("a"));
+  EXPECT_FALSE(platform.deregister_agent("a"));
+  EXPECT_FALSE(platform.has_agent("a"));
+}
+
+TEST(Platform, TraceRecordsDeliveries) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.set_tracing(true);
+  platform.spawn<EchoAgent>("rx");
+  platform.spawn<EchoAgent>("tx");
+  AclMessage message;
+  message.performative = Performative::Inform;
+  message.sender = "tx";
+  message.receiver = "rx";
+  message.protocol = "test-proto";
+  platform.send(message);
+  sim.run();
+  ASSERT_EQ(platform.trace().size(), 1u);
+  EXPECT_TRUE(platform.trace()[0].delivered);
+  const std::string rendered = platform.trace_to_string();
+  EXPECT_NE(rendered.find("INFORM tx -> rx [test-proto]"), std::string::npos);
+  platform.clear_trace();
+  EXPECT_TRUE(platform.trace().empty());
+}
+
+TEST(Platform, AgentSchedulesTimers) {
+  class TimerAgent : public Agent {
+   public:
+    using Agent::Agent;
+    void on_start() override {
+      schedule(2.0, [this] { fired_at = now(); });
+    }
+    void handle_message(const AclMessage&) override {}
+    grid::SimTime fired_at = -1;
+  };
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  auto& timer = platform.spawn<TimerAgent>("t");
+  sim.run();
+  EXPECT_DOUBLE_EQ(timer.fired_at, 2.0);
+}
+
+TEST(TraceRender, ArrowListingFiltersByProtocol) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.set_tracing(true);
+  platform.spawn<EchoAgent>("a");
+  platform.spawn<EchoAgent>("b");
+  for (const char* protocol : {"keep", "drop", "keep"}) {
+    AclMessage message;
+    message.performative = Performative::Inform;
+    message.sender = "a";
+    message.receiver = "b";
+    message.protocol = protocol;
+    platform.send(message);
+  }
+  sim.run();
+  TraceRenderOptions options;
+  options.protocols = {"keep"};
+  const std::string arrows = render_arrows(platform.trace(), options);
+  EXPECT_EQ(std::count(arrows.begin(), arrows.end(), '\n'), 2);
+  EXPECT_EQ(arrows.find("drop"), std::string::npos);
+}
+
+TEST(TraceRender, SequenceDiagramHasParticipantsAndArrows) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.set_tracing(true);
+  platform.spawn<EchoAgent>("cs");
+  platform.spawn<EchoAgent>("ps");
+  AclMessage message;
+  message.performative = Performative::Request;
+  message.sender = "cs";
+  message.receiver = "ps";
+  message.protocol = "planning-request";
+  platform.send(message);
+  sim.run();
+  const std::string diagram = render_sequence_diagram(platform.trace());
+  EXPECT_NE(diagram.find("cs"), std::string::npos);
+  EXPECT_NE(diagram.find("ps"), std::string::npos);
+  EXPECT_NE(diagram.find(">"), std::string::npos);
+  EXPECT_NE(diagram.find("planning-req"), std::string::npos);
+}
+
+TEST(TraceRender, EmptySelectionSaysSo) {
+  const std::string diagram = render_sequence_diagram({});
+  EXPECT_NE(diagram.find("no matching messages"), std::string::npos);
+}
+
+TEST(Agent, SendWithoutPlatformThrows) {
+  EchoAgent orphan("alone");
+  AclMessage message;
+  EXPECT_THROW(
+      {
+        // Accessing the platform without registration is a logic error.
+        orphan.handle_message(message);  // fine
+        // send() is protected; exercise through a derived helper:
+        struct Probe : EchoAgent {
+          using EchoAgent::EchoAgent;
+          void poke() { send(AclMessage{}); }
+        };
+        Probe probe("p");
+        probe.poke();
+      },
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace ig::agent

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "virolab/catalogue.hpp"
+#include "wfl/case_description.hpp"
+#include "wfl/xml_io.hpp"
+
+namespace ig::wfl {
+namespace {
+
+TEST(GoalSpec, ExistentialSatisfaction) {
+  GoalSpec goal;
+  goal.condition = Condition::parse("R.Classification = \"Resolution File\"");
+  DataSet state;
+  EXPECT_FALSE(goal.satisfied_by(state));
+  state.put(DataSpec("other").with_classification("3D Model"));
+  EXPECT_FALSE(goal.satisfied_by(state));
+  state.put(DataSpec("res").with_classification("Resolution File"));
+  EXPECT_TRUE(goal.satisfied_by(state));
+}
+
+TEST(GoalSpec, VariableFreeCondition) {
+  GoalSpec goal;
+  goal.condition = Condition::parse("true");
+  EXPECT_TRUE(goal.satisfied_by(DataSet{}));
+}
+
+TEST(CaseDescription, GoalSatisfactionFraction) {
+  CaseDescription cd("test");
+  GoalSpec g1;
+  g1.condition = Condition::parse("R.Classification = \"Resolution File\"");
+  GoalSpec g2;
+  g2.condition = Condition::parse("M.Classification = \"3D Model\"");
+  cd.add_goal(g1);
+  cd.add_goal(g2);
+
+  DataSet state;
+  EXPECT_DOUBLE_EQ(cd.goal_satisfaction(state), 0.0);
+  state.put(DataSpec("m").with_classification("3D Model"));
+  EXPECT_DOUBLE_EQ(cd.goal_satisfaction(state), 0.5);
+  state.put(DataSpec("r").with_classification("Resolution File"));
+  EXPECT_DOUBLE_EQ(cd.goal_satisfaction(state), 1.0);
+}
+
+TEST(CaseDescription, NoGoalsIsFullySatisfied) {
+  CaseDescription cd("empty");
+  EXPECT_DOUBLE_EQ(cd.goal_satisfaction(DataSet{}), 1.0);
+}
+
+TEST(CaseDescription, ConstraintsNamedAndReplaced) {
+  CaseDescription cd("test");
+  cd.add_constraint("Cons1", Condition::parse("R.Value > 8"));
+  ASSERT_NE(cd.find_constraint("Cons1"), nullptr);
+  EXPECT_EQ(cd.find_constraint("Cons1")->to_string(), "R.Value > 8");
+  EXPECT_EQ(cd.find_constraint("Cons2"), nullptr);
+  cd.add_constraint("Cons1", Condition::parse("R.Value > 6"));
+  EXPECT_EQ(cd.constraints().size(), 1u);
+  EXPECT_EQ(cd.find_constraint("Cons1")->to_string(), "R.Value > 6");
+}
+
+TEST(CaseXml, RoundTrip) {
+  CaseDescription original = virolab::make_case_description();
+  const CaseDescription restored = case_from_xml_string(case_to_xml_string(original));
+  EXPECT_EQ(restored.name(), original.name());
+  EXPECT_EQ(restored.id(), original.id());
+  EXPECT_EQ(restored.process_name(), "PD-3DSD");
+  EXPECT_EQ(restored.initial_data().size(), 7u);
+  ASSERT_EQ(restored.goals().size(), 1u);
+  EXPECT_EQ(restored.goals()[0].condition.to_string(),
+            original.goals()[0].condition.to_string());
+  ASSERT_NE(restored.find_constraint("Cons1"), nullptr);
+  EXPECT_EQ(restored.expected_results(), original.expected_results());
+  // Data properties survive.
+  ASSERT_NE(restored.initial_data().find("D7"), nullptr);
+  EXPECT_EQ(restored.initial_data().find("D7")->classification(), "2D Image");
+  EXPECT_DOUBLE_EQ(restored.initial_data().find("D7")->get("Size").as_number(), 1536.0);
+}
+
+TEST(CaseXml, DatasetRoundTrip) {
+  DataSet original;
+  original.put(DataSpec("a").with_classification("X").with("Size", meta::Value(2.5)));
+  original.put(DataSpec("b").with("Flag", meta::Value(true)));
+  const DataSet restored = dataset_from_xml_string(dataset_to_xml_string(original));
+  EXPECT_EQ(restored, original);
+}
+
+TEST(CaseXml, RejectsWrongRoot) {
+  EXPECT_THROW(case_from_xml_string("<process/>"), ProcessError);
+}
+
+}  // namespace
+}  // namespace ig::wfl

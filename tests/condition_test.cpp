@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "wfl/condition.hpp"
+
+namespace ig::wfl {
+namespace {
+
+DataSpec image() {
+  DataSpec data("D7");
+  data.with_classification("2D Image").with("Size", meta::Value(1536.0));
+  return data;
+}
+
+DataSpec resolution(double value) {
+  DataSpec data("D12");
+  data.with_classification("Resolution File").with("Value", meta::Value(value));
+  return data;
+}
+
+TEST(ConditionParse, SimpleEquality) {
+  const Condition condition = Condition::parse("A.Classification = \"2D Image\"");
+  const DataSpec item = image();
+  Bindings bindings{{"A", &item}};
+  EXPECT_TRUE(condition.evaluate(bindings));
+}
+
+TEST(ConditionParse, EqualityMismatch) {
+  const Condition condition = Condition::parse("A.Classification = \"3D Model\"");
+  const DataSpec item = image();
+  Bindings bindings{{"A", &item}};
+  EXPECT_FALSE(condition.evaluate(bindings));
+}
+
+TEST(ConditionParse, NumericComparisons) {
+  const DataSpec item = resolution(10.0);
+  Bindings bindings{{"R", &item}};
+  EXPECT_TRUE(Condition::parse("R.Value > 8").evaluate(bindings));
+  EXPECT_FALSE(Condition::parse("R.Value > 12").evaluate(bindings));
+  EXPECT_TRUE(Condition::parse("R.Value >= 10").evaluate(bindings));
+  EXPECT_TRUE(Condition::parse("R.Value <= 10").evaluate(bindings));
+  EXPECT_TRUE(Condition::parse("R.Value < 11").evaluate(bindings));
+  EXPECT_TRUE(Condition::parse("R.Value != 9").evaluate(bindings));
+  EXPECT_FALSE(Condition::parse("R.Value != 10").evaluate(bindings));
+}
+
+TEST(ConditionParse, Conjunction) {
+  // C1 from the paper.
+  const Condition c1 = Condition::parse(
+      "A.Classification = \"POD-Parameter\" and B.Classification = \"2D Image\"");
+  DataSpec parameter("D1");
+  parameter.with_classification("POD-Parameter");
+  const DataSpec images = image();
+  Bindings good{{"A", &parameter}, {"B", &images}};
+  EXPECT_TRUE(c1.evaluate(good));
+  Bindings swapped{{"A", &images}, {"B", &parameter}};
+  EXPECT_FALSE(c1.evaluate(swapped));
+}
+
+TEST(ConditionParse, DisjunctionAndPrecedence) {
+  // and binds tighter than or.
+  const DataSpec item = resolution(10.0);
+  Bindings bindings{{"R", &item}};
+  EXPECT_TRUE(
+      Condition::parse("R.Value > 20 or R.Value > 5 and R.Value < 15").evaluate(bindings));
+  EXPECT_FALSE(
+      Condition::parse("(R.Value > 20 or R.Value > 5) and R.Value < 8").evaluate(bindings));
+}
+
+TEST(ConditionParse, Negation) {
+  const DataSpec item = resolution(10.0);
+  Bindings bindings{{"R", &item}};
+  EXPECT_FALSE(Condition::parse("not R.Value > 8").evaluate(bindings));
+  EXPECT_TRUE(Condition::parse("not R.Value > 12").evaluate(bindings));
+  EXPECT_TRUE(Condition::parse("not not R.Value > 8").evaluate(bindings));
+}
+
+TEST(ConditionParse, TrueFalseLiterals) {
+  EXPECT_TRUE(Condition::parse("true").evaluate({}));
+  EXPECT_FALSE(Condition::parse("false").evaluate({}));
+  EXPECT_TRUE(Condition::parse("").is_trivially_true());
+}
+
+TEST(ConditionParse, SingleQuotedStrings) {
+  const Condition condition = Condition::parse("A.Classification = '2D Image'");
+  const DataSpec item = image();
+  Bindings bindings{{"A", &item}};
+  EXPECT_TRUE(condition.evaluate(bindings));
+}
+
+TEST(ConditionParse, BarewordValue) {
+  DataSpec data("D");
+  data.with("Format", meta::Value("Text"));
+  Bindings bindings{{"D", &data}};
+  EXPECT_TRUE(Condition::parse("D.Format = Text").evaluate(bindings));
+}
+
+TEST(ConditionParse, NotEqualAlternateSpelling) {
+  const DataSpec item = resolution(10.0);
+  Bindings bindings{{"R", &item}};
+  EXPECT_TRUE(Condition::parse("R.Value <> 9").evaluate(bindings));
+}
+
+TEST(ConditionParse, Errors) {
+  EXPECT_THROW(Condition::parse("A.Classification ="), ConditionParseError);
+  EXPECT_THROW(Condition::parse("A.Classification"), ConditionParseError);
+  EXPECT_THROW(Condition::parse("A = \"x\""), ConditionParseError);  // missing property
+  EXPECT_THROW(Condition::parse("(A.B = 1"), ConditionParseError);
+  EXPECT_THROW(Condition::parse("A.B = 1 extra"), ConditionParseError);
+  EXPECT_THROW(Condition::parse("A.B = \"unterminated"), ConditionParseError);
+}
+
+TEST(ConditionEvaluate, UnboundVariableIsFalse) {
+  EXPECT_FALSE(Condition::parse("X.Value > 0").evaluate({}));
+}
+
+TEST(ConditionEvaluate, MissingPropertyIsFalse) {
+  const DataSpec item = image();  // no Value property
+  Bindings bindings{{"A", &item}};
+  EXPECT_FALSE(Condition::parse("A.Value > 0").evaluate(bindings));
+  // But negation of a missing property holds.
+  EXPECT_TRUE(Condition::parse("not A.Value > 0").evaluate(bindings));
+}
+
+TEST(ConditionEvaluate, NumericStringComparesNumerically) {
+  DataSpec data("D");
+  data.with("Value", meta::Value("12"));  // stored as string
+  Bindings bindings{{"D", &data}};
+  EXPECT_TRUE(Condition::parse("D.Value > 8").evaluate(bindings));
+}
+
+TEST(ConditionEvaluate, TypeMismatchOnlyNotEqual) {
+  DataSpec data("D");
+  data.with("Value", meta::Value(true));
+  Bindings bindings{{"D", &data}};
+  EXPECT_FALSE(Condition::parse("D.Value = 1").evaluate(bindings));
+  EXPECT_TRUE(Condition::parse("D.Value != 1").evaluate(bindings));
+}
+
+TEST(ConditionToString, RoundTripsThroughParser) {
+  const char* cases[] = {
+      "A.Classification = \"2D Image\"",
+      "A.X > 3 and B.Y < 4",
+      "A.X = 1 or B.Y = 2 and C.Z = 3",
+      "not (A.X = 1 or B.Y = 2)",
+      "A.Value >= 8.5",
+  };
+  for (const char* text : cases) {
+    const Condition original = Condition::parse(text);
+    const Condition reparsed = Condition::parse(original.to_string());
+    EXPECT_TRUE(original == reparsed) << text << " -> " << original.to_string();
+  }
+}
+
+TEST(ConditionVariables, CollectedInOrderWithoutDuplicates) {
+  const Condition condition =
+      Condition::parse("B.X = 1 and A.Y = 2 or B.Z = 3 and C.W = 4");
+  const auto variables = condition.variables();
+  ASSERT_EQ(variables.size(), 3u);
+  EXPECT_EQ(variables[0], "B");
+  EXPECT_EQ(variables[1], "A");
+  EXPECT_EQ(variables[2], "C");
+}
+
+TEST(ConditionEqualityRequirements, OnlyConjunctiveEqualities) {
+  const Condition condition = Condition::parse(
+      "C.Classification = \"3D Model\" and C.Format = \"MRC\" and C.Size > 10 "
+      "or C.Owner = \"x\"");
+  // The or-branch is not a requirement; Size > 10 is not an equality.
+  const auto requirements = condition.equality_requirements("C");
+  // Top node is Or, so nothing is a hard requirement.
+  EXPECT_TRUE(requirements.empty());
+
+  const Condition conjunctive =
+      Condition::parse("C.Classification = \"3D Model\" and C.Size > 10");
+  const auto reqs = conjunctive.equality_requirements("C");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].first, "Classification");
+  EXPECT_EQ(reqs[0].second.as_string(), "3D Model");
+}
+
+TEST(EvaluateAgainstState, NamedBinding) {
+  DataSet state;
+  state.put(resolution(10.0));
+  EXPECT_TRUE(evaluate_against_state(
+      Condition::parse("D12.Value > 8"), state));
+  EXPECT_FALSE(evaluate_against_state(
+      Condition::parse("D12.Value > 12"), state));
+}
+
+TEST(EvaluateAgainstState, ExistentialFreeVariable) {
+  DataSet state;
+  state.put(image());
+  state.put(resolution(10.0));
+  // R is not a data name; it binds existentially.
+  EXPECT_TRUE(evaluate_against_state(
+      Condition::parse("R.Classification = \"Resolution File\" and R.Value > 8"), state));
+  EXPECT_FALSE(evaluate_against_state(
+      Condition::parse("R.Classification = \"Resolution File\" and R.Value > 12"), state));
+}
+
+TEST(EvaluateAgainstState, NoWitnessIsFalse) {
+  DataSet state;
+  state.put(image());
+  EXPECT_FALSE(evaluate_against_state(
+      Condition::parse("R.Classification = \"Resolution File\""), state));
+}
+
+TEST(ConditionParse, ScientificNotationNumbers) {
+  DataSpec data("D");
+  data.with("Size", meta::Value(1536.0));
+  Bindings bindings{{"D", &data}};
+  EXPECT_TRUE(Condition::parse("D.Size > 1.5e3").evaluate(bindings));
+  EXPECT_FALSE(Condition::parse("D.Size > 1.6e3").evaluate(bindings));
+}
+
+TEST(ConditionParse, WhitespaceInsensitive) {
+  const Condition tight = Condition::parse("A.X=1 and B.Y=2");
+  const Condition airy = Condition::parse("  A.X  =  1   and   B.Y = 2  ");
+  EXPECT_TRUE(tight == airy);
+}
+
+TEST(ConditionConjuncts, SplitsTopLevelAndOnly) {
+  const Condition condition = Condition::parse("A.X = 1 and (B.Y = 2 or C.Z = 3) and D.W = 4");
+  const auto conjuncts = condition.conjuncts();
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0].to_string(), "A.X = 1");
+  EXPECT_EQ(conjuncts[1].to_string(), "B.Y = 2 or C.Z = 3");
+  EXPECT_EQ(conjuncts[2].to_string(), "D.W = 4");
+  // A non-conjunction yields itself.
+  EXPECT_EQ(Condition::parse("A.X = 1").conjuncts().size(), 1u);
+  EXPECT_TRUE(Condition().conjuncts().empty());
+}
+
+TEST(ConditionEvaluateSingle, MatchesFullEvaluation) {
+  DataSpec item("d");
+  item.with_classification("3D Model").with("Value", meta::Value(7.0));
+  const Condition condition =
+      Condition::parse("X.Classification = \"3D Model\" and X.Value < 8");
+  Bindings bindings{{"X", &item}};
+  EXPECT_EQ(condition.evaluate(bindings), condition.evaluate_single("X", item));
+  // A comparison on a different variable is false either way.
+  const Condition other = Condition::parse("Y.Value < 8");
+  EXPECT_FALSE(other.evaluate_single("X", item));
+}
+
+TEST(ConditionBuilders, ConjunctionSimplifiesTrue) {
+  const Condition c = Condition::parse("A.X = 1");
+  EXPECT_TRUE(Condition::conjunction(Condition(), c) == c);
+  EXPECT_TRUE(Condition::conjunction(c, Condition()) == c);
+}
+
+TEST(CompareOpNames, AllRender) {
+  EXPECT_EQ(to_string(CompareOp::Less), "<");
+  EXPECT_EQ(to_string(CompareOp::GreaterEqual), ">=");
+  EXPECT_EQ(to_string(CompareOp::NotEqual), "!=");
+}
+
+}  // namespace
+}  // namespace ig::wfl

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "services/environment.hpp"
+#include "services/protocol.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+#include "wfl/structure.hpp"
+#include "wfl/xml_io.hpp"
+
+namespace ig::svc {
+namespace {
+
+using agent::AclMessage;
+using agent::Performative;
+
+class Client : public agent::Agent {
+ public:
+  explicit Client(std::string name = "ui") : Agent(std::move(name)) {}
+  void handle_message(const AclMessage& message) override { replies.push_back(message); }
+  std::vector<AclMessage> replies;
+};
+
+struct Fixture {
+  explicit Fixture(EnvironmentOptions options = {}) {
+    if (options.topology.domains == 3 && options.topology.nodes_per_domain == 4) {
+      options.topology.domains = 2;
+      options.topology.nodes_per_domain = 3;
+    }
+    options.gp.population_size = 140;
+    options.gp.generations = 18;
+    environment = make_environment(options);
+    client = &environment->platform().spawn<Client>("ui");
+  }
+
+  AclMessage enact(const wfl::ProcessDescription& process, const wfl::CaseDescription& cd) {
+    AclMessage request;
+    request.performative = Performative::Request;
+    request.sender = client->name();
+    request.receiver = names::kCoordination;
+    request.protocol = protocols::kEnactCase;
+    request.content = wfl::process_to_xml_string(process);
+    request.params["case-xml"] = wfl::case_to_xml_string(cd);
+    environment->platform().send(request);
+    environment->run();
+    EXPECT_FALSE(client->replies.empty());
+    return client->replies.empty() ? AclMessage{} : client->replies.back();
+  }
+
+  std::unique_ptr<Environment> environment;
+  Client* client = nullptr;
+};
+
+TEST(Coordination, EnactsFigure10CaseToCompletion) {
+  Fixture fixture;
+  const AclMessage reply =
+      fixture.enact(virolab::make_fig10_process(), virolab::make_case_description());
+  ASSERT_EQ(reply.performative, Performative::Inform) << reply.param("error");
+  EXPECT_EQ(reply.param("success"), "true");
+  EXPECT_EQ(reply.param("goal-satisfaction"), "1");
+  EXPECT_EQ(reply.param("replans"), "0");
+  EXPECT_GT(std::stod(reply.param("makespan")), 0.0);
+
+  // The refinement loop converges after two passes (18 -> 11.7 -> 7.6 A):
+  // 2 x (POR + 3xP3DR + PSF) + POD + P3DR1 = 12 activity executions.
+  EXPECT_EQ(reply.param("activities-executed"), "12");
+
+  // Final state carries the expected result D12 with a value at the target.
+  const wfl::DataSet final_state = wfl::dataset_from_xml_string(reply.content);
+  ASSERT_NE(final_state.find("D12"), nullptr);
+  EXPECT_LE(final_state.find("D12")->get("Value").as_number(), 8.0);
+  EXPECT_EQ(fixture.environment->coordination().cases_completed(), 1u);
+}
+
+TEST(Coordination, LoopIterationCountFollowsKernelConvergence) {
+  // A slower-converging instrument needs three refinement passes.
+  EnvironmentOptions options;
+  options.kernels.initial_resolution = 24.0;
+  options.kernels.refinement_factor = 0.7;  // 24 -> 16.8 -> 11.8 -> 8.2 -> 5.8
+  Fixture fixture(options);
+  const AclMessage reply =
+      fixture.enact(virolab::make_fig10_process(), virolab::make_case_description());
+  ASSERT_EQ(reply.param("success"), "true") << reply.param("error");
+  // 4 passes x 5 activities + 2 = 22.
+  EXPECT_EQ(reply.param("activities-executed"), "22");
+}
+
+TEST(Coordination, InvalidProcessRejected) {
+  Fixture fixture;
+  wfl::ProcessDescription broken("broken");
+  broken.add_flow_control("B", wfl::ActivityKind::Begin);
+  // No End activity at all.
+  const AclMessage reply = fixture.enact(broken, virolab::make_case_description());
+  EXPECT_EQ(reply.performative, Performative::Failure);
+}
+
+TEST(Coordination, RetriesOnAlternateContainerAfterFailure) {
+  // Containers fail 30% of dispatches; with retries the case still completes.
+  EnvironmentOptions options;
+  options.topology.container_failure_probability = 0.3;
+  options.coordination.max_retries = 4;
+  options.coordination.max_replans = 2;
+  options.seed = 101;
+  Fixture fixture(options);
+  const AclMessage reply =
+      fixture.enact(virolab::make_fig10_process(), virolab::make_case_description());
+  ASSERT_EQ(reply.performative, Performative::Inform) << reply.param("error");
+  EXPECT_EQ(reply.param("success"), "true");
+  EXPECT_EQ(reply.param("goal-satisfaction"), "1");
+}
+
+TEST(Coordination, ReplansWhenServiceLosesAllHosts) {
+  Fixture fixture;
+  // Enact a plan that needs POR, but take POR offline first: the dispatch
+  // fails outright, coordination triggers Figure 3 re-planning, and the new
+  // plan reaches the goal without POR.
+  auto& grid = fixture.environment->grid();
+  for (const auto* container : grid.containers_advertising("POR"))
+    grid.find_container(container->id())->unhost_service("POR");
+
+  const AclMessage reply =
+      fixture.enact(virolab::make_fig10_process(), virolab::make_case_description());
+  ASSERT_EQ(reply.performative, Performative::Inform) << reply.param("error");
+  EXPECT_EQ(reply.param("success"), "true");
+  EXPECT_NE(reply.param("replans"), "0");
+  EXPECT_EQ(reply.param("goal-satisfaction"), "1");
+  EXPECT_GE(fixture.environment->coordination().replans_triggered(), 1u);
+}
+
+TEST(Coordination, FailsAfterReplanBudgetExhausted) {
+  EnvironmentOptions options;
+  options.coordination.max_replans = 1;
+  Fixture fixture(options);
+  // No PSF anywhere: the goal (a resolution file) is unreachable, every
+  // plan eventually stalls, and the case fails gracefully.
+  auto& grid = fixture.environment->grid();
+  for (const auto* container : grid.containers_advertising("PSF"))
+    grid.find_container(container->id())->unhost_service("PSF");
+
+  const AclMessage reply =
+      fixture.enact(virolab::make_fig10_process(), virolab::make_case_description());
+  EXPECT_EQ(reply.performative, Performative::Failure);
+  EXPECT_EQ(fixture.environment->coordination().cases_failed(), 1u);
+}
+
+TEST(Coordination, TrivialLoopGuardTerminatesViaGuardrail) {
+  EnvironmentOptions options;
+  options.coordination.max_loop_iterations = 3;
+  Fixture fixture(options);
+  // A loop whose continue-guard is always true (as GP-evolved plans have)
+  // must still terminate through the loop-iteration guardrail.
+  const wfl::FlowExpr expr = wfl::parse_flow(
+      "BEGIN, POD; P3DR1=P3DR; {ITERATIVE {COND true} {P3DR2=P3DR}}; "
+      "{FORK {P3DR3=P3DR} {P3DR4=P3DR} JOIN}; PSF, END");
+  const wfl::ProcessDescription process = wfl::lower_to_process(expr, "looper");
+  const AclMessage reply = fixture.enact(process, virolab::make_case_description());
+  ASSERT_EQ(reply.performative, Performative::Inform) << reply.param("error");
+  EXPECT_EQ(reply.param("success"), "true");
+}
+
+TEST(Coordination, MultipleCasesSequentially) {
+  Fixture fixture;
+  for (int i = 0; i < 3; ++i) {
+    fixture.environment->kernels().reset();
+    const AclMessage reply =
+        fixture.enact(virolab::make_fig10_process(), virolab::make_case_description());
+    EXPECT_EQ(reply.param("success"), "true") << reply.param("error");
+  }
+  EXPECT_EQ(fixture.environment->coordination().cases_completed(), 3u);
+}
+
+TEST(Coordination, MakespanReflectsSlowWanStaging) {
+  // Same workload, but all inter-domain links throttled: makespan grows.
+  EnvironmentOptions fast_options;
+  fast_options.seed = 7;
+  Fixture fast(fast_options);
+  const AclMessage fast_reply =
+      fast.enact(virolab::make_fig10_process(), virolab::make_case_description());
+  ASSERT_EQ(fast_reply.param("success"), "true");
+
+  EnvironmentOptions slow_options;
+  slow_options.seed = 7;
+  Fixture slow(slow_options);
+  const auto domains = slow.environment->grid().domains();
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    for (std::size_t j = i + 1; j < domains.size(); ++j) {
+      slow.environment->grid().network().set_link(domains[i], domains[j], {5.0, 0.5});
+    }
+  }
+  slow.environment->grid().network().set_default_link({5.0, 0.5});
+  const AclMessage slow_reply =
+      slow.enact(virolab::make_fig10_process(), virolab::make_case_description());
+  ASSERT_EQ(slow_reply.param("success"), "true");
+  EXPECT_GT(std::stod(slow_reply.param("makespan")),
+            std::stod(fast_reply.param("makespan")));
+}
+
+}  // namespace
+}  // namespace ig::svc

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "wfl/data.hpp"
+
+namespace ig::wfl {
+namespace {
+
+TEST(DataSpec, PropertiesSetGet) {
+  DataSpec data("D1");
+  data.set("Classification", meta::Value("POD-Parameter"));
+  data.set("Size", meta::Value(0.003));
+  EXPECT_EQ(data.name(), "D1");
+  EXPECT_EQ(data.get("Classification").as_string(), "POD-Parameter");
+  EXPECT_TRUE(data.has("Size"));
+  EXPECT_FALSE(data.has("Missing"));
+  EXPECT_TRUE(data.get("Missing").is_none());
+}
+
+TEST(DataSpec, ClassificationShorthand) {
+  DataSpec data("D7");
+  data.with_classification("2D Image");
+  EXPECT_EQ(data.classification(), "2D Image");
+  DataSpec no_class("x");
+  EXPECT_EQ(no_class.classification(), "");
+}
+
+TEST(DataSpec, FluentChaining) {
+  DataSpec data = DataSpec("D8").with_classification("Orientation File")
+                      .with("Size", meta::Value(2.0))
+                      .with("Creator", meta::Value("POD"));
+  EXPECT_EQ(data.properties().size(), 3u);
+}
+
+TEST(DataSpec, OverwriteProperty) {
+  DataSpec data("D8");
+  data.set("Creator", meta::Value("POD"));
+  data.set("Creator", meta::Value("POR"));
+  EXPECT_EQ(data.get("Creator").as_string(), "POR");
+}
+
+TEST(DataSpec, DisplayString) {
+  DataSpec data("D12");
+  data.with_classification("Resolution File").with("Value", meta::Value(7.5));
+  const std::string display = data.to_display_string();
+  EXPECT_NE(display.find("D12"), std::string::npos);
+  EXPECT_NE(display.find("Resolution File"), std::string::npos);
+  EXPECT_NE(display.find("7.5"), std::string::npos);
+}
+
+TEST(DataSpec, Equality) {
+  DataSpec a("x");
+  a.with("k", meta::Value(1.0));
+  DataSpec b("x");
+  b.with("k", meta::Value(1.0));
+  EXPECT_EQ(a, b);
+  b.with("k", meta::Value(2.0));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DataSet, PutReplacesByName) {
+  DataSet set;
+  set.put(DataSpec("D8").with_classification("Orientation File"));
+  set.put(DataSpec("D8").with_classification("Refined"));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.find("D8")->classification(), "Refined");
+}
+
+TEST(DataSet, FindAndContains) {
+  DataSet set;
+  set.put(DataSpec("D1"));
+  EXPECT_TRUE(set.contains("D1"));
+  EXPECT_FALSE(set.contains("D2"));
+  EXPECT_EQ(set.find("D2"), nullptr);
+}
+
+TEST(DataSet, Remove) {
+  DataSet set;
+  set.put(DataSpec("D1"));
+  EXPECT_TRUE(set.remove("D1"));
+  EXPECT_FALSE(set.remove("D1"));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(DataSet, NamesPreserveInsertionOrder) {
+  DataSet set;
+  set.put(DataSpec("D3"));
+  set.put(DataSpec("D1"));
+  set.put(DataSpec("D2"));
+  const auto names = set.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "D3");
+  EXPECT_EQ(names[1], "D1");
+  EXPECT_EQ(names[2], "D2");
+}
+
+TEST(DataSet, WithClassification) {
+  DataSet set;
+  set.put(DataSpec("m1").with_classification("3D Model"));
+  set.put(DataSpec("m2").with_classification("3D Model"));
+  set.put(DataSpec("img").with_classification("2D Image"));
+  EXPECT_EQ(set.with_classification("3D Model").size(), 2u);
+  EXPECT_EQ(set.with_classification("2D Image").size(), 1u);
+  EXPECT_TRUE(set.with_classification("Nothing").empty());
+}
+
+TEST(DataSet, ConstructFromVector) {
+  DataSet set({DataSpec("a"), DataSpec("b"), DataSpec("a")});
+  EXPECT_EQ(set.size(), 2u);  // duplicate name collapses
+}
+
+}  // namespace
+}  // namespace ig::wfl

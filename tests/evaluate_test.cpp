@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "planner/evaluate.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+
+namespace ig::planner {
+namespace {
+
+PlanningProblem virolab_problem() {
+  return PlanningProblem::from_case(virolab::make_case_description(),
+                                    virolab::make_catalogue());
+}
+
+PlanNode seq(std::vector<const char*> services) {
+  std::vector<PlanNode> children;
+  for (const char* service : services) children.push_back(PlanNode::terminal(service));
+  return PlanNode::sequential(std::move(children));
+}
+
+TEST(Evaluate, MinimalValidPlanScoresPerfectValidityAndGoal) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  // POD -> P3DR -> P3DR -> PSF produces a resolution file. 5 nodes.
+  const Fitness fitness = evaluator.evaluate(seq({"POD", "P3DR", "P3DR", "PSF"}));
+  EXPECT_DOUBLE_EQ(fitness.validity, 1.0);
+  EXPECT_DOUBLE_EQ(fitness.goal, 1.0);
+  EXPECT_EQ(fitness.size, 5u);
+  EXPECT_DOUBLE_EQ(fitness.representation, 1.0 - 5.0 / 40.0);
+  // Eq. 4 with Table 1 weights.
+  EXPECT_NEAR(fitness.overall, 0.2 * 1.0 + 0.5 * 1.0 + 0.3 * 0.875, 1e-12);
+}
+
+TEST(Evaluate, InvalidOrderScoresPartialValidity) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  // PSF first: preconditions unmet, so 1 of 4 executions invalid... actually
+  // PSF fails (no models), POD ok, P3DR ok, P3DR ok -> 3/4 valid, no
+  // resolution file -> goal 0.
+  const Fitness fitness = evaluator.evaluate(seq({"PSF", "POD", "P3DR", "P3DR"}));
+  EXPECT_DOUBLE_EQ(fitness.validity, 0.75);
+  EXPECT_DOUBLE_EQ(fitness.goal, 0.0);
+}
+
+TEST(Evaluate, UnknownServiceCountsAsInvalid) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  const Fitness fitness = evaluator.evaluate(seq({"POD", "BOGUS"}));
+  EXPECT_DOUBLE_EQ(fitness.validity, 0.5);
+}
+
+TEST(Evaluate, Figure11TreeIsValidAndReachesGoal) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  const Fitness fitness = evaluator.evaluate(virolab::make_fig11_plan_tree());
+  EXPECT_DOUBLE_EQ(fitness.validity, 1.0);
+  EXPECT_DOUBLE_EQ(fitness.goal, 1.0);
+  EXPECT_EQ(fitness.size, 10u);
+  // f = 0.2 + 0.5 + 0.3 * (1 - 10/40) = 0.925
+  EXPECT_NEAR(fitness.overall, 0.925, 1e-12);
+}
+
+TEST(Evaluate, RepresentationFitnessCapsAtZero) {
+  EvaluationConfig config;
+  config.smax = 4;
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem, config);
+  const Fitness fitness = evaluator.evaluate(seq({"POD", "P3DR", "P3DR", "PSF"}));  // 5 nodes
+  EXPECT_DOUBLE_EQ(fitness.representation, 0.0);
+  EXPECT_GE(fitness.overall, 0.0);
+}
+
+TEST(Evaluate, SelectiveEnumeratesBranches) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  // Selective(POD, PSF): branch 1 valid (1/1), branch 2 invalid (0/1).
+  const PlanNode plan =
+      PlanNode::selective({PlanNode::terminal("POD"), PlanNode::terminal("PSF")});
+  const Fitness fitness = evaluator.evaluate(plan);
+  EXPECT_EQ(fitness.flows, 2u);
+  EXPECT_DOUBLE_EQ(fitness.validity, 0.5);  // totals across flows: 1 valid / 2 executed
+  EXPECT_DOUBLE_EQ(fitness.goal, 0.0);
+}
+
+TEST(Evaluate, IterativeUnrollsBothDepths) {
+  EvaluationConfig config;
+  config.max_unroll = 2;
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem, config);
+  const PlanNode plan = PlanNode::iterative({PlanNode::terminal("POD")});
+  const Fitness fitness = evaluator.evaluate(plan);
+  // Flows: one pass (1 execution) and two passes (2 executions).
+  EXPECT_EQ(fitness.flows, 2u);
+  EXPECT_DOUBLE_EQ(fitness.validity, 1.0);  // POD re-runs remain valid
+}
+
+TEST(Evaluate, GoalAveragedAcrossFlows) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  // One branch completes the pipeline, the other stops early:
+  // goal satisfied in exactly one of two flows.
+  std::vector<PlanNode> full;
+  full.push_back(PlanNode::terminal("POD"));
+  full.push_back(PlanNode::terminal("P3DR"));
+  full.push_back(PlanNode::terminal("P3DR"));
+  full.push_back(PlanNode::terminal("PSF"));
+  const PlanNode plan = PlanNode::selective(
+      {PlanNode::sequential(std::move(full)), PlanNode::terminal("POD")});
+  const Fitness fitness = evaluator.evaluate(plan);
+  EXPECT_EQ(fitness.flows, 2u);
+  EXPECT_DOUBLE_EQ(fitness.goal, 0.5);
+}
+
+TEST(Evaluate, FlowCapTruncates) {
+  EvaluationConfig config;
+  config.max_flows = 2;
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem, config);
+  // Nested selectives overflow a cap of 2; enumeration is clipped and the
+  // clipping is reported.
+  PlanNode plan = PlanNode::selective({PlanNode::terminal("POD"), PlanNode::terminal("POD")});
+  plan = PlanNode::selective({plan, PlanNode::terminal("POD")});
+  plan = PlanNode::selective({plan, PlanNode::terminal("POD")});
+  const Fitness fitness = evaluator.evaluate(plan);
+  EXPECT_LE(fitness.flows, 2u);
+  EXPECT_TRUE(fitness.flows_truncated);
+}
+
+TEST(Evaluate, EmptyGoalListCountsAsSatisfied) {
+  PlanningProblem problem = virolab_problem();
+  problem.goals.clear();
+  PlanEvaluator evaluator(problem);
+  const Fitness fitness = evaluator.evaluate(seq({"POD"}));
+  EXPECT_DOUBLE_EQ(fitness.goal, 1.0);
+}
+
+TEST(Evaluate, EvaluationCounter) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  evaluator.evaluate(seq({"POD"}));
+  evaluator.evaluate(seq({"POD"}));
+  EXPECT_EQ(evaluator.evaluations(), 2u);
+}
+
+TEST(Evaluate, ConcurrentPenalizesOrderDependentChildren) {
+  // Concurrent children may execute "in any order": a block whose children
+  // only work left-to-right is not truly concurrent. POD must precede P3DR,
+  // so Concurrent(POD, P3DR) fails in the reverse serialization.
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  const PlanNode bogus =
+      PlanNode::concurrent({PlanNode::terminal("POD"), PlanNode::terminal("P3DR")});
+  const Fitness fitness = evaluator.evaluate(bogus);
+  EXPECT_EQ(fitness.flows, 2u);
+  EXPECT_LT(fitness.validity, 1.0);
+
+  // Truly order-independent children stay fully valid.
+  std::vector<PlanNode> top;
+  top.push_back(PlanNode::terminal("POD"));
+  top.push_back(PlanNode::concurrent(
+      {PlanNode::terminal("P3DR"), PlanNode::terminal("P3DR")}));
+  const Fitness independent = evaluator.evaluate(PlanNode::sequential(std::move(top)));
+  EXPECT_DOUBLE_EQ(independent.validity, 1.0);
+}
+
+TEST(Evaluate, SingleOrderModeKeepsLegacySemantics) {
+  EvaluationConfig config;
+  config.concurrent_orders = 1;
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem, config);
+  const PlanNode bogus =
+      PlanNode::concurrent({PlanNode::terminal("POD"), PlanNode::terminal("P3DR")});
+  const Fitness fitness = evaluator.evaluate(bogus);
+  EXPECT_EQ(fitness.flows, 1u);
+  EXPECT_DOUBLE_EQ(fitness.validity, 1.0);  // left-to-right happens to work
+}
+
+TEST(Evaluate, ConcurrentExecutesAllChildren) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  std::vector<PlanNode> top;
+  top.push_back(PlanNode::terminal("POD"));
+  top.push_back(PlanNode::concurrent(
+      {PlanNode::terminal("P3DR"), PlanNode::terminal("P3DR"), PlanNode::terminal("P3DR")}));
+  top.push_back(PlanNode::terminal("PSF"));
+  const Fitness fitness = evaluator.evaluate(PlanNode::sequential(std::move(top)));
+  EXPECT_DOUBLE_EQ(fitness.validity, 1.0);
+  EXPECT_DOUBLE_EQ(fitness.goal, 1.0);
+}
+
+}  // namespace
+}  // namespace ig::planner

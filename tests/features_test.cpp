@@ -1,0 +1,481 @@
+// Tests for the extension features built on the paper's Section 1
+// motivations: enactment checkpoint/restore, soft-deadline matchmaking, and
+// hierarchical (DNS-style) information services.
+#include <gtest/gtest.h>
+
+#include "services/environment.hpp"
+#include "services/protocol.hpp"
+#include "services/user_interface.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+#include "wfl/xml_io.hpp"
+
+namespace ig::svc {
+namespace {
+
+using agent::AclMessage;
+using agent::Performative;
+
+class Client : public agent::Agent {
+ public:
+  explicit Client(std::string name = "ui") : Agent(std::move(name)) {}
+  void handle_message(const AclMessage& message) override { replies.push_back(message); }
+  void request(agent::AgentPlatform& platform, AclMessage message) {
+    message.sender = name();
+    platform.send(std::move(message));
+  }
+  const AclMessage* last_with(const std::string& protocol) const {
+    for (auto it = replies.rbegin(); it != replies.rend(); ++it) {
+      if (it->protocol == protocol) return &*it;
+    }
+    return nullptr;
+  }
+  std::vector<AclMessage> replies;
+};
+
+EnvironmentOptions small_options(std::uint64_t seed = 9) {
+  EnvironmentOptions options;
+  options.topology.domains = 2;
+  options.topology.nodes_per_domain = 3;
+  options.gp.population_size = 120;
+  options.gp.generations = 15;
+  options.seed = seed;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, SnapshotMidRunAndRestoreSkipsCompletedWork) {
+  auto environment = make_environment(small_options());
+  auto& platform = environment->platform();
+  auto& client = platform.spawn<Client>("ui");
+
+  AclMessage enact;
+  enact.performative = Performative::Request;
+  enact.receiver = names::kCoordination;
+  enact.protocol = protocols::kEnactCase;
+  enact.content = wfl::process_to_xml_string(virolab::make_fig10_process());
+  enact.params["case-xml"] = wfl::case_to_xml_string(virolab::make_case_description());
+  client.request(platform, enact);
+
+  // Run only part of the case: advance virtual time until at least one
+  // end-user activity has completed, then snapshot. (How long the first
+  // activity takes depends on the random topology, so probe in steps.)
+  const AclMessage* checkpoint = nullptr;
+  for (double horizon = 50.0; horizon <= 6400.0; horizon *= 2.0) {
+    environment->sim().run_until(horizon);
+    AclMessage snapshot;
+    snapshot.performative = Performative::Request;
+    snapshot.receiver = names::kCoordination;
+    snapshot.protocol = protocols::kCheckpointCase;
+    snapshot.params["case"] = "case-1";
+    client.request(platform, snapshot);
+    // Deliver only the checkpoint exchange, not the whole calendar.
+    environment->sim().run_until(environment->sim().now() + 1.0);
+    checkpoint = client.last_with(protocols::kCheckpointCase);
+    ASSERT_NE(checkpoint, nullptr);
+    if (checkpoint->performative == Performative::Failure) break;  // case finished
+    if (checkpoint->content.find("<completed") != std::string::npos) break;
+  }
+  ASSERT_NE(checkpoint, nullptr);
+  ASSERT_EQ(checkpoint->performative, Performative::Inform) << checkpoint->param("error");
+  ASSERT_NE(checkpoint->content.find("<completed"), std::string::npos)
+      << "no activity completed before the case ended";
+
+  // Restore into a *fresh* environment (the original machine is gone).
+  auto restored_env = make_environment(small_options(10));
+  auto& restored_platform = restored_env->platform();
+  auto& restored_client = restored_platform.spawn<Client>("ui");
+  AclMessage restore;
+  restore.performative = Performative::Request;
+  restore.receiver = names::kCoordination;
+  restore.protocol = protocols::kRestoreCase;
+  restore.content = checkpoint->content;
+  restored_client.request(restored_platform, restore);
+  restored_env->run();
+
+  const AclMessage* outcome = restored_client.last_with(protocols::kCaseCompleted);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->param("success"), "true") << outcome->param("error");
+  // Work done before the checkpoint was replayed from the snapshot, not
+  // re-executed.
+  EXPECT_GT(std::stoi(outcome->param("activities-replayed")), 0);
+}
+
+TEST(Checkpoint, UnknownCaseFails) {
+  auto environment = make_environment(small_options());
+  auto& client = environment->platform().spawn<Client>("ui");
+  AclMessage snapshot;
+  snapshot.performative = Performative::Request;
+  snapshot.receiver = names::kCoordination;
+  snapshot.protocol = protocols::kCheckpointCase;
+  snapshot.params["case"] = "case-999";
+  client.request(environment->platform(), snapshot);
+  environment->run();
+  ASSERT_FALSE(client.replies.empty());
+  EXPECT_EQ(client.replies.back().performative, Performative::Failure);
+}
+
+TEST(Checkpoint, RestoreRejectsGarbage) {
+  auto environment = make_environment(small_options());
+  auto& client = environment->platform().spawn<Client>("ui");
+  AclMessage restore;
+  restore.performative = Performative::Request;
+  restore.receiver = names::kCoordination;
+  restore.protocol = protocols::kRestoreCase;
+  restore.content = "<not-a-checkpoint/>";
+  client.request(environment->platform(), restore);
+  environment->run();
+  ASSERT_FALSE(client.replies.empty());
+  EXPECT_EQ(client.replies.back().performative, Performative::Failure);
+}
+
+TEST(Checkpoint, DocumentCarriesProcessCaseDataAndCompletions) {
+  auto environment = make_environment(small_options(55));
+  auto& platform = environment->platform();
+  auto& client = platform.spawn<Client>("ui");
+  AclMessage enact;
+  enact.performative = Performative::Request;
+  enact.receiver = names::kCoordination;
+  enact.protocol = protocols::kEnactCase;
+  enact.content = wfl::process_to_xml_string(virolab::make_fig10_process());
+  enact.params["case-xml"] = wfl::case_to_xml_string(virolab::make_case_description());
+  client.request(platform, enact);
+  environment->run();  // run the case to completion
+
+  AclMessage snapshot;
+  snapshot.performative = Performative::Request;
+  snapshot.receiver = names::kCoordination;
+  snapshot.protocol = protocols::kCheckpointCase;
+  snapshot.params["case"] = "case-1";
+  client.request(platform, snapshot);
+  environment->run();
+
+  const AclMessage* checkpoint = client.last_with(protocols::kCheckpointCase);
+  ASSERT_NE(checkpoint, nullptr);
+  ASSERT_EQ(checkpoint->performative, Performative::Inform);
+  const xml::Document document = xml::parse(checkpoint->content);
+  EXPECT_EQ(document.root().name(), "checkpoint");
+  // All four sections are present and parse back into their models.
+  EXPECT_NO_THROW(wfl::process_from_xml_string(document.root().child_text("process-xml")));
+  EXPECT_NO_THROW(wfl::case_from_xml_string(document.root().child_text("case-xml")));
+  const wfl::DataSet data =
+      wfl::dataset_from_xml_string(document.root().child_text("dataset-xml"));
+  EXPECT_FALSE(data.with_classification("Resolution File").empty());
+  const xml::Element* completions = document.root().find_child("completions");
+  ASSERT_NE(completions, nullptr);
+  // 7 distinct end-user activities completed (loop activities with count 2).
+  EXPECT_EQ(completions->find_children("completed").size(), 7u);
+  int loop_counts = 0;
+  for (const auto* node : completions->find_children("completed")) {
+    if (node->attribute_or("count", "") == "2") ++loop_counts;
+  }
+  EXPECT_EQ(loop_counts, 5);  // POR, P3DR2-4, PSF ran twice
+}
+
+TEST(Checkpoint, RestoredCaseReproducesFinalData) {
+  // Checkpoint taken after completion-equivalent progress restores to the
+  // same goal state without dispatching everything again.
+  auto environment = make_environment(small_options(21));
+  auto& platform = environment->platform();
+  auto& client = platform.spawn<Client>("ui");
+  AclMessage enact;
+  enact.performative = Performative::Request;
+  enact.receiver = names::kCoordination;
+  enact.protocol = protocols::kEnactCase;
+  enact.content = wfl::process_to_xml_string(virolab::make_fig10_process());
+  enact.params["case-xml"] = wfl::case_to_xml_string(virolab::make_case_description());
+  client.request(platform, enact);
+  environment->run();
+  const AclMessage* first = client.last_with(protocols::kCaseCompleted);
+  ASSERT_NE(first, nullptr);
+  ASSERT_EQ(first->param("success"), "true");
+}
+
+// ---------------------------------------------------------------------------
+// Deadline matchmaking
+// ---------------------------------------------------------------------------
+
+struct DeadlineFixture {
+  DeadlineFixture() {
+    environment = make_environment(small_options(33));
+    // A hand-made pair of hosts: one fast, one slow, both offering POD.
+    auto& grid = environment->grid();
+    grid::HardwareSpec fast;
+    fast.speed = 100.0;
+    grid.add_node("fast-node", "fast", "domain1", fast);
+    grid::HardwareSpec slow;
+    slow.speed = 0.01;
+    grid.add_node("slow-node", "slow", "domain1", slow);
+    grid.add_container("fast-ac", "fast-node").host_service("POD");
+    grid.add_container("slow-ac", "slow-node").host_service("POD");
+  }
+  std::unique_ptr<Environment> environment;
+};
+
+TEST(DeadlineMatchmaking, TightDeadlinePrefersFeasibleHosts) {
+  DeadlineFixture fixture;
+  auto& matchmaking = fixture.environment->matchmaking();
+  // POD costs 40 work units: the slow node needs 4000 s, the fast one 0.4 s.
+  const auto ranked = matchmaking.rank_deadline("POD", {}, /*work=*/40.0,
+                                                /*deadline_s=*/10.0, /*now=*/0.0);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front(), "fast-ac");
+  // The infeasible slow host still appears, but last (best-effort tail).
+  EXPECT_EQ(ranked.back(), "slow-ac");
+}
+
+TEST(DeadlineMatchmaking, ImpossibleDeadlineFallsBackToFastest) {
+  DeadlineFixture fixture;
+  auto& matchmaking = fixture.environment->matchmaking();
+  const auto ranked =
+      matchmaking.rank_deadline("POD", {}, /*work=*/40.0, /*deadline_s=*/1e-9, /*now=*/0.0);
+  ASSERT_FALSE(ranked.empty());
+  // Nothing is feasible; candidates are ordered by expected duration.
+  EXPECT_EQ(ranked.front(), "fast-ac");
+}
+
+TEST(DeadlineMatchmaking, HistoryOverridesOptimisticEstimate) {
+  DeadlineFixture fixture;
+  // Report a history of very slow executions on the fast container.
+  auto& platform = fixture.environment->platform();
+  auto& client = platform.spawn<Client>("ui2");
+  for (int i = 0; i < 3; ++i) {
+    AclMessage report;
+    report.performative = Performative::Inform;
+    report.receiver = names::kBrokerage;
+    report.protocol = protocols::kReportPerformance;
+    report.params["container"] = "fast-ac";
+    report.params["outcome"] = "success";
+    report.params["duration"] = "5000";
+    client.request(platform, report);
+  }
+  fixture.environment->run();
+  const double estimate = fixture.environment->matchmaking().expected_duration(
+      *fixture.environment->grid().find_container("fast-ac"), 40.0, 0.0);
+  EXPECT_GE(estimate, 5000.0);  // history dominates the model estimate
+}
+
+TEST(DeadlineMatchmaking, WireProtocolCarriesWorkAndDeadline) {
+  DeadlineFixture fixture;
+  auto& client = fixture.environment->platform().spawn<Client>("ui3");
+  AclMessage query;
+  query.performative = Performative::QueryRef;
+  query.receiver = names::kMatchmaking;
+  query.protocol = protocols::kFindContainer;
+  query.params["service"] = "POD";
+  query.params["strategy"] = "deadline";
+  query.params["work"] = "40";
+  query.params["deadline"] = "10";
+  client.request(fixture.environment->platform(), query);
+  fixture.environment->run();
+  ASSERT_FALSE(client.replies.empty());
+  EXPECT_EQ(client.replies.back().param("container"), "fast-ac");
+}
+
+// ---------------------------------------------------------------------------
+// Spot-market cost accounting
+// ---------------------------------------------------------------------------
+
+TEST(CostAccounting, CheapestStrategyPrefersLowPrice) {
+  auto environment = make_environment(small_options(44));
+  auto& grid = environment->grid();
+  grid::HardwareSpec hw;
+  grid.add_node("n-exp", "expensive", "domain1", hw);
+  grid.add_node("n-chp", "cheap", "domain1", hw);
+  auto& expensive = grid.add_container("exp-ac", "n-exp");
+  expensive.host_service("POD");
+  expensive.set_price_factor(5.0);
+  auto& cheap = grid.add_container("chp-ac", "n-chp");
+  cheap.host_service("POD");
+  cheap.set_price_factor(0.1);
+
+  const auto ranked =
+      environment->matchmaking().rank("POD", {}, MatchStrategy::Cheapest);
+  ASSERT_GE(ranked.size(), 2u);
+  // The cheap hand-made container outranks the expensive one.
+  std::size_t cheap_rank = ranked.size();
+  std::size_t expensive_rank = ranked.size();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i] == "chp-ac") cheap_rank = i;
+    if (ranked[i] == "exp-ac") expensive_rank = i;
+  }
+  EXPECT_LT(cheap_rank, expensive_rank);
+}
+
+TEST(CostAccounting, EnactmentReportsTotalCost) {
+  auto environment = make_environment(small_options(45));
+  auto& ui = environment->platform().spawn<UserInterfaceAgent>("ui");
+  ui.submit_process(virolab::make_fig10_process(), virolab::make_case_description());
+  environment->run();
+  ASSERT_TRUE(ui.finished());
+  ASSERT_TRUE(ui.outcome().success) << ui.outcome().error;
+  // 12 executions with per-service costs 3..10 and price factors 0.5..2:
+  // the total is strictly positive and bounded by worst-case pricing.
+  EXPECT_GT(ui.outcome().total_cost, 0.0);
+  EXPECT_LT(ui.outcome().total_cost, 12 * 10.0 * 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// UserInterfaceAgent
+// ---------------------------------------------------------------------------
+
+TEST(UserInterface, SubmitCasePlansAndEnacts) {
+  auto environment = make_environment(small_options(46));
+  auto& ui = environment->platform().spawn<UserInterfaceAgent>("ui");
+  int plan_callbacks = 0;
+  int outcome_callbacks = 0;
+  ui.on_plan([&](const wfl::ProcessDescription& process) {
+    ++plan_callbacks;
+    EXPECT_GT(process.end_user_activity_count(), 0u);
+  });
+  ui.on_outcome([&](const TaskOutcome& outcome) {
+    ++outcome_callbacks;
+    EXPECT_TRUE(outcome.success) << outcome.error;
+  });
+  ui.submit_case(virolab::make_case_description(), /*seed=*/7);
+  environment->run();
+  EXPECT_EQ(plan_callbacks, 1);
+  EXPECT_EQ(outcome_callbacks, 1);
+  ASSERT_TRUE(ui.finished());
+  EXPECT_TRUE(ui.outcome().success);
+  EXPECT_DOUBLE_EQ(ui.outcome().goal_satisfaction, 1.0);
+  ASSERT_TRUE(ui.plan().has_value());
+  // The final data holds a resolution file.
+  EXPECT_FALSE(ui.outcome().final_data.with_classification("Resolution File").empty());
+}
+
+TEST(UserInterface, SubmitProcessSkipsPlanning) {
+  auto environment = make_environment(small_options(47));
+  auto& ui = environment->platform().spawn<UserInterfaceAgent>("ui");
+  ui.submit_process(virolab::make_fig10_process(), virolab::make_case_description());
+  environment->run();
+  ASSERT_TRUE(ui.finished());
+  EXPECT_TRUE(ui.outcome().success) << ui.outcome().error;
+  EXPECT_EQ(ui.outcome().activities_executed, 12);
+  EXPECT_EQ(environment->planning().plans_produced(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical information services
+// ---------------------------------------------------------------------------
+
+TEST(HierarchicalInformation, LocalMissDelegatesToParent) {
+  grid::Simulation sim;
+  agent::AgentPlatform platform(sim);
+  auto& root = platform.spawn<InformationService>("is-root");
+  auto& leaf = platform.spawn<InformationService>("is-leaf", "is-root");
+  auto& client = platform.spawn<Client>("ui");
+
+  // Register a provider only at the root.
+  AclMessage registration;
+  registration.performative = Performative::Request;
+  registration.receiver = "is-root";
+  registration.protocol = protocols::kRegister;
+  registration.params["type"] = "planning";
+  registration.params["provider"] = "ps-global";
+  client.request(platform, registration);
+  sim.run();
+
+  // Query the leaf: it misses locally, asks the root, and relays.
+  AclMessage query;
+  query.performative = Performative::QueryRef;
+  query.receiver = "is-leaf";
+  query.protocol = protocols::kQueryService;
+  query.params["type"] = "planning";
+  client.request(platform, query);
+  sim.run();
+
+  const AclMessage* reply = client.last_with(protocols::kQueryService);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->param("providers"), "ps-global");
+  EXPECT_EQ(reply->param("resolved-by"), "is-root");
+  EXPECT_EQ(leaf.delegated_queries(), 1u);
+  EXPECT_EQ(root.parent(), "");
+}
+
+TEST(HierarchicalInformation, LocalHitDoesNotDelegate) {
+  grid::Simulation sim;
+  agent::AgentPlatform platform(sim);
+  platform.spawn<InformationService>("is-root");
+  auto& leaf = platform.spawn<InformationService>("is-leaf", "is-root");
+  auto& client = platform.spawn<Client>("ui");
+
+  AclMessage registration;
+  registration.performative = Performative::Request;
+  registration.receiver = "is-leaf";
+  registration.protocol = protocols::kRegister;
+  registration.params["type"] = "planning";
+  registration.params["provider"] = "ps-local";
+  client.request(platform, registration);
+  sim.run();
+
+  AclMessage query;
+  query.performative = Performative::QueryRef;
+  query.receiver = "is-leaf";
+  query.protocol = protocols::kQueryService;
+  query.params["type"] = "planning";
+  client.request(platform, query);
+  sim.run();
+
+  const AclMessage* reply = client.last_with(protocols::kQueryService);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->param("providers"), "ps-local");
+  EXPECT_FALSE(reply->has_param("resolved-by"));
+  EXPECT_EQ(leaf.delegated_queries(), 0u);
+}
+
+TEST(HierarchicalInformation, MissEverywhereYieldsEmptyAnswer) {
+  grid::Simulation sim;
+  agent::AgentPlatform platform(sim);
+  platform.spawn<InformationService>("is-root");
+  platform.spawn<InformationService>("is-leaf", "is-root");
+  auto& client = platform.spawn<Client>("ui");
+
+  AclMessage query;
+  query.performative = Performative::QueryRef;
+  query.receiver = "is-leaf";
+  query.protocol = protocols::kQueryService;
+  query.params["type"] = "time-travel";
+  client.request(platform, query);
+  sim.run();
+
+  const AclMessage* reply = client.last_with(protocols::kQueryService);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->param("providers"), "");
+}
+
+TEST(HierarchicalInformation, ThreeLevelChain) {
+  grid::Simulation sim;
+  agent::AgentPlatform platform(sim);
+  platform.spawn<InformationService>("is-root");
+  platform.spawn<InformationService>("is-mid", "is-root");
+  platform.spawn<InformationService>("is-leaf", "is-mid");
+  auto& client = platform.spawn<Client>("ui");
+
+  AclMessage registration;
+  registration.performative = Performative::Request;
+  registration.receiver = "is-root";
+  registration.protocol = protocols::kRegister;
+  registration.params["type"] = "ontology";
+  registration.params["provider"] = "os-global";
+  client.request(platform, registration);
+  sim.run();
+
+  AclMessage query;
+  query.performative = Performative::QueryRef;
+  query.receiver = "is-leaf";
+  query.protocol = protocols::kQueryService;
+  query.params["type"] = "ontology";
+  client.request(platform, query);
+  sim.run();
+
+  const AclMessage* reply = client.last_with(protocols::kQueryService);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->param("providers"), "os-global");
+}
+
+}  // namespace
+}  // namespace ig::svc

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "wfl/flowexpr.hpp"
+
+namespace ig::wfl {
+namespace {
+
+TEST(FlowExpr, ActivityFactory) {
+  const FlowExpr activity = FlowExpr::activity("P3DR1", "P3DR");
+  EXPECT_EQ(activity.kind, FlowExpr::Kind::Activity);
+  EXPECT_EQ(activity.name, "P3DR1");
+  EXPECT_EQ(activity.service, "P3DR");
+  // Service defaults to the name.
+  EXPECT_EQ(FlowExpr::activity("POD").service, "POD");
+}
+
+TEST(FlowExpr, SequenceOfOneCollapses) {
+  std::vector<FlowExpr> one;
+  one.push_back(FlowExpr::activity("POD"));
+  const FlowExpr collapsed = FlowExpr::sequence(std::move(one));
+  EXPECT_EQ(collapsed.kind, FlowExpr::Kind::Activity);
+}
+
+TEST(FlowExpr, SelectiveGuardCountChecked) {
+  std::vector<FlowExpr> branches;
+  branches.push_back(FlowExpr::activity("A"));
+  EXPECT_THROW(FlowExpr::selective({}, std::move(branches)), FlowParseError);
+}
+
+TEST(FlowExpr, Counts) {
+  const FlowExpr expr = parse_flow("BEGIN, POD; {FORK {P3DR} {P3DR} JOIN}; PSF, END");
+  EXPECT_EQ(expr.activity_count(), 4u);
+  // seq + 2 leaf + fork node + 2 leaves... node_count: Sequence(3 children:
+  // POD, Concurrent(2), PSF) = 1+1+ (1+2) +1 = 6
+  EXPECT_EQ(expr.node_count(), 6u);
+  EXPECT_EQ(expr.depth(), 3u);
+}
+
+TEST(FlowExpr, ServiceReferences) {
+  const FlowExpr expr = parse_flow("BEGIN, POD; P3DR1=P3DR; P3DR2=P3DR, END");
+  const auto services = expr.service_references();
+  ASSERT_EQ(services.size(), 3u);
+  EXPECT_EQ(services[0], "POD");
+  EXPECT_EQ(services[1], "P3DR");
+  EXPECT_EQ(services[2], "P3DR");
+}
+
+TEST(FlowParse, BareSequence) {
+  const FlowExpr expr = parse_flow("A; B; C");
+  EXPECT_EQ(expr.kind, FlowExpr::Kind::Sequence);
+  EXPECT_EQ(expr.children.size(), 3u);
+}
+
+TEST(FlowParse, BeginEndWrapper) {
+  const FlowExpr expr = parse_flow("BEGIN, A; B, END");
+  EXPECT_EQ(expr.kind, FlowExpr::Kind::Sequence);
+  EXPECT_EQ(expr.children.size(), 2u);
+}
+
+TEST(FlowParse, NameEqualsService) {
+  const FlowExpr expr = parse_flow("P3DR1=P3DR");
+  EXPECT_EQ(expr.name, "P3DR1");
+  EXPECT_EQ(expr.service, "P3DR");
+}
+
+TEST(FlowParse, Fork) {
+  const FlowExpr expr = parse_flow("{FORK {A; B} {C} JOIN}");
+  EXPECT_EQ(expr.kind, FlowExpr::Kind::Concurrent);
+  ASSERT_EQ(expr.children.size(), 2u);
+  EXPECT_EQ(expr.children[0].kind, FlowExpr::Kind::Sequence);
+  EXPECT_EQ(expr.children[1].kind, FlowExpr::Kind::Activity);
+}
+
+TEST(FlowParse, Choice) {
+  const FlowExpr expr =
+      parse_flow("{CHOICE {X.V > 1} {A} {X.V <= 1} {B; C} MERGE}");
+  EXPECT_EQ(expr.kind, FlowExpr::Kind::Selective);
+  ASSERT_EQ(expr.children.size(), 2u);
+  ASSERT_EQ(expr.guards.size(), 2u);
+  EXPECT_EQ(expr.guards[0].to_string(), "X.V > 1");
+  EXPECT_EQ(expr.children[1].children.size(), 2u);
+}
+
+TEST(FlowParse, ChoiceEmptyBranch) {
+  const FlowExpr expr = parse_flow("{CHOICE {X.V > 1} {A} {X.V <= 1} {} MERGE}");
+  ASSERT_EQ(expr.children.size(), 2u);
+  EXPECT_EQ(expr.children[1].kind, FlowExpr::Kind::Sequence);
+  EXPECT_TRUE(expr.children[1].children.empty());
+}
+
+TEST(FlowParse, Iterative) {
+  const FlowExpr expr = parse_flow("{ITERATIVE {COND R.Value > 8} {A; B}}");
+  EXPECT_EQ(expr.kind, FlowExpr::Kind::Iterative);
+  ASSERT_EQ(expr.children.size(), 1u);
+  ASSERT_EQ(expr.guards.size(), 1u);
+  EXPECT_EQ(expr.guards[0].to_string(), "R.Value > 8");
+  EXPECT_EQ(expr.children[0].children.size(), 2u);
+}
+
+TEST(FlowParse, NestedStructures) {
+  const FlowExpr expr = parse_flow(
+      "BEGIN, POD; {ITERATIVE {COND R.Value > 8} "
+      "{POR; {FORK {P3DR} {P3DR} {P3DR} JOIN}; PSF}}, END");
+  EXPECT_EQ(expr.activity_count(), 6u);
+  const FlowExpr& loop = expr.children[1];
+  EXPECT_EQ(loop.kind, FlowExpr::Kind::Iterative);
+  EXPECT_EQ(loop.children[0].children[1].kind, FlowExpr::Kind::Concurrent);
+}
+
+TEST(FlowParse, Errors) {
+  EXPECT_THROW(parse_flow("BEGIN, A"), FlowParseError);           // missing END
+  EXPECT_THROW(parse_flow("{FORK JOIN}"), FlowParseError);        // no branches
+  EXPECT_THROW(parse_flow("{CHOICE MERGE}"), FlowParseError);     // no branches
+  EXPECT_THROW(parse_flow("{WAT {A} }"), FlowParseError);         // unknown keyword
+  EXPECT_THROW(parse_flow("A; "), FlowParseError);                // dangling separator
+  EXPECT_THROW(parse_flow("{FORK {A} {B} JOIN} trailing"), FlowParseError);
+  EXPECT_THROW(parse_flow("{ITERATIVE {COND x.y > 1} {A}"), FlowParseError);  // missing brace
+}
+
+TEST(FlowRoundTrip, TextToExprToText) {
+  const char* cases[] = {
+      "BEGIN, POD, END",
+      "BEGIN, POD; P3DR, END",
+      "BEGIN, {FORK {A} {B; C} JOIN}, END",
+      "BEGIN, {CHOICE {X.V > 1} {A} {X.V <= 1} {B} MERGE}, END",
+      "BEGIN, {ITERATIVE {COND R.Value > 8} {POR; PSF}}, END",
+      "BEGIN, POD; P3DR1=P3DR; {ITERATIVE {COND R.Value > 8} "
+      "{POR; {FORK {P3DR2=P3DR} {P3DR3=P3DR} {P3DR4=P3DR} JOIN}; PSF}}, END",
+  };
+  for (const char* text : cases) {
+    const FlowExpr parsed = parse_flow(text);
+    const FlowExpr reparsed = parse_flow(parsed.to_text());
+    EXPECT_TRUE(parsed == reparsed) << text << "\n -> " << parsed.to_text();
+  }
+}
+
+TEST(FlowRoundTrip, TreeStringMentionsStructure) {
+  const FlowExpr expr = parse_flow(
+      "BEGIN, POD; {ITERATIVE {COND R.Value > 8} {POR}}, END");
+  const std::string tree = expr.to_tree_string();
+  EXPECT_NE(tree.find("Sequential"), std::string::npos);
+  EXPECT_NE(tree.find("Iterative"), std::string::npos);
+  EXPECT_NE(tree.find("POD"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ig::wfl

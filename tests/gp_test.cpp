@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "planner/gp.hpp"
+#include "virolab/catalogue.hpp"
+
+namespace ig::planner {
+namespace {
+
+PlanningProblem virolab_problem() {
+  return PlanningProblem::from_case(virolab::make_case_description(),
+                                    virolab::make_catalogue());
+}
+
+GpConfig quick_config(std::uint64_t seed) {
+  GpConfig config;  // Table 1 defaults
+  config.population_size = 80;  // smaller than the paper for test speed
+  config.generations = 15;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Gp, FindsValidGoalReachingPlan) {
+  const PlanningProblem problem = virolab_problem();
+  const GpResult result = run_gp(problem, quick_config(1));
+  EXPECT_DOUBLE_EQ(result.best_fitness.validity, 1.0);
+  EXPECT_DOUBLE_EQ(result.best_fitness.goal, 1.0);
+  EXPECT_LE(result.best_fitness.size, 40u);
+  EXPECT_EQ(check_structure(result.best_plan), "");
+}
+
+TEST(Gp, DeterministicForSeed) {
+  const PlanningProblem problem = virolab_problem();
+  const GpResult a = run_gp(problem, quick_config(7));
+  const GpResult b = run_gp(problem, quick_config(7));
+  EXPECT_EQ(a.best_plan, b.best_plan);
+  EXPECT_DOUBLE_EQ(a.best_fitness.overall, b.best_fitness.overall);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.history[i].mean_fitness, b.history[i].mean_fitness);
+}
+
+TEST(Gp, DifferentSeedsExploreDifferently) {
+  const PlanningProblem problem = virolab_problem();
+  const GpResult a = run_gp(problem, quick_config(1));
+  const GpResult b = run_gp(problem, quick_config(2));
+  // Histories should diverge even if both converge to fitness-equivalent plans.
+  bool diverged = false;
+  for (std::size_t i = 0; i < std::min(a.history.size(), b.history.size()); ++i) {
+    if (a.history[i].mean_fitness != b.history[i].mean_fitness) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Gp, BestFitnessMonotoneWithElitism) {
+  const PlanningProblem problem = virolab_problem();
+  GpConfig config = quick_config(3);
+  config.elitism = 1;
+  const GpResult result = run_gp(problem, config);
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i].best_fitness + 1e-12, result.history[i - 1].best_fitness);
+  }
+}
+
+TEST(Gp, HistoryCoversAllGenerations) {
+  const PlanningProblem problem = virolab_problem();
+  GpConfig config = quick_config(4);
+  config.target_fitness.reset();
+  const GpResult result = run_gp(problem, config);
+  EXPECT_EQ(result.history.size(), config.generations + 1);  // includes gen 0
+  EXPECT_EQ(result.history.front().generation, 0u);
+  EXPECT_EQ(result.history.back().generation, config.generations);
+}
+
+TEST(Gp, TargetFitnessStopsEarly) {
+  const PlanningProblem problem = virolab_problem();
+  GpConfig config = quick_config(5);
+  config.target_fitness = 0.1;  // trivially reached in generation 0
+  const GpResult result = run_gp(problem, config);
+  EXPECT_EQ(result.history.size(), 1u);
+}
+
+TEST(Gp, EvaluationsAccounted) {
+  const PlanningProblem problem = virolab_problem();
+  GpConfig config = quick_config(6);
+  const GpResult result = run_gp(problem, config);
+  EXPECT_EQ(result.evaluations, config.population_size * (config.generations + 1));
+}
+
+TEST(Gp, RouletteSelectionAlsoConverges) {
+  const PlanningProblem problem = virolab_problem();
+  GpConfig config = quick_config(8);
+  config.selection = SelectionScheme::Roulette;
+  const GpResult result = run_gp(problem, config);
+  EXPECT_GE(result.best_fitness.goal, 1.0);
+}
+
+TEST(Gp, PaperParametersReachOptimalFitness) {
+  // The Table 2 claim: with Table 1's parameters the planner finds a valid
+  // plan reaching the goal in every run. One full-size run as a test; the
+  // ten-run experiment lives in bench_table2_planning.
+  const PlanningProblem problem = virolab_problem();
+  GpConfig config;  // exact Table 1 defaults: pop 200, 20 generations
+  config.seed = 2004;
+  const GpResult result = run_gp(problem, config);
+  EXPECT_DOUBLE_EQ(result.best_fitness.validity, 1.0);
+  EXPECT_DOUBLE_EQ(result.best_fitness.goal, 1.0);
+  EXPECT_LT(result.best_fitness.size, 15u);
+  EXPECT_GT(result.best_fitness.overall, 0.9);
+}
+
+}  // namespace
+}  // namespace ig::planner

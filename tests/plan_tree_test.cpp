@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "planner/plan_tree.hpp"
+#include "virolab/workflow.hpp"
+
+namespace ig::planner {
+namespace {
+
+PlanNode sample() {
+  // Sequential(POD, Concurrent(P3DR, P3DR), PSF) — 6 nodes.
+  std::vector<PlanNode> concurrent;
+  concurrent.push_back(PlanNode::terminal("P3DR"));
+  concurrent.push_back(PlanNode::terminal("P3DR"));
+  std::vector<PlanNode> top;
+  top.push_back(PlanNode::terminal("POD"));
+  top.push_back(PlanNode::concurrent(std::move(concurrent)));
+  top.push_back(PlanNode::terminal("PSF"));
+  return PlanNode::sequential(std::move(top));
+}
+
+TEST(PlanTree, SizeDepthTerminals) {
+  const PlanNode tree = sample();
+  EXPECT_EQ(tree.size(), 6u);
+  EXPECT_EQ(tree.depth(), 3u);
+  EXPECT_EQ(tree.terminal_count(), 4u);
+  EXPECT_EQ(PlanNode::terminal("X").size(), 1u);
+  EXPECT_EQ(PlanNode::terminal("X").depth(), 1u);
+}
+
+TEST(PlanTree, PreorderIndexing) {
+  const PlanNode tree = sample();
+  EXPECT_EQ(tree.at_preorder(0).kind, PlanNode::Kind::Sequential);
+  EXPECT_EQ(tree.at_preorder(1).service, "POD");
+  EXPECT_EQ(tree.at_preorder(2).kind, PlanNode::Kind::Concurrent);
+  EXPECT_EQ(tree.at_preorder(3).service, "P3DR");
+  EXPECT_EQ(tree.at_preorder(4).service, "P3DR");
+  EXPECT_EQ(tree.at_preorder(5).service, "PSF");
+  EXPECT_THROW(tree.at_preorder(6), std::out_of_range);
+}
+
+TEST(PlanTree, ReplaceSubtree) {
+  PlanNode tree = sample();
+  tree.replace_at_preorder(2, PlanNode::terminal("POR"));
+  EXPECT_EQ(tree.size(), 4u);
+  EXPECT_EQ(tree.at_preorder(2).service, "POR");
+  // Replacing the root swaps the whole tree.
+  tree.replace_at_preorder(0, PlanNode::terminal("ONLY"));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.service, "ONLY");
+}
+
+TEST(PlanTree, Equality) {
+  EXPECT_EQ(sample(), sample());
+  PlanNode changed = sample();
+  changed.replace_at_preorder(5, PlanNode::terminal("POR"));
+  EXPECT_FALSE(sample() == changed);
+}
+
+TEST(PlanTree, IterativeHoldsBodyAsChildren) {
+  // Figure 11: the iterative node's children are the loop body in order.
+  const PlanNode tree = virolab::make_fig11_plan_tree();
+  ASSERT_EQ(tree.kind, PlanNode::Kind::Sequential);
+  ASSERT_EQ(tree.children.size(), 3u);
+  const PlanNode& loop = tree.children[2];
+  EXPECT_EQ(loop.kind, PlanNode::Kind::Iterative);
+  ASSERT_EQ(loop.children.size(), 3u);
+  EXPECT_EQ(loop.children[0].service, "POR");
+  EXPECT_EQ(loop.children[1].kind, PlanNode::Kind::Concurrent);
+  EXPECT_EQ(loop.children[2].service, "PSF");
+  EXPECT_FALSE(loop.continue_condition.is_trivially_true());
+}
+
+TEST(PlanTree, Figure11Size) {
+  // POD, P3DR, POR, P3DR x3, PSF = 7 terminals; Sequential + Iterative +
+  // Concurrent = 3 controllers; 10 nodes total (paper: average size < 10).
+  const PlanNode tree = virolab::make_fig11_plan_tree();
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.terminal_count(), 7u);
+}
+
+TEST(PlanTree, TreeStringShowsStructure) {
+  const std::string text = virolab::make_fig11_plan_tree().to_tree_string();
+  EXPECT_NE(text.find("Sequential"), std::string::npos);
+  EXPECT_NE(text.find("Iterative"), std::string::npos);
+  EXPECT_NE(text.find("Concurrent"), std::string::npos);
+  EXPECT_NE(text.find("POD"), std::string::npos);
+}
+
+TEST(PlanTree, StructureChecks) {
+  EXPECT_EQ(check_structure(sample()), "");
+  // Controller without children.
+  PlanNode empty_controller;
+  empty_controller.kind = PlanNode::Kind::Sequential;
+  EXPECT_NE(check_structure(empty_controller), "");
+  // Terminal with children.
+  PlanNode bad_terminal = PlanNode::terminal("X");
+  bad_terminal.children.push_back(PlanNode::terminal("Y"));
+  EXPECT_NE(check_structure(bad_terminal), "");
+  // Terminal without service.
+  EXPECT_NE(check_structure(PlanNode::terminal("")), "");
+  // Selective guard mismatch.
+  PlanNode selective = PlanNode::selective({PlanNode::terminal("A")});
+  selective.guards.clear();
+  EXPECT_NE(check_structure(selective), "");
+}
+
+TEST(PlanTree, SelectiveDefaultsGuards) {
+  const PlanNode selective =
+      PlanNode::selective({PlanNode::terminal("A"), PlanNode::terminal("B")});
+  ASSERT_EQ(selective.guards.size(), 2u);
+  EXPECT_TRUE(selective.guards[0].is_trivially_true());
+}
+
+TEST(PlanTree, KindNames) {
+  EXPECT_EQ(to_string(PlanNode::Kind::Terminal), "Terminal");
+  EXPECT_EQ(to_string(PlanNode::Kind::Iterative), "Iterative");
+}
+
+}  // namespace
+}  // namespace ig::planner

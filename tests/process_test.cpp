@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "wfl/process.hpp"
+#include "wfl/xml_io.hpp"
+
+namespace ig::wfl {
+namespace {
+
+ProcessDescription tiny() {
+  ProcessDescription process("tiny");
+  process.add_flow_control("A1", ActivityKind::Begin);
+  process.add_end_user("A2", "POD", "POD");
+  process.add_flow_control("A3", ActivityKind::End);
+  process.add_transition("A1", "A2");
+  process.add_transition("A2", "A3");
+  return process;
+}
+
+TEST(Process, AddAndLookup) {
+  const ProcessDescription process = tiny();
+  EXPECT_EQ(process.activity_count(), 3u);
+  EXPECT_EQ(process.transition_count(), 2u);
+  ASSERT_NE(process.find_activity("A2"), nullptr);
+  EXPECT_EQ(process.find_activity("A2")->service_name, "POD");
+  EXPECT_EQ(process.find_activity("missing"), nullptr);
+  ASSERT_NE(process.find_activity_by_name("POD"), nullptr);
+  EXPECT_EQ(process.find_activity_by_name("POD")->id, "A2");
+}
+
+TEST(Process, GeneratedIds) {
+  ProcessDescription process("gen");
+  Activity a;
+  a.name = "x";
+  const std::string first = process.add_activity(std::move(a)).id;
+  Activity b;
+  b.name = "y";
+  const std::string second = process.add_activity(std::move(b)).id;
+  EXPECT_NE(first, second);
+  process.add_transition(first, second);
+  EXPECT_EQ(process.transitions().front().id, "TR1");
+}
+
+TEST(Process, DuplicateIdsThrow) {
+  ProcessDescription process = tiny();
+  Activity duplicate;
+  duplicate.id = "A1";
+  EXPECT_THROW(process.add_activity(std::move(duplicate)), ProcessError);
+  EXPECT_THROW(process.add_transition("A1", "A2", Condition(), "TR1"), ProcessError);
+}
+
+TEST(Process, TransitionEndpointsMustExist) {
+  ProcessDescription process = tiny();
+  EXPECT_THROW(process.add_transition("A1", "nope"), ProcessError);
+  EXPECT_THROW(process.add_transition("nope", "A2"), ProcessError);
+}
+
+TEST(Process, BeginEndAccessors) {
+  const ProcessDescription process = tiny();
+  EXPECT_EQ(process.begin_activity().id, "A1");
+  EXPECT_EQ(process.end_activity().id, "A3");
+
+  ProcessDescription no_begin("x");
+  no_begin.add_flow_control("E", ActivityKind::End);
+  EXPECT_THROW(no_begin.begin_activity(), ProcessError);
+
+  ProcessDescription two_ends("y");
+  two_ends.add_flow_control("E1", ActivityKind::End);
+  two_ends.add_flow_control("E2", ActivityKind::End);
+  EXPECT_THROW(two_ends.end_activity(), ProcessError);
+}
+
+TEST(Process, Adjacency) {
+  ProcessDescription process("adj");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_flow_control("F", ActivityKind::Fork);
+  process.add_end_user("X", "X", "svc");
+  process.add_end_user("Y", "Y", "svc");
+  process.add_flow_control("J", ActivityKind::Join);
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("B", "F");
+  process.add_transition("F", "X");
+  process.add_transition("F", "Y");
+  process.add_transition("X", "J");
+  process.add_transition("Y", "J");
+  process.add_transition("J", "E");
+
+  EXPECT_EQ(process.successors("F"), (std::vector<std::string>{"X", "Y"}));
+  EXPECT_EQ(process.predecessors("J"), (std::vector<std::string>{"X", "Y"}));
+  EXPECT_EQ(process.outgoing("F").size(), 2u);
+  EXPECT_EQ(process.incoming("J").size(), 2u);
+  EXPECT_TRUE(process.predecessors("B").empty());
+  EXPECT_TRUE(process.successors("E").empty());
+}
+
+TEST(Process, ActivityKindCounts) {
+  const ProcessDescription process = tiny();
+  EXPECT_EQ(process.end_user_activity_count(), 1u);
+  EXPECT_EQ(process.flow_control_activity_count(), 2u);
+}
+
+TEST(Process, FlowControlNamesUppercase) {
+  ProcessDescription process("names");
+  EXPECT_EQ(process.add_flow_control("f", ActivityKind::Fork).name, "FORK");
+  EXPECT_EQ(process.add_flow_control("c", ActivityKind::Choice).name, "CHOICE");
+  EXPECT_THROW(process.add_flow_control("u", ActivityKind::EndUser), ProcessError);
+}
+
+TEST(Process, KindNames) {
+  EXPECT_EQ(to_string(ActivityKind::EndUser), "End-user");
+  EXPECT_EQ(to_string(ActivityKind::Merge), "Merge");
+  EXPECT_TRUE(is_flow_control(ActivityKind::Join));
+  EXPECT_FALSE(is_flow_control(ActivityKind::EndUser));
+}
+
+TEST(Process, DisplayStringListsEverything) {
+  const std::string display = tiny().to_display_string();
+  EXPECT_NE(display.find("tiny"), std::string::npos);
+  EXPECT_NE(display.find("POD"), std::string::npos);
+  EXPECT_NE(display.find("BEGIN -> POD"), std::string::npos);
+}
+
+TEST(ProcessXml, RoundTrip) {
+  ProcessDescription original("round");
+  original.add_flow_control("A1", ActivityKind::Begin);
+  auto& pod = original.add_end_user("A2", "POD", "POD");
+  pod.input_data = {"D1", "D7"};
+  pod.output_data = {"D8"};
+  original.add_flow_control("A3", ActivityKind::Choice);
+  original.add_flow_control("A4", ActivityKind::Merge);  // fan-in placeholder
+  original.add_flow_control("A5", ActivityKind::End);
+  original.add_transition("A1", "A2");
+  original.add_transition("A2", "A3");
+  original.add_transition("A3", "A4", Condition::parse("R.Value > 8"), "TRx");
+  original.add_transition("A3", "A5");
+  original.add_transition("A4", "A5");
+
+  const ProcessDescription restored = process_from_xml_string(process_to_xml_string(original));
+  EXPECT_EQ(restored.name(), "round");
+  EXPECT_EQ(restored.activity_count(), original.activity_count());
+  EXPECT_EQ(restored.transition_count(), original.transition_count());
+  ASSERT_NE(restored.find_activity("A2"), nullptr);
+  EXPECT_EQ(restored.find_activity("A2")->input_data, (std::vector<std::string>{"D1", "D7"}));
+  ASSERT_NE(restored.find_transition("TRx"), nullptr);
+  EXPECT_FALSE(restored.find_transition("TRx")->guard.is_trivially_true());
+  EXPECT_EQ(restored.find_transition("TRx")->guard.to_string(), "R.Value > 8");
+}
+
+TEST(ProcessXml, RejectsWrongRoot) {
+  EXPECT_THROW(process_from_xml_string("<case/>"), ProcessError);
+}
+
+TEST(ProcessXml, RejectsUnknownKind) {
+  EXPECT_THROW(
+      process_from_xml_string("<process><activity id=\"a\" kind=\"Weird\"/></process>"),
+      ProcessError);
+}
+
+}  // namespace
+}  // namespace ig::wfl

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grid/sim.hpp"
+
+namespace ig::grid {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, FifoWithinSameTime) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, NestedScheduling) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.schedule(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule(0.5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule(-5.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulation, Cancel) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulation, CancelUnknownIdFails) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(12345));
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RunBounded) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(i, [&] { ++count; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.run(), 6u);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) sim.schedule(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  sim.run_until(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);  // clock advanced to the boundary
+  sim.run_until(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulation, RunUntilWithCancelledHead) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, PendingEventsAccounting) {
+  Simulation sim;
+  const EventId a = sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulation, ScheduleAtAbsoluteTime) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.schedule(5.0, [&] {
+    sim.schedule_at(3.0, [&] { fired_at = sim.now(); });  // in the past: clamps
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+}  // namespace
+}  // namespace ig::grid

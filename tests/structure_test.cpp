@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "wfl/flowexpr.hpp"
+#include "wfl/process.hpp"
+#include "wfl/structure.hpp"
+#include "wfl/validate.hpp"
+
+namespace ig::wfl {
+namespace {
+
+ProcessDescription lower(const char* text) {
+  return lower_to_process(parse_flow(text), "test");
+}
+
+void expect_roundtrip(const char* text) {
+  const FlowExpr original = parse_flow(text);
+  const ProcessDescription process = lower_to_process(original, "rt");
+  EXPECT_TRUE(is_valid(process)) << text << "\n" << to_string(validate(process));
+  const FlowExpr lifted = lift_from_process(process);
+  EXPECT_TRUE(original == lifted) << text << "\nlifted: " << lifted.to_text();
+}
+
+// --- Figure 4: sequential ---------------------------------------------------
+
+TEST(Lower, SequentialFigure4) {
+  const ProcessDescription process = lower("BEGIN, A; B; C, END");
+  // Begin + 3 activities + End; 4 transitions.
+  EXPECT_EQ(process.activity_count(), 5u);
+  EXPECT_EQ(process.transition_count(), 4u);
+  EXPECT_EQ(process.end_user_activity_count(), 3u);
+  EXPECT_TRUE(is_valid(process));
+}
+
+// --- Figure 5: concurrent ----------------------------------------------------
+
+TEST(Lower, ConcurrentFigure5) {
+  const ProcessDescription process = lower("BEGIN, {FORK {A} {B} JOIN}, END");
+  // Begin, Fork, A, B, Join, End.
+  EXPECT_EQ(process.activity_count(), 6u);
+  const Activity* fork = process.find_activity_by_name("FORK");
+  ASSERT_NE(fork, nullptr);
+  EXPECT_EQ(process.successors(fork->id).size(), 2u);
+  const Activity* join = process.find_activity_by_name("JOIN");
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(process.predecessors(join->id).size(), 2u);
+  EXPECT_TRUE(is_valid(process));
+}
+
+// --- Figure 6: selective -------------------------------------------------------
+
+TEST(Lower, SelectiveFigure6) {
+  const ProcessDescription process =
+      lower("BEGIN, {CHOICE {X.V > 1} {A} {X.V <= 1} {B} MERGE}, END");
+  const Activity* choice = process.find_activity_by_name("CHOICE");
+  ASSERT_NE(choice, nullptr);
+  const auto outgoing = process.outgoing(choice->id);
+  ASSERT_EQ(outgoing.size(), 2u);
+  EXPECT_FALSE(outgoing[0]->guard.is_trivially_true());
+  EXPECT_FALSE(outgoing[1]->guard.is_trivially_true());
+  const Activity* merge = process.find_activity_by_name("MERGE");
+  ASSERT_NE(merge, nullptr);
+  EXPECT_EQ(process.predecessors(merge->id).size(), 2u);
+  EXPECT_TRUE(is_valid(process));
+}
+
+// --- Figure 7: iterative ----------------------------------------------------------
+
+TEST(Lower, IterativeFigure7) {
+  const ProcessDescription process =
+      lower("BEGIN, {ITERATIVE {COND R.Value > 8} {A; B}}, END");
+  // Loop header Merge precedes the body; loop-exit Choice follows it, with a
+  // back edge to the Merge — exactly Figure 7's shape.
+  const Activity* merge = process.find_activity_by_name("MERGE");
+  const Activity* choice = process.find_activity_by_name("CHOICE");
+  ASSERT_NE(merge, nullptr);
+  ASSERT_NE(choice, nullptr);
+  bool found_back_edge = false;
+  for (const auto* transition : process.outgoing(choice->id)) {
+    if (transition->destination == merge->id) {
+      found_back_edge = true;
+      EXPECT_EQ(transition->guard.to_string(), "R.Value > 8");
+    }
+  }
+  EXPECT_TRUE(found_back_edge);
+  EXPECT_TRUE(is_valid(process));
+}
+
+TEST(Lower, IterativeExitGuardIsNegation) {
+  const ProcessDescription process =
+      lower("BEGIN, {ITERATIVE {COND R.Value > 8} {A}}, END");
+  const Activity& end = process.end_activity();
+  const auto incoming = process.incoming(end.id);
+  ASSERT_EQ(incoming.size(), 1u);
+  EXPECT_EQ(incoming[0]->guard.to_string(), "not R.Value > 8");
+}
+
+TEST(Lower, EmptySelectiveBranchGoesStraightToMerge) {
+  const ProcessDescription process =
+      lower("BEGIN, {CHOICE {X.V > 1} {A} {X.V <= 1} {} MERGE}, END");
+  const Activity* choice = process.find_activity_by_name("CHOICE");
+  const Activity* merge = process.find_activity_by_name("MERGE");
+  ASSERT_NE(choice, nullptr);
+  ASSERT_NE(merge, nullptr);
+  bool direct = false;
+  for (const auto* transition : process.outgoing(choice->id)) {
+    if (transition->destination == merge->id) direct = true;
+  }
+  EXPECT_TRUE(direct);
+  EXPECT_TRUE(is_valid(process));
+}
+
+TEST(Lower, CustomIdPrefixes) {
+  LowerOptions options;
+  options.activity_id_prefix = "N";
+  options.transition_id_prefix = "E";
+  const ProcessDescription process =
+      lower_to_process(parse_flow("BEGIN, A, END"), "prefixed", options);
+  EXPECT_NE(process.find_activity("N1"), nullptr);
+  EXPECT_NE(process.find_transition("E1"), nullptr);
+}
+
+// --- Round trips -------------------------------------------------------------------
+
+TEST(RoundTrip, AllCanonicalShapes) {
+  expect_roundtrip("BEGIN, A, END");
+  expect_roundtrip("BEGIN, A; B; C, END");
+  expect_roundtrip("BEGIN, {FORK {A} {B} JOIN}, END");
+  expect_roundtrip("BEGIN, {FORK {A; B} {C} {D} JOIN}, END");
+  expect_roundtrip("BEGIN, {CHOICE {X.V > 1} {A} {X.V <= 1} {B} MERGE}, END");
+  expect_roundtrip("BEGIN, {ITERATIVE {COND R.Value > 8} {A}}, END");
+  expect_roundtrip("BEGIN, {ITERATIVE {COND R.Value > 8} {A; B; C}}, END");
+}
+
+TEST(RoundTrip, NestedShapes) {
+  expect_roundtrip("BEGIN, {FORK {{FORK {A} {B} JOIN}} {C} JOIN}, END");
+  expect_roundtrip(
+      "BEGIN, {ITERATIVE {COND R.V > 8} {{FORK {A} {B} JOIN}}}, END");
+  expect_roundtrip(
+      "BEGIN, {CHOICE {X.V > 1} {{FORK {A} {B} JOIN}} {X.V <= 1} {C} MERGE}, END");
+  expect_roundtrip(
+      "BEGIN, {ITERATIVE {COND R.V > 8} "
+      "{{CHOICE {X.V > 1} {A} {X.V <= 1} {B} MERGE}}}, END");
+  // Nested loops.
+  expect_roundtrip(
+      "BEGIN, {ITERATIVE {COND R.V > 8} {A; {ITERATIVE {COND S.W > 2} {B}}}}, END");
+}
+
+TEST(RoundTrip, PaperFigure10Shape) {
+  expect_roundtrip(
+      "BEGIN, POD; P3DR1=P3DR; {ITERATIVE {COND R.Value > 8} "
+      "{POR; {FORK {P3DR2=P3DR} {P3DR3=P3DR} {P3DR4=P3DR} JOIN}; PSF}}, END");
+}
+
+TEST(Lift, RejectsUnstructuredGraphs) {
+  // Fork branches converging on different joins.
+  ProcessDescription bad("bad");
+  bad.add_flow_control("B", ActivityKind::Begin);
+  bad.add_flow_control("F", ActivityKind::Fork);
+  bad.add_end_user("X", "X", "svc");
+  bad.add_end_user("Y", "Y", "svc");
+  bad.add_flow_control("J1", ActivityKind::Join);
+  bad.add_flow_control("J2", ActivityKind::Join);
+  bad.add_flow_control("E", ActivityKind::End);
+  bad.add_transition("B", "F");
+  bad.add_transition("F", "X");
+  bad.add_transition("F", "Y");
+  bad.add_transition("X", "J1");
+  bad.add_transition("Y", "J2");
+  // (leave the joins dangling: also unstructured)
+  bad.add_transition("J1", "E");
+  EXPECT_THROW(lift_from_process(bad), ProcessError);
+}
+
+TEST(Lift, RejectsMissingEnd) {
+  ProcessDescription bad("bad");
+  bad.add_flow_control("B", ActivityKind::Begin);
+  bad.add_end_user("X", "X", "svc");
+  bad.add_flow_control("E", ActivityKind::End);
+  bad.add_transition("B", "X");
+  bad.add_transition("X", "E");
+  // Sanity: this one is fine.
+  EXPECT_NO_THROW(lift_from_process(bad));
+
+  ProcessDescription no_end("worse");
+  no_end.add_flow_control("B", ActivityKind::Begin);
+  no_end.add_end_user("X", "X", "svc");
+  no_end.add_transition("B", "X");
+  EXPECT_THROW(lift_from_process(no_end), ProcessError);
+}
+
+}  // namespace
+}  // namespace ig::wfl

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace ig::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto value = rng.next_below(13);
+    EXPECT_LT(value, 13u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto value = rng.next_int(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    if (value == -2) saw_lo = true;
+    if (value == 2) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsCentered) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(29);
+  Rng child = parent.split();
+  // The child stream should not be a shifted copy of the parent stream.
+  Rng parent_copy(29);
+  int matches = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (child() == parent_copy()) ++matches;
+  }
+  EXPECT_LT(matches, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStats, Empty) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) samples.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(samples.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(100), 100.0);
+  EXPECT_NEAR(samples.median(), 50.5, 1e-9);
+  EXPECT_NEAR(samples.percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleSet, MeanAndStddevMatchRunningStats) {
+  SampleSet samples;
+  RunningStats stats;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.next_double(0, 10);
+    samples.add(v);
+    stats.add(v);
+  }
+  EXPECT_NEAR(samples.mean(), stats.mean(), 1e-9);
+  EXPECT_NEAR(samples.stddev(), stats.stddev(), 1e-9);
+}
+
+TEST(SampleSet, EmptyIsSafe) {
+  SampleSet samples;
+  EXPECT_DOUBLE_EQ(samples.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(50), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Strings, Split) {
+  const auto fields = split("a,b,,c", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "c");
+}
+
+TEST(Strings, SplitTrimmedDropsEmpty) {
+  const auto fields = split_trimmed(" a , b ,, c ", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_TRUE(split_trimmed("", ',').empty());
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, JoinSplitRoundTrip) {
+  const std::vector<std::string> original{"POD", "P3DR", "POR", "PSF"};
+  EXPECT_EQ(split(join(original, ","), ','), original);
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("BEGIN, POD", "BEGIN"));
+  EXPECT_FALSE(starts_with("BEG", "BEGIN"));
+  EXPECT_TRUE(ends_with("plan.xml", ".xml"));
+  EXPECT_FALSE(ends_with("xml", ".xml"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("FoRk"), "fork");
+  EXPECT_EQ(to_lower("123-ABC"), "123-abc");
+}
+
+TEST(Strings, IsNumber) {
+  EXPECT_TRUE(is_number("42"));
+  EXPECT_TRUE(is_number("-3.5"));
+  EXPECT_TRUE(is_number(" 8 "));
+  EXPECT_FALSE(is_number("8x"));
+  EXPECT_FALSE(is_number(""));
+  EXPECT_FALSE(is_number("Resolution"));
+}
+
+TEST(Strings, FormatNumber) {
+  EXPECT_EQ(format_number(1.5), "1.5");
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(0.25), "0.25");
+  EXPECT_EQ(format_number(0.123456789, 3), "0.123");
+  EXPECT_EQ(format_number(-0.0), "0");
+}
+
+// ---------------------------------------------------------------------------
+// Log
+// ---------------------------------------------------------------------------
+
+TEST(Log, LevelFiltering) {
+  std::ostringstream sink;
+  Logger::instance().set_stream(&sink);
+  Logger::instance().set_level(LogLevel::Warn);
+  IG_LOG_DEBUG("test") << "hidden";
+  IG_LOG_WARN("test") << "visible " << 42;
+  Logger::instance().set_stream(nullptr);
+  const std::string output = sink.str();
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  EXPECT_NE(output.find("visible 42"), std::string::npos);
+  EXPECT_NE(output.find("[WARN] test:"), std::string::npos);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::Trace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::Error), "ERROR");
+}
+
+TEST(Stopwatch, MeasuresForward) {
+  Stopwatch watch;
+  EXPECT_GE(watch.elapsed_seconds(), 0.0);
+  watch.reset();
+  EXPECT_GE(watch.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace ig::util

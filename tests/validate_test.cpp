@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "wfl/flowexpr.hpp"
+#include "wfl/structure.hpp"
+#include "wfl/validate.hpp"
+
+namespace ig::wfl {
+namespace {
+
+ProcessDescription valid_process() {
+  return lower_to_process(
+      parse_flow("BEGIN, POD; {FORK {A} {B} JOIN}; "
+                 "{CHOICE {X.V > 1} {C} {X.V <= 1} {D} MERGE}, END"),
+      "valid");
+}
+
+TEST(Validate, WellFormedGraphPasses) {
+  const ProcessDescription process = valid_process();
+  EXPECT_TRUE(is_valid(process));
+  EXPECT_TRUE(validate(process).empty());
+}
+
+TEST(Validate, MissingBegin) {
+  ProcessDescription process("p");
+  process.add_end_user("X", "X", "svc");
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("X", "E");
+  const auto errors = validate(process);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(to_string(errors).find("exactly one Begin"), std::string::npos);
+}
+
+TEST(Validate, TwoEnds) {
+  ProcessDescription process("p");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_flow_control("E1", ActivityKind::End);
+  process.add_flow_control("E2", ActivityKind::End);
+  process.add_transition("B", "E1");
+  const auto errors = validate(process);
+  EXPECT_NE(to_string(errors).find("exactly one End"), std::string::npos);
+}
+
+TEST(Validate, BeginWithPredecessor) {
+  ProcessDescription process("p");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_end_user("X", "X", "svc");
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("B", "X");
+  process.add_transition("X", "E");
+  process.add_transition("E", "B", Condition(), "bad");  // End->Begin cycle
+  const auto errors = validate(process);
+  const std::string text = to_string(errors);
+  EXPECT_NE(text.find("Begin must have no predecessors"), std::string::npos);
+  EXPECT_NE(text.find("End must have no successors"), std::string::npos);
+}
+
+TEST(Validate, EndUserDegree) {
+  ProcessDescription process("p");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_end_user("X", "X", "svc");
+  process.add_end_user("Y", "Y", "svc");
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("B", "X");
+  process.add_transition("X", "E");
+  process.add_transition("X", "Y");  // X now has two successors
+  process.add_transition("Y", "E");  // E now has two predecessors
+  const std::string text = to_string(validate(process));
+  EXPECT_NE(text.find("end-user activity must have exactly one successor"), std::string::npos);
+}
+
+TEST(Validate, EndUserWithoutService) {
+  ProcessDescription process("p");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_end_user("X", "X", "");
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("B", "X");
+  process.add_transition("X", "E");
+  EXPECT_NE(to_string(validate(process)).find("must name a service"), std::string::npos);
+}
+
+TEST(Validate, ForkNeedsTwoSuccessors) {
+  ProcessDescription process("p");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_flow_control("F", ActivityKind::Fork);
+  process.add_end_user("X", "X", "svc");
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("B", "F");
+  process.add_transition("F", "X");
+  process.add_transition("X", "E");
+  EXPECT_NE(to_string(validate(process)).find("Fork must have at least two successors"),
+            std::string::npos);
+}
+
+TEST(Validate, JoinNeedsTwoPredecessors) {
+  ProcessDescription process("p");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_end_user("X", "X", "svc");
+  process.add_flow_control("J", ActivityKind::Join);
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("B", "X");
+  process.add_transition("X", "J");
+  process.add_transition("J", "E");
+  EXPECT_NE(to_string(validate(process)).find("Join must have at least two predecessors"),
+            std::string::npos);
+}
+
+TEST(Validate, GuardOnNonChoiceTransition) {
+  ProcessDescription process("p");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_end_user("X", "X", "svc");
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("B", "X");
+  process.add_transition("X", "E", Condition::parse("R.V > 1"));
+  EXPECT_NE(to_string(validate(process)).find("carries a guard"), std::string::npos);
+}
+
+TEST(Validate, UnreachableActivity) {
+  ProcessDescription process("p");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_end_user("X", "X", "svc");
+  process.add_end_user("orphan", "orphan", "svc");
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("B", "X");
+  process.add_transition("X", "E");
+  const std::string text = to_string(validate(process));
+  EXPECT_NE(text.find("not reachable from Begin"), std::string::npos);
+  EXPECT_NE(text.find("End not reachable"), std::string::npos);
+}
+
+TEST(Validate, DuplicateEdge) {
+  ProcessDescription process("p");
+  process.add_flow_control("B", ActivityKind::Begin);
+  process.add_end_user("X", "X", "svc");
+  process.add_flow_control("E", ActivityKind::End);
+  process.add_transition("B", "X");
+  process.add_transition("X", "E");
+  process.add_transition("X", "E");  // duplicate pair
+  EXPECT_NE(to_string(validate(process)).find("duplicate transition"), std::string::npos);
+}
+
+TEST(Validate, LoweredLoopsAreValid) {
+  const ProcessDescription process = lower_to_process(
+      parse_flow("BEGIN, {ITERATIVE {COND R.V > 8} {A; {ITERATIVE {COND S.W > 1} {B}}}}, END"),
+      "loops");
+  EXPECT_TRUE(is_valid(process)) << to_string(validate(process));
+}
+
+}  // namespace
+}  // namespace ig::wfl

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "meta/standard.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/kernels.hpp"
+#include "virolab/ontology.hpp"
+#include "virolab/workflow.hpp"
+#include "wfl/structure.hpp"
+#include "wfl/validate.hpp"
+
+namespace ig::virolab {
+namespace {
+
+TEST(Catalogue, FourServices) {
+  const wfl::ServiceCatalogue catalogue = make_catalogue();
+  EXPECT_EQ(catalogue.size(), 4u);
+  for (const char* name : {"POD", "P3DR", "POR", "PSF"}) {
+    ASSERT_NE(catalogue.find(name), nullptr) << name;
+  }
+}
+
+TEST(Catalogue, ConditionAritiesMatchFigure13) {
+  const wfl::ServiceCatalogue catalogue = make_catalogue();
+  EXPECT_EQ(catalogue.find("POD")->inputs().size(), 2u);   // {A, B}
+  EXPECT_EQ(catalogue.find("P3DR")->inputs().size(), 3u);  // {A, B, C}
+  EXPECT_EQ(catalogue.find("POR")->inputs().size(), 4u);   // {A, B, C, D}
+  EXPECT_EQ(catalogue.find("PSF")->inputs().size(), 3u);   // {A, B, C}
+  for (const auto& service : catalogue.services()) {
+    EXPECT_EQ(service.outputs().size(), 1u);
+    EXPECT_FALSE(service.input_condition().is_trivially_true());
+    EXPECT_FALSE(service.output_condition().is_trivially_true());
+  }
+}
+
+TEST(InitialData, SevenItemsWithFigure13Properties) {
+  const wfl::DataSet data = make_initial_data();
+  EXPECT_EQ(data.size(), 7u);
+  ASSERT_NE(data.find("D1"), nullptr);
+  EXPECT_EQ(data.find("D1")->classification(), "POD-Parameter");
+  EXPECT_EQ(data.with_classification("P3DR-Parameter").size(), 3u);  // D2, D3, D4
+  ASSERT_NE(data.find("D7"), nullptr);
+  EXPECT_EQ(data.find("D7")->classification(), "2D Image");
+  EXPECT_DOUBLE_EQ(data.find("D7")->get("Size").as_number(), 1536.0);  // 1.5 GB
+}
+
+TEST(CaseDescription, GoalAndConstraint) {
+  const wfl::CaseDescription cd = make_case_description();
+  EXPECT_EQ(cd.name(), "CD-3DSD");
+  EXPECT_EQ(cd.process_name(), "PD-3DSD");
+  ASSERT_EQ(cd.goals().size(), 1u);
+  ASSERT_NE(cd.find_constraint("Cons1"), nullptr);
+  EXPECT_EQ(cd.expected_results(), (std::vector<std::string>{"D12"}));
+
+  // Cons1 holds while the resolution is above target, not after.
+  wfl::DataSet coarse;
+  coarse.put(wfl::DataSpec("D12").with_classification("Resolution File")
+                 .with("Value", meta::Value(11.0)));
+  EXPECT_TRUE(wfl::evaluate_against_state(*cd.find_constraint("Cons1"), coarse));
+  wfl::DataSet fine;
+  fine.put(wfl::DataSpec("D12").with_classification("Resolution File")
+               .with("Value", meta::Value(7.0)));
+  EXPECT_FALSE(wfl::evaluate_against_state(*cd.find_constraint("Cons1"), fine));
+}
+
+TEST(Figure10, ExactCounts) {
+  const wfl::ProcessDescription process = make_fig10_process();
+  // "7 (seven) end-user activities and 6 (six) flow control activities"
+  EXPECT_EQ(process.end_user_activity_count(), 7u);
+  EXPECT_EQ(process.flow_control_activity_count(), 6u);
+  EXPECT_EQ(process.activity_count(), 13u);
+  EXPECT_EQ(process.transition_count(), 15u);
+  EXPECT_TRUE(wfl::is_valid(process)) << wfl::to_string(wfl::validate(process));
+}
+
+TEST(Figure10, TransitionTableMatchesFigure13) {
+  const wfl::ProcessDescription process = make_fig10_process();
+  struct Row {
+    const char* id;
+    const char* source;
+    const char* destination;
+  };
+  const Row rows[] = {
+      {"TR1", "BEGIN", "POD"},   {"TR5", "POR", "FORK"},     {"TR8", "FORK", "P3DR4"},
+      {"TR11", "P3DR4", "JOIN"}, {"TR14", "CHOICE", "MERGE"}, {"TR15", "CHOICE", "END"},
+  };
+  for (const auto& row : rows) {
+    const wfl::Transition* transition = process.find_transition(row.id);
+    ASSERT_NE(transition, nullptr) << row.id;
+    EXPECT_EQ(process.find_activity(transition->source)->name, row.source) << row.id;
+    EXPECT_EQ(process.find_activity(transition->destination)->name, row.destination) << row.id;
+  }
+  // The loop-back transition is guarded by Cons1's continue condition.
+  EXPECT_FALSE(process.find_transition("TR14")->guard.is_trivially_true());
+  EXPECT_EQ(process.find_activity("A12")->constraint, "Cons1");
+}
+
+TEST(Figure10, ActivityDataSetsMatchFigure13) {
+  const wfl::ProcessDescription process = make_fig10_process();
+  const wfl::Activity* pod = process.find_activity("A2");
+  ASSERT_NE(pod, nullptr);
+  EXPECT_EQ(pod->input_data, (std::vector<std::string>{"D1", "D7"}));
+  EXPECT_EQ(pod->output_data, (std::vector<std::string>{"D8"}));
+  const wfl::Activity* psf = process.find_activity("A11");
+  ASSERT_NE(psf, nullptr);
+  EXPECT_EQ(psf->input_data, (std::vector<std::string>{"D10", "D11"}));
+  EXPECT_EQ(psf->output_data, (std::vector<std::string>{"D12"}));
+}
+
+TEST(FlowExprForm, MatchesProcessForm) {
+  const wfl::FlowExpr expr = make_flow_expr();
+  EXPECT_EQ(expr.activity_count(), 7u);
+  const wfl::ProcessDescription lowered = wfl::lower_to_process(expr, "PD-3DSD");
+  EXPECT_EQ(lowered.end_user_activity_count(), 7u);
+  EXPECT_EQ(lowered.flow_control_activity_count(), 6u);
+  EXPECT_EQ(lowered.transition_count(), 15u);
+}
+
+TEST(Figure13Ontology, ValidatesAgainstStandardSchema) {
+  const meta::Ontology ontology = make_fig13_ontology();
+  const auto issues = ontology.validate();
+  EXPECT_TRUE(issues.empty()) << issues.size() << " issues, first: "
+                              << (issues.empty() ? "" : issues.front().message);
+}
+
+TEST(Figure13Ontology, InstanceInventory) {
+  const meta::Ontology ontology = make_fig13_ontology();
+  EXPECT_EQ(ontology.instances_of(meta::classes::kTask).size(), 1u);
+  EXPECT_EQ(ontology.instances_of(meta::classes::kActivity).size(), 13u);
+  EXPECT_EQ(ontology.instances_of(meta::classes::kTransition).size(), 15u);
+  EXPECT_EQ(ontology.instances_of(meta::classes::kData).size(), 12u);
+  EXPECT_EQ(ontology.instances_of(meta::classes::kService).size(), 4u);
+  ASSERT_NE(ontology.find_instance("T1"), nullptr);
+  EXPECT_EQ(ontology.find_instance("T1")->get_string("Name"), "3DSD");
+  EXPECT_EQ(ontology.find_instance("T1")->get_string("Owner"), "UCF");
+}
+
+TEST(Figure13Ontology, ServiceConditionsPresent) {
+  const meta::Ontology ontology = make_fig13_ontology();
+  const meta::Instance* p3dr = ontology.find_instance("svc-P3DR");
+  ASSERT_NE(p3dr, nullptr);
+  const std::string input_condition = p3dr->get_string("Input Condition");
+  EXPECT_NE(input_condition.find("P3DR-Parameter"), std::string::npos);
+  // The condition text is parseable by the condition grammar.
+  EXPECT_NO_THROW(wfl::Condition::parse(input_condition));
+}
+
+TEST(Kernels, ResolutionImprovesWithRefinements) {
+  SyntheticKernels kernels;
+  const double initial = kernels.current_resolution();
+  const auto catalogue = make_catalogue();
+  wfl::Bindings no_inputs;
+  kernels.execute(*catalogue.find("POR"), no_inputs);
+  EXPECT_LT(kernels.current_resolution(), initial);
+  EXPECT_EQ(kernels.refinement_passes(), 1u);
+}
+
+TEST(Kernels, ResolutionHasFloor) {
+  KernelParams params;
+  params.resolution_floor = 6.0;
+  SyntheticKernels kernels(params);
+  const auto catalogue = make_catalogue();
+  wfl::Bindings no_inputs;
+  for (int i = 0; i < 50; ++i) kernels.execute(*catalogue.find("POR"), no_inputs);
+  EXPECT_DOUBLE_EQ(kernels.current_resolution(), 6.0);
+}
+
+TEST(Kernels, PsfReportsCurrentResolution) {
+  SyntheticKernels kernels;
+  const auto catalogue = make_catalogue();
+  wfl::Bindings no_inputs;
+  const auto outputs = kernels.execute(*catalogue.find("PSF"), no_inputs, {"D12"});
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].name(), "D12");
+  EXPECT_EQ(outputs[0].classification(), "Resolution File");
+  EXPECT_DOUBLE_EQ(outputs[0].get("Value").as_number(), kernels.current_resolution());
+}
+
+TEST(Kernels, OutputClassificationsDriveTheChain) {
+  SyntheticKernels kernels;
+  const auto catalogue = make_catalogue();
+  wfl::Bindings no_inputs;
+  EXPECT_EQ(kernels.execute(*catalogue.find("POD"), no_inputs)[0].classification(),
+            "Orientation File");
+  EXPECT_EQ(kernels.execute(*catalogue.find("P3DR"), no_inputs)[0].classification(),
+            "3D Model");
+  EXPECT_EQ(kernels.execute(*catalogue.find("POR"), no_inputs)[0].classification(),
+            "Orientation File");
+}
+
+TEST(Kernels, ConvergesBelowTargetWithinFewPasses) {
+  SyntheticKernels kernels;  // 18.0 x 0.65^k
+  int passes = 0;
+  while (kernels.current_resolution() > 8.0 && passes < 10) {
+    const auto catalogue = make_catalogue();
+    wfl::Bindings no_inputs;
+    kernels.execute(*catalogue.find("POR"), no_inputs);
+    ++passes;
+  }
+  EXPECT_LE(passes, 3);  // 18 -> 11.7 -> 7.6
+  EXPECT_LE(kernels.current_resolution(), 8.0);
+}
+
+TEST(Kernels, ResetClearsState) {
+  SyntheticKernels kernels;
+  const auto catalogue = make_catalogue();
+  wfl::Bindings no_inputs;
+  kernels.execute(*catalogue.find("POR"), no_inputs);
+  kernels.reset();
+  EXPECT_EQ(kernels.refinement_passes(), 0u);
+  EXPECT_EQ(kernels.executions(), 0u);
+}
+
+TEST(Micrographs, GeneratorProducesImages) {
+  util::Rng rng(5);
+  const auto images = make_micrographs(rng, 10, 12.0);
+  ASSERT_EQ(images.size(), 10u);
+  for (const auto& image : images) {
+    EXPECT_EQ(image.classification(), "2D Image");
+    const double size = image.get("Size").as_number();
+    EXPECT_GT(size, 12.0 * 0.5);
+    EXPECT_LT(size, 12.0 * 1.5);
+  }
+  EXPECT_TRUE(make_micrographs(rng, 0).empty());
+}
+
+}  // namespace
+}  // namespace ig::virolab

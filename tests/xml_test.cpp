@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace ig::xml {
+namespace {
+
+TEST(Escape, AllEntities) {
+  EXPECT_EQ(escape("a<b>c&d\"e'f"), "a&lt;b&gt;c&amp;d&quot;e&apos;f");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(Escape, RoundTrip) {
+  const std::string original = "x < y && z > \"w\" '!'";
+  EXPECT_EQ(unescape(escape(original)), original);
+}
+
+TEST(Unescape, UnknownEntityThrows) {
+  EXPECT_THROW(unescape("&bogus;"), ParseError);
+  EXPECT_THROW(unescape("&amp"), ParseError);  // unterminated
+}
+
+TEST(Element, AttributesSetAndOverwrite) {
+  Element element("node");
+  element.set_attribute("a", "1");
+  element.set_attribute("a", "2");
+  element.set_attribute("b", "3");
+  EXPECT_EQ(element.attribute_or("a", ""), "2");
+  EXPECT_EQ(element.attribute_or("b", ""), "3");
+  EXPECT_EQ(element.attribute_or("missing", "x"), "x");
+  EXPECT_FALSE(element.attribute("missing").has_value());
+  EXPECT_TRUE(element.has_attribute("a"));
+}
+
+TEST(Element, ChildNavigation) {
+  Element root("root");
+  root.add_child_text("item", "one");
+  root.add_child_text("item", "two");
+  root.add_child("other");
+  EXPECT_EQ(root.children().size(), 3u);
+  EXPECT_EQ(root.find_children("item").size(), 2u);
+  ASSERT_NE(root.find_child("other"), nullptr);
+  EXPECT_EQ(root.find_child("nope"), nullptr);
+  EXPECT_EQ(root.child_text("item"), "one");
+  EXPECT_EQ(root.child_text("nope"), "");
+}
+
+TEST(Writer, SelfClosingEmptyElement) {
+  Element element("empty");
+  EXPECT_EQ(element.to_string(-1), "<empty/>");
+}
+
+TEST(Writer, TextContentEscaped) {
+  Element element("t");
+  element.set_text("a<b");
+  EXPECT_EQ(element.to_string(-1), "<t>a&lt;b</t>");
+}
+
+TEST(Writer, AttributesQuotedAndEscaped) {
+  Element element("t");
+  element.set_attribute("k", "va\"lue");
+  EXPECT_EQ(element.to_string(-1), "<t k=\"va&quot;lue\"/>");
+}
+
+TEST(Parser, SimpleDocument) {
+  const Document document = parse("<root a=\"1\"><child>text</child></root>");
+  EXPECT_EQ(document.root().name(), "root");
+  EXPECT_EQ(document.root().attribute_or("a", ""), "1");
+  EXPECT_EQ(document.root().child_text("child"), "text");
+}
+
+TEST(Parser, DeclarationAndComments) {
+  const Document document = parse(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<root><!-- inner -->"
+      "<a/></root><!-- trailer -->");
+  EXPECT_EQ(document.root().name(), "root");
+  EXPECT_EQ(document.root().children().size(), 1u);
+}
+
+TEST(Parser, WhitespaceBetweenElementsIgnored) {
+  const Document document = parse("<r>\n  <a/>\n  <b/>\n</r>");
+  EXPECT_EQ(document.root().children().size(), 2u);
+  EXPECT_TRUE(document.root().text().empty());
+}
+
+TEST(Parser, EntitiesInTextAndAttributes) {
+  const Document document = parse("<r k=\"&lt;x&gt;\">&amp;&apos;</r>");
+  EXPECT_EQ(document.root().attribute_or("k", ""), "<x>");
+  EXPECT_EQ(document.root().text(), "&'");
+}
+
+TEST(Parser, SingleQuotedAttributes) {
+  const Document document = parse("<r k='v'/>");
+  EXPECT_EQ(document.root().attribute_or("k", ""), "v");
+}
+
+TEST(Parser, MismatchedTagThrows) {
+  EXPECT_THROW(parse("<a><b></a></b>"), ParseError);
+}
+
+TEST(Parser, UnterminatedThrows) {
+  EXPECT_THROW(parse("<a><b>"), ParseError);
+  EXPECT_THROW(parse("<a attr=>"), ParseError);
+  EXPECT_THROW(parse("<a"), ParseError);
+}
+
+TEST(Parser, TrailingContentThrows) {
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);
+  EXPECT_THROW(parse("<a/>junk"), ParseError);
+}
+
+TEST(Parser, ErrorCarriesOffset) {
+  try {
+    parse("<a><b></c></a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_GT(error.offset(), 0u);
+  }
+}
+
+TEST(RoundTrip, NestedDocument) {
+  Document document("ontology");
+  document.root().set_attribute("name", "grid");
+  Element& cls = document.root().add_child("class");
+  cls.set_attribute("name", "Task");
+  cls.add_child_text("documentation", "a <complex> problem & more");
+  Element& slot = cls.add_child("slot");
+  slot.set_attribute("name", "Need Planning");
+  slot.set_attribute("type", "boolean");
+
+  const Document reparsed = parse(document.to_string());
+  EXPECT_EQ(reparsed.root().attribute_or("name", ""), "grid");
+  const Element* parsed_class = reparsed.root().find_child("class");
+  ASSERT_NE(parsed_class, nullptr);
+  EXPECT_EQ(parsed_class->child_text("documentation"), "a <complex> problem & more");
+  const Element* parsed_slot = parsed_class->find_child("slot");
+  ASSERT_NE(parsed_slot, nullptr);
+  EXPECT_EQ(parsed_slot->attribute_or("name", ""), "Need Planning");
+}
+
+TEST(RoundTrip, CompactAndPrettyAgree) {
+  Document document("r");
+  document.root().add_child_text("x", "1");
+  document.root().add_child("y").set_attribute("k", "v");
+  const Document from_pretty = parse(document.to_string(2));
+  const Document from_compact = parse(document.to_string(-1));
+  EXPECT_EQ(from_pretty.root().children().size(), from_compact.root().children().size());
+  EXPECT_EQ(from_pretty.root().child_text("x"), "1");
+  EXPECT_EQ(from_compact.root().child_text("x"), "1");
+}
+
+TEST(Parser, MixedTextAndChildren) {
+  const Document document = parse("<r>prefix<a/>suffix</r>");
+  // Character data inside an element concatenates (simplified mixed content).
+  EXPECT_EQ(document.root().text(), "prefixsuffix");
+  EXPECT_EQ(document.root().children().size(), 1u);
+}
+
+TEST(Parser, DuplicateAttributeLastWins) {
+  const Document document = parse("<r k=\"a\" k=\"b\"/>");
+  EXPECT_EQ(document.root().attribute_or("k", ""), "b");
+}
+
+TEST(Parser, DeeplyNestedDocument) {
+  std::string text;
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) text += "<n>";
+  for (int i = 0; i < depth; ++i) text += "</n>";
+  const Document document = parse(text);
+  const Element* cursor = &document.root();
+  int measured = 1;
+  while (!cursor->children().empty()) {
+    cursor = cursor->children().front().get();
+    ++measured;
+  }
+  EXPECT_EQ(measured, depth);
+}
+
+TEST(Writer, DeepValueNesting) {
+  Element root("v");
+  Element* cursor = &root;
+  for (int i = 0; i < 20; ++i) cursor = &cursor->add_child("v");
+  cursor->set_text("leaf");
+  const Document reparsed = parse(root.to_string());
+  const Element* probe = &reparsed.root();
+  while (!probe->children().empty()) probe = probe->children().front().get();
+  EXPECT_EQ(probe->text(), "leaf");
+}
+
+TEST(Parser, AttributeNamesWithNamespaceChars) {
+  const Document document = parse("<r xml:lang=\"en\" data-x=\"1\"/>");
+  EXPECT_EQ(document.root().attribute_or("xml:lang", ""), "en");
+  EXPECT_EQ(document.root().attribute_or("data-x", ""), "1");
+}
+
+}  // namespace
+}  // namespace ig::xml
