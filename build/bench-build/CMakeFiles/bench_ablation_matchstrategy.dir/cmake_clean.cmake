@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_matchstrategy"
+  "../bench/bench_ablation_matchstrategy.pdb"
+  "CMakeFiles/bench_ablation_matchstrategy.dir/bench_ablation_matchstrategy.cpp.o"
+  "CMakeFiles/bench_ablation_matchstrategy.dir/bench_ablation_matchstrategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_matchstrategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_popsize"
+  "../bench/bench_ablation_popsize.pdb"
+  "CMakeFiles/bench_ablation_popsize.dir/bench_ablation_popsize.cpp.o"
+  "CMakeFiles/bench_ablation_popsize.dir/bench_ablation_popsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_popsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_smax"
+  "../bench/bench_ablation_smax.pdb"
+  "CMakeFiles/bench_ablation_smax.dir/bench_ablation_smax.cpp.o"
+  "CMakeFiles/bench_ablation_smax.dir/bench_ablation_smax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

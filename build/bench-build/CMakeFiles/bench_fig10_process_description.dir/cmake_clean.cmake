@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_process_description"
+  "../bench/bench_fig10_process_description.pdb"
+  "CMakeFiles/bench_fig10_process_description.dir/bench_fig10_process_description.cpp.o"
+  "CMakeFiles/bench_fig10_process_description.dir/bench_fig10_process_description.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_process_description.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

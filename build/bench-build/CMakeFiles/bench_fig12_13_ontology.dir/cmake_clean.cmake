@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_13_ontology"
+  "../bench/bench_fig12_13_ontology.pdb"
+  "CMakeFiles/bench_fig12_13_ontology.dir/bench_fig12_13_ontology.cpp.o"
+  "CMakeFiles/bench_fig12_13_ontology.dir/bench_fig12_13_ontology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_planning_flow"
+  "../bench/bench_fig2_planning_flow.pdb"
+  "CMakeFiles/bench_fig2_planning_flow.dir/bench_fig2_planning_flow.cpp.o"
+  "CMakeFiles/bench_fig2_planning_flow.dir/bench_fig2_planning_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_planning_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_replanning_flow"
+  "../bench/bench_fig3_replanning_flow.pdb"
+  "CMakeFiles/bench_fig3_replanning_flow.dir/bench_fig3_replanning_flow.cpp.o"
+  "CMakeFiles/bench_fig3_replanning_flow.dir/bench_fig3_replanning_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_replanning_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

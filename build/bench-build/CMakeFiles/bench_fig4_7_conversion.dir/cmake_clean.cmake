@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_7_conversion"
+  "../bench/bench_fig4_7_conversion.pdb"
+  "CMakeFiles/bench_fig4_7_conversion.dir/bench_fig4_7_conversion.cpp.o"
+  "CMakeFiles/bench_fig4_7_conversion.dir/bench_fig4_7_conversion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_7_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

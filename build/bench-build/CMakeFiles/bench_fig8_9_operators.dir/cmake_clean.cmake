@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_9_operators"
+  "../bench/bench_fig8_9_operators.pdb"
+  "CMakeFiles/bench_fig8_9_operators.dir/bench_fig8_9_operators.cpp.o"
+  "CMakeFiles/bench_fig8_9_operators.dir/bench_fig8_9_operators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

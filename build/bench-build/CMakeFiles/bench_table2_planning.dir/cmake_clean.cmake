@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_planning"
+  "../bench/bench_table2_planning.pdb"
+  "CMakeFiles/bench_table2_planning.dir/bench_table2_planning.cpp.o"
+  "CMakeFiles/bench_table2_planning.dir/bench_table2_planning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

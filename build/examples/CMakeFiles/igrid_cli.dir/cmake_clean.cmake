@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igrid_cli.dir/igrid_cli.cpp.o"
+  "CMakeFiles/igrid_cli.dir/igrid_cli.cpp.o.d"
+  "igrid_cli"
+  "igrid_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igrid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replanning_demo.dir/replanning_demo.cpp.o"
+  "CMakeFiles/replanning_demo.dir/replanning_demo.cpp.o.d"
+  "replanning_demo"
+  "replanning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replanning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

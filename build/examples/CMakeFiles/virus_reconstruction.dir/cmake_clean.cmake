@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virus_reconstruction.dir/virus_reconstruction.cpp.o"
+  "CMakeFiles/virus_reconstruction.dir/virus_reconstruction.cpp.o.d"
+  "virus_reconstruction"
+  "virus_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virus_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_language_tour.dir/workflow_language_tour.cpp.o"
+  "CMakeFiles/workflow_language_tour.dir/workflow_language_tour.cpp.o.d"
+  "workflow_language_tour"
+  "workflow_language_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_language_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workflow_language_tour "/root/repo/build/examples/workflow_language_tour")
+set_tests_properties(example_workflow_language_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ontology_explorer "/root/repo/build/examples/ontology_explorer")
+set_tests_properties(example_ontology_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_checkpoint_migration "/root/repo/build/examples/checkpoint_migration")
+set_tests_properties(example_checkpoint_migration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_virus_reconstruction "/root/repo/build/examples/virus_reconstruction")
+set_tests_properties(example_virus_reconstruction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_validate "/root/repo/build/examples/igrid_cli" "validate" "/root/repo/examples/workflows/virus_reconstruction.wf")
+set_tests_properties(example_cli_validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_simulate "/root/repo/build/examples/igrid_cli" "simulate" "/root/repo/examples/workflows/minimal.wf")
+set_tests_properties(example_cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

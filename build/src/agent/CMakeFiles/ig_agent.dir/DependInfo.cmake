@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/agent.cpp" "src/agent/CMakeFiles/ig_agent.dir/agent.cpp.o" "gcc" "src/agent/CMakeFiles/ig_agent.dir/agent.cpp.o.d"
+  "/root/repo/src/agent/message.cpp" "src/agent/CMakeFiles/ig_agent.dir/message.cpp.o" "gcc" "src/agent/CMakeFiles/ig_agent.dir/message.cpp.o.d"
+  "/root/repo/src/agent/platform.cpp" "src/agent/CMakeFiles/ig_agent.dir/platform.cpp.o" "gcc" "src/agent/CMakeFiles/ig_agent.dir/platform.cpp.o.d"
+  "/root/repo/src/agent/trace_render.cpp" "src/agent/CMakeFiles/ig_agent.dir/trace_render.cpp.o" "gcc" "src/agent/CMakeFiles/ig_agent.dir/trace_render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ig_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfl/CMakeFiles/ig_wfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/ig_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ig_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_agent.dir/agent.cpp.o"
+  "CMakeFiles/ig_agent.dir/agent.cpp.o.d"
+  "CMakeFiles/ig_agent.dir/message.cpp.o"
+  "CMakeFiles/ig_agent.dir/message.cpp.o.d"
+  "CMakeFiles/ig_agent.dir/platform.cpp.o"
+  "CMakeFiles/ig_agent.dir/platform.cpp.o.d"
+  "CMakeFiles/ig_agent.dir/trace_render.cpp.o"
+  "CMakeFiles/ig_agent.dir/trace_render.cpp.o.d"
+  "libig_agent.a"
+  "libig_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

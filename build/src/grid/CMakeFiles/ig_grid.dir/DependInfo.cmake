@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/container.cpp" "src/grid/CMakeFiles/ig_grid.dir/container.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/container.cpp.o.d"
+  "/root/repo/src/grid/failure.cpp" "src/grid/CMakeFiles/ig_grid.dir/failure.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/failure.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/ig_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/hardware.cpp" "src/grid/CMakeFiles/ig_grid.dir/hardware.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/hardware.cpp.o.d"
+  "/root/repo/src/grid/network.cpp" "src/grid/CMakeFiles/ig_grid.dir/network.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/network.cpp.o.d"
+  "/root/repo/src/grid/node.cpp" "src/grid/CMakeFiles/ig_grid.dir/node.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/node.cpp.o.d"
+  "/root/repo/src/grid/sim.cpp" "src/grid/CMakeFiles/ig_grid.dir/sim.cpp.o" "gcc" "src/grid/CMakeFiles/ig_grid.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfl/CMakeFiles/ig_wfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/ig_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ig_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_grid.dir/container.cpp.o"
+  "CMakeFiles/ig_grid.dir/container.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/failure.cpp.o"
+  "CMakeFiles/ig_grid.dir/failure.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/grid.cpp.o"
+  "CMakeFiles/ig_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/hardware.cpp.o"
+  "CMakeFiles/ig_grid.dir/hardware.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/network.cpp.o"
+  "CMakeFiles/ig_grid.dir/network.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/node.cpp.o"
+  "CMakeFiles/ig_grid.dir/node.cpp.o.d"
+  "CMakeFiles/ig_grid.dir/sim.cpp.o"
+  "CMakeFiles/ig_grid.dir/sim.cpp.o.d"
+  "libig_grid.a"
+  "libig_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

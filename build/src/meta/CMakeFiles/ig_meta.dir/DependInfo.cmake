@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/ontology.cpp" "src/meta/CMakeFiles/ig_meta.dir/ontology.cpp.o" "gcc" "src/meta/CMakeFiles/ig_meta.dir/ontology.cpp.o.d"
+  "/root/repo/src/meta/standard.cpp" "src/meta/CMakeFiles/ig_meta.dir/standard.cpp.o" "gcc" "src/meta/CMakeFiles/ig_meta.dir/standard.cpp.o.d"
+  "/root/repo/src/meta/value.cpp" "src/meta/CMakeFiles/ig_meta.dir/value.cpp.o" "gcc" "src/meta/CMakeFiles/ig_meta.dir/value.cpp.o.d"
+  "/root/repo/src/meta/xml_io.cpp" "src/meta/CMakeFiles/ig_meta.dir/xml_io.cpp.o" "gcc" "src/meta/CMakeFiles/ig_meta.dir/xml_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ig_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_meta.dir/ontology.cpp.o"
+  "CMakeFiles/ig_meta.dir/ontology.cpp.o.d"
+  "CMakeFiles/ig_meta.dir/standard.cpp.o"
+  "CMakeFiles/ig_meta.dir/standard.cpp.o.d"
+  "CMakeFiles/ig_meta.dir/value.cpp.o"
+  "CMakeFiles/ig_meta.dir/value.cpp.o.d"
+  "CMakeFiles/ig_meta.dir/xml_io.cpp.o"
+  "CMakeFiles/ig_meta.dir/xml_io.cpp.o.d"
+  "libig_meta.a"
+  "libig_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/convert.cpp" "src/planner/CMakeFiles/ig_planner.dir/convert.cpp.o" "gcc" "src/planner/CMakeFiles/ig_planner.dir/convert.cpp.o.d"
+  "/root/repo/src/planner/evaluate.cpp" "src/planner/CMakeFiles/ig_planner.dir/evaluate.cpp.o" "gcc" "src/planner/CMakeFiles/ig_planner.dir/evaluate.cpp.o.d"
+  "/root/repo/src/planner/gp.cpp" "src/planner/CMakeFiles/ig_planner.dir/gp.cpp.o" "gcc" "src/planner/CMakeFiles/ig_planner.dir/gp.cpp.o.d"
+  "/root/repo/src/planner/operators.cpp" "src/planner/CMakeFiles/ig_planner.dir/operators.cpp.o" "gcc" "src/planner/CMakeFiles/ig_planner.dir/operators.cpp.o.d"
+  "/root/repo/src/planner/plan_tree.cpp" "src/planner/CMakeFiles/ig_planner.dir/plan_tree.cpp.o" "gcc" "src/planner/CMakeFiles/ig_planner.dir/plan_tree.cpp.o.d"
+  "/root/repo/src/planner/simplify.cpp" "src/planner/CMakeFiles/ig_planner.dir/simplify.cpp.o" "gcc" "src/planner/CMakeFiles/ig_planner.dir/simplify.cpp.o.d"
+  "/root/repo/src/planner/workload.cpp" "src/planner/CMakeFiles/ig_planner.dir/workload.cpp.o" "gcc" "src/planner/CMakeFiles/ig_planner.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfl/CMakeFiles/ig_wfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/ig_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ig_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

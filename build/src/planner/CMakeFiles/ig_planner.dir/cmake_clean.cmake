@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_planner.dir/convert.cpp.o"
+  "CMakeFiles/ig_planner.dir/convert.cpp.o.d"
+  "CMakeFiles/ig_planner.dir/evaluate.cpp.o"
+  "CMakeFiles/ig_planner.dir/evaluate.cpp.o.d"
+  "CMakeFiles/ig_planner.dir/gp.cpp.o"
+  "CMakeFiles/ig_planner.dir/gp.cpp.o.d"
+  "CMakeFiles/ig_planner.dir/operators.cpp.o"
+  "CMakeFiles/ig_planner.dir/operators.cpp.o.d"
+  "CMakeFiles/ig_planner.dir/plan_tree.cpp.o"
+  "CMakeFiles/ig_planner.dir/plan_tree.cpp.o.d"
+  "CMakeFiles/ig_planner.dir/simplify.cpp.o"
+  "CMakeFiles/ig_planner.dir/simplify.cpp.o.d"
+  "CMakeFiles/ig_planner.dir/workload.cpp.o"
+  "CMakeFiles/ig_planner.dir/workload.cpp.o.d"
+  "libig_planner.a"
+  "libig_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

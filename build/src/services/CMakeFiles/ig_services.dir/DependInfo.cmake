@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/authentication.cpp" "src/services/CMakeFiles/ig_services.dir/authentication.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/authentication.cpp.o.d"
+  "/root/repo/src/services/brokerage.cpp" "src/services/CMakeFiles/ig_services.dir/brokerage.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/brokerage.cpp.o.d"
+  "/root/repo/src/services/container_agent.cpp" "src/services/CMakeFiles/ig_services.dir/container_agent.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/container_agent.cpp.o.d"
+  "/root/repo/src/services/coordination.cpp" "src/services/CMakeFiles/ig_services.dir/coordination.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/coordination.cpp.o.d"
+  "/root/repo/src/services/environment.cpp" "src/services/CMakeFiles/ig_services.dir/environment.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/environment.cpp.o.d"
+  "/root/repo/src/services/information.cpp" "src/services/CMakeFiles/ig_services.dir/information.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/information.cpp.o.d"
+  "/root/repo/src/services/matchmaking.cpp" "src/services/CMakeFiles/ig_services.dir/matchmaking.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/matchmaking.cpp.o.d"
+  "/root/repo/src/services/monitoring.cpp" "src/services/CMakeFiles/ig_services.dir/monitoring.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/monitoring.cpp.o.d"
+  "/root/repo/src/services/ontology_service.cpp" "src/services/CMakeFiles/ig_services.dir/ontology_service.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/ontology_service.cpp.o.d"
+  "/root/repo/src/services/planning_service.cpp" "src/services/CMakeFiles/ig_services.dir/planning_service.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/planning_service.cpp.o.d"
+  "/root/repo/src/services/scheduling.cpp" "src/services/CMakeFiles/ig_services.dir/scheduling.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/scheduling.cpp.o.d"
+  "/root/repo/src/services/simulation_service.cpp" "src/services/CMakeFiles/ig_services.dir/simulation_service.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/simulation_service.cpp.o.d"
+  "/root/repo/src/services/storage.cpp" "src/services/CMakeFiles/ig_services.dir/storage.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/storage.cpp.o.d"
+  "/root/repo/src/services/user_interface.cpp" "src/services/CMakeFiles/ig_services.dir/user_interface.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/user_interface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/ig_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ig_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfl/CMakeFiles/ig_wfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/ig_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/ig_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/virolab/CMakeFiles/ig_virolab.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ig_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

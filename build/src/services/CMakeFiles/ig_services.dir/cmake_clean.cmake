@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_services.dir/authentication.cpp.o"
+  "CMakeFiles/ig_services.dir/authentication.cpp.o.d"
+  "CMakeFiles/ig_services.dir/brokerage.cpp.o"
+  "CMakeFiles/ig_services.dir/brokerage.cpp.o.d"
+  "CMakeFiles/ig_services.dir/container_agent.cpp.o"
+  "CMakeFiles/ig_services.dir/container_agent.cpp.o.d"
+  "CMakeFiles/ig_services.dir/coordination.cpp.o"
+  "CMakeFiles/ig_services.dir/coordination.cpp.o.d"
+  "CMakeFiles/ig_services.dir/environment.cpp.o"
+  "CMakeFiles/ig_services.dir/environment.cpp.o.d"
+  "CMakeFiles/ig_services.dir/information.cpp.o"
+  "CMakeFiles/ig_services.dir/information.cpp.o.d"
+  "CMakeFiles/ig_services.dir/matchmaking.cpp.o"
+  "CMakeFiles/ig_services.dir/matchmaking.cpp.o.d"
+  "CMakeFiles/ig_services.dir/monitoring.cpp.o"
+  "CMakeFiles/ig_services.dir/monitoring.cpp.o.d"
+  "CMakeFiles/ig_services.dir/ontology_service.cpp.o"
+  "CMakeFiles/ig_services.dir/ontology_service.cpp.o.d"
+  "CMakeFiles/ig_services.dir/planning_service.cpp.o"
+  "CMakeFiles/ig_services.dir/planning_service.cpp.o.d"
+  "CMakeFiles/ig_services.dir/scheduling.cpp.o"
+  "CMakeFiles/ig_services.dir/scheduling.cpp.o.d"
+  "CMakeFiles/ig_services.dir/simulation_service.cpp.o"
+  "CMakeFiles/ig_services.dir/simulation_service.cpp.o.d"
+  "CMakeFiles/ig_services.dir/storage.cpp.o"
+  "CMakeFiles/ig_services.dir/storage.cpp.o.d"
+  "CMakeFiles/ig_services.dir/user_interface.cpp.o"
+  "CMakeFiles/ig_services.dir/user_interface.cpp.o.d"
+  "libig_services.a"
+  "libig_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_util.dir/log.cpp.o"
+  "CMakeFiles/ig_util.dir/log.cpp.o.d"
+  "CMakeFiles/ig_util.dir/stats.cpp.o"
+  "CMakeFiles/ig_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ig_util.dir/strings.cpp.o"
+  "CMakeFiles/ig_util.dir/strings.cpp.o.d"
+  "libig_util.a"
+  "libig_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

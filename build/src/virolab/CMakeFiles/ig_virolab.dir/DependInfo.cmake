@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virolab/catalogue.cpp" "src/virolab/CMakeFiles/ig_virolab.dir/catalogue.cpp.o" "gcc" "src/virolab/CMakeFiles/ig_virolab.dir/catalogue.cpp.o.d"
+  "/root/repo/src/virolab/kernels.cpp" "src/virolab/CMakeFiles/ig_virolab.dir/kernels.cpp.o" "gcc" "src/virolab/CMakeFiles/ig_virolab.dir/kernels.cpp.o.d"
+  "/root/repo/src/virolab/ontology.cpp" "src/virolab/CMakeFiles/ig_virolab.dir/ontology.cpp.o" "gcc" "src/virolab/CMakeFiles/ig_virolab.dir/ontology.cpp.o.d"
+  "/root/repo/src/virolab/workflow.cpp" "src/virolab/CMakeFiles/ig_virolab.dir/workflow.cpp.o" "gcc" "src/virolab/CMakeFiles/ig_virolab.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfl/CMakeFiles/ig_wfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/ig_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/ig_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ig_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

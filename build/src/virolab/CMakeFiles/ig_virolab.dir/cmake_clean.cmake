@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_virolab.dir/catalogue.cpp.o"
+  "CMakeFiles/ig_virolab.dir/catalogue.cpp.o.d"
+  "CMakeFiles/ig_virolab.dir/kernels.cpp.o"
+  "CMakeFiles/ig_virolab.dir/kernels.cpp.o.d"
+  "CMakeFiles/ig_virolab.dir/ontology.cpp.o"
+  "CMakeFiles/ig_virolab.dir/ontology.cpp.o.d"
+  "CMakeFiles/ig_virolab.dir/workflow.cpp.o"
+  "CMakeFiles/ig_virolab.dir/workflow.cpp.o.d"
+  "libig_virolab.a"
+  "libig_virolab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_virolab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wfl/case_description.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/case_description.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/case_description.cpp.o.d"
+  "/root/repo/src/wfl/condition.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/condition.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/condition.cpp.o.d"
+  "/root/repo/src/wfl/data.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/data.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/data.cpp.o.d"
+  "/root/repo/src/wfl/enact.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/enact.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/enact.cpp.o.d"
+  "/root/repo/src/wfl/flowexpr.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/flowexpr.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/flowexpr.cpp.o.d"
+  "/root/repo/src/wfl/process.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/process.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/process.cpp.o.d"
+  "/root/repo/src/wfl/service.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/service.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/service.cpp.o.d"
+  "/root/repo/src/wfl/structure.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/structure.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/structure.cpp.o.d"
+  "/root/repo/src/wfl/validate.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/validate.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/validate.cpp.o.d"
+  "/root/repo/src/wfl/xml_io.cpp" "src/wfl/CMakeFiles/ig_wfl.dir/xml_io.cpp.o" "gcc" "src/wfl/CMakeFiles/ig_wfl.dir/xml_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ig_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/ig_meta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

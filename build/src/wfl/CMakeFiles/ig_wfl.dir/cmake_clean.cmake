@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_wfl.dir/case_description.cpp.o"
+  "CMakeFiles/ig_wfl.dir/case_description.cpp.o.d"
+  "CMakeFiles/ig_wfl.dir/condition.cpp.o"
+  "CMakeFiles/ig_wfl.dir/condition.cpp.o.d"
+  "CMakeFiles/ig_wfl.dir/data.cpp.o"
+  "CMakeFiles/ig_wfl.dir/data.cpp.o.d"
+  "CMakeFiles/ig_wfl.dir/enact.cpp.o"
+  "CMakeFiles/ig_wfl.dir/enact.cpp.o.d"
+  "CMakeFiles/ig_wfl.dir/flowexpr.cpp.o"
+  "CMakeFiles/ig_wfl.dir/flowexpr.cpp.o.d"
+  "CMakeFiles/ig_wfl.dir/process.cpp.o"
+  "CMakeFiles/ig_wfl.dir/process.cpp.o.d"
+  "CMakeFiles/ig_wfl.dir/service.cpp.o"
+  "CMakeFiles/ig_wfl.dir/service.cpp.o.d"
+  "CMakeFiles/ig_wfl.dir/structure.cpp.o"
+  "CMakeFiles/ig_wfl.dir/structure.cpp.o.d"
+  "CMakeFiles/ig_wfl.dir/validate.cpp.o"
+  "CMakeFiles/ig_wfl.dir/validate.cpp.o.d"
+  "CMakeFiles/ig_wfl.dir/xml_io.cpp.o"
+  "CMakeFiles/ig_wfl.dir/xml_io.cpp.o.d"
+  "libig_wfl.a"
+  "libig_wfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_wfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

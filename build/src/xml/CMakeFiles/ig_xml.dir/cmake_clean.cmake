@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_xml.dir/xml.cpp.o"
+  "CMakeFiles/ig_xml.dir/xml.cpp.o.d"
+  "libig_xml.a"
+  "libig_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

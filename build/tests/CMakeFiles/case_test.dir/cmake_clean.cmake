@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_test.dir/case_test.cpp.o"
+  "CMakeFiles/case_test.dir/case_test.cpp.o.d"
+  "case_test"
+  "case_test.pdb"
+  "case_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

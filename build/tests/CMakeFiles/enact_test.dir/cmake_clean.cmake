@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enact_test.dir/enact_test.cpp.o"
+  "CMakeFiles/enact_test.dir/enact_test.cpp.o.d"
+  "enact_test"
+  "enact_test.pdb"
+  "enact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluate_test.dir/evaluate_test.cpp.o"
+  "CMakeFiles/evaluate_test.dir/evaluate_test.cpp.o.d"
+  "evaluate_test"
+  "evaluate_test.pdb"
+  "evaluate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowexpr_test.dir/flowexpr_test.cpp.o"
+  "CMakeFiles/flowexpr_test.dir/flowexpr_test.cpp.o.d"
+  "flowexpr_test"
+  "flowexpr_test.pdb"
+  "flowexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

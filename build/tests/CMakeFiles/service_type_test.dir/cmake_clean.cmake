@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_type_test.dir/service_type_test.cpp.o"
+  "CMakeFiles/service_type_test.dir/service_type_test.cpp.o.d"
+  "service_type_test"
+  "service_type_test.pdb"
+  "service_type_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simulation_service_test.cpp" "tests/CMakeFiles/simulation_service_test.dir/simulation_service_test.cpp.o" "gcc" "tests/CMakeFiles/simulation_service_test.dir/simulation_service_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/ig_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/virolab/CMakeFiles/ig_virolab.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/ig_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/ig_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ig_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfl/CMakeFiles/ig_wfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/ig_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ig_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_service_test.dir/simulation_service_test.cpp.o"
+  "CMakeFiles/simulation_service_test.dir/simulation_service_test.cpp.o.d"
+  "simulation_service_test"
+  "simulation_service_test.pdb"
+  "simulation_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virolab_test.dir/virolab_test.cpp.o"
+  "CMakeFiles/virolab_test.dir/virolab_test.cpp.o.d"
+  "virolab_test"
+  "virolab_test.pdb"
+  "virolab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virolab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

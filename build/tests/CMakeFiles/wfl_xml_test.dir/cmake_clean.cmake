@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfl_xml_test.dir/wfl_xml_test.cpp.o"
+  "CMakeFiles/wfl_xml_test.dir/wfl_xml_test.cpp.o.d"
+  "wfl_xml_test"
+  "wfl_xml_test.pdb"
+  "wfl_xml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfl_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
