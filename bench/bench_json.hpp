@@ -1,0 +1,68 @@
+// Machine-readable bench output: each planner bench appends one JSON object
+// per record to BENCH_planner.json in the working directory (JSON Lines —
+// one self-contained object per line, so independent bench binaries can
+// share the file without a read-modify-write cycle). Perf-tracking tooling
+// reads it with any JSONL-capable loader.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ig::bench {
+
+/// One record under construction. Usage:
+///   JsonRecord record("bench_table2_planning");
+///   record.add("mean_fitness", fitness.mean());
+///   record.append_to("BENCH_planner.json");
+class JsonRecord {
+ public:
+  explicit JsonRecord(const std::string& bench_name) {
+    line_ = "{\"bench\":\"" + bench_name + "\"";
+  }
+
+  JsonRecord& add(const char* key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return add_raw(key, buffer);
+  }
+
+  JsonRecord& add(const char* key, std::size_t value) {
+    return add_raw(key, std::to_string(value).c_str());
+  }
+
+  JsonRecord& add(const char* key, const std::string& value) {
+    std::string escaped;
+    escaped.reserve(value.size() + 2);
+    escaped += '"';
+    for (const char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    return add_raw(key, escaped.c_str());
+  }
+
+  /// Appends `{...}\n` to `path`; returns false when the file is unwritable
+  /// (benches treat that as non-fatal — the human-readable table already
+  /// went to stdout).
+  bool append_to(const char* path = "BENCH_planner.json") const {
+    std::FILE* file = std::fopen(path, "a");
+    if (file == nullptr) return false;
+    std::fprintf(file, "%s}\n", line_.c_str());
+    std::fclose(file);
+    return true;
+  }
+
+ private:
+  JsonRecord& add_raw(const char* key, const char* rendered) {
+    line_ += ",\"";
+    line_ += key;
+    line_ += "\":";
+    line_ += rendered;
+    return *this;
+  }
+
+  std::string line_;
+};
+
+}  // namespace ig::bench

@@ -1,0 +1,141 @@
+// Parallel planning engine: serial-vs-parallel speedup, fitness-memo hit
+// rate, and a bitwise determinism check across thread counts.
+//
+// Three configurations of the Table 1 virolab experiment:
+//
+//   serial/no-memo   threads=1, memoize=false  (the pre-engine baseline)
+//   serial           threads=1, memoize=true
+//   parallel         threads=4 (or hardware_concurrency if smaller than 4
+//                    there is nothing to win; the bench still verifies
+//                    determinism and reports the measured ratio)
+//
+// Pass criteria: parallel results are bitwise-identical to serial for every
+// seed, and the memo reports hits (elites/clones are being skipped). The
+// >= 2x speedup claim is asserted only when the machine actually has >= 4
+// hardware threads; on smaller machines the ratio is reported as
+// informational.
+#include <cstdio>
+
+#include "bench_json.hpp"
+#include "gp_sweep.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace ig;
+
+namespace {
+
+struct Measurement {
+  double seconds = 0.0;
+  double mean_fitness = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t memo_hits = 0;
+  std::vector<planner::GpResult> results;
+};
+
+Measurement measure(const planner::PlanningProblem& problem, std::size_t threads, bool memoize,
+                    int runs) {
+  Measurement m;
+  util::Stopwatch watch;
+  for (int run = 0; run < runs; ++run) {
+    planner::GpConfig config;  // Table 1 defaults: pop 200, 20 generations
+    config.seed = 100 + static_cast<std::uint64_t>(run);
+    config.threads = threads;
+    config.evaluation.memoize = memoize;
+    m.results.push_back(planner::run_gp(problem, config));
+  }
+  m.seconds = watch.elapsed_seconds();
+  for (const planner::GpResult& result : m.results) {
+    m.mean_fitness += result.best_fitness.overall / runs;
+    m.evaluations += result.evaluations;
+    m.memo_hits += result.memo_hits;
+  }
+  return m;
+}
+
+bool identical(const planner::GpResult& a, const planner::GpResult& b) {
+  if (!(a.best_plan == b.best_plan)) return false;
+  if (a.best_fitness.overall != b.best_fitness.overall) return false;
+  if (a.evaluations != b.evaluations) return false;
+  if (a.history.size() != b.history.size()) return false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (a.history[i].best_fitness != b.history[i].best_fitness ||
+        a.history[i].mean_fitness != b.history[i].mean_fitness ||
+        a.history[i].best_size != b.history[i].best_size)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const planner::PlanningProblem problem = bench::virolab_problem();
+  const std::size_t hardware = util::ThreadPool::hardware_threads();
+  const std::size_t parallel_threads = 4;
+  constexpr int kRuns = 3;
+
+  std::printf("Parallel GP planning engine, virolab problem, Table 1 parameters, %d runs\n",
+              kRuns);
+  std::printf("hardware threads: %zu\n\n", hardware);
+
+  const Measurement baseline = measure(problem, 1, false, kRuns);
+  const Measurement serial = measure(problem, 1, true, kRuns);
+  const Measurement parallel = measure(problem, parallel_threads, true, kRuns);
+
+  const double memo_speedup = baseline.seconds / serial.seconds;
+  const double thread_speedup = serial.seconds / parallel.seconds;
+  const double hit_rate =
+      serial.evaluations > 0
+          ? static_cast<double>(serial.memo_hits) / static_cast<double>(serial.evaluations)
+          : 0.0;
+
+  std::printf("%-22s %-9s %-12s %-12s %s\n", "configuration", "time(s)", "evals", "memo-hits",
+              "mean-fitness");
+  std::printf("%-22s %-9.2f %-12zu %-12zu %.4f\n", "serial, no memo", baseline.seconds,
+              baseline.evaluations, baseline.memo_hits, baseline.mean_fitness);
+  std::printf("%-22s %-9.2f %-12zu %-12zu %.4f\n", "serial (threads=1)", serial.seconds,
+              serial.evaluations, serial.memo_hits, serial.mean_fitness);
+  std::printf("threads=%-14zu %-9.2f %-12zu %-12zu %.4f\n", parallel_threads, parallel.seconds,
+              parallel.evaluations, parallel.memo_hits, parallel.mean_fitness);
+
+  std::printf("\nmemo speedup (serial vs no-memo):    %.2fx\n", memo_speedup);
+  std::printf("thread speedup (%zu threads vs 1):    %.2fx\n", parallel_threads, thread_speedup);
+  std::printf("memo hit rate (serial):              %.1f%%\n", 100.0 * hit_rate);
+
+  bool deterministic = true;
+  for (int run = 0; run < kRuns; ++run)
+    if (!identical(serial.results[run], parallel.results[run])) deterministic = false;
+  std::printf("threads=%zu bitwise-identical to threads=1: %s\n", parallel_threads,
+              deterministic ? "yes" : "NO");
+
+  bench::JsonRecord record("bench_planner_parallel");
+  record.add("runs", static_cast<std::size_t>(kRuns))
+      .add("hardware_threads", hardware)
+      .add("parallel_threads", parallel_threads)
+      .add("serial_no_memo_s", baseline.seconds)
+      .add("serial_s", serial.seconds)
+      .add("parallel_s", parallel.seconds)
+      .add("memo_speedup", memo_speedup)
+      .add("thread_speedup", thread_speedup)
+      .add("memo_hit_rate", hit_rate)
+      .add("mean_fitness", serial.mean_fitness)
+      .add("evals_per_sec_serial",
+           serial.seconds > 0 ? serial.evaluations / serial.seconds : 0.0)
+      .add("evals_per_sec_parallel",
+           parallel.seconds > 0 ? parallel.evaluations / parallel.seconds : 0.0)
+      .add("deterministic", std::string(deterministic ? "true" : "false"));
+  record.append_to();
+
+  bool ok = deterministic && hit_rate > 0.0;
+  if (hardware >= parallel_threads) {
+    const bool fast_enough = thread_speedup >= 2.0;
+    std::printf("speedup target (>= 2x at %zu threads): %s\n", parallel_threads,
+                fast_enough ? "met" : "NOT met");
+    ok = ok && fast_enough;
+  } else {
+    std::printf("speedup target skipped: only %zu hardware thread(s) available\n", hardware);
+  }
+  std::printf("pass: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

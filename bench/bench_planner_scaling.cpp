@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.hpp"
 #include "gp_sweep.hpp"
 #include "util/stopwatch.hpp"
 
@@ -61,6 +62,17 @@ int main() {
                 point.optimal_runs, kRuns);
     if (distractors == 0) baseline_optimal = point.optimal_runs;
     if (point.optimal_runs < kRuns) any_degradation_reported = true;
+
+    bench::JsonRecord record("bench_planner_scaling");
+    record.add("catalogue_size", static_cast<std::size_t>(4 + distractors))
+        .add("runs", static_cast<std::size_t>(kRuns))
+        .add("mean_fitness", point.fitness.mean())
+        .add("optimal_runs", static_cast<std::size_t>(point.optimal_runs))
+        .add("wall_s", elapsed)
+        .add("evaluations", point.evaluations)
+        .add("evals_per_sec", elapsed > 0 ? point.evaluations / elapsed : 0.0)
+        .add("memo_hit_rate", point.memo_hit_rate());
+    record.append_to();
   }
   (void)any_degradation_reported;
   std::printf("\nexpected shape: the 4-service baseline is optimal in every run; a larger\n"

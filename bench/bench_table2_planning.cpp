@@ -12,6 +12,7 @@
 //                f = 0.2 fv + 0.5 fg + 0.3 (1 - size/40).
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "planner/convert.hpp"
 #include "planner/gp.hpp"
 #include "util/stats.hpp"
@@ -30,6 +31,8 @@ int main() {
   util::SampleSet goal;
   util::SampleSet size;
   int optimal_runs = 0;
+  std::size_t total_evaluations = 0;
+  std::size_t total_memo_hits = 0;
 
   std::printf("Running the Table 2 experiment: %d GP runs, Table 1 parameters...\n\n", kRuns);
   std::printf("%-5s %-10s %-10s %-10s %-6s %-8s  best plan (workflow text)\n", "run",
@@ -49,6 +52,8 @@ int main() {
     size.add(static_cast<double>(result.best_fitness.size));
     if (result.best_fitness.validity == 1.0 && result.best_fitness.goal == 1.0)
       ++optimal_runs;
+    total_evaluations += result.evaluations;
+    total_memo_hits += result.memo_hits;
 
     std::printf("%-5d %-10.4f %-10.2f %-10.2f %-6zu %-8.2f  %s\n", run,
                 result.best_fitness.overall, result.best_fitness.validity,
@@ -65,6 +70,22 @@ int main() {
   std::printf("\nruns reaching optimal validity AND goal fitness: %d / %d (paper: every run)\n",
               optimal_runs, kRuns);
   std::printf("total wall time: %.1f s\n", total.elapsed_seconds());
+
+  const double wall = total.elapsed_seconds();
+  bench::JsonRecord record("bench_table2_planning");
+  record.add("runs", static_cast<std::size_t>(kRuns))
+      .add("mean_fitness", fitness.mean())
+      .add("mean_validity", validity.mean())
+      .add("mean_goal", goal.mean())
+      .add("mean_size", size.mean())
+      .add("optimal_runs", static_cast<std::size_t>(optimal_runs))
+      .add("wall_s", wall)
+      .add("evaluations", total_evaluations)
+      .add("evals_per_sec", wall > 0 ? total_evaluations / wall : 0.0)
+      .add("memo_hit_rate", total_evaluations > 0
+                                ? static_cast<double>(total_memo_hits) / total_evaluations
+                                : 0.0);
+  record.append_to();
 
   const bool shape_holds = optimal_runs == kRuns && size.mean() < 20.0 && fitness.mean() > 0.9;
   std::printf("qualitative claims hold: %s\n", shape_holds ? "yes" : "NO");

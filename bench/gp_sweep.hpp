@@ -1,11 +1,17 @@
 // Shared helper for the GP ablation benches: run N seeded GP runs for a
-// configuration and aggregate the best-of-run statistics.
+// configuration and aggregate the best-of-run statistics. The seeded runs
+// are independent, so they execute on a thread pool (one run per task, each
+// run itself single-threaded to avoid oversubscription); run_gp is
+// thread-count-deterministic and results are aggregated in seed order, so
+// the numbers match the serial sweep exactly.
 #pragma once
 
 #include <cstdio>
+#include <vector>
 
 #include "planner/gp.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "virolab/catalogue.hpp"
 
 namespace ig::bench {
@@ -17,6 +23,13 @@ struct SweepPoint {
   util::SampleSet size;
   int optimal_runs = 0;  ///< runs with fv = fg = 1
   int runs = 0;
+  std::size_t evaluations = 0;  ///< total across runs, memo hits included
+  std::size_t memo_hits = 0;    ///< evaluations served from the fitness memo
+
+  double memo_hit_rate() const {
+    return evaluations > 0 ? static_cast<double>(memo_hits) / static_cast<double>(evaluations)
+                           : 0.0;
+  }
 };
 
 inline planner::PlanningProblem virolab_problem() {
@@ -24,20 +37,42 @@ inline planner::PlanningProblem virolab_problem() {
                                              virolab::make_catalogue());
 }
 
+/// Runs `runs` seeded GP runs. `outer_threads`: 0 = one task per hardware
+/// thread (capped at `runs`), 1 = serial, N = that many concurrent runs.
 inline SweepPoint run_sweep_point(const planner::PlanningProblem& problem,
                                   planner::GpConfig config, int runs,
-                                  std::uint64_t seed_base = 1000) {
+                                  std::uint64_t seed_base = 1000,
+                                  std::size_t outer_threads = 0) {
+  if (outer_threads == 0)
+    outer_threads = std::min<std::size_t>(util::ThreadPool::hardware_threads(),
+                                          runs > 0 ? static_cast<std::size_t>(runs) : 1);
+
+  std::vector<planner::GpResult> results(static_cast<std::size_t>(runs > 0 ? runs : 0));
+  const auto run_one = [&](std::size_t run) {
+    planner::GpConfig run_config = config;
+    run_config.seed = seed_base + run;
+    // The pool supplies the parallelism; each run stays single-threaded.
+    if (outer_threads > 1) run_config.threads = 1;
+    results[run] = planner::run_gp(problem, run_config);
+  };
+  if (outer_threads > 1) {
+    util::ThreadPool pool(outer_threads);
+    pool.parallel_for(results.size(), [&](std::size_t run, std::size_t) { run_one(run); });
+  } else {
+    for (std::size_t run = 0; run < results.size(); ++run) run_one(run);
+  }
+
   SweepPoint point;
   point.runs = runs;
-  for (int run = 0; run < runs; ++run) {
-    config.seed = seed_base + static_cast<std::uint64_t>(run);
-    const planner::GpResult result = planner::run_gp(problem, config);
+  for (const planner::GpResult& result : results) {
     point.fitness.add(result.best_fitness.overall);
     point.validity.add(result.best_fitness.validity);
     point.goal.add(result.best_fitness.goal);
     point.size.add(static_cast<double>(result.best_fitness.size));
     if (result.best_fitness.validity == 1.0 && result.best_fitness.goal == 1.0)
       ++point.optimal_runs;
+    point.evaluations += result.evaluations;
+    point.memo_hits += result.memo_hits;
   }
   return point;
 }

@@ -20,9 +20,15 @@
 // result so harnesses can report truncation.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "planner/plan_tree.hpp"
@@ -43,6 +49,11 @@ struct EvaluationConfig {
   /// reverse order, which catches order-dependent children without paying
   /// for all n! interleavings).
   std::size_t concurrent_orders = 2;
+  /// Remember the fitness of every structurally distinct plan and serve
+  /// repeats (elites, post-selection clones) from the memo instead of
+  /// re-simulating. Evaluation is a pure function of the plan, so the memo
+  /// never changes results — disable only to measure raw simulation cost.
+  bool memoize = true;
 };
 
 struct Fitness {
@@ -74,26 +85,58 @@ class OutputCache {
       cache_;
 };
 
-/// Evaluates plans against one planning problem. Not thread-safe (the
-/// output cache and counters are shared across evaluations).
+/// Evaluates plans against one planning problem.
+///
+/// Thread-safe for concurrent `evaluate` calls as long as each concurrently
+/// executing caller passes a distinct `worker` id below the `workers` count
+/// given at construction: every worker owns a private OutputCache (no
+/// locking on the simulation path), the fitness memo is sharded behind
+/// per-shard mutexes, and the counters are atomic. Fitness is a pure
+/// function of the plan, so the memo is transparent: results are identical
+/// with it on, off, or raced (two workers simulating the same plan
+/// concurrently both compute — and store — the same value).
 class PlanEvaluator {
  public:
-  PlanEvaluator(const PlanningProblem& problem, EvaluationConfig config = {})
-      : problem_(&problem), config_(config) {}
+  explicit PlanEvaluator(const PlanningProblem& problem, EvaluationConfig config = {},
+                         std::size_t workers = 1);
 
   const EvaluationConfig& config() const noexcept { return config_; }
   const PlanningProblem& problem() const noexcept { return *problem_; }
+  std::size_t workers() const noexcept { return caches_.size(); }
 
-  Fitness evaluate(const PlanNode& plan) const;
+  /// Evaluates on behalf of `worker` (must be < workers()).
+  Fitness evaluate(const PlanNode& plan, std::size_t worker) const;
+  /// Single-threaded convenience: evaluates as worker 0.
+  Fitness evaluate(const PlanNode& plan) const { return evaluate(plan, 0); }
 
-  /// Number of plans evaluated so far (for effort accounting).
-  std::size_t evaluations() const noexcept { return evaluations_; }
+  /// Number of evaluations requested so far, memo hits included (for effort
+  /// accounting).
+  std::size_t evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  /// Evaluations served from the fitness memo without re-simulating. Under
+  /// concurrency this is scheduling-dependent (a plan raced by two workers
+  /// counts as two misses), so treat it as advisory.
+  std::size_t memo_hits() const noexcept { return memo_hits_.load(std::memory_order_relaxed); }
+  /// Evaluations that actually ran the simulator.
+  std::size_t simulations() const noexcept { return evaluations() - memo_hits(); }
 
  private:
+  struct MemoShard {
+    std::mutex mutex;
+    /// hash -> structurally distinct plans with that hash (collision chain).
+    std::unordered_map<std::uint64_t, std::vector<std::pair<PlanNode, Fitness>>> entries;
+  };
+  static constexpr std::size_t kMemoShards = 16;
+
+  Fitness simulate(const PlanNode& plan, std::size_t worker) const;
+
   const PlanningProblem* problem_;
   EvaluationConfig config_;
-  mutable std::size_t evaluations_ = 0;
-  mutable OutputCache output_cache_;
+  mutable std::atomic<std::size_t> evaluations_{0};
+  mutable std::atomic<std::size_t> memo_hits_{0};
+  mutable std::vector<std::unique_ptr<OutputCache>> caches_;  ///< one per worker
+  mutable std::array<MemoShard, kMemoShards> memo_;
 };
 
 }  // namespace ig::planner

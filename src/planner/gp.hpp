@@ -38,6 +38,12 @@ struct GpConfig {
   /// generations). The paper runs a fixed generation budget.
   std::optional<double> target_fitness;
   std::uint64_t seed = 1;
+  /// Worker threads for population evaluation and variation. 0 means
+  /// hardware_concurrency; 1 runs everything inline on the caller. Every
+  /// individual draws from its own RNG stream derived from
+  /// (seed, generation, index), so the result is bitwise-identical at any
+  /// thread count — `threads` is purely a wall-clock knob.
+  std::size_t threads = 0;
 };
 
 /// Per-generation progress sample.
@@ -56,9 +62,18 @@ struct GpResult {
   Fitness best_fitness;
   std::vector<GenerationStats> history;
   std::size_t evaluations = 0;
+  /// Evaluations served from the fitness memo (elites and post-selection
+  /// clones). Advisory: unlike every other field, this can vary with thread
+  /// count, because two workers racing the same new plan both count a miss.
+  std::size_t memo_hits = 0;
+  /// Worker threads actually used (resolves the config's 0 = auto).
+  std::size_t threads_used = 1;
 };
 
-/// Runs the GP planner on one problem. Deterministic given config.seed.
+/// Runs the GP planner on one problem. Deterministic given config.seed:
+/// best plan, fitness, history and evaluation count are bitwise-identical
+/// for every value of config.threads (see DESIGN.md, "Concurrency model &
+/// determinism").
 GpResult run_gp(const PlanningProblem& problem, const GpConfig& config);
 
 }  // namespace ig::planner

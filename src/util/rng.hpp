@@ -20,6 +20,25 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Derives a stream seed from a base seed and up to three coordinates. The
+/// GP engine keys its per-individual generators as
+/// `derive_stream(config.seed, generation, index, phase)`, which makes every
+/// individual's randomness independent of evaluation order — the property
+/// that lets `run_gp` produce bitwise-identical results at any thread count.
+/// Each coordinate passes through a full SplitMix64 avalanche, so nearby
+/// (seed, generation, index) tuples yield statistically unrelated streams.
+constexpr std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0,
+                                      std::uint64_t c = 0) noexcept {
+  std::uint64_t state = seed;
+  std::uint64_t mixed = splitmix64(state);
+  state = mixed ^ (a + 0x9E3779B97F4A7C15ULL);
+  mixed = splitmix64(state);
+  state = mixed ^ (b + 0xBF58476D1CE4E5B9ULL);
+  mixed = splitmix64(state);
+  state = mixed ^ (c + 0x94D049BB133111EBULL);
+  return splitmix64(state);
+}
+
 /// xoshiro256** — fast, high-quality, reproducible across platforms.
 class Rng {
  public:

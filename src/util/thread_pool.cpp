@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace ig::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t id = 0; id < threads; ++id)
+    workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<std::size_t>(reported);
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.emplace_back([task = std::move(task)](std::size_t) { task(); });
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (size() == 1) {
+    // One worker gains nothing over running inline, and inline keeps the
+    // caller's stack in stack traces.
+    for (std::size_t index = 0; index < count; ++index) fn(index, 0);
+    return;
+  }
+
+  struct LoopState {
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> live_tasks{0};
+    std::mutex done_mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  const std::size_t task_count = std::min(size(), count);
+  state->live_tasks.store(task_count, std::memory_order_relaxed);
+  auto body = [state, &fn, count](std::size_t worker) {
+    for (;;) {
+      const std::size_t index = state->cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      try {
+        fn(index, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+    }
+    if (state->live_tasks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(state->done_mutex);
+      state->done.notify_all();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t t = 0; t < task_count; ++t) tasks_.emplace_back(body);
+  }
+  work_available_.notify_all();
+
+  std::unique_lock<std::mutex> lock(state->done_mutex);
+  state->done.wait(lock, [&] { return state->live_tasks.load(std::memory_order_acquire) == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  for (;;) {
+    std::function<void(std::size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task(worker_id);
+  }
+}
+
+}  // namespace ig::util

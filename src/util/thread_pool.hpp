@@ -1,0 +1,74 @@
+// A fixed-size worker pool for data-parallel loops.
+//
+// The planner's hot loop evaluates hundreds of independent plan trees per
+// generation; this pool turns that into `parallel_for` over the population.
+// Design points:
+//
+//   * Workers are created once and keep stable ids in [0, size()); callers
+//     that shard per-worker state (e.g. the evaluator's output caches) index
+//     it by the id passed to their callback.
+//   * `parallel_for` hands indices to workers one at a time through an
+//     atomic cursor, so uneven per-item cost (memo hits vs. full
+//     simulations) balances automatically. Results must be keyed by index;
+//     the pool guarantees every index runs exactly once, not in which order
+//     or on which worker.
+//   * `submit` runs one task and returns a future, for coarse-grained jobs
+//     such as the bench harness's independent seeded GP runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ig::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Number of hardware threads, never 0 (falls back to 1 when unknown).
+  static std::size_t hardware_threads() noexcept;
+
+  /// Enqueues one task for any worker and returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using Result = std::invoke_result_t<Fn&>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs `fn(index, worker)` for every index in [0, count), distributing
+  /// indices dynamically over the workers, and blocks until all complete.
+  /// `worker` is the stable id of the executing worker. The first exception
+  /// thrown by any invocation is rethrown here after the loop drains.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop(std::size_t worker_id);
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void(std::size_t)>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace ig::util

@@ -188,5 +188,64 @@ TEST(Evaluate, ConcurrentExecutesAllChildren) {
   EXPECT_DOUBLE_EQ(fitness.goal, 1.0);
 }
 
+TEST(EvaluateMemo, RepeatEvaluationIsServedFromTheMemo) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem);
+  const PlanNode plan = seq({"POD", "P3DR", "P3DR", "PSF"});
+  const Fitness first = evaluator.evaluate(plan);
+  EXPECT_EQ(evaluator.evaluations(), 1u);
+  EXPECT_EQ(evaluator.memo_hits(), 0u);
+  EXPECT_EQ(evaluator.simulations(), 1u);
+
+  const Fitness second = evaluator.evaluate(plan);
+  EXPECT_EQ(evaluator.evaluations(), 2u);
+  EXPECT_EQ(evaluator.memo_hits(), 1u);
+  EXPECT_EQ(evaluator.simulations(), 1u);
+  EXPECT_EQ(first.overall, second.overall);
+  EXPECT_EQ(first.flows, second.flows);
+
+  // A structurally equal copy hits too; a different plan misses.
+  evaluator.evaluate(PlanNode(plan));
+  EXPECT_EQ(evaluator.memo_hits(), 2u);
+  evaluator.evaluate(seq({"POD", "P3DR"}));
+  EXPECT_EQ(evaluator.memo_hits(), 2u);
+  EXPECT_EQ(evaluator.simulations(), 2u);
+}
+
+TEST(EvaluateMemo, DisabledMemoStillCountsEvaluations) {
+  EvaluationConfig config;
+  config.memoize = false;
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem, config);
+  const PlanNode plan = seq({"POD", "P3DR"});
+  const Fitness first = evaluator.evaluate(plan);
+  const Fitness second = evaluator.evaluate(plan);
+  EXPECT_EQ(evaluator.evaluations(), 2u);
+  EXPECT_EQ(evaluator.memo_hits(), 0u);
+  EXPECT_EQ(first.overall, second.overall);  // still a pure function
+}
+
+TEST(EvaluateMemo, WorkersEvaluateIndependentlyWithSharedMemo) {
+  const PlanningProblem problem = virolab_problem();
+  PlanEvaluator evaluator(problem, {}, 4);
+  EXPECT_EQ(evaluator.workers(), 4u);
+  const PlanNode plan = seq({"POD", "P3DR", "P3DR", "PSF"});
+  const Fitness reference = evaluator.evaluate(plan, 0);
+  for (std::size_t worker = 1; worker < 4; ++worker) {
+    const Fitness fitness = evaluator.evaluate(plan, worker);
+    EXPECT_EQ(fitness.overall, reference.overall);
+    EXPECT_EQ(fitness.flows, reference.flows);
+  }
+  // Worker 0 simulated once; the other three were memo hits.
+  EXPECT_EQ(evaluator.memo_hits(), 3u);
+
+  // Per-worker output caches mean a fresh worker re-simulating (memo off)
+  // still matches — the caches hold identical immutable specifications.
+  EvaluationConfig no_memo;
+  no_memo.memoize = false;
+  PlanEvaluator independent(problem, no_memo, 2);
+  EXPECT_EQ(independent.evaluate(plan, 1).overall, reference.overall);
+}
+
 }  // namespace
 }  // namespace ig::planner

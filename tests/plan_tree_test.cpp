@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "planner/operators.hpp"
 #include "planner/plan_tree.hpp"
+#include "util/rng.hpp"
+#include "virolab/catalogue.hpp"
 #include "virolab/workflow.hpp"
 
 namespace ig::planner {
@@ -114,6 +117,83 @@ TEST(PlanTree, SelectiveDefaultsGuards) {
 TEST(PlanTree, KindNames) {
   EXPECT_EQ(to_string(PlanNode::Kind::Terminal), "Terminal");
   EXPECT_EQ(to_string(PlanNode::Kind::Iterative), "Iterative");
+}
+
+TEST(PlanTreeHash, EqualTreesHashEqual) {
+  const PlanNode a = sample();
+  const PlanNode b = sample();
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  // Copies too.
+  const PlanNode c = a;
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(PlanTreeHash, SensitiveToEveryStructuralField) {
+  const PlanNode base = sample();
+  const std::uint64_t reference = base.hash();
+
+  PlanNode renamed = base;
+  renamed.at_preorder(1).service = "POR";
+  EXPECT_NE(renamed.hash(), reference);
+
+  PlanNode rekinded = base;
+  rekinded.at_preorder(2).kind = PlanNode::Kind::Sequential;
+  EXPECT_NE(rekinded.hash(), reference);
+
+  PlanNode extended = base;
+  extended.children.push_back(PlanNode::terminal("POR"));
+  EXPECT_NE(extended.hash(), reference);
+
+  PlanNode reordered = base;
+  std::swap(reordered.children.front(), reordered.children.back());
+  EXPECT_NE(reordered.hash(), reference);
+
+  PlanNode guarded = PlanNode::selective({PlanNode::terminal("A"), PlanNode::terminal("B")});
+  const std::uint64_t trivially_guarded = guarded.hash();
+  guarded.guards[0] = wfl::Condition::parse("A.Classification = \"2D Image\"");
+  EXPECT_NE(guarded.hash(), trivially_guarded);
+
+  PlanNode looped = PlanNode::iterative({PlanNode::terminal("POR")});
+  const std::uint64_t trivially_looped = looped.hash();
+  looped.continue_condition = wfl::Condition::parse("D10.Value > 8");
+  EXPECT_NE(looped.hash(), trivially_looped);
+}
+
+TEST(PlanTreeHash, TerminalVersusControllerOfSameName) {
+  // A lone terminal and a one-child controller around it must differ.
+  const PlanNode leaf = PlanNode::terminal("POD");
+  const PlanNode wrapped = PlanNode::sequential({PlanNode::terminal("POD")});
+  EXPECT_NE(leaf.hash(), wrapped.hash());
+}
+
+TEST(PlanTreeHash, CollisionSanityOnMutatedTrees) {
+  // Generate a cloud of random trees plus single-step mutants and check
+  // hash() separates every structurally distinct pair (64-bit hashes over a
+  // few hundred small trees: any collision is a red flag for the mixer).
+  const wfl::ServiceCatalogue catalogue = virolab::make_catalogue();
+  util::Rng rng(99);
+  std::vector<PlanNode> trees;
+  for (int i = 0; i < 150; ++i) {
+    trees.push_back(random_tree(rng, catalogue, 20));
+    PlanNode mutant = trees.back();
+    if (mutate(mutant, rng, catalogue, 0.5, 20)) trees.push_back(std::move(mutant));
+  }
+  std::size_t distinct_pairs = 0;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    for (std::size_t j = i + 1; j < trees.size(); ++j) {
+      if (trees[i] == trees[j]) {
+        EXPECT_EQ(trees[i].hash(), trees[j].hash());
+      } else {
+        ++distinct_pairs;
+        EXPECT_NE(trees[i].hash(), trees[j].hash())
+            << "collision between\n"
+            << trees[i].to_tree_string() << "and\n"
+            << trees[j].to_tree_string();
+      }
+    }
+  }
+  EXPECT_GT(distinct_pairs, 1000u);  // the cloud really is diverse
 }
 
 }  // namespace

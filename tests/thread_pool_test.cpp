@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ig::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  auto forty_two = pool.submit([] { return 42; });
+  auto text = pool.submit([] { return std::string("done"); });
+  EXPECT_EQ(forty_two.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto failing = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t index, std::size_t worker) {
+    EXPECT_LT(worker, pool.size());
+    visits[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSmallRanges) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { FAIL() << "no indices to run"; });
+
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(2, [&](std::size_t, std::size_t) { ++ran; });  // count < workers
+  EXPECT_EQ(ran.load(), 2u);
+}
+
+TEST(ThreadPool, ParallelForIsReusable) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 20; ++round)
+    pool.parallel_for(50, [&](std::size_t, std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 20u * 50u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::size_t index, std::size_t) {
+                                   if (index == 7) throw std::runtime_error("bad index");
+                                 }),
+               std::runtime_error);
+  // The pool survives the exception.
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(5, [&](std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 5u);
+}
+
+TEST(ThreadPool, ZeroThreadRequestClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::size_t ran = 0;
+  pool.parallel_for(3, [&](std::size_t, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 3u);
+}
+
+TEST(ThreadPool, HardwareThreadsNeverZero) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 500;
+  std::vector<long> values(kCount);
+  pool.parallel_for(kCount, [&](std::size_t index, std::size_t) {
+    values[index] = static_cast<long>(index * index);
+  });
+  long expected = 0;
+  for (std::size_t i = 0; i < kCount; ++i) expected += static_cast<long>(i * i);
+  EXPECT_EQ(std::accumulate(values.begin(), values.end(), 0L), expected);
+}
+
+}  // namespace
+}  // namespace ig::util
