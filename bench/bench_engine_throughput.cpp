@@ -1,0 +1,158 @@
+// Engine throughput — sharded enactment of the virus case-study workload.
+//
+// Sweeps the shard count at a fixed offered load (every shard re-enacts the
+// fig10 virus-reconstruction case) and reports completed-cases/sec, latency
+// percentiles, and per-shard utilization. A second, fault-injected point
+// pins shard 0 at 100% dispatch failure and shows the engine's
+// checkpoint/restore retry completing every submitted case anyway.
+//
+// Appends one JSON Lines record per configuration to BENCH_engine.json.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "engine/engine.hpp"
+#include "util/stopwatch.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+
+using namespace ig;
+
+namespace {
+
+struct Point {
+  std::size_t shards = 0;
+  std::size_t cases = 0;
+  double wall_seconds = 0.0;
+  double cases_per_second = 0.0;
+  engine::EngineMetrics metrics;
+};
+
+// Real wall-clock latency per kernel execution: stands in for waiting on
+// the actual EM reconstruction codes (a fig10 case runs ~12 executions).
+// Concurrent shards overlap these waits — the throughput the front door
+// exists to deliver.
+constexpr double kKernelLatencySeconds = 0.010;
+
+Point run_point(std::size_t shards, std::size_t cases, std::size_t tenants,
+                std::vector<double> failure_floor, int max_case_retries,
+                bool engine_recovery_only) {
+  engine::EngineConfig config;
+  config.shards = shards;
+  config.queue_capacity = cases + 8;
+  config.max_case_retries = max_case_retries;
+  config.shard_failure_floor = std::move(failure_floor);
+  config.environment.topology.domains = 2;
+  config.environment.topology.nodes_per_domain = 3;
+  config.environment.kernels.execution_latency_seconds = kKernelLatencySeconds;
+  if (engine_recovery_only) {
+    // Fault point: cut the in-shard budgets to one dispatch retry so a
+    // broken shard fails fast (its retry fails instantly too) and the
+    // engine-level checkpoint/restore retry does the real recovery, while
+    // the healthy shard can still absorb the topology's natural failures.
+    config.environment.coordination.max_retries = 1;
+    config.environment.coordination.max_replans = 0;
+  }
+  engine::EnactmentEngine engine(config);
+
+  // Each case targets a slightly different resolution, so every submission
+  // is a distinct planning problem: the plan memo (PR 1) cannot collapse
+  // the sweep into one GP run per shard, and the bench measures real
+  // plan-and-enact work per case — the load profile of a multi-user portal.
+  util::Stopwatch watch;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const double resolution = 8.0 - 0.04 * static_cast<double>(i);
+    const std::string tenant = "tenant-" + std::to_string(i % tenants);
+    engine.submit(virolab::make_fig10_process(resolution),
+                  virolab::make_case_description(resolution), tenant);
+  }
+  engine.drain();
+
+  Point point;
+  point.shards = shards;
+  point.cases = cases;
+  point.wall_seconds = watch.elapsed_seconds();
+  point.metrics = engine.metrics();
+  point.cases_per_second =
+      point.wall_seconds > 0.0
+          ? static_cast<double>(point.metrics.completed) / point.wall_seconds
+          : 0.0;
+  return point;
+}
+
+void emit_record(const char* label, const Point& point) {
+  bench::JsonRecord record("bench_engine_throughput");
+  record.add("config", std::string(label));
+  record.add("shards", point.shards);
+  record.add("cases", point.cases);
+  record.add("wall_seconds", point.wall_seconds);
+  record.add("cases_per_second", point.cases_per_second);
+  record.add("completed", point.metrics.completed);
+  record.add("failed", point.metrics.failed);
+  record.add("retried", point.metrics.retried);
+  record.add("rejected", point.metrics.rejected);
+  record.add("latency_p50", point.metrics.latency_p50);
+  record.add("latency_p99", point.metrics.latency_p99);
+  double utilization = 0.0;
+  for (const auto& shard : point.metrics.shards) utilization += shard.utilization;
+  if (!point.metrics.shards.empty())
+    utilization /= static_cast<double>(point.metrics.shards.size());
+  record.add("mean_shard_utilization", utilization);
+  record.append_to("BENCH_engine.json");
+}
+
+void print_point(const Point& point) {
+  double utilization = 0.0;
+  for (const auto& shard : point.metrics.shards) utilization += shard.utilization;
+  if (!point.metrics.shards.empty())
+    utilization /= static_cast<double>(point.metrics.shards.size());
+  std::printf("%-8zu %-8zu %-10.2f %-12.2f %-10.2f %-8zu %-8zu %.2f\n", point.shards,
+              point.cases, point.wall_seconds, point.cases_per_second,
+              point.metrics.latency_p50, point.metrics.retried, point.metrics.failed,
+              utilization);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const std::size_t cases = quick ? 8 : 32;
+  const std::size_t tenants = 4;
+  std::printf("Engine throughput: %zu fig10 cases, %zu tenants, %.0f ms kernel "
+              "latency per execution, shard sweep\n\n",
+              cases, tenants, kKernelLatencySeconds * 1000.0);
+  std::printf("%-8s %-8s %-10s %-12s %-10s %-8s %-8s %s\n", "shards", "cases", "wall(s)",
+              "cases/s", "p50(s)", "retried", "failed", "util");
+
+  std::vector<Point> sweep;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const Point point = run_point(shards, cases, tenants, {}, /*max_case_retries=*/1,
+                                  /*engine_recovery_only=*/false);
+    print_point(point);
+    emit_record("sweep", point);
+    sweep.push_back(point);
+  }
+
+  const double speedup = sweep.front().cases_per_second > 0.0
+                             ? sweep.back().cases_per_second / sweep.front().cases_per_second
+                             : 0.0;
+  std::printf("\n1 -> 4 shard speedup: %.2fx (target >= 2x)\n", speedup);
+
+  std::printf("\n-- fault injection: shard 0 at 100%% dispatch failure, retries on --\n");
+  const Point fault = run_point(2, quick ? 6 : 12, tenants, {1.0, 0.0},
+                                /*max_case_retries=*/3, /*engine_recovery_only=*/true);
+  print_point(fault);
+  emit_record("fault", fault);
+  const bool fault_ok = fault.metrics.failed == 0 && fault.metrics.completed == fault.cases;
+  std::printf("all cases completed despite faulty shard: %s (retried %zu)\n",
+              fault_ok ? "yes" : "NO", fault.metrics.retried);
+
+  const bool scaling_ok = speedup >= 2.0;
+  std::printf("\nscaling target holds: %s\n", scaling_ok ? "yes" : "NO");
+  return (scaling_ok && fault_ok) ? 0 : 1;
+}

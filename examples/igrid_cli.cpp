@@ -5,6 +5,7 @@
 //   igrid_cli plan [seed]                    GP-plan the virolab case
 //   igrid_cli simulate <workflow.txt>        dry-run fitness vs the virolab case
 //   igrid_cli enact <workflow.txt> [seed]    execute on the simulated grid
+//   igrid_cli engine [cases] [shards]        sharded multi-case enactment demo
 //   igrid_cli demo                           plan + enact the paper's case study
 //
 // Workflow files contain the concrete syntax, e.g.
@@ -15,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "engine/engine.hpp"
 #include "planner/convert.hpp"
 #include "planner/evaluate.hpp"
 #include "planner/gp.hpp"
@@ -32,12 +34,13 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: igrid_cli <validate|lower|plan|simulate|enact|demo> [args]\n"
+               "usage: igrid_cli <validate|lower|plan|simulate|enact|engine|demo> [args]\n"
                "  validate <workflow.txt>      parse + structural validation\n"
                "  lower    <workflow.txt>      print the lowered graph\n"
                "  plan     [seed]              GP-plan the virolab case\n"
                "  simulate <workflow.txt>      dry-run fitness for the virolab case\n"
                "  enact    <workflow.txt> [seed]  run on the simulated grid\n"
+               "  engine   [cases] [shards]    sharded multi-case enactment demo\n"
                "  demo                         plan + enact the paper's case study\n");
   return 2;
 }
@@ -144,6 +147,51 @@ int cmd_enact(const std::string& path, std::uint64_t seed) {
   return 0;
 }
 
+int cmd_engine(std::size_t cases, std::size_t shards) {
+  engine::EngineConfig config;
+  config.shards = shards;
+  config.queue_capacity = cases + 4;
+  config.environment.topology.domains = 2;
+  config.environment.topology.nodes_per_domain = 3;
+  engine::EnactmentEngine engine(config);
+
+  std::printf("submitting %zu fig10 cases across %zu shard(s)...\n", cases, shards);
+  std::vector<engine::CaseId> ids;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::string tenant = "tenant-" + std::to_string(i % 2);
+    const engine::CaseId id = engine.submit(virolab::make_fig10_process(),
+                                            virolab::make_case_description(), tenant);
+    if (id == engine::kInvalidCase) {
+      std::printf("  case %zu rejected (queue full)\n", i + 1);
+      continue;
+    }
+    ids.push_back(id);
+  }
+  engine.drain();
+
+  for (const engine::CaseId id : ids) {
+    const auto outcome = engine.result(id);
+    if (!outcome.has_value()) continue;
+    std::printf("  case %llu: %s on shard %zu, makespan %.1f, %d activities%s%s\n",
+                static_cast<unsigned long long>(id),
+                std::string(engine::to_string(outcome->state)).c_str(), outcome->shard,
+                outcome->makespan, outcome->activities_executed,
+                outcome->engine_retries > 0 ? ", retried" : "",
+                outcome->error.empty() ? "" : (", error: " + outcome->error).c_str());
+  }
+
+  const engine::EngineMetrics metrics = engine.metrics();
+  std::printf("engine: %zu submitted, %zu completed, %zu failed, %zu retried, "
+              "p50 latency %.3fs\n",
+              metrics.submitted, metrics.completed, metrics.failed, metrics.retried,
+              metrics.latency_p50);
+  for (std::size_t i = 0; i < metrics.shards.size(); ++i)
+    std::printf("  shard %zu: %zu run, %zu completed, utilization %.0f%%\n", i,
+                metrics.shards[i].cases_run, metrics.shards[i].cases_completed,
+                metrics.shards[i].utilization * 100.0);
+  return metrics.completed == metrics.submitted ? 0 : 1;
+}
+
 int cmd_demo() {
   std::printf("== planning the 3DSD case (Table 1 parameters) ==\n");
   if (cmd_plan(2004) != 0) return 1;
@@ -172,6 +220,9 @@ int main(int argc, char** argv) {
     if (command == "simulate" && argc >= 3) return cmd_simulate(argv[2]);
     if (command == "enact" && argc >= 3)
       return cmd_enact(argv[2], argc >= 4 ? std::stoull(argv[3]) : 42);
+    if (command == "engine")
+      return cmd_engine(argc >= 3 ? std::stoull(argv[2]) : 6,
+                        argc >= 4 ? std::stoull(argv[3]) : 2);
     if (command == "demo") return cmd_demo();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

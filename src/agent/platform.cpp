@@ -58,10 +58,23 @@ void AgentPlatform::send(AclMessage message) {
   });
 }
 
+void AgentPlatform::set_trace_limit(std::size_t limit) {
+  trace_limit_ = limit;
+  if (trace_limit_ == 0) return;
+  while (trace_.size() > trace_limit_) {
+    trace_.pop_front();
+    ++trace_dropped_;
+  }
+}
+
 void AgentPlatform::deliver(AclMessage message, grid::SimTime sent_at) {
   Agent* receiver = find_agent(message.receiver);
   if (tracing_) {
     trace_.push_back({sent_at, sim_.now(), message, receiver != nullptr});
+    if (trace_limit_ > 0 && trace_.size() > trace_limit_) {
+      trace_.pop_front();
+      ++trace_dropped_;
+    }
   }
   if (receiver == nullptr) {
     // Bounce: notify the sender (if it still exists) of the failed delivery.

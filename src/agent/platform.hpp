@@ -8,6 +8,7 @@
 // flows.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -73,8 +74,16 @@ class AgentPlatform {
 
   // -- tracing ------------------------------------------------------------------
   void set_tracing(bool enabled) noexcept { tracing_ = enabled; }
-  const std::vector<TraceRecord>& trace() const noexcept { return trace_; }
+  const std::deque<TraceRecord>& trace() const noexcept { return trace_; }
   void clear_trace() { trace_.clear(); }
+  /// Caps the trace at the most recent `limit` records (ring buffer); the
+  /// oldest record is dropped on overflow. 0 (the default) keeps everything,
+  /// which the Figure 2/3 harnesses rely on; long-running shards set a cap
+  /// so a traced platform cannot grow without bound.
+  void set_trace_limit(std::size_t limit);
+  std::size_t trace_limit() const noexcept { return trace_limit_; }
+  /// Records discarded so far due to the cap.
+  std::size_t trace_dropped() const noexcept { return trace_dropped_; }
   /// Multi-line "t=0.001 REQUEST cs -> ps [planning-request]" rendering.
   std::string trace_to_string() const;
 
@@ -85,7 +94,9 @@ class AgentPlatform {
   std::vector<std::unique_ptr<Agent>> agents_;
   std::function<grid::SimTime(const std::string&, const std::string&)> latency_fn_;
   bool tracing_ = false;
-  std::vector<TraceRecord> trace_;
+  std::deque<TraceRecord> trace_;
+  std::size_t trace_limit_ = 0;  ///< 0 = unlimited
+  std::size_t trace_dropped_ = 0;
   std::size_t messages_sent_ = 0;
   std::size_t messages_delivered_ = 0;
 };

@@ -29,7 +29,7 @@ std::string clip(const std::string& text, std::size_t width) {
 
 }  // namespace
 
-std::string render_arrows(const std::vector<TraceRecord>& trace,
+std::string render_arrows(const std::deque<TraceRecord>& trace,
                           const TraceRenderOptions& options) {
   std::string out;
   for (const auto& record : trace) {
@@ -47,7 +47,7 @@ std::string render_arrows(const std::vector<TraceRecord>& trace,
   return out;
 }
 
-std::string render_sequence_diagram(const std::vector<TraceRecord>& trace,
+std::string render_sequence_diagram(const std::deque<TraceRecord>& trace,
                                     const TraceRenderOptions& options) {
   // Collect participants in first-appearance order.
   std::vector<std::string> participants;

@@ -10,6 +10,7 @@
 // straight from the recorded execution.
 #pragma once
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -26,12 +27,12 @@ struct TraceRenderOptions {
 };
 
 /// Renders an arrow-per-message listing, one line per delivered record.
-std::string render_arrows(const std::vector<TraceRecord>& trace,
+std::string render_arrows(const std::deque<TraceRecord>& trace,
                           const TraceRenderOptions& options = {});
 
 /// Renders a full lifeline diagram: a column per participating agent,
 /// a row per message, arrows spanning sender to receiver.
-std::string render_sequence_diagram(const std::vector<TraceRecord>& trace,
+std::string render_sequence_diagram(const std::deque<TraceRecord>& trace,
                                     const TraceRenderOptions& options = {});
 
 }  // namespace ig::agent

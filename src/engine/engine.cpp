@@ -1,0 +1,494 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+#include "services/protocol.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+#include "wfl/xml_io.hpp"
+
+namespace ig::engine {
+
+using agent::AclMessage;
+using agent::Performative;
+
+std::string_view to_string(CaseState state) noexcept {
+  switch (state) {
+    case CaseState::Queued: return "Queued";
+    case CaseState::Running: return "Running";
+    case CaseState::Completed: return "Completed";
+    case CaseState::Failed: return "Failed";
+    case CaseState::Cancelled: return "Cancelled";
+    case CaseState::Rejected: return "Rejected";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The engine's in-platform proxy: the agent that submits enact / restore /
+/// checkpoint requests on a shard and collects the replies. Only the
+/// shard's worker thread ever touches it (it runs the simulation), so it
+/// needs no locking.
+class EngineClient final : public agent::Agent {
+ public:
+  using Agent::Agent;
+
+  void handle_message(const AclMessage& message) override {
+    replies_[message.conversation_id] = message;
+  }
+
+  void post(AclMessage message) { send(std::move(message)); }
+
+  std::optional<AclMessage> take(const std::string& conversation_id) {
+    auto it = replies_.find(conversation_id);
+    if (it == replies_.end()) return std::nullopt;
+    AclMessage message = std::move(it->second);
+    replies_.erase(it);
+    return message;
+  }
+
+ private:
+  std::map<std::string, AclMessage> replies_;
+};
+
+}  // namespace
+
+/// One worker shard: a private environment, its proxy agent, and the thread
+/// that drives the shard's virtual clock. Stats are guarded by the engine
+/// mutex; the environment is owned exclusively by the worker thread.
+struct EnactmentEngine::Shard {
+  std::size_t index = 0;
+  std::unique_ptr<svc::Environment> environment;
+  EngineClient* client = nullptr;
+  std::thread worker;
+  // -- stats, under the engine mutex --
+  std::size_t cases_run = 0;
+  std::size_t cases_completed = 0;
+  std::size_t cases_failed = 0;
+  double busy_seconds = 0.0;
+};
+
+struct EnactmentEngine::AttemptResult {
+  enum class Kind { Success, Failure, Cancelled } kind = Kind::Failure;
+  AclMessage reply;             ///< the case-completed (or failure) reply
+  std::string checkpoint_xml;  ///< snapshot captured after a failure
+};
+
+EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config)) {
+  config_.shards = std::max<std::size_t>(1, config_.shards);
+  config_.events_per_slice = std::max<std::size_t>(1, config_.events_per_slice);
+  started_at_ = std::chrono::steady_clock::now();
+
+  // Build every shard stack on the caller's thread (deterministic seeds,
+  // no construction races), then start the workers.
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    const double floor =
+        i < config_.shard_failure_floor.size() ? config_.shard_failure_floor[i] : 0.0;
+    shard->environment = svc::make_shard_stack(config_.environment, config_.seed, i, floor);
+    shard->client = &shard->environment->platform().spawn<EngineClient>("engine-client");
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, raw = shard.get()] { shard_loop(*raw); });
+  }
+}
+
+EnactmentEngine::~EnactmentEngine() { shutdown(); }
+
+void EnactmentEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  case_terminal_.notify_all();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+CaseId EnactmentEngine::submit(const wfl::ProcessDescription& process,
+                               const wfl::CaseDescription& case_description,
+                               const std::string& tenant) {
+  return submit_xml(wfl::process_to_xml_string(process),
+                    wfl::case_to_xml_string(case_description), tenant);
+}
+
+CaseId EnactmentEngine::submit_xml(std::string process_xml, std::string case_xml,
+                                   const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_ || queued_ >= config_.queue_capacity) {
+    ++rejected_total_;
+    return kInvalidCase;
+  }
+  const CaseId id = next_case_id_++;
+  CaseRecord& record = records_[id];
+  record.id = id;
+  record.tenant = tenant.empty() ? "default" : tenant;
+  record.process_xml = std::move(process_xml);
+  record.case_xml = std::move(case_xml);
+  record.submitted_at = std::chrono::steady_clock::now();
+  ++submitted_total_;
+  admit_locked(record);
+  work_available_.notify_all();
+  return id;
+}
+
+void EnactmentEngine::admit_locked(CaseRecord& record) {
+  record.state = CaseState::Queued;
+  auto& queue = tenant_queues_[record.tenant];
+  if (queue.empty() &&
+      std::find(tenant_order_.begin(), tenant_order_.end(), record.tenant) ==
+          tenant_order_.end()) {
+    tenant_order_.push_back(record.tenant);
+  }
+  queue.push_back(record.id);
+  ++queued_;
+}
+
+std::optional<CaseId> EnactmentEngine::pop_for_shard_locked(std::size_t shard_index) {
+  const std::size_t tenants = tenant_order_.size();
+  for (std::size_t k = 0; k < tenants; ++k) {
+    const std::size_t slot = (rr_cursor_ + k) % tenants;
+    const std::string tenant = tenant_order_[slot];
+    auto& queue = tenant_queues_[tenant];
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      const CaseRecord& record = records_.at(*it);
+      if (record.excluded_shards.count(shard_index) > 0) continue;
+      const CaseId id = *it;
+      queue.erase(it);
+      --queued_;
+      if (queue.empty()) {
+        tenant_queues_.erase(tenant);
+        tenant_order_.erase(tenant_order_.begin() + static_cast<std::ptrdiff_t>(slot));
+        rr_cursor_ = tenant_order_.empty() ? 0 : slot % tenant_order_.size();
+      } else {
+        rr_cursor_ = (slot + 1) % tenants;
+      }
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+CaseState EnactmentEngine::status(CaseId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(id);
+  return it == records_.end() ? CaseState::Rejected : it->second.state;
+}
+
+std::optional<CaseOutcome> EnactmentEngine::result(CaseId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(id);
+  if (it == records_.end() || !is_terminal(it->second.state)) return std::nullopt;
+  return it->second.outcome;
+}
+
+bool EnactmentEngine::cancel(CaseId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  CaseRecord& record = it->second;
+  if (is_terminal(record.state)) return false;
+  record.cancel_requested = true;
+  if (record.state == CaseState::Queued) {
+    // Remove from its tenant queue and terminate immediately.
+    auto queue_it = tenant_queues_.find(record.tenant);
+    if (queue_it != tenant_queues_.end()) {
+      auto& queue = queue_it->second;
+      auto pos = std::find(queue.begin(), queue.end(), id);
+      if (pos != queue.end()) {
+        queue.erase(pos);
+        --queued_;
+      }
+      if (queue.empty()) {
+        tenant_queues_.erase(queue_it);
+        auto order = std::find(tenant_order_.begin(), tenant_order_.end(), record.tenant);
+        if (order != tenant_order_.end()) tenant_order_.erase(order);
+        rr_cursor_ = tenant_order_.empty() ? 0 : rr_cursor_ % tenant_order_.size();
+      }
+    }
+    record.state = CaseState::Cancelled;
+    record.outcome.state = CaseState::Cancelled;
+    record.outcome.error = "cancelled while queued";
+    record.outcome.engine_retries = record.retries_used;
+    record.outcome.completion_index = ++completion_sequence_;
+    record.outcome.latency_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - record.submitted_at)
+            .count();
+    latencies_.add(record.outcome.latency_seconds);
+    ++cancelled_total_;
+    case_terminal_.notify_all();
+  }
+  // A Running case is abandoned by its shard at the next slice boundary.
+  return true;
+}
+
+bool EnactmentEngine::cancel_requested(CaseId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(id);
+  return it == records_.end() || it->second.cancel_requested;
+}
+
+std::optional<CaseOutcome> EnactmentEngine::wait(CaseId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  case_terminal_.wait(lock, [&] { return stopping_ || is_terminal(it->second.state); });
+  if (!is_terminal(it->second.state)) return std::nullopt;
+  return it->second.outcome;
+}
+
+void EnactmentEngine::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  case_terminal_.wait(lock, [&] { return stopping_ || (queued_ == 0 && running_ == 0); });
+}
+
+EngineMetrics EnactmentEngine::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineMetrics snapshot;
+  snapshot.submitted = submitted_total_;
+  snapshot.rejected = rejected_total_;
+  snapshot.completed = completed_total_;
+  snapshot.failed = failed_total_;
+  snapshot.cancelled = cancelled_total_;
+  snapshot.retried = retried_total_;
+  snapshot.queue_depth = queued_;
+  snapshot.running = running_;
+  if (latencies_.count() > 0) {
+    snapshot.latency_p50 = latencies_.percentile(50.0);
+    snapshot.latency_p90 = latencies_.percentile(90.0);
+    snapshot.latency_p99 = latencies_.percentile(99.0);
+  }
+  snapshot.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_).count();
+  if (snapshot.uptime_seconds > 0.0)
+    snapshot.completed_per_second =
+        static_cast<double>(completed_total_) / snapshot.uptime_seconds;
+  snapshot.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardMetrics sm;
+    sm.cases_run = shard->cases_run;
+    sm.cases_completed = shard->cases_completed;
+    sm.cases_failed = shard->cases_failed;
+    sm.busy_seconds = shard->busy_seconds;
+    sm.utilization =
+        snapshot.uptime_seconds > 0.0 ? shard->busy_seconds / snapshot.uptime_seconds : 0.0;
+    snapshot.shards.push_back(sm);
+  }
+  return snapshot;
+}
+
+void EnactmentEngine::shard_loop(Shard& shard) {
+  for (;;) {
+    CaseRecord snapshot;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      std::optional<CaseId> popped;
+      work_available_.wait(lock, [&] {
+        if (stopping_) return true;
+        popped = pop_for_shard_locked(shard.index);
+        return popped.has_value();
+      });
+      if (stopping_) return;
+      CaseRecord& record = records_.at(*popped);
+      record.state = CaseState::Running;
+      record.outcome.shard = shard.index;
+      ++running_;
+      ++shard.cases_run;
+      snapshot = record;  // inputs the attempt needs, copied out of the lock
+    }
+
+    util::Stopwatch attempt_clock;
+    AttemptResult attempt = run_attempt(shard, snapshot);
+    const double busy = attempt_clock.elapsed_seconds();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    shard.busy_seconds += busy;
+    --running_;
+    auto it = records_.find(snapshot.id);
+    if (it == records_.end()) continue;
+    CaseRecord& record = it->second;
+
+    if (stopping_ && attempt.kind != AttemptResult::Kind::Success) {
+      finalize_locked(record, shard, CaseState::Failed, attempt.reply);
+      record.outcome.error = "engine shutdown";
+      continue;
+    }
+    switch (attempt.kind) {
+      case AttemptResult::Kind::Cancelled:
+        finalize_locked(record, shard, CaseState::Cancelled, attempt.reply);
+        record.outcome.error = "cancelled while running";
+        break;
+      case AttemptResult::Kind::Success:
+        finalize_locked(record, shard, CaseState::Completed, attempt.reply);
+        break;
+      case AttemptResult::Kind::Failure:
+        if (record.retries_used < config_.max_case_retries && !record.cancel_requested) {
+          ++record.retries_used;
+          ++retried_total_;
+          if (!attempt.checkpoint_xml.empty())
+            record.checkpoint_xml = std::move(attempt.checkpoint_xml);
+          if (shards_.size() > 1) {
+            // Prefer a different shard; never strand the case when the
+            // exclusion set would cover the whole fleet.
+            record.excluded_shards.insert(shard.index);
+            if (record.excluded_shards.size() >= shards_.size())
+              record.excluded_shards.clear();
+          }
+          admit_locked(record);
+          work_available_.notify_all();
+        } else {
+          finalize_locked(record, shard, CaseState::Failed, attempt.reply);
+        }
+        break;
+    }
+  }
+}
+
+EnactmentEngine::AttemptResult EnactmentEngine::run_attempt(Shard& shard,
+                                                            const CaseRecord& snapshot) {
+  AttemptResult result;
+  svc::Environment& environment = *shard.environment;
+  grid::Simulation& sim = environment.sim();
+
+  // Drain anything a previous (possibly abandoned) case left on the
+  // calendar, then give this case a fresh kernel state.
+  for (std::size_t i = 0; i < config_.max_slices_per_case; ++i) {
+    if (sim.run(config_.events_per_slice) == 0) break;
+  }
+  environment.kernels().reset();
+
+  const std::string conversation = "engine/" + std::to_string(snapshot.id) + "/" +
+                                   std::to_string(snapshot.retries_used);
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.receiver = svc::names::kCoordination;
+  request.conversation_id = conversation;
+  if (snapshot.checkpoint_xml.empty()) {
+    request.protocol = svc::protocols::kEnactCase;
+    request.content = snapshot.process_xml;
+    request.params["case-xml"] = snapshot.case_xml;
+  } else {
+    // Retry from the failed attempt's snapshot: completed activities replay,
+    // and the new shard gets a full re-planning budget again.
+    request.protocol = svc::protocols::kRestoreCase;
+    request.content = snapshot.checkpoint_xml;
+    request.params["reset-replans"] = "true";
+  }
+  shard.client->post(std::move(request));
+
+  std::optional<AclMessage> reply;
+  for (std::size_t slice = 0; slice < config_.max_slices_per_case; ++slice) {
+    if (cancel_requested(snapshot.id)) {
+      result.kind = AttemptResult::Kind::Cancelled;
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) break;
+    }
+    const std::size_t executed = sim.run(config_.events_per_slice);
+    reply = shard.client->take(conversation);
+    if (reply.has_value()) break;
+    if (executed == 0) break;  // calendar drained without an answer: stalled
+  }
+  if (!reply.has_value()) {
+    result.kind = AttemptResult::Kind::Failure;
+    result.reply.params["error"] = "enactment stalled (no completion reply)";
+    return result;
+  }
+
+  result.reply = *reply;
+  const bool success = reply->performative == Performative::Inform &&
+                       reply->param("success", "true") == "true";
+  if (success) {
+    result.kind = AttemptResult::Kind::Success;
+    return result;
+  }
+  result.kind = AttemptResult::Kind::Failure;
+
+  // Snapshot the failed enactment so a retry on another shard replays the
+  // work that did complete. The reply names the coordinator's local case id;
+  // submissions rejected before an enactment existed (e.g. invalid XML)
+  // carry none, and then the retry simply resubmits from scratch.
+  const std::string local_case = reply->param("case");
+  if (local_case.empty() || snapshot.retries_used >= config_.max_case_retries) return result;
+  AclMessage checkpoint;
+  checkpoint.performative = Performative::Request;
+  checkpoint.receiver = svc::names::kCoordination;
+  checkpoint.protocol = svc::protocols::kCheckpointCase;
+  checkpoint.conversation_id = conversation + "/checkpoint";
+  checkpoint.params["case"] = local_case;
+  shard.client->post(std::move(checkpoint));
+  for (std::size_t slice = 0; slice < config_.max_slices_per_case; ++slice) {
+    const std::size_t executed = sim.run(config_.events_per_slice);
+    auto snapshot_reply = shard.client->take(conversation + "/checkpoint");
+    if (snapshot_reply.has_value()) {
+      if (snapshot_reply->performative == Performative::Inform)
+        result.checkpoint_xml = snapshot_reply->content;
+      break;
+    }
+    if (executed == 0) break;
+  }
+  return result;
+}
+
+void EnactmentEngine::finalize_locked(CaseRecord& record, Shard& shard, CaseState state,
+                                      const AclMessage& reply) {
+  auto to_double = [](const std::string& text) {
+    try {
+      return text.empty() ? 0.0 : std::stod(text);
+    } catch (const std::exception&) {
+      return 0.0;
+    }
+  };
+  auto to_int = [](const std::string& text) {
+    try {
+      return text.empty() ? 0 : std::stoi(text);
+    } catch (const std::exception&) {
+      return 0;
+    }
+  };
+  record.state = state;
+  CaseOutcome& outcome = record.outcome;
+  outcome.state = state;
+  outcome.error = reply.param("error");
+  outcome.makespan = to_double(reply.param("makespan"));
+  outcome.activities_executed = to_int(reply.param("activities-executed"));
+  outcome.activities_replayed = to_int(reply.param("activities-replayed"));
+  outcome.dispatch_failures = to_int(reply.param("dispatch-failures"));
+  outcome.replans = to_int(reply.param("replans"));
+  outcome.goal_satisfaction = to_double(reply.param("goal-satisfaction"));
+  outcome.total_cost = to_double(reply.param("total-cost"));
+  outcome.engine_retries = record.retries_used;
+  outcome.shard = shard.index;
+  outcome.completion_index = ++completion_sequence_;
+  outcome.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - record.submitted_at)
+          .count();
+  latencies_.add(outcome.latency_seconds);
+  switch (state) {
+    case CaseState::Completed:
+      ++completed_total_;
+      ++shard.cases_completed;
+      break;
+    case CaseState::Cancelled:
+      ++cancelled_total_;
+      break;
+    default:
+      ++failed_total_;
+      ++shard.cases_failed;
+      break;
+  }
+  IG_LOG_DEBUG("engine") << "case " << record.id << " -> " << to_string(state)
+                         << " on shard " << shard.index;
+  case_terminal_.notify_all();
+}
+
+}  // namespace ig::engine

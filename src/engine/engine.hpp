@@ -1,0 +1,222 @@
+// Sharded multi-case enactment engine — the grid front door.
+//
+// The coordination service enacts one case at a time on one agent platform;
+// the engine turns that single-case machine into a throughput machine. It
+// owns N worker *shards*, each a private `svc::Environment` (simulation +
+// agent platform + the full Figure 1 service stack) driven by exactly one
+// worker thread, so the virtual-clock substrate stays single-threaded per
+// shard and none of the existing services need locks. Cases flow through a
+// bounded admission queue with round-robin per-tenant fairness; a full
+// queue rejects new submissions (backpressure) instead of buffering without
+// bound.
+//
+// Lifecycle: `submit` -> Queued -> Running -> {Completed | Failed |
+// Cancelled}; a full queue yields Rejected without creating a case. A
+// failed case is retried up to `max_case_retries` times: the engine
+// snapshots the failed enactment through the coordination service's
+// `checkpoint-case` protocol and re-admits the snapshot (via
+// `restore-case`, with the re-planning budget refunded) excluding the shard
+// that failed it, so end-user activities that completed before the failure
+// replay from the checkpoint instead of re-executing.
+//
+// Per-shard fault injection (`EngineConfig::shard_failure_floor`) arms the
+// shard's `grid::FailureInjector` floor, which is how the bench and tests
+// demonstrate that a fleet with one bad shard still completes every case.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "services/environment.hpp"
+#include "util/stats.hpp"
+#include "wfl/case_description.hpp"
+#include "wfl/process.hpp"
+
+namespace ig::engine {
+
+/// Case lifecycle states. Rejected is terminal and only ever reported for
+/// submissions bounced by a full admission queue (no CaseId is allocated).
+enum class CaseState { Queued, Running, Completed, Failed, Cancelled, Rejected };
+
+std::string_view to_string(CaseState state) noexcept;
+
+inline bool is_terminal(CaseState state) noexcept {
+  return state != CaseState::Queued && state != CaseState::Running;
+}
+
+/// Engine-wide case handle. 0 (`kInvalidCase`) means the submission was
+/// rejected by backpressure.
+using CaseId = std::uint64_t;
+inline constexpr CaseId kInvalidCase = 0;
+
+struct EngineConfig {
+  std::size_t shards = 2;          ///< worker shards, each a private environment
+  std::size_t queue_capacity = 64; ///< admission bound across all tenants
+  int max_case_retries = 1;        ///< checkpoint/restore re-admissions per case
+  std::uint64_t seed = 42;         ///< root of every shard's derived seed
+  /// Template for each shard's stack (topology, catalogue, coordination
+  /// tunables). The per-shard seed is derived; monitoring is disabled.
+  svc::EnvironmentOptions environment;
+  /// Per-shard dispatch-failure floor (index i applies to shard i; missing
+  /// entries mean 0 = healthy). See grid::FailureInjector::set_failure_floor.
+  std::vector<double> shard_failure_floor;
+  /// Simulation events run between engine control checks (cancel, shutdown).
+  std::size_t events_per_slice = 2048;
+  /// Runaway guard: a single attempt aborts after this many slices.
+  std::size_t max_slices_per_case = 1 << 14;
+};
+
+/// Terminal report for one case.
+struct CaseOutcome {
+  CaseState state = CaseState::Failed;
+  std::string error;
+  double makespan = 0.0;  ///< virtual seconds inside the final attempt
+  int activities_executed = 0;
+  int activities_replayed = 0;  ///< replayed from a retry checkpoint
+  int dispatch_failures = 0;
+  int replans = 0;
+  int engine_retries = 0;  ///< re-admissions the engine performed
+  double goal_satisfaction = 0.0;
+  double total_cost = 0.0;
+  double latency_seconds = 0.0;  ///< wall clock, submit -> terminal
+  std::size_t shard = 0;         ///< shard of the final attempt
+  std::size_t completion_index = 0;  ///< 1-based order of reaching a terminal state
+};
+
+struct ShardMetrics {
+  std::size_t cases_run = 0;  ///< attempts started (retries count again)
+  std::size_t cases_completed = 0;
+  std::size_t cases_failed = 0;
+  double busy_seconds = 0.0;  ///< wall clock spent enacting
+  double utilization = 0.0;   ///< busy_seconds / engine uptime
+};
+
+/// One consistent snapshot of the engine counters.
+struct EngineMetrics {
+  std::size_t submitted = 0;  ///< admitted submissions (excludes rejected)
+  std::size_t rejected = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t retried = 0;  ///< re-admissions after a failed attempt
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+  double latency_p50 = 0.0;  ///< seconds, over terminal cases
+  double latency_p90 = 0.0;
+  double latency_p99 = 0.0;
+  double uptime_seconds = 0.0;
+  double completed_per_second = 0.0;
+  std::vector<ShardMetrics> shards;
+};
+
+class EnactmentEngine {
+ public:
+  explicit EnactmentEngine(EngineConfig config = {});
+  ~EnactmentEngine();  ///< implies shutdown()
+
+  EnactmentEngine(const EnactmentEngine&) = delete;
+  EnactmentEngine& operator=(const EnactmentEngine&) = delete;
+
+  const EngineConfig& config() const noexcept { return config_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Queues a case for enactment. Returns kInvalidCase (and counts a
+  /// rejection) when the admission queue is full or the engine is shutting
+  /// down. Thread-safe; callable from any thread.
+  CaseId submit(const wfl::ProcessDescription& process,
+                const wfl::CaseDescription& case_description,
+                const std::string& tenant = "default");
+
+  /// Same, with pre-serialized XML payloads (what the wire protocol carries).
+  CaseId submit_xml(std::string process_xml, std::string case_xml,
+                    const std::string& tenant = "default");
+
+  /// Current lifecycle state; Rejected for unknown ids (incl. kInvalidCase).
+  CaseState status(CaseId id) const;
+
+  /// The terminal report, or nullopt while the case is still queued/running.
+  std::optional<CaseOutcome> result(CaseId id) const;
+
+  /// Cancels a case. Queued cases terminate immediately; running cases are
+  /// abandoned at the next slice boundary. Returns false when the case is
+  /// unknown or already terminal.
+  bool cancel(CaseId id);
+
+  /// Blocks until the case reaches a terminal state (or the engine stops).
+  std::optional<CaseOutcome> wait(CaseId id);
+
+  /// Blocks until every admitted case is terminal.
+  void drain();
+
+  /// Stops the shard workers. Queued cases stay Queued; running attempts are
+  /// abandoned and marked Failed. Idempotent.
+  void shutdown();
+
+  EngineMetrics metrics() const;
+
+ private:
+  struct CaseRecord {
+    CaseId id = kInvalidCase;
+    std::string tenant;
+    std::string process_xml;
+    std::string case_xml;
+    std::string checkpoint_xml;  ///< non-empty after a checkpointed failure
+    CaseState state = CaseState::Queued;
+    bool cancel_requested = false;
+    int retries_used = 0;
+    std::set<std::size_t> excluded_shards;
+    std::chrono::steady_clock::time_point submitted_at;
+    CaseOutcome outcome;
+  };
+
+  struct Shard;  // worker thread + private environment (engine.cpp)
+
+  struct AttemptResult;  // what one enactment attempt produced (engine.cpp)
+
+  void shard_loop(Shard& shard);
+  AttemptResult run_attempt(Shard& shard, const CaseRecord& snapshot);
+  void admit_locked(CaseRecord& record);
+  std::optional<CaseId> pop_for_shard_locked(std::size_t shard_index);
+  void finalize_locked(CaseRecord& record, Shard& shard, CaseState state,
+                       const agent::AclMessage& reply);
+  bool cancel_requested(CaseId id) const;
+
+  EngineConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable case_terminal_;
+  bool stopping_ = false;
+
+  std::map<CaseId, CaseRecord> records_;
+  std::map<std::string, std::deque<CaseId>> tenant_queues_;
+  std::vector<std::string> tenant_order_;  ///< round-robin ring of active tenants
+  std::size_t rr_cursor_ = 0;
+  CaseId next_case_id_ = 1;
+
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  std::size_t submitted_total_ = 0;
+  std::size_t rejected_total_ = 0;
+  std::size_t completed_total_ = 0;
+  std::size_t failed_total_ = 0;
+  std::size_t cancelled_total_ = 0;
+  std::size_t retried_total_ = 0;
+  std::size_t completion_sequence_ = 0;
+  util::SampleSet latencies_;
+  std::chrono::steady_clock::time_point started_at_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ig::engine

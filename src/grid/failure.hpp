@@ -7,6 +7,7 @@
 // goes down at a virtual time and possibly comes back).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <string>
 
@@ -23,8 +24,17 @@ class FailureInjector {
   explicit FailureInjector(util::Rng rng) : rng_(rng) {}
 
   /// Samples whether a dispatch to a container with the given failure
-  /// probability (already combined with node reliability) fails.
-  bool draw_failure(double failure_probability) { return rng_.next_bool(failure_probability); }
+  /// probability (already combined with node reliability) fails. The
+  /// configured failure floor acts as a lower bound, so a whole shard/site
+  /// can be made unreliable at runtime without rebuilding its topology.
+  bool draw_failure(double failure_probability) {
+    return rng_.next_bool(std::max(failure_probability, failure_floor_));
+  }
+
+  /// Minimum per-dispatch failure probability (engine-style per-shard fault
+  /// injection). 0 restores the topology-configured behaviour.
+  void set_failure_floor(double probability) noexcept { failure_floor_ = probability; }
+  double failure_floor() const noexcept { return failure_floor_; }
 
   /// Schedules a container outage at `at`; restored after `duration`
   /// (duration <= 0 means permanent).
@@ -39,6 +49,7 @@ class FailureInjector {
 
  private:
   util::Rng rng_;
+  double failure_floor_ = 0.0;
 };
 
 }  // namespace ig::grid

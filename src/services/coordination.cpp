@@ -128,6 +128,10 @@ void CoordinationService::handle_restore(const AclMessage& message) {
       }
     }
     enactment.replans = std::stoi(root.attribute_or("replans", "0"));
+    // Retry hook for the enactment engine: a checkpoint captured after a
+    // failure carries the spent re-planning budget; a supervised retry on a
+    // fresh shard asks for the budget back.
+    if (message.param("reset-replans") == "true") enactment.replans = 0;
   } catch (const std::exception& error) {
     AclMessage reply = message.make_reply(Performative::Failure);
     reply.params["error"] = std::string("bad checkpoint: ") + error.what();

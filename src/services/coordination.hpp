@@ -22,7 +22,10 @@
 // end-user activities are credited and skipped (their outputs are already in
 // the data snapshot), and execution resumes live from the first activity
 // without credit. In-flight dispatches at snapshot time are the only lost
-// work.
+// work. A restore request may carry `reset-replans=true` to refund the
+// re-planning budget — the enactment engine uses this when it re-admits a
+// failed case's checkpoint to a healthy shard, where the old shard's
+// failures should not count against the new attempt.
 #pragma once
 
 #include <map>

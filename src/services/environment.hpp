@@ -95,4 +95,18 @@ class Environment {
 /// Builds the standard environment (virolab catalogue unless overridden).
 std::unique_ptr<Environment> make_environment(EnvironmentOptions options = {});
 
+/// Shard-stack factory for the enactment engine: one private, fully wired
+/// environment per worker shard. The shard's seed is derived from
+/// (engine seed, shard index), so shards draw decorrelated random streams
+/// while the whole fleet stays reproducible from one engine seed.
+/// `failure_floor` > 0 arms the shard's failure injector so every dispatch
+/// on the shard fails with at least that probability (per-shard fault
+/// injection for retry experiments). Periodic monitoring is disabled: the
+/// engine drives each shard's calendar in slices and needs it to drain
+/// between cases.
+std::unique_ptr<Environment> make_shard_stack(EnvironmentOptions base,
+                                              std::uint64_t engine_seed,
+                                              std::size_t shard_index,
+                                              double failure_floor = 0.0);
+
 }  // namespace ig::svc

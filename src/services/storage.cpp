@@ -19,10 +19,13 @@ const std::string* PersistentStorageService::get(const std::string& key) const {
 
 std::vector<std::string> PersistentStorageService::keys_with_prefix(
     const std::string& prefix) const {
+  // The map is ordered, so every key sharing `prefix` is contiguous: jump to
+  // the first candidate and stop at the first key that no longer matches,
+  // instead of scanning the whole store.
   std::vector<std::string> keys;
-  for (const auto& [key, value] : store_) {
-    (void)value;
-    if (util::starts_with(key, prefix)) keys.push_back(key);
+  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
+    if (!util::starts_with(it->first, prefix)) break;
+    keys.push_back(it->first);
   }
   return keys;
 }

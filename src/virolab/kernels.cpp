@@ -1,6 +1,8 @@
 #include "virolab/kernels.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "virolab/catalogue.hpp"
 
@@ -17,6 +19,12 @@ std::vector<wfl::DataSpec> SyntheticKernels::execute(const wfl::ServiceType& ser
                                                      const wfl::Bindings& inputs,
                                                      const std::vector<std::string>& output_names) {
   ++executions_;
+  if (params_.execution_latency_seconds > 0.0) {
+    // Stand-in for waiting on the real EM codes: blocks this shard's
+    // worker for the configured wall-clock time.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(params_.execution_latency_seconds));
+  }
   std::vector<wfl::DataSpec> produced;
   auto output_name = [&](std::size_t index, const std::string& fallback) {
     if (index < output_names.size() && !output_names[index].empty()) return output_names[index];

@@ -24,6 +24,11 @@ struct KernelParams {
   double resolution_floor = 5.5;     ///< physical limit of the instrument
   double model_size_mb = 64.0;       ///< size of a produced 3-D model
   double orientation_size_mb = 2.0;  ///< size of an orientation file
+  /// Real wall-clock latency per kernel execution, in seconds. 0 keeps
+  /// kernels virtual-time-only. Throughput harnesses set this to emulate
+  /// waiting on the actual reconstruction codes running on remote
+  /// resources — the latency that shard-level concurrency overlaps.
+  double execution_latency_seconds = 0.0;
 };
 
 /// Stateful executor: produces concrete output data for each service

@@ -171,6 +171,48 @@ TEST(Platform, TraceRecordsDeliveries) {
   EXPECT_TRUE(platform.trace().empty());
 }
 
+TEST(Platform, TraceCapBoundsMemory) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.set_tracing(true);
+  platform.spawn<EchoAgent>("rx");
+  platform.spawn<EchoAgent>("tx");
+  EXPECT_EQ(platform.trace_limit(), 0u);  // unlimited by default
+  platform.set_trace_limit(3);
+
+  for (int i = 0; i < 5; ++i) {
+    AclMessage message;
+    message.performative = Performative::Inform;
+    message.sender = "tx";
+    message.receiver = "rx";
+    message.protocol = "msg-" + std::to_string(i);
+    platform.send(message);
+    sim.run();
+  }
+  // The ring keeps the newest 3 records and counts what it dropped.
+  ASSERT_EQ(platform.trace().size(), 3u);
+  EXPECT_EQ(platform.trace_dropped(), 2u);
+  EXPECT_EQ(platform.trace()[0].message.protocol, "msg-2");
+  EXPECT_EQ(platform.trace()[2].message.protocol, "msg-4");
+
+  // Tightening the cap trims existing overflow immediately.
+  platform.set_trace_limit(1);
+  ASSERT_EQ(platform.trace().size(), 1u);
+  EXPECT_EQ(platform.trace()[0].message.protocol, "msg-4");
+  EXPECT_EQ(platform.trace_dropped(), 4u);
+
+  // Lifting the cap stops dropping without clearing history.
+  platform.set_trace_limit(0);
+  AclMessage last;
+  last.performative = Performative::Inform;
+  last.sender = "tx";
+  last.receiver = "rx";
+  last.protocol = "msg-5";
+  platform.send(last);
+  sim.run();
+  EXPECT_EQ(platform.trace().size(), 2u);
+}
+
 TEST(Platform, AgentSchedulesTimers) {
   class TimerAgent : public Agent {
    public:

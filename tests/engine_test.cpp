@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "engine/engine.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+#include "wfl/structure.hpp"
+
+namespace ig::engine {
+namespace {
+
+EngineConfig small_config(std::size_t shards) {
+  EngineConfig config;
+  config.shards = shards;
+  config.environment.topology.domains = 2;
+  config.environment.topology.nodes_per_domain = 2;
+  return config;
+}
+
+/// A workflow whose always-true loop guard runs the full iteration
+/// guardrail: long enough that a cancel lands mid-run.
+wfl::ProcessDescription long_process() {
+  const wfl::FlowExpr expr = wfl::parse_flow(
+      "BEGIN, POD; P3DR1=P3DR; {ITERATIVE {COND true} {P3DR2=P3DR}}; "
+      "{FORK {P3DR3=P3DR} {P3DR4=P3DR} JOIN}; PSF, END");
+  return wfl::lower_to_process(expr, "looper");
+}
+
+TEST(Engine, CompletesSubmittedCasesOnOneShard) {
+  EnactmentEngine engine(small_config(1));
+  std::vector<CaseId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(
+        engine.submit(virolab::make_fig10_process(), virolab::make_case_description()));
+    ASSERT_NE(ids.back(), kInvalidCase);
+  }
+  engine.drain();
+  for (const CaseId id : ids) {
+    ASSERT_EQ(engine.status(id), CaseState::Completed);
+    const auto outcome = engine.result(id);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->state, CaseState::Completed);
+    EXPECT_DOUBLE_EQ(outcome->goal_satisfaction, 1.0);
+    EXPECT_EQ(outcome->activities_executed, 12);
+    EXPECT_GT(outcome->makespan, 0.0);
+    EXPECT_EQ(outcome->engine_retries, 0);
+  }
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.submitted, 3u);
+  EXPECT_EQ(metrics.completed, 3u);
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(metrics.queue_depth, 0u);
+  EXPECT_EQ(metrics.running, 0u);
+  ASSERT_EQ(metrics.shards.size(), 1u);
+  EXPECT_EQ(metrics.shards[0].cases_completed, 3u);
+  EXPECT_GT(metrics.latency_p50, 0.0);
+}
+
+TEST(Engine, SpreadsCasesAcrossShards) {
+  EngineConfig config = small_config(4);
+  config.queue_capacity = 64;
+  EnactmentEngine engine(config);
+  std::vector<CaseId> ids;
+  for (int i = 0; i < 12; ++i)
+    ids.push_back(
+        engine.submit(virolab::make_fig10_process(), virolab::make_case_description()));
+  engine.drain();
+  for (const CaseId id : ids) EXPECT_EQ(engine.status(id), CaseState::Completed);
+
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.completed, 12u);
+  std::size_t total_runs = 0;
+  std::size_t shards_used = 0;
+  for (const auto& shard : metrics.shards) {
+    total_runs += shard.cases_run;
+    if (shard.cases_run > 0) ++shards_used;
+  }
+  EXPECT_EQ(total_runs, 12u);
+  // With 12 cases and 4 idle shards, more than one shard must have worked.
+  EXPECT_GE(shards_used, 2u);
+}
+
+TEST(Engine, BackpressureRejectsWhenQueueFull) {
+  EngineConfig config = small_config(1);
+  config.queue_capacity = 2;
+  EnactmentEngine engine(config);
+  const wfl::ProcessDescription process = virolab::make_fig10_process();
+  const wfl::CaseDescription case_description = virolab::make_case_description();
+
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (engine.submit(process, case_description) == kInvalidCase) ++rejected;
+    else ++accepted;
+  }
+  EXPECT_GE(rejected, 1u);
+  EXPECT_GE(accepted, 2u);
+  engine.drain();
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.rejected, rejected);
+  EXPECT_EQ(metrics.submitted, accepted);
+  EXPECT_EQ(metrics.completed, accepted);
+}
+
+TEST(Engine, RoundRobinFairnessAcrossTenants) {
+  // One shard, so completion order mirrors the admission scheduler. Tenant A
+  // floods first; B's first case must not wait behind all of A's backlog.
+  EngineConfig config = small_config(1);
+  config.queue_capacity = 32;
+  EnactmentEngine engine(config);
+  const wfl::ProcessDescription process = virolab::make_fig10_process();
+  const wfl::CaseDescription case_description = virolab::make_case_description();
+
+  std::vector<CaseId> tenant_a;
+  for (int i = 0; i < 4; ++i)
+    tenant_a.push_back(engine.submit(process, case_description, "tenant-a"));
+  const CaseId first_b = engine.submit(process, case_description, "tenant-b");
+  engine.drain();
+
+  const auto outcome_b = engine.result(first_b);
+  const auto outcome_a_last = engine.result(tenant_a.back());
+  ASSERT_TRUE(outcome_b.has_value());
+  ASSERT_TRUE(outcome_a_last.has_value());
+  EXPECT_EQ(outcome_b->state, CaseState::Completed);
+  // Round-robin interleaves the tenants, so B's only case finishes before
+  // A's last one even though A submitted its whole backlog first.
+  EXPECT_LT(outcome_b->completion_index, outcome_a_last->completion_index);
+}
+
+TEST(Engine, CancelWhileQueuedTerminatesImmediately) {
+  EngineConfig config = small_config(1);
+  EnactmentEngine engine(config);
+  const wfl::ProcessDescription process = virolab::make_fig10_process();
+  const wfl::CaseDescription case_description = virolab::make_case_description();
+
+  const CaseId running = engine.submit(process, case_description);
+  const CaseId queued_1 = engine.submit(process, case_description);
+  const CaseId queued_2 = engine.submit(process, case_description);
+  // The single shard is busy with the first case; the last one is still
+  // queued and cancels synchronously.
+  EXPECT_TRUE(engine.cancel(queued_2));
+  const auto outcome = engine.result(queued_2);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->state, CaseState::Cancelled);
+  EXPECT_EQ(outcome->activities_executed, 0);
+
+  engine.drain();
+  EXPECT_EQ(engine.status(running), CaseState::Completed);
+  EXPECT_EQ(engine.status(queued_1), CaseState::Completed);
+  EXPECT_EQ(engine.status(queued_2), CaseState::Cancelled);
+  EXPECT_FALSE(engine.cancel(queued_2));  // already terminal
+  EXPECT_EQ(engine.metrics().cancelled, 1u);
+}
+
+TEST(Engine, CancelWhileRunningAbandonsTheAttempt) {
+  EngineConfig config = small_config(1);
+  // Small slices so the worker checks the cancel flag often, and a long
+  // looping workload so there is plenty of run to interrupt.
+  config.events_per_slice = 16;
+  config.environment.coordination.max_loop_iterations = 2048;
+  EnactmentEngine engine(config);
+
+  const CaseId id = engine.submit(long_process(), virolab::make_case_description());
+  ASSERT_NE(id, kInvalidCase);
+  while (engine.status(id) == CaseState::Queued)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(engine.status(id), CaseState::Running);
+  EXPECT_TRUE(engine.cancel(id));
+
+  const auto outcome = engine.wait(id);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->state, CaseState::Cancelled);
+  EXPECT_EQ(engine.metrics().cancelled, 1u);
+
+  // The shard must still be healthy for the next case.
+  const CaseId next =
+      engine.submit(virolab::make_fig10_process(), virolab::make_case_description());
+  const auto next_outcome = engine.wait(next);
+  ASSERT_TRUE(next_outcome.has_value());
+  EXPECT_EQ(next_outcome->state, CaseState::Completed);
+}
+
+TEST(Engine, RetriesFailedCasesOnAnotherShard) {
+  // Shard 0 fails every dispatch; shard 1 is healthy. With the in-shard
+  // recovery budgets cut to one dispatch retry (which also fails instantly
+  // at a 100% floor), a case landing on shard 0 fails fast, and the
+  // engine's checkpoint/restore retry must complete it on the healthy
+  // shard. The single in-shard retry absorbs the topology's natural
+  // sub-5% dispatch failures there.
+  EngineConfig config = small_config(2);
+  config.shard_failure_floor = {1.0, 0.0};
+  config.max_case_retries = 2;
+  config.queue_capacity = 32;
+  config.environment.coordination.max_retries = 1;
+  config.environment.coordination.max_replans = 0;
+  EnactmentEngine engine(config);
+
+  std::vector<CaseId> ids;
+  for (int i = 0; i < 6; ++i)
+    ids.push_back(
+        engine.submit(virolab::make_fig10_process(), virolab::make_case_description()));
+  engine.drain();
+
+  for (const CaseId id : ids) {
+    const auto outcome = engine.result(id);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->state, CaseState::Completed) << outcome->error;
+    EXPECT_DOUBLE_EQ(outcome->goal_satisfaction, 1.0);
+  }
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.completed, 6u);
+  EXPECT_EQ(metrics.failed, 0u);
+  // At least one case must have been bounced off the faulty shard.
+  EXPECT_GE(metrics.retried, 1u);
+  EXPECT_EQ(metrics.shards[0].cases_completed + metrics.shards[1].cases_completed, 6u);
+}
+
+TEST(Engine, FailsAfterRetryBudgetExhausted) {
+  // Every shard is broken: the case fails, is retried the configured number
+  // of times, and then terminates as Failed with the retry count reported.
+  EngineConfig config = small_config(1);
+  config.shard_failure_floor = {1.0};
+  config.max_case_retries = 1;
+  config.environment.coordination.max_retries = 1;
+  config.environment.coordination.max_replans = 0;
+  EnactmentEngine engine(config);
+
+  const CaseId id =
+      engine.submit(virolab::make_fig10_process(), virolab::make_case_description());
+  const auto outcome = engine.wait(id);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->state, CaseState::Failed);
+  EXPECT_EQ(outcome->engine_retries, 1);
+  EXPECT_FALSE(outcome->error.empty());
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_EQ(metrics.retried, 1u);
+}
+
+TEST(Engine, StatusOfUnknownCaseIsRejected) {
+  EnactmentEngine engine(small_config(1));
+  EXPECT_EQ(engine.status(kInvalidCase), CaseState::Rejected);
+  EXPECT_EQ(engine.status(9999), CaseState::Rejected);
+  EXPECT_FALSE(engine.result(9999).has_value());
+  EXPECT_FALSE(engine.cancel(9999));
+}
+
+TEST(Engine, ShutdownIsIdempotentAndStopsWorkers) {
+  auto engine = std::make_unique<EnactmentEngine>(small_config(2));
+  const CaseId id =
+      engine->submit(virolab::make_fig10_process(), virolab::make_case_description());
+  engine->wait(id);
+  engine->shutdown();
+  engine->shutdown();
+  // Submissions after shutdown are rejected.
+  EXPECT_EQ(engine->submit(virolab::make_fig10_process(), virolab::make_case_description()),
+            kInvalidCase);
+  engine.reset();  // destructor after explicit shutdown must be safe
+}
+
+}  // namespace
+}  // namespace ig::engine

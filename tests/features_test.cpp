@@ -104,6 +104,102 @@ TEST(Checkpoint, SnapshotMidRunAndRestoreSkipsCompletedWork) {
   EXPECT_GT(std::stoi(outcome->param("activities-replayed")), 0);
 }
 
+/// Count credited in a checkpoint document for one activity id.
+int checkpoint_count(const std::string& checkpoint_xml, const std::string& activity) {
+  const std::string needle = "activity=\"" + activity + "\" count=\"";
+  const auto pos = checkpoint_xml.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::atoi(checkpoint_xml.c_str() + pos + needle.size());
+}
+
+TEST(Checkpoint, FailureMidForkRestoreReplaysCompletedBranchOnly) {
+  // Drive fig10 until the FORK (A6) is partially done — some of the three
+  // parallel P3DR branches (A7/A8/A9) completed, some still running — then
+  // arm 100% dispatch failure so the case dies mid-FORK. The post-mortem
+  // snapshot must credit only the completed branches, and a restore on a
+  // healthy environment must replay those and re-execute the rest.
+  EnvironmentOptions options = small_options();
+  options.coordination.max_replans = 0;  // fail fast once the injector arms
+  auto environment = make_environment(options);
+  auto& platform = environment->platform();
+  auto& client = platform.spawn<Client>("ui");
+
+  AclMessage enact;
+  enact.performative = Performative::Request;
+  enact.receiver = names::kCoordination;
+  enact.protocol = protocols::kEnactCase;
+  enact.content = wfl::process_to_xml_string(virolab::make_fig10_process());
+  enact.params["case-xml"] = wfl::case_to_xml_string(virolab::make_case_description());
+  client.request(platform, enact);
+
+  // Probe in fine virtual-time steps for a snapshot where the FORK branch
+  // completions are unequal (equal counts means between passes, not mid-FORK).
+  bool mid_fork = false;
+  for (double horizon = 2.0; horizon <= 6400.0 && !mid_fork; horizon += 4.0) {
+    environment->sim().run_until(horizon);
+    AclMessage snapshot;
+    snapshot.performative = Performative::Request;
+    snapshot.receiver = names::kCoordination;
+    snapshot.protocol = protocols::kCheckpointCase;
+    snapshot.params["case"] = "case-1";
+    client.request(platform, snapshot);
+    environment->sim().run_until(environment->sim().now() + 1.0);
+    const AclMessage* checkpoint = client.last_with(protocols::kCheckpointCase);
+    ASSERT_NE(checkpoint, nullptr);
+    ASSERT_EQ(checkpoint->performative, Performative::Inform)
+        << "case ended before the FORK was caught mid-flight";
+    const int a7 = checkpoint_count(checkpoint->content, "A7");
+    const int a8 = checkpoint_count(checkpoint->content, "A8");
+    const int a9 = checkpoint_count(checkpoint->content, "A9");
+    mid_fork = !(a7 == a8 && a8 == a9);
+  }
+  ASSERT_TRUE(mid_fork) << "never observed a partially completed FORK";
+
+  // Kill the case: every dispatch from here on fails, and with no
+  // re-planning budget the enactment reports failure.
+  environment->injector().set_failure_floor(1.0);
+  environment->run();
+  const AclMessage* failed = client.last_with(protocols::kCaseCompleted);
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->param("success"), "false");
+
+  // Post-mortem snapshot of the failed case still carries the completions.
+  AclMessage post;
+  post.performative = Performative::Request;
+  post.receiver = names::kCoordination;
+  post.protocol = protocols::kCheckpointCase;
+  post.params["case"] = "case-1";
+  client.request(platform, post);
+  environment->run();
+  const AclMessage* snapshot = client.last_with(protocols::kCheckpointCase);
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_EQ(snapshot->performative, Performative::Inform) << snapshot->param("error");
+  const int a7 = checkpoint_count(snapshot->content, "A7");
+  const int a8 = checkpoint_count(snapshot->content, "A8");
+  const int a9 = checkpoint_count(snapshot->content, "A9");
+  const int fork_done = a7 + a8 + a9;
+  ASSERT_GE(fork_done, 1);
+
+  // Restore on a healthy environment: the completed branches replay from
+  // the snapshot, the incomplete ones re-execute, and the case finishes.
+  auto healthy = make_environment(small_options(11));
+  auto& healthy_client = healthy->platform().spawn<Client>("ui");
+  AclMessage restore;
+  restore.performative = Performative::Request;
+  restore.receiver = names::kCoordination;
+  restore.protocol = protocols::kRestoreCase;
+  restore.content = snapshot->content;
+  restore.params["reset-replans"] = "true";
+  healthy_client.request(healthy->platform(), restore);
+  healthy->run();
+  const AclMessage* outcome = healthy_client.last_with(protocols::kCaseCompleted);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->param("success"), "true") << outcome->param("error");
+  EXPECT_GE(std::stoi(outcome->param("activities-replayed")), fork_done);
+  // The incomplete FORK branches were re-executed, not skipped.
+  EXPECT_GE(std::stoi(outcome->param("activities-executed")), 1);
+}
+
 TEST(Checkpoint, UnknownCaseFails) {
   auto environment = make_environment(small_options());
   auto& client = environment->platform().spawn<Client>("ui");

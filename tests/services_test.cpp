@@ -310,6 +310,24 @@ TEST(StorageTest, PutGetList) {
   EXPECT_NE(fixture.last().param("keys").find("process/PD-1"), std::string::npos);
 }
 
+TEST(StorageTest, KeysWithPrefixRangeScan) {
+  PersistentStorageService storage;
+  // Interleaved prefixes, plus neighbours that sort immediately around the
+  // "process/" range: "process" (no slash) sorts before it, "process0"
+  // ('0' > '/') sorts after every "process/..." key and must not match.
+  for (const char* key : {"plan/PD-1", "process/PD-1", "plan/PD-2", "process/PD-10",
+                          "process", "process0", "case/1", "process/PD-2"})
+    storage.put(key, "x");
+
+  EXPECT_EQ(storage.keys_with_prefix("process/"),
+            (std::vector<std::string>{"process/PD-1", "process/PD-10", "process/PD-2"}));
+  EXPECT_EQ(storage.keys_with_prefix("plan/"),
+            (std::vector<std::string>{"plan/PD-1", "plan/PD-2"}));
+  EXPECT_EQ(storage.keys_with_prefix("proc").size(), 5u);  // "process*" family
+  EXPECT_TRUE(storage.keys_with_prefix("zzz").empty());
+  EXPECT_EQ(storage.keys_with_prefix("").size(), storage.size());
+}
+
 TEST(StorageTest, MissingKeyFails) {
   Fixture fixture;
   AclMessage get;
