@@ -62,9 +62,9 @@ CellResult run_cell(double failure_probability, bool recovery, int trials) {
       environment->grid().find_node(node->id())->set_reliability(1.0);
     auto& runner = environment->platform().spawn<Runner>("ui");
     environment->run();
-    if (runner.outcome.param("success") == "true") ++result.successes;
-    result.replans += std::stoi(runner.outcome.param("replans", "0"));
-    result.failures_seen += std::stoi(runner.outcome.param("dispatch-failures", "0"));
+    if (runner.outcome.param_bool("success", false)) ++result.successes;
+    result.replans += runner.outcome.param_int("replans", 0);
+    result.failures_seen += runner.outcome.param_int("dispatch-failures", 0);
   }
   return result;
 }

@@ -12,6 +12,7 @@
 //   BEGIN, POD; P3DR1=P3DR; {ITERATIVE {COND R.Value > 8}
 //     {POR; {FORK {P3DR2=P3DR} {P3DR3=P3DR} {P3DR4=P3DR} JOIN}; PSF}}, END
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -22,6 +23,7 @@
 #include "planner/gp.hpp"
 #include "services/environment.hpp"
 #include "services/protocol.hpp"
+#include "util/strings.hpp"
 #include "virolab/catalogue.hpp"
 #include "virolab/workflow.hpp"
 #include "wfl/structure.hpp"
@@ -212,17 +214,25 @@ int cmd_demo() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  // Numeric arguments parse strictly; a typo reports its position instead of
+  // aborting on an uncaught std::invalid_argument.
+  const auto uint_arg = [&](int index, std::uint64_t fallback) {
+    if (argc <= index) return fallback;
+    const auto value = ig::util::parse_uint(argv[index]);
+    if (!value.has_value()) {
+      std::fprintf(stderr, "error: argument %d ('%s') is not a non-negative integer\n", index,
+                   argv[index]);
+      std::exit(1);
+    }
+    return *value;
+  };
   try {
     if (command == "validate" && argc >= 3) return cmd_validate(argv[2]);
     if (command == "lower" && argc >= 3) return cmd_lower(argv[2]);
-    if (command == "plan")
-      return cmd_plan(argc >= 3 ? std::stoull(argv[2]) : 1);
+    if (command == "plan") return cmd_plan(uint_arg(2, 1));
     if (command == "simulate" && argc >= 3) return cmd_simulate(argv[2]);
-    if (command == "enact" && argc >= 3)
-      return cmd_enact(argv[2], argc >= 4 ? std::stoull(argv[3]) : 42);
-    if (command == "engine")
-      return cmd_engine(argc >= 3 ? std::stoull(argv[2]) : 6,
-                        argc >= 4 ? std::stoull(argv[3]) : 2);
+    if (command == "enact" && argc >= 3) return cmd_enact(argv[2], uint_arg(3, 42));
+    if (command == "engine") return cmd_engine(uint_arg(2, 6), uint_arg(3, 2));
     if (command == "demo") return cmd_demo();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -1,5 +1,7 @@
 #include "agent/message.hpp"
 
+#include "util/strings.hpp"
+
 namespace ig::agent {
 
 std::string_view to_string(Performative performative) noexcept {
@@ -28,6 +30,56 @@ std::string AclMessage::param(std::string_view key, std::string_view fallback) c
 
 bool AclMessage::has_param(std::string_view key) const {
   return params.find(std::string(key)) != params.end();
+}
+
+std::optional<double> AclMessage::param_double(std::string_view key) const {
+  auto it = params.find(std::string(key));
+  if (it == params.end()) return std::nullopt;
+  return util::parse_double(it->second);
+}
+
+std::optional<int> AclMessage::param_int(std::string_view key) const {
+  auto it = params.find(std::string(key));
+  if (it == params.end()) return std::nullopt;
+  return util::parse_int(it->second);
+}
+
+std::optional<std::uint64_t> AclMessage::param_uint(std::string_view key) const {
+  auto it = params.find(std::string(key));
+  if (it == params.end()) return std::nullopt;
+  return util::parse_uint(it->second);
+}
+
+std::optional<bool> AclMessage::param_bool(std::string_view key) const {
+  auto it = params.find(std::string(key));
+  if (it == params.end()) return std::nullopt;
+  return util::parse_bool(it->second);
+}
+
+double AclMessage::param_double(std::string_view key, double fallback) const {
+  return param_double(key).value_or(fallback);
+}
+
+int AclMessage::param_int(std::string_view key, int fallback) const {
+  return param_int(key).value_or(fallback);
+}
+
+std::uint64_t AclMessage::param_uint(std::string_view key, std::uint64_t fallback) const {
+  return param_uint(key).value_or(fallback);
+}
+
+bool AclMessage::param_bool(std::string_view key, bool fallback) const {
+  return param_bool(key).value_or(fallback);
+}
+
+std::string AclMessage::describe_bad_param(std::string_view key,
+                                           std::string_view expected_type) const {
+  auto it = params.find(std::string(key));
+  if (it == params.end()) {
+    return "missing param '" + std::string(key) + "'";
+  }
+  return "param '" + std::string(key) + "': invalid " + std::string(expected_type) + " '" +
+         it->second + "'";
 }
 
 AclMessage AclMessage::make_reply(Performative reply_performative) const {

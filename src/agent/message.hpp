@@ -8,7 +8,9 @@
 // wfl/meta serializers) or as lightweight key-value parameters.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -46,6 +48,25 @@ struct AclMessage {
   /// Returns params[key] or `fallback`.
   std::string param(std::string_view key, std::string_view fallback = "") const;
   bool has_param(std::string_view key) const;
+
+  /// Typed param access for untrusted payloads. Backed by std::from_chars:
+  /// never throws, never consults the locale. The optional overloads yield
+  /// nullopt when the key is missing or the value does not parse fully
+  /// (empty, non-numeric, trailing junk, overflow, negative-where-unsigned);
+  /// the fallback overloads substitute `fallback` in those cases. Handlers
+  /// that need to report *why* a payload was rejected use describe_bad_param.
+  std::optional<double> param_double(std::string_view key) const;
+  std::optional<int> param_int(std::string_view key) const;
+  std::optional<std::uint64_t> param_uint(std::string_view key) const;
+  std::optional<bool> param_bool(std::string_view key) const;
+  double param_double(std::string_view key, double fallback) const;
+  int param_int(std::string_view key, int fallback) const;
+  std::uint64_t param_uint(std::string_view key, std::uint64_t fallback) const;
+  bool param_bool(std::string_view key, bool fallback) const;
+
+  /// Human-readable reason a param failed typed parsing, for NotUnderstood
+  /// replies: "missing param 'seed'" / "param 'seed': invalid uint 'abc'".
+  std::string describe_bad_param(std::string_view key, std::string_view expected_type) const;
 
   /// Builds a reply: swaps sender/receiver, keeps conversation id and
   /// protocol, sets the performative.

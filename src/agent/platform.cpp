@@ -92,7 +92,41 @@ void AgentPlatform::deliver(AclMessage message, grid::SimTime sent_at) {
     return;
   }
   ++messages_delivered_;
-  receiver->handle_message(message);
+  try {
+    receiver->handle_message(message);
+  } catch (const std::exception& error) {
+    note_handler_failure(message, error.what());
+  } catch (...) {
+    note_handler_failure(message, "unknown exception");
+  }
+}
+
+void AgentPlatform::note_handler_failure(const AclMessage& message, const std::string& what) {
+  handler_failures_[message.receiver] += 1;
+  handler_failures_total_.fetch_add(1, std::memory_order_relaxed);
+  if (tracing_ && !trace_.empty()) {
+    // Our record is still at the back: pushes happen only in deliver() and
+    // the ring drops from the front.
+    trace_.back().handler_error = what;
+  }
+  // Failure/NotUnderstood never provoke a reply, or two broken agents would
+  // bounce errors at each other forever.
+  if (message.performative == Performative::Failure ||
+      message.performative == Performative::NotUnderstood) {
+    return;
+  }
+  if (find_agent(message.sender) == nullptr) return;
+  AclMessage failure = message.make_reply(Performative::Failure);
+  failure.params["reason"] = "handler error in '" + message.receiver + "': " + what;
+  failure.params["error"] = failure.params["reason"];
+  sim_.schedule(0.0, [this, failure = std::move(failure), when = sim_.now()]() mutable {
+    deliver(std::move(failure), when);
+  });
+}
+
+std::size_t AgentPlatform::handler_failures(std::string_view name) const {
+  auto it = handler_failures_.find(std::string(name));
+  return it != handler_failures_.end() ? it->second : 0;
 }
 
 std::string AgentPlatform::trace_to_string() const {
@@ -101,6 +135,7 @@ std::string AgentPlatform::trace_to_string() const {
     out += "t=" + util::format_number(record.delivered_at, 4) + "  " +
            record.message.to_display_string();
     if (!record.delivered) out += "  (UNDELIVERABLE)";
+    if (!record.handler_error.empty()) out += "  (HANDLER ERROR: " + record.handler_error + ")";
     out += '\n';
   }
   return out;

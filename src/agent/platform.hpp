@@ -8,8 +8,10 @@
 // flows.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -26,7 +28,8 @@ struct TraceRecord {
   grid::SimTime sent_at = 0.0;
   grid::SimTime delivered_at = 0.0;
   AclMessage message;
-  bool delivered = false;  ///< false when the receiver did not exist
+  bool delivered = false;      ///< false when the receiver did not exist
+  std::string handler_error;   ///< non-empty when the handler threw on this message
 };
 
 class AgentPlatform {
@@ -72,6 +75,23 @@ class AgentPlatform {
   std::size_t messages_sent() const noexcept { return messages_sent_; }
   std::size_t messages_delivered() const noexcept { return messages_delivered_; }
 
+  // -- containment ---------------------------------------------------------------
+  // A handler that throws must not take the platform down with it: deliver()
+  // catches the exception, records it here (and in the trace), and converts
+  // it into a Failure reply to the sender. Jade behaves the same way — a
+  // behaviour that throws kills the behaviour, not the container.
+  /// Handler exceptions caught so far for one agent.
+  std::size_t handler_failures(std::string_view name) const;
+  /// Per-agent breakdown of caught handler exceptions.
+  const std::map<std::string, std::size_t>& handler_failures_by_agent() const noexcept {
+    return handler_failures_;
+  }
+  /// Total caught handler exceptions. Atomic so an engine metrics snapshot
+  /// may read it from another thread while the shard is running.
+  std::size_t handler_failures_total() const noexcept {
+    return handler_failures_total_.load(std::memory_order_relaxed);
+  }
+
   // -- tracing ------------------------------------------------------------------
   void set_tracing(bool enabled) noexcept { tracing_ = enabled; }
   const std::deque<TraceRecord>& trace() const noexcept { return trace_; }
@@ -89,6 +109,7 @@ class AgentPlatform {
 
  private:
   void deliver(AclMessage message, grid::SimTime sent_at);
+  void note_handler_failure(const AclMessage& message, const std::string& what);
 
   grid::Simulation& sim_;
   std::vector<std::unique_ptr<Agent>> agents_;
@@ -99,6 +120,8 @@ class AgentPlatform {
   std::size_t trace_dropped_ = 0;
   std::size_t messages_sent_ = 0;
   std::size_t messages_delivered_ = 0;
+  std::map<std::string, std::size_t> handler_failures_;
+  std::atomic<std::size_t> handler_failures_total_{0};
 };
 
 }  // namespace ig::agent

@@ -90,6 +90,7 @@ EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config
         i < config_.shard_failure_floor.size() ? config_.shard_failure_floor[i] : 0.0;
     shard->environment = svc::make_shard_stack(config_.environment, config_.seed, i, floor);
     shard->client = &shard->environment->platform().spawn<EngineClient>("engine-client");
+    if (config_.shard_setup) config_.shard_setup(*shard->environment, i);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -276,6 +277,10 @@ EngineMetrics EnactmentEngine::metrics() const {
     sm.cases_run = shard->cases_run;
     sm.cases_completed = shard->cases_completed;
     sm.cases_failed = shard->cases_failed;
+    // The counter is atomic on the platform, so reading it here while the
+    // shard's worker is mid-enactment is safe.
+    sm.handler_failures = shard->environment->platform().handler_failures_total();
+    snapshot.handler_failures += sm.handler_failures;
     sm.busy_seconds = shard->busy_seconds;
     sm.utilization =
         snapshot.uptime_seconds > 0.0 ? shard->busy_seconds / snapshot.uptime_seconds : 0.0;
@@ -406,7 +411,7 @@ EnactmentEngine::AttemptResult EnactmentEngine::run_attempt(Shard& shard,
 
   result.reply = *reply;
   const bool success = reply->performative == Performative::Inform &&
-                       reply->param("success", "true") == "true";
+                       reply->param_bool("success", true);
   if (success) {
     result.kind = AttemptResult::Kind::Success;
     return result;
@@ -441,31 +446,17 @@ EnactmentEngine::AttemptResult EnactmentEngine::run_attempt(Shard& shard,
 
 void EnactmentEngine::finalize_locked(CaseRecord& record, Shard& shard, CaseState state,
                                       const AclMessage& reply) {
-  auto to_double = [](const std::string& text) {
-    try {
-      return text.empty() ? 0.0 : std::stod(text);
-    } catch (const std::exception&) {
-      return 0.0;
-    }
-  };
-  auto to_int = [](const std::string& text) {
-    try {
-      return text.empty() ? 0 : std::stoi(text);
-    } catch (const std::exception&) {
-      return 0;
-    }
-  };
   record.state = state;
   CaseOutcome& outcome = record.outcome;
   outcome.state = state;
   outcome.error = reply.param("error");
-  outcome.makespan = to_double(reply.param("makespan"));
-  outcome.activities_executed = to_int(reply.param("activities-executed"));
-  outcome.activities_replayed = to_int(reply.param("activities-replayed"));
-  outcome.dispatch_failures = to_int(reply.param("dispatch-failures"));
-  outcome.replans = to_int(reply.param("replans"));
-  outcome.goal_satisfaction = to_double(reply.param("goal-satisfaction"));
-  outcome.total_cost = to_double(reply.param("total-cost"));
+  outcome.makespan = reply.param_double("makespan", 0.0);
+  outcome.activities_executed = reply.param_int("activities-executed", 0);
+  outcome.activities_replayed = reply.param_int("activities-replayed", 0);
+  outcome.dispatch_failures = reply.param_int("dispatch-failures", 0);
+  outcome.replans = reply.param_int("replans", 0);
+  outcome.goal_satisfaction = reply.param_double("goal-satisfaction", 0.0);
+  outcome.total_cost = reply.param_double("total-cost", 0.0);
   outcome.engine_retries = record.retries_used;
   outcome.shard = shard.index;
   outcome.completion_index = ++completion_sequence_;

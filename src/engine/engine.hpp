@@ -28,6 +28,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -75,6 +76,10 @@ struct EngineConfig {
   std::size_t events_per_slice = 2048;
   /// Runaway guard: a single attempt aborts after this many slices.
   std::size_t max_slices_per_case = 1 << 14;
+  /// Optional hook run once per shard after its stack is built and before
+  /// its worker starts (shard index is the second argument). Tests use it to
+  /// inject faulty agents into a specific shard's platform.
+  std::function<void(svc::Environment&, std::size_t)> shard_setup;
 };
 
 /// Terminal report for one case.
@@ -98,6 +103,7 @@ struct ShardMetrics {
   std::size_t cases_run = 0;  ///< attempts started (retries count again)
   std::size_t cases_completed = 0;
   std::size_t cases_failed = 0;
+  std::size_t handler_failures = 0;  ///< agent exceptions contained by the platform
   double busy_seconds = 0.0;  ///< wall clock spent enacting
   double utilization = 0.0;   ///< busy_seconds / engine uptime
 };
@@ -110,6 +116,7 @@ struct EngineMetrics {
   std::size_t failed = 0;
   std::size_t cancelled = 0;
   std::size_t retried = 0;  ///< re-admissions after a failed attempt
+  std::size_t handler_failures = 0;  ///< contained agent exceptions, all shards
   std::size_t queue_depth = 0;
   std::size_t running = 0;
   double latency_p50 = 0.0;  ///< seconds, over terminal cases

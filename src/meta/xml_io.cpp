@@ -47,8 +47,12 @@ Value value_from_xml(const xml::Element& element) {
       return Value();
     case ValueType::String:
       return Value(element.text());
-    case ValueType::Number:
-      return Value(std::stod(element.text()));
+    case ValueType::Number: {
+      const auto number = util::parse_double(element.text());
+      if (!number.has_value())
+        throw xml::ParseError("value '" + element.text() + "' is not a number", 0);
+      return Value(*number);
+    }
     case ValueType::Boolean:
       return Value(element.text() == "true");
     case ValueType::List: {

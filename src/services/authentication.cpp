@@ -72,9 +72,7 @@ void AuthenticationService::handle_message(const AclMessage& message) {
   }
 
   if (!should_bounce_unknown(message)) return;
-  AclMessage reply = message.make_reply(Performative::NotUnderstood);
-  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-  send(std::move(reply));
+  send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
 }
 
 }  // namespace ig::svc

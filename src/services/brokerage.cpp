@@ -1,6 +1,7 @@
 #include "services/brokerage.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "services/protocol.hpp"
 #include "util/strings.hpp"
@@ -20,9 +21,7 @@ void BrokerageService::handle_message(const AclMessage& message) {
   if (message.protocol == protocols::kReportPerformance) return handle_report(message);
   if (message.protocol == protocols::kQueryHistory) return handle_query_history(message);
   if (!should_bounce_unknown(message)) return;
-  AclMessage reply = message.make_reply(Performative::NotUnderstood);
-  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-  send(std::move(reply));
+  send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
 }
 
 void BrokerageService::handle_advertise(const AclMessage& message) {
@@ -47,12 +46,17 @@ void BrokerageService::handle_query_providers(const AclMessage& message) {
 }
 
 void BrokerageService::handle_report(const AclMessage& message) {
-  auto& history = history_[message.param("container")];
   if (message.param("outcome") == "success") {
+    const auto duration = message.has_param("duration") ? message.param_double("duration")
+                                                        : std::optional<double>(0.0);
+    // A mangled duration would poison the mean; drop the whole report rather
+    // than credit a success with garbage timing.
+    if (!duration.has_value()) return;
+    auto& history = history_[message.param("container")];
     ++history.successes;
-    history.total_duration += std::stod(message.param("duration", "0"));
+    history.total_duration += *duration;
   } else {
-    ++history.failures;
+    ++history_[message.param("container")].failures;
   }
   // Performance reports are fire-and-forget; no reply.
 }

@@ -37,9 +37,7 @@ void ContainerAgent::handle_message(const AclMessage& message) {
   if (message.performative == Performative::Agree ||
       message.performative == Performative::Failure)
     return;
-  AclMessage reply = message.make_reply(Performative::NotUnderstood);
-  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-  send(std::move(reply));
+  send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
 }
 
 void ContainerAgent::report_performance(const std::string& outcome, double duration) {

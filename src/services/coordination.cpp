@@ -39,9 +39,7 @@ void CoordinationService::handle_message(const AclMessage& message) {
     if (parts[1] == "replan") return handle_plan_reply(message);
   }
   if (!should_bounce_unknown(message)) return;
-  AclMessage reply = message.make_reply(Performative::NotUnderstood);
-  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-  send(std::move(reply));
+  send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
 }
 
 void CoordinationService::handle_enact(const AclMessage& message) {
@@ -123,15 +121,22 @@ void CoordinationService::handle_restore(const AclMessage& message) {
     const xml::Element* completions = root.find_child("completions");
     if (completions != nullptr) {
       for (const auto* node : completions->find_children("completed")) {
-        enactment.replay_credits[node->attribute_or("activity", "")] =
-            std::stoi(node->attribute_or("count", "0"));
+        const auto count = util::parse_int(node->attribute_or("count", "0"));
+        if (!count.has_value())
+          throw wfl::ProcessError("completed count '" + node->attribute_or("count", "") +
+                                  "' is not an integer");
+        enactment.replay_credits[node->attribute_or("activity", "")] = *count;
       }
     }
-    enactment.replans = std::stoi(root.attribute_or("replans", "0"));
+    const auto replans = util::parse_int(root.attribute_or("replans", "0"));
+    if (!replans.has_value())
+      throw wfl::ProcessError("replans attribute '" + root.attribute_or("replans", "") +
+                              "' is not an integer");
+    enactment.replans = *replans;
     // Retry hook for the enactment engine: a checkpoint captured after a
     // failure carries the spent re-planning budget; a supervised retry on a
     // fresh shard asks for the budget back.
-    if (message.param("reset-replans") == "true") enactment.replans = 0;
+    if (message.param_bool("reset-replans", false)) enactment.replans = 0;
   } catch (const std::exception& error) {
     AclMessage reply = message.make_reply(Performative::Failure);
     reply.params["error"] = std::string("bad checkpoint: ") + error.what();
@@ -275,8 +280,10 @@ void CoordinationService::handle_match_reply(const AclMessage& message) {
   const auto parts = split_conversation(message.conversation_id);
   Enactment* enactment = find_enactment(parts[0]);
   if (enactment == nullptr || enactment->finished) return;
-  // Replies carrying a stale epoch belong to a superseded plan: drop them.
-  if (parts.size() > 3 && std::stoi(parts[3]) != enactment->epoch) return;
+  // Replies carrying a stale (or unparseable) epoch belong to a superseded
+  // plan or a mangled conversation id: drop them.
+  if (parts.size() > 3 && util::parse_int(parts[3]) != std::optional<int>(enactment->epoch))
+    return;
   const std::string activity_id = parts.size() > 2 ? parts[2] : "";
   const wfl::Activity* activity = enactment->process.find_activity(activity_id);
   if (activity == nullptr) return;
@@ -306,12 +313,17 @@ void CoordinationService::handle_execution_reply(const AclMessage& message) {
   const auto parts = split_conversation(message.conversation_id);
   Enactment* enactment = find_enactment(parts[0]);
   if (enactment == nullptr || enactment->finished) return;
-  // Replies carrying a stale epoch belong to a superseded plan: drop them.
-  if (parts.size() > 3 && std::stoi(parts[3]) != enactment->epoch) return;
+  // Replies carrying a stale (or unparseable) epoch belong to a superseded
+  // plan or a mangled conversation id: drop them.
+  if (parts.size() > 3 && util::parse_int(parts[3]) != std::optional<int>(enactment->epoch))
+    return;
   const std::string activity_id = parts.size() > 2 ? parts[2] : "";
 
   if (message.performative == Performative::Failure) {
-    return handle_dispatch_failure(*enactment, activity_id, message.param("container"),
+    // Platform-level containment failures carry no 'container' param; the
+    // sender is the container that blew up, so it still gets excluded.
+    return handle_dispatch_failure(*enactment, activity_id,
+                                   message.param("container", message.sender),
                                    message.param("error"));
   }
   if (message.performative != Performative::Inform) return;
@@ -327,7 +339,7 @@ void CoordinationService::handle_execution_reply(const AclMessage& message) {
   enactment->running.erase(activity_id);
   enactment->retries[activity_id] = 0;
   ++enactment->activities_executed;
-  enactment->total_cost += std::stod(message.param("cost", "0"));
+  enactment->total_cost += message.param_double("cost", 0.0);
   complete_activity(*enactment, activity_id);
 }
 

@@ -26,9 +26,7 @@ void InformationService::handle_message(const AclMessage& message) {
     return handle_query(message);
   }
   if (!should_bounce_unknown(message)) return;
-  AclMessage reply = message.make_reply(Performative::NotUnderstood);
-  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-  send(std::move(reply));
+  send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
 }
 
 void InformationService::handle_register(const AclMessage& message) {

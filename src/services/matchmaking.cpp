@@ -118,19 +118,30 @@ void MatchmakingService::on_start() {
 void MatchmakingService::handle_message(const AclMessage& message) {
   if (message.protocol != protocols::kFindContainer) {
     if (!should_bounce_unknown(message)) return;
-    AclMessage reply = message.make_reply(Performative::NotUnderstood);
-    reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-    send(std::move(reply));
+    send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
     return;
   }
   const std::string service = message.param("service");
   const std::vector<std::string> excluded = util::split_trimmed(message.param("exclude"), ',');
   const MatchStrategy strategy = match_strategy_from_string(message.param("strategy"));
-  const std::vector<std::string> ranked =
-      strategy == MatchStrategy::Deadline
-          ? rank_deadline(service, excluded, std::stod(message.param("work", "1")),
-                          std::stod(message.param("deadline", "1e18")), now())
-          : rank(service, excluded, strategy);
+  std::vector<std::string> ranked;
+  if (strategy == MatchStrategy::Deadline) {
+    const auto work = message.has_param("work") ? message.param_double("work")
+                                                : std::optional<double>(1.0);
+    const auto deadline = message.has_param("deadline") ? message.param_double("deadline")
+                                                        : std::optional<double>(1e18);
+    if (!work.has_value()) {
+      send(make_not_understood(message, message.describe_bad_param("work", "double")));
+      return;
+    }
+    if (!deadline.has_value()) {
+      send(make_not_understood(message, message.describe_bad_param("deadline", "double")));
+      return;
+    }
+    ranked = rank_deadline(service, excluded, *work, *deadline, now());
+  } else {
+    ranked = rank(service, excluded, strategy);
+  }
 
   if (ranked.empty()) {
     AclMessage reply = message.make_reply(Performative::Failure);

@@ -30,9 +30,7 @@ void MonitoringService::sample() {
 void MonitoringService::handle_message(const AclMessage& message) {
   if (message.protocol != protocols::kQueryStatus) {
     if (!should_bounce_unknown(message)) return;
-    AclMessage reply = message.make_reply(Performative::NotUnderstood);
-    reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-    send(std::move(reply));
+    send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
     return;
   }
   AclMessage reply = message.make_reply(Performative::Inform);

@@ -18,19 +18,20 @@ void PlanningService::on_start() {
 void PlanningService::handle_message(const AclMessage& message) {
   if (message.protocol == protocols::kPlanRequest) return handle_plan_request(message);
   if (message.protocol == protocols::kReplanRequest) return handle_replan_request(message);
-  if (message.protocol == protocols::kQueryService &&
-      message.performative == Performative::Inform)
+  // Replies to probe queries are routed on Failure as well as Inform: a
+  // broken information service / brokerage / container must still decrement
+  // the session's pending counters, or the re-planning session stalls
+  // forever (it simply contributes no providers / no executable services).
+  const bool probe_reply = message.performative == Performative::Inform ||
+                           message.performative == Performative::Failure;
+  if (message.protocol == protocols::kQueryService && probe_reply)
     return handle_information_reply(message);
-  if (message.protocol == protocols::kQueryProviders &&
-      message.performative == Performative::Inform)
+  if (message.protocol == protocols::kQueryProviders && probe_reply)
     return handle_provider_reply(message);
-  if (message.protocol == protocols::kQueryExecutable &&
-      message.performative == Performative::Inform)
+  if (message.protocol == protocols::kQueryExecutable && probe_reply)
     return handle_probe_reply(message);
   if (!should_bounce_unknown(message)) return;
-  AclMessage reply = message.make_reply(Performative::NotUnderstood);
-  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-  send(std::move(reply));
+  send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
 }
 
 void PlanningService::plan_and_reply(const AclMessage& request,
@@ -45,8 +46,14 @@ void PlanningService::plan_and_reply(const AclMessage& request,
     // Each planning episode explores from a different (still deterministic)
     // seed, so a re-planning retry does not just reproduce the failed plan.
     config.seed = gp_config_.seed + plans_produced_ * 7919;
-    if (request.has_param("seed"))
-      config.seed = static_cast<std::uint64_t>(std::stoull(request.param("seed")));
+    if (request.has_param("seed")) {
+      const auto seed = request.param_uint("seed");
+      if (!seed.has_value()) {
+        send(make_not_understood(request, request.describe_bad_param("seed", "uint")));
+        return;
+      }
+      config.seed = *seed;
+    }
 
     // GP is stochastic: when a run falls short of full goal fitness, retry
     // with fresh seeds before settling for the best attempt.
@@ -100,7 +107,7 @@ void PlanningService::handle_replan_request(const AclMessage& message) {
   for (const auto& service : util::split_trimmed(message.param("failed-services"), ','))
     session.excluded.insert(service);
 
-  if (message.param("probe", "true") != "true") {
+  if (!message.param_bool("probe", true)) {
     // Method 1: the knowledge is given directly by the coordination service.
     wfl::ServiceCatalogue reduced;
     for (const auto& service : catalogue_.services()) {
@@ -174,7 +181,8 @@ void PlanningService::handle_probe_reply(const AclMessage& message) {
   if (it == sessions_.end()) return;
   ReplanSession& session = it->second;
   --session.pending_probes;
-  if (message.param("executable") == "true") session.executable.insert(message.param("service"));
+  if (message.param_bool("executable", false))
+    session.executable.insert(message.param("service"));
   if (session.pending_provider_queries == 0 && session.pending_probes == 0)
     finish_replan(message.conversation_id);
 }

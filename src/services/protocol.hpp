@@ -80,6 +80,27 @@ inline bool should_bounce_unknown(const agent::AclMessage& message) {
          message.performative == agent::Performative::QueryIf;
 }
 
+/// Builds the standard rejection reply for a payload the service could not
+/// make sense of (missing or malformed params). Carries the machine-readable
+/// `reason` plus the legacy `error` key older call sites still read.
+inline agent::AclMessage make_not_understood(const agent::AclMessage& message,
+                                             const std::string& reason) {
+  agent::AclMessage reply = message.make_reply(agent::Performative::NotUnderstood);
+  reply.params["reason"] = reason;
+  reply.params["error"] = reason;
+  return reply;
+}
+
+/// Builds the standard Failure reply for a request the service understood
+/// but could not carry out.
+inline agent::AclMessage make_failure(const agent::AclMessage& message,
+                                      const std::string& reason) {
+  agent::AclMessage reply = message.make_reply(agent::Performative::Failure);
+  reply.params["reason"] = reason;
+  reply.params["error"] = reason;
+  return reply;
+}
+
 /// Sends the standard registration message to the information service.
 inline void register_with_information_service(agent::Agent& agent_ref,
                                               agent::AgentPlatform& platform,

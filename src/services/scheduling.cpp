@@ -110,9 +110,7 @@ void SchedulingService::on_start() {
 void SchedulingService::handle_message(const AclMessage& message) {
   if (message.protocol != protocols::kScheduleRequest) {
     if (!should_bounce_unknown(message)) return;
-    AclMessage reply = message.make_reply(Performative::NotUnderstood);
-    reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-    send(std::move(reply));
+    send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
     return;
   }
   // params: tasks = "id:work,id:work,..." ; speeds = "1.0,2.0,..."
@@ -121,12 +119,26 @@ void SchedulingService::handle_message(const AclMessage& message) {
     const auto parts = util::split(entry, ':');
     ScheduledTask task;
     task.task_id = parts.empty() ? entry : parts[0];
-    task.work = parts.size() > 1 ? std::stod(parts[1]) : 1.0;
+    task.work = 1.0;
+    if (parts.size() > 1) {
+      const auto work = util::parse_double(parts[1]);
+      if (!work.has_value()) {
+        send(make_not_understood(message, "bad task entry '" + entry + "': work must be numeric"));
+        return;
+      }
+      task.work = *work;
+    }
     tasks.push_back(std::move(task));
   }
   std::vector<double> speeds;
-  for (const auto& entry : util::split_trimmed(message.param("speeds"), ','))
-    speeds.push_back(std::stod(entry));
+  for (const auto& entry : util::split_trimmed(message.param("speeds"), ',')) {
+    const auto speed = util::parse_double(entry);
+    if (!speed.has_value()) {
+      send(make_not_understood(message, "bad speed entry '" + entry + "': must be numeric"));
+      return;
+    }
+    speeds.push_back(*speed);
+  }
 
   const bool optimal = message.param("mode") == "optimal" && tasks.size() <= 12;
   const Schedule schedule =

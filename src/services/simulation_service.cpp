@@ -19,9 +19,7 @@ void SimulationService::handle_message(const AclMessage& message) {
   if (message.protocol != protocols::kSimulateCase &&
       message.protocol != protocols::kSimulatePlan) {
     if (!should_bounce_unknown(message)) return;
-    AclMessage reply = message.make_reply(Performative::NotUnderstood);
-    reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-    send(std::move(reply));
+    send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
     return;
   }
 

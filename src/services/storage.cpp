@@ -60,9 +60,7 @@ void PersistentStorageService::handle_message(const AclMessage& message) {
     return;
   }
   if (!should_bounce_unknown(message)) return;
-  AclMessage reply = message.make_reply(Performative::NotUnderstood);
-  reply.params["error"] = "unknown protocol '" + message.protocol + "'";
-  send(std::move(reply));
+  send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
 }
 
 }  // namespace ig::svc

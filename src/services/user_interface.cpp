@@ -65,14 +65,14 @@ void UserInterfaceAgent::handle_message(const AclMessage& message) {
 
   if (message.protocol == protocols::kCaseCompleted) {
     TaskOutcome outcome;
-    outcome.success = message.param("success") == "true";
+    outcome.success = message.param_bool("success", false);
     outcome.error = message.param("error");
-    outcome.makespan = std::stod(message.param("makespan", "0"));
-    outcome.activities_executed = std::stoi(message.param("activities-executed", "0"));
-    outcome.dispatch_failures = std::stoi(message.param("dispatch-failures", "0"));
-    outcome.replans = std::stoi(message.param("replans", "0"));
-    outcome.goal_satisfaction = std::stod(message.param("goal-satisfaction", "0"));
-    outcome.total_cost = std::stod(message.param("total-cost", "0"));
+    outcome.makespan = message.param_double("makespan", 0.0);
+    outcome.activities_executed = message.param_int("activities-executed", 0);
+    outcome.dispatch_failures = message.param_int("dispatch-failures", 0);
+    outcome.replans = message.param_int("replans", 0);
+    outcome.goal_satisfaction = message.param_double("goal-satisfaction", 0.0);
+    outcome.total_cost = message.param_double("total-cost", 0.0);
     if (!message.content.empty()) {
       try {
         outcome.final_data = wfl::dataset_from_xml_string(message.content);

@@ -76,6 +76,54 @@ bool is_number(std::string_view text) noexcept {
   return ec == std::errc() && ptr == last;
 }
 
+std::optional<double> parse_double(std::string_view text) noexcept {
+  text = trim(text);
+  // from_chars rejects a leading '+' on the mantissa; tolerate exactly one.
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  if (text.empty()) return std::nullopt;
+  double value = 0;
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<int> parse_int(std::string_view text) noexcept {
+  text = trim(text);
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  if (text.empty()) return std::nullopt;
+  int value = 0;
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) noexcept {
+  text = trim(text);
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  if (text.empty() || text.front() == '-') return std::nullopt;
+  std::uint64_t value = 0;
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view text) noexcept {
+  text = trim(text);
+  auto equals_lower = [](std::string_view value, std::string_view word) noexcept {
+    if (value.size() != word.size()) return false;
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(value[i])) != word[i]) return false;
+    }
+    return true;
+  };
+  if (text == "1" || equals_lower(text, "true")) return true;
+  if (text == "0" || equals_lower(text, "false")) return false;
+  return std::nullopt;
+}
+
 std::string format_number(double value, int max_decimals) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", max_decimals, value);

@@ -1,6 +1,8 @@
 // Small string helpers shared across the library.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +30,16 @@ std::string to_lower(std::string_view text);
 
 /// True if `text` parses fully as a (possibly signed) decimal number.
 bool is_number(std::string_view text) noexcept;
+
+/// Strict, non-throwing numeric parsers. The whole (trimmed) input must be
+/// consumed; anything else — empty input, stray suffix, overflow — yields
+/// nullopt. Built on std::from_chars, which never throws and never touches
+/// the locale, so these are safe on untrusted protocol payloads.
+std::optional<double> parse_double(std::string_view text) noexcept;
+std::optional<int> parse_int(std::string_view text) noexcept;
+std::optional<std::uint64_t> parse_uint(std::string_view text) noexcept;
+/// Accepts "true"/"false"/"1"/"0" (case-insensitive for the words).
+std::optional<bool> parse_bool(std::string_view text) noexcept;
 
 /// Formats a double with trailing-zero trimming ("1.5", "3", "0.25").
 std::string format_number(double value, int max_decimals = 6);

@@ -124,13 +124,14 @@ int compare_values(const meta::Value& lhs, const meta::Value& rhs, bool& compara
     return static_cast<int>(lhs.as_boolean()) - static_cast<int>(rhs.as_boolean());
   }
   // Numbers stored as strings compare numerically against number literals.
-  if (lhs.type() == meta::ValueType::String && rhs.type() == meta::ValueType::Number &&
-      util::is_number(lhs.as_string())) {
-    const double a = std::stod(lhs.as_string());
-    const double b = rhs.as_number();
-    if (a < b) return -1;
-    if (a > b) return 1;
-    return 0;
+  if (lhs.type() == meta::ValueType::String && rhs.type() == meta::ValueType::Number) {
+    const auto a = util::parse_double(lhs.as_string());
+    if (a.has_value()) {
+      const double b = rhs.as_number();
+      if (*a < b) return -1;
+      if (*a > b) return 1;
+      return 0;
+    }
   }
   comparable = false;
   return 0;
@@ -523,11 +524,24 @@ class ConditionParser {
       if (c == '-' || c == '+') ++pos_;
       while (pos_ < text_.size()) {
         const char d = text_[pos_];
-        if (std::isdigit(static_cast<unsigned char>(d)) || d == '.' || d == 'e' || d == 'E')
-          ++pos_;
+        if (std::isdigit(static_cast<unsigned char>(d)) || d == '.') ++pos_;
         else break;
       }
-      return meta::Value(std::stod(std::string(text_.substr(start, pos_ - start))));
+      // Optional exponent with optional sign: e5, e+5, E-5. Only consumed
+      // when at least one digit follows, so "2e and ..." still fails cleanly.
+      if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+        std::size_t probe = pos_ + 1;
+        if (probe < text_.size() && (text_[probe] == '+' || text_[probe] == '-')) ++probe;
+        if (probe < text_.size() && std::isdigit(static_cast<unsigned char>(text_[probe]))) {
+          pos_ = probe + 1;
+          while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        }
+      }
+      const std::string_view literal = text_.substr(start, pos_ - start);
+      const auto value = util::parse_double(literal);
+      if (!value.has_value()) fail("invalid numeric literal '" + std::string(literal) + "'");
+      return meta::Value(*value);
     }
     if (match_keyword("true")) return meta::Value(true);
     if (match_keyword("false")) return meta::Value(false);

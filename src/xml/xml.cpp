@@ -1,8 +1,52 @@
 #include "xml/xml.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cstdint>
 
 namespace ig::xml {
+
+namespace {
+
+/// Encodes one Unicode code point as UTF-8.
+void append_utf8(std::string& out, std::uint32_t code) {
+  if (code < 0x80) {
+    out += static_cast<char>(code);
+  } else if (code < 0x800) {
+    out += static_cast<char>(0xC0 | (code >> 6));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else if (code < 0x10000) {
+    out += static_cast<char>(0xE0 | (code >> 12));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (code >> 18));
+    out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  }
+}
+
+/// Decodes a numeric character reference body ("#10", "#x41") to a code
+/// point; nullopt when malformed or outside the XML character range.
+std::optional<std::uint32_t> decode_char_ref(std::string_view body) {
+  body.remove_prefix(1);  // the '#'
+  int base = 10;
+  if (!body.empty() && (body.front() == 'x' || body.front() == 'X')) {
+    base = 16;
+    body.remove_prefix(1);
+  }
+  if (body.empty()) return std::nullopt;
+  std::uint32_t code = 0;
+  const char* last = body.data() + body.size();
+  auto [ptr, ec] = std::from_chars(body.data(), last, code, base);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if (code == 0 || code > 0x10FFFF) return std::nullopt;
+  if (code >= 0xD800 && code <= 0xDFFF) return std::nullopt;  // surrogates
+  return code;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Element
@@ -94,12 +138,19 @@ void Element::write(std::string& out, int indent, int depth) const {
     return;
   }
   if (pretty) out += '\n';
-  if (!text_.empty()) {
+  // Interleave text runs with children in document order: a run whose
+  // position is k precedes children_[k].
+  std::size_t run = 0;
+  const auto emit_run = [&](const TextRun& text_run) {
     if (pretty) out += std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ');
-    out += escape(text_);
+    out += escape(text_run.text);
     if (pretty) out += '\n';
+  };
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    while (run < text_runs_.size() && text_runs_[run].position <= i) emit_run(text_runs_[run++]);
+    children_[i]->write(out, indent, depth + 1);
   }
-  for (const auto& child : children_) child->write(out, indent, depth + 1);
+  while (run < text_runs_.size()) emit_run(text_runs_[run++]);
   out += pad;
   out += "</";
   out += name_;
@@ -156,7 +207,14 @@ std::string unescape(std::string_view text) {
     else if (entity == "gt") out += '>';
     else if (entity == "quot") out += '"';
     else if (entity == "apos") out += '\'';
-    else throw ParseError("unknown entity '" + std::string(entity) + "'", i);
+    else if (!entity.empty() && entity.front() == '#') {
+      const auto code = decode_char_ref(entity);
+      if (!code.has_value())
+        throw ParseError("bad character reference '&" + std::string(entity) + ";'", i);
+      append_utf8(out, *code);
+    } else {
+      throw ParseError("unknown entity '" + std::string(entity) + "'", i);
+    }
     i = end;
   }
   return out;

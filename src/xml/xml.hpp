@@ -35,11 +35,21 @@ struct Attribute {
   std::string value;
 };
 
+/// One run of character data inside an element. `position` is the number of
+/// child elements preceding the run, so `<a>x<b/>y</a>` yields runs
+/// {"x", 0} and {"y", 1} and the writer can reproduce the original order.
+struct TextRun {
+  std::string text;
+  std::size_t position = 0;
+};
+
 /// An XML element: tag name, attributes, child elements, and text content.
 ///
-/// Mixed content is simplified: all character data directly inside an
-/// element is concatenated into `text`, which is sufficient for the
-/// record-style documents the services exchange.
+/// Mixed content keeps its document order: each run of character data
+/// remembers how many child elements precede it (see TextRun), and the
+/// writer interleaves runs and children accordingly. `text()` remains the
+/// concatenation of all runs, which is what the record-style documents the
+/// services exchange read.
 class Element {
  public:
   explicit Element(std::string name) : name_(std::move(name)) {}
@@ -48,8 +58,24 @@ class Element {
   void set_name(std::string name) { name_ = std::move(name); }
 
   const std::string& text() const noexcept { return text_; }
-  void set_text(std::string text) { text_ = std::move(text); }
-  void append_text(std::string_view text) { text_.append(text); }
+  const std::vector<TextRun>& text_runs() const noexcept { return text_runs_; }
+  /// Replaces all character data with one run preceding every child.
+  void set_text(std::string text) {
+    text_ = std::move(text);
+    text_runs_.clear();
+    if (!text_.empty()) text_runs_.push_back({text_, 0});
+  }
+  /// Appends a run of character data at the current position (after the
+  /// children added so far); consecutive runs at one position merge.
+  void append_text(std::string_view text) {
+    if (text.empty()) return;
+    if (!text_runs_.empty() && text_runs_.back().position == children_.size()) {
+      text_runs_.back().text.append(text);
+    } else {
+      text_runs_.push_back({std::string(text), children_.size()});
+    }
+    text_.append(text);
+  }
 
   // -- attributes ----------------------------------------------------------
   const std::vector<Attribute>& attributes() const noexcept { return attributes_; }
@@ -80,7 +106,8 @@ class Element {
   void write(std::string& out, int indent, int depth) const;
 
   std::string name_;
-  std::string text_;
+  std::string text_;  ///< concatenation of text_runs_
+  std::vector<TextRun> text_runs_;
   std::vector<Attribute> attributes_;
   std::vector<std::unique_ptr<Element>> children_;
 };
@@ -103,7 +130,9 @@ class Document {
 
 /// Escapes the five predefined entities in character data / attributes.
 std::string escape(std::string_view text);
-/// Reverses `escape`; unknown entities raise ParseError.
+/// Reverses `escape`. Also decodes numeric character references, decimal
+/// (&#10;) and hex (&#x41;), emitting UTF-8; unknown or malformed entities
+/// raise ParseError.
 std::string unescape(std::string_view text);
 
 /// Parses a document; the input must contain exactly one root element.

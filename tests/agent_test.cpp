@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "agent/platform.hpp"
 #include "agent/trace_render.hpp"
@@ -148,6 +149,91 @@ TEST(Platform, DeregisterDropsAgent) {
   EXPECT_TRUE(platform.deregister_agent("a"));
   EXPECT_FALSE(platform.deregister_agent("a"));
   EXPECT_FALSE(platform.has_agent("a"));
+}
+
+/// Always throws: models a buggy agent whose handler dies on any input.
+class ThrowingAgent : public Agent {
+ public:
+  using Agent::Agent;
+  void handle_message(const AclMessage& message) override {
+    throw std::runtime_error("boom on " + std::string(to_string(message.performative)));
+  }
+};
+
+TEST(Platform, ContainsThrowingHandlerAndRepliesFailure) {
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.set_tracing(true);
+  auto& sender = platform.spawn<EchoAgent>("tx");
+  platform.spawn<ThrowingAgent>("bad");
+
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.sender = "tx";
+  request.receiver = "bad";
+  request.protocol = "some-protocol";
+  request.conversation_id = "conv-1";
+  platform.send(request);
+  sim.run();
+
+  // The exception is contained: the sender gets a Failure reply that keeps
+  // the conversation, names the culprit, and carries the what() string.
+  ASSERT_EQ(sender.received.size(), 1u);
+  EXPECT_EQ(sender.received[0].performative, Performative::Failure);
+  EXPECT_EQ(sender.received[0].conversation_id, "conv-1");
+  EXPECT_EQ(sender.received[0].protocol, "some-protocol");
+  EXPECT_NE(sender.received[0].param("reason").find("bad"), std::string::npos);
+  EXPECT_NE(sender.received[0].param("reason").find("boom"), std::string::npos);
+
+  // Counters attribute the failure to the throwing agent only.
+  EXPECT_EQ(platform.handler_failures("bad"), 1u);
+  EXPECT_EQ(platform.handler_failures("tx"), 0u);
+  EXPECT_EQ(platform.handler_failures_total(), 1u);
+  ASSERT_EQ(platform.handler_failures_by_agent().size(), 1u);
+
+  // The trace annotates the poisoned delivery.
+  EXPECT_NE(platform.trace_to_string().find("HANDLER ERROR"), std::string::npos);
+  bool annotated = false;
+  for (const auto& record : platform.trace())
+    if (!record.handler_error.empty()) annotated = true;
+  EXPECT_TRUE(annotated);
+}
+
+TEST(Platform, ThrowingOnFailureReplyDoesNotLoop) {
+  // tx throws on everything too — including the containment Failure it gets
+  // back. The platform must not convert that second throw into another
+  // reply, or two buggy agents would ping-pong forever.
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.spawn<ThrowingAgent>("tx");
+  platform.spawn<ThrowingAgent>("bad");
+
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.sender = "tx";
+  request.receiver = "bad";
+  platform.send(request);
+  EXPECT_LT(sim.run(1000), 1000u);  // terminates
+  EXPECT_EQ(platform.handler_failures("bad"), 1u);
+  EXPECT_EQ(platform.handler_failures("tx"), 1u);
+  EXPECT_EQ(platform.handler_failures_total(), 2u);
+}
+
+TEST(Platform, ContainmentSurvivesDepartedSender) {
+  // The buggy agent's correspondent may be gone by the time the throw
+  // happens; the containment net must cope without a reply target.
+  grid::Simulation sim;
+  AgentPlatform platform(sim);
+  platform.spawn<EchoAgent>("tx");
+  platform.spawn<ThrowingAgent>("bad");
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.sender = "tx";
+  request.receiver = "bad";
+  platform.send(request);
+  platform.deregister_agent("tx");
+  EXPECT_LT(sim.run(1000), 1000u);
+  EXPECT_EQ(platform.handler_failures_total(), 1u);
 }
 
 TEST(Platform, TraceRecordsDeliveries) {

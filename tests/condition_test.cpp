@@ -213,6 +213,40 @@ TEST(ConditionParse, ScientificNotationNumbers) {
   EXPECT_FALSE(Condition::parse("D.Size > 1.6e3").evaluate(bindings));
 }
 
+TEST(ConditionParse, SignedExponentNumbers) {
+  DataSpec data("D");
+  data.with("Size", meta::Value(0.001));
+  Bindings bindings{{"D", &data}};
+  EXPECT_TRUE(Condition::parse("D.Size > 1e-5").evaluate(bindings));
+  EXPECT_FALSE(Condition::parse("D.Size > 2.5E+3").evaluate(bindings));
+  EXPECT_TRUE(Condition::parse("D.Size > 9.9e-4").evaluate(bindings));
+}
+
+TEST(ConditionParse, LeadingDotNumber) {
+  DataSpec data("D");
+  data.with("Size", meta::Value(0.75));
+  Bindings bindings{{"D", &data}};
+  EXPECT_TRUE(Condition::parse("D.Size > .5").evaluate(bindings));
+  EXPECT_FALSE(Condition::parse("D.Size > .8").evaluate(bindings));
+}
+
+TEST(ConditionParse, MalformedNumericLiteralsThrow) {
+  EXPECT_THROW(Condition::parse("D.Size > -"), ConditionParseError);
+  EXPECT_THROW(Condition::parse("D.Size > 1.2.3"), ConditionParseError);
+  EXPECT_THROW(Condition::parse("D.Size > ."), ConditionParseError);
+}
+
+TEST(ConditionParse, ExponentWithoutDigitsIsNotConsumed) {
+  // "2e" is not an exponent; the scanner must stop after the mantissa and
+  // leave the identifier to the rest of the grammar (here: a parse error,
+  // because "e" alone is not a valid clause).
+  DataSpec data("D");
+  data.with("Size", meta::Value(3.0));
+  Bindings bindings{{"D", &data}};
+  EXPECT_TRUE(Condition::parse("D.Size > 2 and D.Size < 4").evaluate(bindings));
+  EXPECT_THROW(Condition::parse("D.Size > 2e"), ConditionParseError);
+}
+
 TEST(ConditionParse, WhitespaceInsensitive) {
   const Condition tight = Condition::parse("A.X=1 and B.Y=2");
   const Condition airy = Condition::parse("  A.X  =  1   and   B.Y = 2  ");

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "engine/engine.hpp"
@@ -215,6 +216,90 @@ TEST(Engine, RetriesFailedCasesOnAnotherShard) {
   // At least one case must have been bounced off the faulty shard.
   EXPECT_GE(metrics.retried, 1u);
   EXPECT_EQ(metrics.shards[0].cases_completed + metrics.shards[1].cases_completed, 6u);
+}
+
+/// Impostor container agent whose handler always throws — it stands in for
+/// a real container, so every dispatch to it exercises the platform's
+/// containment net instead of the normal execute/Inform exchange.
+class PoisonedAgent : public agent::Agent {
+ public:
+  using Agent::Agent;
+  void handle_message(const agent::AclMessage&) override {
+    throw std::runtime_error("poisoned container");
+  }
+};
+
+/// Replaces every container hosting `service` on the shard with a
+/// same-named PoisonedAgent. Matchmaking ranks from the grid model, so the
+/// impostors keep receiving execute requests.
+void poison_service_hosts(svc::Environment& environment, const std::string& service) {
+  for (const auto* container : environment.grid().containers_hosting(service)) {
+    environment.platform().deregister_agent(container->id());
+    environment.platform().spawn<PoisonedAgent>(container->id());
+  }
+}
+
+TEST(Engine, ContainedHandlerFaultsRetryOnHealthyShard) {
+  // Shard 0's P3DR containers throw from inside their message handlers —
+  // mid-FORK for the fig10 workflow, whose FORK block fans out three P3DR
+  // activities. The platform containment net must convert each throw into
+  // a dispatch Failure so the case fails cleanly (instead of tearing down
+  // the shard), and the engine's checkpoint/restore retry completes it on
+  // the healthy shard while shard 1's own enactments keep running.
+  EngineConfig config = small_config(2);
+  config.max_case_retries = 2;
+  config.queue_capacity = 32;
+  config.environment.coordination.max_retries = 1;
+  config.environment.coordination.max_replans = 0;
+  config.shard_setup = [](svc::Environment& environment, std::size_t shard) {
+    if (shard == 0) poison_service_hosts(environment, "P3DR");
+  };
+  EnactmentEngine engine(config);
+
+  std::vector<CaseId> ids;
+  for (int i = 0; i < 6; ++i)
+    ids.push_back(
+        engine.submit(virolab::make_fig10_process(), virolab::make_case_description()));
+  engine.drain();
+
+  for (const CaseId id : ids) {
+    const auto outcome = engine.result(id);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->state, CaseState::Completed) << outcome->error;
+  }
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.completed, 6u);
+  EXPECT_EQ(metrics.failed, 0u);
+  // The contained throws are visible in the metrics snapshot, attributed to
+  // the poisoned shard.
+  EXPECT_GT(metrics.handler_failures, 0u);
+  EXPECT_GT(metrics.shards[0].handler_failures, 0u);
+  EXPECT_EQ(metrics.shards[1].handler_failures, 0u);
+}
+
+TEST(Engine, PoisonedCaseStaysControllable) {
+  // With every shard poisoned and no retry budget, the case must terminate
+  // as Failed — and status/result/cancel must keep answering rather than
+  // hang or throw.
+  EngineConfig config = small_config(1);
+  config.max_case_retries = 0;
+  config.environment.coordination.max_retries = 1;
+  config.environment.coordination.max_replans = 0;
+  config.shard_setup = [](svc::Environment& environment, std::size_t) {
+    poison_service_hosts(environment, "P3DR");
+  };
+  EnactmentEngine engine(config);
+
+  const CaseId id =
+      engine.submit(virolab::make_fig10_process(), virolab::make_case_description());
+  engine.drain();
+
+  EXPECT_EQ(engine.status(id), CaseState::Failed);
+  const auto outcome = engine.result(id);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->error.empty());
+  EXPECT_FALSE(engine.cancel(id));  // terminal, but still answered
+  EXPECT_GT(engine.metrics().handler_failures, 0u);
 }
 
 TEST(Engine, FailsAfterRetryBudgetExhausted) {

@@ -1,0 +1,412 @@
+// Malformed-message fault injection across the ACL protocol layer.
+//
+// Every service must degrade gracefully when a peer sends garbage: reply
+// NotUnderstood/Failure with a "reason" param, or drop the payload — never
+// throw out of the handler. The fuzz vectors cover the classic parse traps:
+// empty strings, non-numeric text, overflow, negatives where unsigned is
+// expected, trailing junk, and missing keys.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "services/environment.hpp"
+#include "services/protocol.hpp"
+#include "services/user_interface.hpp"
+#include "util/strings.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+#include "wfl/xml_io.hpp"
+#include "xml/xml.hpp"
+
+namespace ig::svc {
+namespace {
+
+using agent::AclMessage;
+using agent::Performative;
+
+/// Strings that must never parse as a double (or int / uint).
+const char* const kBadNumbers[] = {"", "   ", "abc", "12x", "1e999999", "--3", "nan(",
+                                   "0x10"};
+
+// ---------------------------------------------------------------------------
+// util::parse_* unit coverage
+// ---------------------------------------------------------------------------
+
+TEST(ParseFuzz, DoubleAcceptsUsualShapes) {
+  EXPECT_DOUBLE_EQ(util::parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(util::parse_double(" -1e3 ").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(util::parse_double("+4").value(), 4.0);
+  EXPECT_DOUBLE_EQ(util::parse_double(".5").value(), 0.5);
+}
+
+TEST(ParseFuzz, DoubleRejectsGarbage) {
+  for (const char* text : kBadNumbers)
+    EXPECT_FALSE(util::parse_double(text).has_value()) << "'" << text << "'";
+}
+
+TEST(ParseFuzz, IntRejectsGarbageAndOverflow) {
+  EXPECT_EQ(util::parse_int("-42").value(), -42);
+  EXPECT_EQ(util::parse_int("+7").value(), 7);
+  for (const char* text : kBadNumbers)
+    EXPECT_FALSE(util::parse_int(text).has_value()) << "'" << text << "'";
+  EXPECT_FALSE(util::parse_int("2.5").has_value());
+  EXPECT_FALSE(util::parse_int("99999999999999999999").has_value());
+}
+
+TEST(ParseFuzz, UintRejectsNegatives) {
+  EXPECT_EQ(util::parse_uint("18446744073709551615").value(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(util::parse_uint("-5").has_value());
+  EXPECT_FALSE(util::parse_uint("-0").has_value());
+  EXPECT_FALSE(util::parse_uint("18446744073709551616").has_value());
+}
+
+TEST(ParseFuzz, BoolAcceptsCanonicalForms) {
+  EXPECT_TRUE(util::parse_bool("true").value());
+  EXPECT_TRUE(util::parse_bool("TRUE").value());
+  EXPECT_TRUE(util::parse_bool("1").value());
+  EXPECT_FALSE(util::parse_bool("false").value());
+  EXPECT_FALSE(util::parse_bool("0").value());
+  EXPECT_FALSE(util::parse_bool("yes").has_value());
+  EXPECT_FALSE(util::parse_bool("").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// AclMessage typed accessors
+// ---------------------------------------------------------------------------
+
+TEST(MessageFuzz, TypedAccessorsNeverThrow) {
+  AclMessage message;
+  message.params["d"] = "2.5";
+  message.params["i"] = "-3";
+  message.params["u"] = "7";
+  message.params["b"] = "true";
+  message.params["junk"] = "zzz";
+
+  EXPECT_DOUBLE_EQ(message.param_double("d").value(), 2.5);
+  EXPECT_EQ(message.param_int("i").value(), -3);
+  EXPECT_EQ(message.param_uint("u").value(), 7u);
+  EXPECT_TRUE(message.param_bool("b").value());
+
+  EXPECT_FALSE(message.param_double("junk").has_value());
+  EXPECT_FALSE(message.param_double("missing").has_value());
+  EXPECT_FALSE(message.param_uint("i").has_value());  // negative where unsigned
+
+  EXPECT_DOUBLE_EQ(message.param_double("junk", 9.0), 9.0);
+  EXPECT_EQ(message.param_int("missing", 4), 4);
+  EXPECT_EQ(message.param_uint("junk", 11u), 11u);
+  EXPECT_TRUE(message.param_bool("missing", true));
+}
+
+TEST(MessageFuzz, DescribeBadParamNamesTheProblem) {
+  AclMessage message;
+  message.params["seed"] = "-5";
+  const std::string described = message.describe_bad_param("seed", "uint");
+  EXPECT_NE(described.find("seed"), std::string::npos);
+  EXPECT_NE(described.find("-5"), std::string::npos);
+  const std::string missing = message.describe_bad_param("nope", "double");
+  EXPECT_NE(missing.find("missing"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live services under fuzzed requests
+// ---------------------------------------------------------------------------
+
+class Client : public agent::Agent {
+ public:
+  explicit Client(std::string name = "ui") : Agent(std::move(name)) {}
+  void handle_message(const AclMessage& message) override { replies.push_back(message); }
+
+  void request(agent::AgentPlatform& platform, AclMessage message) {
+    message.sender = name();
+    platform.send(std::move(message));
+  }
+
+  std::vector<AclMessage> replies;
+};
+
+struct Fixture {
+  Fixture() {
+    EnvironmentOptions options;
+    options.topology.domains = 2;
+    options.topology.nodes_per_domain = 2;
+    options.seed = 11;
+    environment = make_environment(options);
+    client = &environment->platform().spawn<Client>("fuzzer");
+  }
+
+  AclMessage last() const {
+    EXPECT_FALSE(client->replies.empty());
+    return client->replies.empty() ? AclMessage{} : client->replies.back();
+  }
+
+  std::unique_ptr<Environment> environment;
+  Client* client = nullptr;
+};
+
+TEST(ServiceFuzz, SchedulingBouncesMalformedTaskWork) {
+  for (const char* bad : {"", "abc", "1e999999"}) {
+    Fixture fixture;
+    AclMessage request;
+    request.performative = Performative::Request;
+    request.receiver = names::kScheduling;
+    request.protocol = protocols::kScheduleRequest;
+    request.params["tasks"] = std::string("t1:") + bad;
+    request.params["speeds"] = "1.0";
+    fixture.client->request(fixture.environment->platform(), request);
+    fixture.environment->run();
+    const AclMessage reply = fixture.last();
+    EXPECT_EQ(reply.performative, Performative::NotUnderstood) << "'" << bad << "'";
+    EXPECT_NE(reply.param("reason").find("task entry"), std::string::npos);
+  }
+}
+
+TEST(ServiceFuzz, SchedulingBouncesMalformedSpeed) {
+  Fixture fixture;
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.receiver = names::kScheduling;
+  request.protocol = protocols::kScheduleRequest;
+  request.params["tasks"] = "t1:4.0";
+  request.params["speeds"] = "1.0,fast";
+  fixture.client->request(fixture.environment->platform(), request);
+  fixture.environment->run();
+  const AclMessage reply = fixture.last();
+  EXPECT_EQ(reply.performative, Performative::NotUnderstood);
+  EXPECT_NE(reply.param("reason").find("speed entry"), std::string::npos);
+}
+
+TEST(ServiceFuzz, MatchmakingBouncesMalformedDeadlineParams) {
+  for (const char* key : {"work", "deadline"}) {
+    Fixture fixture;
+    AclMessage request;
+    request.performative = Performative::Request;
+    request.receiver = names::kMatchmaking;
+    request.protocol = protocols::kFindContainer;
+    request.params["service"] = "P3DR";
+    request.params["strategy"] = "deadline";
+    request.params[key] = "not-a-number";
+    fixture.client->request(fixture.environment->platform(), request);
+    fixture.environment->run();
+    const AclMessage reply = fixture.last();
+    EXPECT_EQ(reply.performative, Performative::NotUnderstood) << key;
+    EXPECT_NE(reply.param("reason").find(key), std::string::npos);
+  }
+}
+
+TEST(ServiceFuzz, MatchmakingMissingDeadlineParamsFallBackToDefaults) {
+  Fixture fixture;
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.receiver = names::kMatchmaking;
+  request.protocol = protocols::kFindContainer;
+  request.params["service"] = "P3DR";
+  request.params["strategy"] = "deadline";
+  fixture.client->request(fixture.environment->platform(), request);
+  fixture.environment->run();
+  const AclMessage reply = fixture.last();
+  EXPECT_EQ(reply.performative, Performative::Inform);
+  EXPECT_FALSE(reply.param("container").empty());
+}
+
+TEST(ServiceFuzz, PlanningBouncesBadSeed) {
+  for (const char* bad : {"abc", "-5", "1e999999", ""}) {
+    Fixture fixture;
+    AclMessage request;
+    request.performative = Performative::Request;
+    request.receiver = names::kPlanning;
+    request.protocol = protocols::kPlanRequest;
+    request.content = wfl::case_to_xml_string(virolab::make_case_description());
+    request.params["seed"] = bad;
+    fixture.client->request(fixture.environment->platform(), request);
+    fixture.environment->run();
+    const AclMessage reply = fixture.last();
+    EXPECT_EQ(reply.performative, Performative::NotUnderstood) << "'" << bad << "'";
+    EXPECT_NE(reply.param("reason").find("seed"), std::string::npos);
+  }
+}
+
+TEST(ServiceFuzz, PlanningFailsGracefullyOnGarbageCaseXml) {
+  Fixture fixture;
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.receiver = names::kPlanning;
+  request.protocol = protocols::kPlanRequest;
+  request.content = "<not-a-case>";
+  fixture.client->request(fixture.environment->platform(), request);
+  fixture.environment->run();
+  const AclMessage reply = fixture.last();
+  EXPECT_EQ(reply.performative, Performative::Failure);
+  EXPECT_FALSE(reply.param("error").empty());
+}
+
+TEST(ServiceFuzz, CoordinationRejectsGarbageProcessXml) {
+  Fixture fixture;
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.receiver = names::kCoordination;
+  request.protocol = protocols::kEnactCase;
+  request.content = "<<<definitely not xml";
+  request.params["case-xml"] = wfl::case_to_xml_string(virolab::make_case_description());
+  fixture.client->request(fixture.environment->platform(), request);
+  fixture.environment->run();
+  const AclMessage reply = fixture.last();
+  EXPECT_EQ(reply.performative, Performative::Failure);
+  EXPECT_FALSE(reply.param("error").empty());
+}
+
+/// Builds a structurally valid checkpoint document, then lets the caller
+/// mangle one attribute before it is shipped to the coordination service.
+xml::Document make_checkpoint() {
+  xml::Document document("checkpoint");
+  xml::Element& root = document.root();
+  root.set_attribute("case", "case-x");
+  root.add_child("process-xml")
+      .set_text(wfl::process_to_xml_string(virolab::make_fig10_process()));
+  root.add_child("case-xml")
+      .set_text(wfl::case_to_xml_string(virolab::make_case_description()));
+  root.add_child("dataset-xml").set_text(wfl::dataset_to_xml_string(wfl::DataSet{}));
+  root.set_attribute("replans", "0");
+  return document;
+}
+
+TEST(ServiceFuzz, CoordinationRejectsNonIntegerReplansInCheckpoint) {
+  Fixture fixture;
+  xml::Document checkpoint = make_checkpoint();
+  checkpoint.root().set_attribute("replans", "abc");
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.receiver = names::kCoordination;
+  request.protocol = protocols::kRestoreCase;
+  request.content = checkpoint.to_string();
+  fixture.client->request(fixture.environment->platform(), request);
+  fixture.environment->run();
+  const AclMessage reply = fixture.last();
+  EXPECT_EQ(reply.performative, Performative::Failure);
+  EXPECT_NE(reply.param("error").find("bad checkpoint"), std::string::npos);
+}
+
+TEST(ServiceFuzz, CoordinationRejectsNonIntegerCompletionCount) {
+  Fixture fixture;
+  xml::Document checkpoint = make_checkpoint();
+  xml::Element& completed = checkpoint.root().add_child("completions").add_child("completed");
+  completed.set_attribute("activity", "A2");
+  completed.set_attribute("count", "two");
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.receiver = names::kCoordination;
+  request.protocol = protocols::kRestoreCase;
+  request.content = checkpoint.to_string();
+  fixture.client->request(fixture.environment->platform(), request);
+  fixture.environment->run();
+  const AclMessage reply = fixture.last();
+  EXPECT_EQ(reply.performative, Performative::Failure);
+  EXPECT_NE(reply.param("error").find("bad checkpoint"), std::string::npos);
+}
+
+TEST(ServiceFuzz, BrokerageDropsReportWithMangledDuration) {
+  Fixture fixture;
+  AclMessage report;
+  report.performative = Performative::Inform;
+  report.receiver = names::kBrokerage;
+  report.protocol = protocols::kReportPerformance;
+  report.params["container"] = "fuzzed-container";
+  report.params["outcome"] = "success";
+  report.params["duration"] = "soon";
+  fixture.client->request(fixture.environment->platform(), report);
+  fixture.environment->run();
+  EXPECT_EQ(fixture.environment->brokerage().history_of("fuzzed-container"), nullptr);
+}
+
+TEST(ServiceFuzz, BrokerageAcceptsReportWithMissingDuration) {
+  Fixture fixture;
+  AclMessage report;
+  report.performative = Performative::Inform;
+  report.receiver = names::kBrokerage;
+  report.protocol = protocols::kReportPerformance;
+  report.params["container"] = "fuzzed-container";
+  report.params["outcome"] = "success";
+  fixture.client->request(fixture.environment->platform(), report);
+  fixture.environment->run();
+  const auto* history = fixture.environment->brokerage().history_of("fuzzed-container");
+  ASSERT_NE(history, nullptr);
+  EXPECT_EQ(history->successes, 1);
+}
+
+TEST(ServiceFuzz, UserInterfaceZeroesMangledOutcomeNumbers) {
+  UserInterfaceAgent ui("ui");
+  AclMessage done;
+  done.performative = Performative::Inform;
+  done.protocol = protocols::kCaseCompleted;
+  done.params["success"] = "maybe";
+  done.params["makespan"] = "fast";
+  done.params["activities-executed"] = "1e999999";
+  done.params["dispatch-failures"] = "-?";
+  done.params["replans"] = "";
+  ui.handle_message(done);
+  ASSERT_TRUE(ui.finished());
+  const TaskOutcome& outcome = ui.outcome();
+  EXPECT_FALSE(outcome.success);
+  EXPECT_DOUBLE_EQ(outcome.makespan, 0.0);
+  EXPECT_EQ(outcome.activities_executed, 0);
+  EXPECT_EQ(outcome.dispatch_failures, 0);
+  EXPECT_EQ(outcome.replans, 0);
+}
+
+TEST(ServiceFuzz, EveryServiceBouncesUnknownProtocolWithReason) {
+  Fixture fixture;
+  const char* const services[] = {
+      names::kInformation,  names::kBrokerage,  names::kMatchmaking,
+      names::kMonitoring,   names::kOntology,   names::kAuthentication,
+      names::kPersistentStorage, names::kScheduling, names::kSimulation,
+      names::kCoordination, names::kPlanning};
+  for (const char* service : services) {
+    AclMessage request;
+    request.performative = Performative::Request;
+    request.receiver = service;
+    request.protocol = "no-such-protocol";
+    fixture.client->request(fixture.environment->platform(), request);
+  }
+  // One container agent too — it speaks the same bounce convention.
+  const auto hosts = fixture.environment->grid().containers_hosting("POD");
+  ASSERT_FALSE(hosts.empty());
+  AclMessage request;
+  request.performative = Performative::Request;
+  request.receiver = hosts.front()->id();
+  request.protocol = "no-such-protocol";
+  fixture.client->request(fixture.environment->platform(), request);
+
+  fixture.environment->run();
+  ASSERT_EQ(fixture.client->replies.size(), std::size(services) + 1);
+  for (const AclMessage& reply : fixture.client->replies) {
+    EXPECT_EQ(reply.performative, Performative::NotUnderstood) << reply.sender;
+    EXPECT_NE(reply.param("reason").find("no-such-protocol"), std::string::npos)
+        << reply.sender;
+  }
+}
+
+TEST(ServiceFuzz, InformFuzzToEveryServiceIsSilentlyTolerated) {
+  // Inform/Failure carrying garbage must not bounce (reply-loop prevention)
+  // and, above all, must not crash the platform.
+  Fixture fixture;
+  const char* const services[] = {
+      names::kInformation,  names::kBrokerage,  names::kMatchmaking,
+      names::kMonitoring,   names::kOntology,   names::kAuthentication,
+      names::kPersistentStorage, names::kScheduling, names::kSimulation,
+      names::kCoordination, names::kPlanning};
+  for (const char* service : services) {
+    AclMessage junk;
+    junk.performative = Performative::Inform;
+    junk.receiver = service;
+    junk.protocol = "no-such-protocol";
+    junk.params["work"] = "NaNaNaN";
+    fixture.client->request(fixture.environment->platform(), junk);
+  }
+  fixture.environment->run();
+  EXPECT_TRUE(fixture.client->replies.empty());
+  EXPECT_EQ(fixture.environment->platform().handler_failures_total(), 0u);
+}
+
+}  // namespace
+}  // namespace ig::svc

@@ -156,6 +156,79 @@ TEST(Parser, MixedTextAndChildren) {
   EXPECT_EQ(document.root().children().size(), 1u);
 }
 
+TEST(Parser, MixedContentKeepsDocumentOrder) {
+  const Document document = parse("<a>x<b/>y</a>");
+  const auto& runs = document.root().text_runs();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].text, "x");
+  EXPECT_EQ(runs[0].position, 0u);  // before <b/>
+  EXPECT_EQ(runs[1].text, "y");
+  EXPECT_EQ(runs[1].position, 1u);  // after <b/>
+  // Compact serialization reproduces the original order exactly.
+  EXPECT_EQ(document.root().to_string(-1), "<a>x<b/>y</a>");
+}
+
+TEST(RoundTrip, MixedContentCompact) {
+  const std::string original = "<r>alpha<a/>beta<b><c/>gamma</b>delta</r>";
+  const Document document = parse(original);
+  EXPECT_EQ(document.root().to_string(-1), original);
+  // A second pass is a fixpoint.
+  const Document again = parse(document.root().to_string(-1));
+  EXPECT_EQ(again.root().to_string(-1), original);
+  EXPECT_EQ(again.root().text(), "alphabetadelta");
+}
+
+TEST(Element, SetTextResetsRunsAppendTextMerges) {
+  Element element("e");
+  element.append_text("a");
+  element.append_text("b");  // same position: merges with the previous run
+  ASSERT_EQ(element.text_runs().size(), 1u);
+  EXPECT_EQ(element.text_runs()[0].text, "ab");
+  element.add_child("k");
+  element.append_text("c");
+  ASSERT_EQ(element.text_runs().size(), 2u);
+  EXPECT_EQ(element.text_runs()[1].position, 1u);
+  EXPECT_EQ(element.text(), "abc");
+  element.set_text("fresh");
+  ASSERT_EQ(element.text_runs().size(), 1u);
+  EXPECT_EQ(element.text_runs()[0].position, 0u);
+  EXPECT_EQ(element.text(), "fresh");
+}
+
+TEST(Unescape, NumericCharacterReferences) {
+  EXPECT_EQ(unescape("&#65;"), "A");
+  EXPECT_EQ(unescape("&#x41;"), "A");
+  EXPECT_EQ(unescape("&#X41;"), "A");
+  EXPECT_EQ(unescape("line&#10;break"), "line\nbreak");
+  EXPECT_EQ(unescape("&#xA9;"), "\xC2\xA9");          // two-byte UTF-8
+  EXPECT_EQ(unescape("&#x20AC;"), "\xE2\x82\xAC");    // three-byte UTF-8
+  EXPECT_EQ(unescape("&#x1F600;"), "\xF0\x9F\x98\x80");  // four-byte UTF-8
+}
+
+TEST(Unescape, MalformedCharacterReferencesThrow) {
+  for (const char* bad : {"&#;", "&#x;", "&#xG;", "&#12a;", "&#0;", "&#xD800;",
+                          "&#xDFFF;", "&#1114112;", "&#-5;"}) {
+    EXPECT_THROW(unescape(bad), ParseError) << bad;
+  }
+}
+
+TEST(Parser, NumericReferencesInTextAndAttributes) {
+  const Document document = parse("<r k=\"a&#10;b\">x&#x26;y</r>");
+  EXPECT_EQ(document.root().attribute_or("k", ""), "a\nb");
+  EXPECT_EQ(document.root().text(), "x&y");
+}
+
+TEST(RoundTrip, EscapeThenParseRecoversControlCharacters) {
+  // escape() leaves raw control characters alone; the parser must accept
+  // the writer's output, and explicitly-referenced ones must round-trip.
+  Document document("r");
+  document.root().set_attribute("k", "a&b<c>\"d'");
+  document.root().set_text("text & <markup> \"quoted\"");
+  const Document reparsed = parse(document.to_string());
+  EXPECT_EQ(reparsed.root().attribute_or("k", ""), "a&b<c>\"d'");
+  EXPECT_EQ(reparsed.root().text(), "text & <markup> \"quoted\"");
+}
+
 TEST(Parser, DuplicateAttributeLastWins) {
   const Document document = parse("<r k=\"a\" k=\"b\"/>");
   EXPECT_EQ(document.root().attribute_or("k", ""), "b");
