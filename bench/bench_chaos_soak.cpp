@@ -1,0 +1,171 @@
+// Chaos soak — enactment under deterministic message-level fault injection.
+//
+// Sweeps the drop rate applied to container-bound messages (with a paired
+// delay probability) on a single-shard engine and reports the recovery
+// rate, the request-layer work that bought it (retries, dead letters), and
+// the virtual-time cost versus the fault-free baseline. A final pass
+// re-runs the harshest point with the same seed and checks that the fault
+// counts and case outcomes are identical — the whole nemesis is replayable.
+//
+// Appends one JSON Lines record per point to BENCH_chaos.json.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "engine/engine.hpp"
+#include "util/stopwatch.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+
+using namespace ig;
+
+namespace {
+
+struct Point {
+  double drop = 0.0;
+  double delay = 0.0;
+  std::size_t cases = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  double recovery_rate = 0.0;
+  double mean_makespan = 0.0;  ///< virtual seconds, over completed cases
+  double wall_seconds = 0.0;
+  engine::EngineMetrics metrics;
+};
+
+Point run_point(double drop, double delay, std::size_t cases, std::uint64_t seed) {
+  engine::EngineConfig config;
+  config.shards = 1;  // bit-reproducible: one shard, one event calendar
+  config.queue_capacity = cases + 8;
+  config.max_case_retries = 1;
+  config.environment.topology.domains = 2;
+  config.environment.topology.nodes_per_domain = 3;
+  config.environment.heartbeat_period = 5.0;
+  // The loose defaults assume an honest transport; under chaos the request
+  // layer is the recovery path, so tighten it to re-send within a makespan.
+  config.environment.coordination.exec_policy = {300.0, 3, 0.5, 10.0};
+  config.environment.coordination.replan_policy = {300.0, 2, 0.5, 10.0};
+  if (drop > 0.0 || delay > 0.0) {
+    agent::ChaosRule rule;
+    rule.match.receiver = "ac-*";  // everything bound for a container
+    rule.drop = drop;
+    rule.delay = delay;
+    config.environment.chaos.rules.push_back(rule);
+    config.environment.chaos.seed = seed;
+  }
+  engine::EnactmentEngine engine(config);
+
+  util::Stopwatch watch;
+  std::vector<engine::CaseId> ids;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const double resolution = 8.0 - 0.04 * static_cast<double>(i);
+    ids.push_back(engine.submit(virolab::make_fig10_process(resolution),
+                                virolab::make_case_description(resolution)));
+  }
+  engine.drain();
+
+  Point point;
+  point.drop = drop;
+  point.delay = delay;
+  point.cases = cases;
+  point.wall_seconds = watch.elapsed_seconds();
+  point.metrics = engine.metrics();
+  point.completed = point.metrics.completed;
+  point.failed = point.metrics.failed;
+  point.recovery_rate =
+      cases > 0 ? static_cast<double>(point.completed) / static_cast<double>(cases) : 0.0;
+  double makespan_sum = 0.0;
+  for (const engine::CaseId id : ids) {
+    const auto outcome = engine.result(id);
+    if (outcome.has_value() && outcome->state == engine::CaseState::Completed)
+      makespan_sum += outcome->makespan;
+  }
+  if (point.completed > 0)
+    point.mean_makespan = makespan_sum / static_cast<double>(point.completed);
+  return point;
+}
+
+void emit_record(const Point& point, double baseline_makespan) {
+  bench::JsonRecord record("bench_chaos_soak");
+  record.add("drop", point.drop);
+  record.add("delay", point.delay);
+  record.add("cases", point.cases);
+  record.add("completed", point.completed);
+  record.add("failed", point.failed);
+  record.add("recovery_rate", point.recovery_rate);
+  record.add("faults_injected", point.metrics.faults_injected);
+  record.add("request_retries", point.metrics.request_retries);
+  record.add("dead_letters", point.metrics.dead_letters);
+  record.add("containers_recovered", point.metrics.containers_recovered);
+  record.add("mean_makespan", point.mean_makespan);
+  record.add("added_makespan", point.mean_makespan - baseline_makespan);
+  record.add("wall_seconds", point.wall_seconds);
+  record.append_to("BENCH_chaos.json");
+}
+
+void print_point(const Point& point, double baseline_makespan) {
+  std::printf("%-7.2f %-7.2f %-7zu %-6zu %-6zu %-9zu %-8zu %-8zu %-10.1f %+.1f\n",
+              point.drop, point.delay, point.cases, point.completed, point.failed,
+              point.metrics.faults_injected, point.metrics.request_retries,
+              point.metrics.dead_letters, point.mean_makespan,
+              point.mean_makespan - baseline_makespan);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const std::size_t cases = quick ? 6 : 16;
+  const std::uint64_t seed = 2004;
+  std::printf("Chaos soak: %zu fig10 cases, 1 shard, container-bound drop/delay sweep, "
+              "seed %llu\n\n",
+              cases, static_cast<unsigned long long>(seed));
+  std::printf("%-7s %-7s %-7s %-6s %-6s %-9s %-8s %-8s %-10s %s\n", "drop", "delay",
+              "cases", "done", "fail", "injected", "retries", "dead", "makespan",
+              "added");
+
+  const std::vector<std::pair<double, double>> sweep =
+      quick ? std::vector<std::pair<double, double>>{{0.0, 0.0}, {0.2, 0.1}}
+            : std::vector<std::pair<double, double>>{
+                  {0.0, 0.0}, {0.1, 0.05}, {0.2, 0.1}, {0.3, 0.15}};
+
+  double baseline_makespan = 0.0;
+  double worst_recovery = 1.0;
+  Point harshest;
+  for (const auto& [drop, delay] : sweep) {
+    const Point point = run_point(drop, delay, cases, seed);
+    if (drop == 0.0 && delay == 0.0) baseline_makespan = point.mean_makespan;
+    if (drop > 0.0 && point.recovery_rate < worst_recovery)
+      worst_recovery = point.recovery_rate;
+    print_point(point, baseline_makespan);
+    emit_record(point, baseline_makespan);
+    harshest = point;
+  }
+
+  // Replayability: the harshest point again, same seed -> same chaos, same
+  // retries, same outcomes. This is what makes chaotic failures debuggable.
+  const Point replay = run_point(harshest.drop, harshest.delay, cases, seed);
+  const bool deterministic =
+      replay.completed == harshest.completed && replay.failed == harshest.failed &&
+      replay.metrics.faults_injected == harshest.metrics.faults_injected &&
+      replay.metrics.request_retries == harshest.metrics.request_retries &&
+      replay.metrics.dead_letters == harshest.metrics.dead_letters;
+  std::printf("\nsame-seed replay identical (outcomes + fault counts): %s\n",
+              deterministic ? "yes" : "NO");
+
+  const bool recovery_ok = worst_recovery >= 0.95;
+  std::printf("recovery rate under chaos: %.0f%% (target >= 95%%)\n",
+              worst_recovery * 100.0);
+
+  bench::JsonRecord summary("bench_chaos_soak");
+  summary.add("config", std::string("summary"));
+  summary.add("worst_recovery_rate", worst_recovery);
+  summary.add("deterministic_replay", std::string(deterministic ? "yes" : "no"));
+  summary.append_to("BENCH_chaos.json");
+  return (deterministic && recovery_ok) ? 0 : 1;
+}

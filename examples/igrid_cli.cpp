@@ -6,6 +6,7 @@
 //   igrid_cli simulate <workflow.txt>        dry-run fitness vs the virolab case
 //   igrid_cli enact <workflow.txt> [seed]    execute on the simulated grid
 //   igrid_cli engine [cases] [shards]        sharded multi-case enactment demo
+//   igrid_cli chaos [seed] [drop%] [cases]   enact under message fault injection
 //   igrid_cli demo                           plan + enact the paper's case study
 //
 // Workflow files contain the concrete syntax, e.g.
@@ -43,6 +44,7 @@ int usage() {
                "  simulate <workflow.txt>      dry-run fitness for the virolab case\n"
                "  enact    <workflow.txt> [seed]  run on the simulated grid\n"
                "  engine   [cases] [shards]    sharded multi-case enactment demo\n"
+               "  chaos    [seed] [drop%%] [cases]  enact under message fault injection\n"
                "  demo                         plan + enact the paper's case study\n");
   return 2;
 }
@@ -194,6 +196,60 @@ int cmd_engine(std::size_t cases, std::size_t shards) {
   return metrics.completed == metrics.submitted ? 0 : 1;
 }
 
+int cmd_chaos(std::uint64_t seed, std::uint64_t drop_percent, std::size_t cases) {
+  const double drop = static_cast<double>(drop_percent) / 100.0;
+  engine::EngineConfig config;
+  config.shards = 1;  // one shard keeps the chaotic run bit-reproducible
+  config.queue_capacity = cases + 4;
+  config.environment.topology.domains = 2;
+  config.environment.topology.nodes_per_domain = 3;
+  config.environment.heartbeat_period = 5.0;
+  // Tighten the request layer so dropped dispatches re-send within a
+  // makespan (the defaults assume an honest transport).
+  config.environment.coordination.exec_policy = {300.0, 3, 0.5, 10.0};
+  config.environment.coordination.replan_policy = {300.0, 2, 0.5, 10.0};
+  agent::ChaosRule rule;
+  rule.match.receiver = "ac-*";  // everything bound for a container
+  rule.drop = drop;
+  rule.delay = drop / 2.0;
+  config.environment.chaos.rules.push_back(rule);
+  config.environment.chaos.seed = seed;
+  engine::EnactmentEngine engine(config);
+
+  std::printf("enacting %zu fig10 cases, dropping %llu%% of container-bound "
+              "messages (seed %llu)...\n",
+              cases, static_cast<unsigned long long>(drop_percent),
+              static_cast<unsigned long long>(seed));
+  std::vector<engine::CaseId> ids;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const double resolution = 8.0 - 0.04 * static_cast<double>(i);
+    ids.push_back(engine.submit(virolab::make_fig10_process(resolution),
+                                virolab::make_case_description(resolution)));
+  }
+  engine.drain();
+
+  for (const engine::CaseId id : ids) {
+    const auto outcome = engine.result(id);
+    if (!outcome.has_value()) continue;
+    std::printf("  case %llu: %s, makespan %.1f%s%s\n",
+                static_cast<unsigned long long>(id),
+                std::string(engine::to_string(outcome->state)).c_str(), outcome->makespan,
+                outcome->engine_retries > 0 ? ", retried" : "",
+                outcome->error.empty() ? "" : (", error: " + outcome->error).c_str());
+  }
+
+  const engine::EngineMetrics metrics = engine.metrics();
+  const double recovery =
+      cases > 0 ? static_cast<double>(metrics.completed) / static_cast<double>(cases) : 0.0;
+  std::printf("chaos: %zu faults injected, %zu request retries, %zu dead letters, "
+              "%zu containers recovered\n",
+              metrics.faults_injected, metrics.request_retries, metrics.dead_letters,
+              metrics.containers_recovered);
+  std::printf("recovery: %zu/%zu cases completed (%.0f%%)\n", metrics.completed, cases,
+              recovery * 100.0);
+  return recovery >= 0.95 ? 0 : 1;
+}
+
 int cmd_demo() {
   std::printf("== planning the 3DSD case (Table 1 parameters) ==\n");
   if (cmd_plan(2004) != 0) return 1;
@@ -233,6 +289,8 @@ int main(int argc, char** argv) {
     if (command == "simulate" && argc >= 3) return cmd_simulate(argv[2]);
     if (command == "enact" && argc >= 3) return cmd_enact(argv[2], uint_arg(3, 42));
     if (command == "engine") return cmd_engine(uint_arg(2, 6), uint_arg(3, 2));
+    if (command == "chaos")
+      return cmd_chaos(uint_arg(2, 2004), uint_arg(3, 20), uint_arg(4, 4));
     if (command == "demo") return cmd_demo();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -15,6 +15,10 @@ grid::EventId Agent::schedule(grid::SimTime delay, std::function<void()> action)
   return sim().schedule(delay, std::move(action));
 }
 
+grid::EventId Agent::schedule_daemon(grid::SimTime delay, std::function<void()> action) {
+  return sim().schedule_daemon(delay, std::move(action));
+}
+
 AgentPlatform& Agent::platform() {
   if (platform_ == nullptr)
     throw std::logic_error("agent '" + name_ + "' is not registered with a platform");

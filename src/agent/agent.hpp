@@ -37,6 +37,10 @@ class Agent {
   /// Schedules a callback on the virtual clock.
   grid::EventId schedule(grid::SimTime delay, std::function<void()> action);
 
+  /// Schedules a daemon (background-upkeep) callback: it never keeps the
+  /// calendar alive on its own. Use for heartbeats and periodic sampling.
+  grid::EventId schedule_daemon(grid::SimTime delay, std::function<void()> action);
+
   AgentPlatform& platform();
   grid::Simulation& sim();
   grid::SimTime now();

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace ig::agent {
@@ -49,13 +50,115 @@ std::vector<std::string> AgentPlatform::agent_names() const {
 }
 
 void AgentPlatform::send(AclMessage message) {
-  ++messages_sent_;
+  const std::uint64_t sequence = messages_sent_++;
   const grid::SimTime sent_at = sim_.now();
-  const grid::SimTime latency =
+  grid::SimTime latency =
       latency_fn_ ? latency_fn_(message.sender, message.receiver) : 0.001;
+
+  // A crashed or hung agent cannot emit anything; its sends vanish. Checked
+  // whether the fault came from a ChaosPolicy or a direct crash_agent /
+  // hang_agent call, matching deliver()'s unconditional health check.
+  if (!health_.empty()) {
+    const AgentHealth sender_health = agent_health(message.sender);
+    if (sender_health != AgentHealth::Healthy) {
+      chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
+      trace_chaos_loss(message, sent_at,
+                       sender_health == AgentHealth::Crashed ? "dropped: sender crashed"
+                                                             : "dropped: sender hung");
+      return;
+    }
+  }
+
+  if (chaos_.has_value() && chaos_->enabled()) {
+    if (const ChaosRule* rule = chaos_->first_match(message)) {
+      // One stream per message, keyed by the platform-wide send sequence:
+      // the nth send of a run always sees the same draws regardless of what
+      // other rules or policies did before it.
+      util::Rng rng(util::derive_stream(chaos_->seed, sequence));
+      if (rule->drop > 0.0 && rng.next_bool(rule->drop)) {
+        chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
+        trace_chaos_loss(message, sent_at, "dropped");
+        return;
+      }
+      if (rule->delay > 0.0 && rng.next_bool(rule->delay)) {
+        latency += rng.next_double(rule->delay_min, rule->delay_max);
+        chaos_delayed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (rule->reorder > 0.0 && rng.next_bool(rule->reorder)) {
+        // Push this delivery behind sends issued a few transport hops later.
+        latency += latency * rng.next_double(1.0, 3.0) + 0.002;
+        chaos_reordered_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (rule->duplicate > 0.0 && rng.next_bool(rule->duplicate)) {
+        chaos_duplicated_.fetch_add(1, std::memory_order_relaxed);
+        AclMessage copy = message;
+        const grid::SimTime copy_latency = latency + 0.0005 + rng.next_double(0.0, latency);
+        sim_.schedule(copy_latency, [this, copy = std::move(copy), sent_at]() mutable {
+          deliver(std::move(copy), sent_at);
+        });
+      }
+    }
+  }
+
   sim_.schedule(latency, [this, message = std::move(message), sent_at]() mutable {
     deliver(std::move(message), sent_at);
   });
+}
+
+void AgentPlatform::set_chaos(ChaosPolicy policy) {
+  chaos_ = std::move(policy);
+  deliveries_by_agent_.clear();
+  chaos_dropped_.store(0, std::memory_order_relaxed);
+  chaos_delayed_.store(0, std::memory_order_relaxed);
+  chaos_duplicated_.store(0, std::memory_order_relaxed);
+  chaos_reordered_.store(0, std::memory_order_relaxed);
+  chaos_crashed_.store(0, std::memory_order_relaxed);
+  chaos_hung_.store(0, std::memory_order_relaxed);
+  chaos_swallowed_.store(0, std::memory_order_relaxed);
+}
+
+void AgentPlatform::clear_chaos() {
+  chaos_.reset();
+  deliveries_by_agent_.clear();
+}
+
+ChaosStats AgentPlatform::chaos_stats() const {
+  ChaosStats stats;
+  stats.dropped = chaos_dropped_.load(std::memory_order_relaxed);
+  stats.delayed = chaos_delayed_.load(std::memory_order_relaxed);
+  stats.duplicated = chaos_duplicated_.load(std::memory_order_relaxed);
+  stats.reordered = chaos_reordered_.load(std::memory_order_relaxed);
+  stats.crashed = chaos_crashed_.load(std::memory_order_relaxed);
+  stats.hung = chaos_hung_.load(std::memory_order_relaxed);
+  stats.swallowed = chaos_swallowed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void AgentPlatform::crash_agent(const std::string& name) { health_[name] = AgentHealth::Crashed; }
+
+void AgentPlatform::hang_agent(const std::string& name) { health_[name] = AgentHealth::Hung; }
+
+void AgentPlatform::revive_agent(const std::string& name) { health_.erase(name); }
+
+AgentHealth AgentPlatform::agent_health(std::string_view name) const {
+  if (health_.empty()) return AgentHealth::Healthy;
+  auto it = health_.find(std::string(name));
+  return it != health_.end() ? it->second : AgentHealth::Healthy;
+}
+
+void AgentPlatform::apply_agent_faults(const std::string& receiver) {
+  if (!chaos_.has_value() || chaos_->agent_faults.empty()) return;
+  const std::size_t count = ++deliveries_by_agent_[receiver];
+  for (const auto& fault : chaos_->agent_faults) {
+    if (fault.agent != receiver || fault.after_deliveries != count) continue;
+    if (fault.kind == AgentFault::Kind::Crash) {
+      crash_agent(receiver);
+      chaos_crashed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hang_agent(receiver);
+      chaos_hung_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 void AgentPlatform::set_trace_limit(std::size_t limit) {
@@ -67,14 +170,47 @@ void AgentPlatform::set_trace_limit(std::size_t limit) {
   }
 }
 
+void AgentPlatform::push_trace(TraceRecord record) {
+  trace_.push_back(std::move(record));
+  if (trace_limit_ > 0 && trace_.size() > trace_limit_) {
+    trace_.pop_front();
+    ++trace_dropped_;
+  }
+}
+
+void AgentPlatform::trace_chaos_loss(const AclMessage& message, grid::SimTime sent_at,
+                                     const std::string& note) {
+  if (!tracing_) return;
+  TraceRecord record;
+  record.sent_at = sent_at;
+  record.delivered_at = sim_.now();
+  record.message = message;
+  record.delivered = false;
+  record.chaos = note;
+  push_trace(std::move(record));
+}
+
 void AgentPlatform::deliver(AclMessage message, grid::SimTime sent_at) {
-  Agent* receiver = find_agent(message.receiver);
+  apply_agent_faults(message.receiver);
+
+  const AgentHealth receiver_health = agent_health(message.receiver);
+  if (receiver_health == AgentHealth::Hung) {
+    // Black hole: no bounce, no handler, only timeouts can see this.
+    chaos_swallowed_.fetch_add(1, std::memory_order_relaxed);
+    trace_chaos_loss(message, sent_at, "swallowed: receiver hung");
+    return;
+  }
+
+  Agent* receiver =
+      receiver_health == AgentHealth::Crashed ? nullptr : find_agent(message.receiver);
   if (tracing_) {
-    trace_.push_back({sent_at, sim_.now(), message, receiver != nullptr});
-    if (trace_limit_ > 0 && trace_.size() > trace_limit_) {
-      trace_.pop_front();
-      ++trace_dropped_;
-    }
+    TraceRecord record;
+    record.sent_at = sent_at;
+    record.delivered_at = sim_.now();
+    record.message = message;
+    record.delivered = receiver != nullptr;
+    if (receiver_health == AgentHealth::Crashed) record.chaos = "receiver crashed";
+    push_trace(std::move(record));
   }
   if (receiver == nullptr) {
     // Bounce: notify the sender (if it still exists) of the failed delivery.
@@ -85,6 +221,8 @@ void AgentPlatform::deliver(AclMessage message, grid::SimTime sent_at) {
       bounce.protocol = "platform-error";
       bounce.params["error"] = "agent '" + message.receiver + "' not found";
       bounce.params["original-protocol"] = message.protocol;
+      if (receiver_health == AgentHealth::Crashed)
+        bounce.params["error"] = "agent '" + message.receiver + "' crashed";
       sim_.schedule(0.0, [this, bounce = std::move(bounce), when = sim_.now()]() mutable {
         deliver(std::move(bounce), when);
       });
@@ -136,6 +274,7 @@ std::string AgentPlatform::trace_to_string() const {
            record.message.to_display_string();
     if (!record.delivered) out += "  (UNDELIVERABLE)";
     if (!record.handler_error.empty()) out += "  (HANDLER ERROR: " + record.handler_error + ")";
+    if (!record.chaos.empty()) out += "  (CHAOS: " + record.chaos + ")";
     out += '\n';
   }
   return out;

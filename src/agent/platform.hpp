@@ -6,6 +6,13 @@
 // backed by the grid's network model). The platform records a trace of every
 // delivery, which the Figure 2/3 harnesses print as the paper's message
 // flows.
+//
+// A ChaosPolicy (agent/chaos.hpp) may be installed to inject transport
+// faults — drop, delay, duplicate, reorder — and agent faults (crash, hang),
+// all drawn deterministically from one seed so chaotic runs reproduce
+// bitwise. Crashed and hung agents are *not* deregistered: their objects
+// (and any timers they scheduled) stay alive, the transport just refuses to
+// carry their messages.
 #pragma once
 
 #include <atomic>
@@ -13,11 +20,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "agent/agent.hpp"
+#include "agent/chaos.hpp"
 #include "agent/message.hpp"
 #include "grid/sim.hpp"
 
@@ -30,7 +39,11 @@ struct TraceRecord {
   AclMessage message;
   bool delivered = false;      ///< false when the receiver did not exist
   std::string handler_error;   ///< non-empty when the handler threw on this message
+  std::string chaos;           ///< non-empty when a chaos fault touched this message
 };
+
+/// Transport-level condition of an agent (see ChaosPolicy's AgentFault).
+enum class AgentHealth { Healthy, Crashed, Hung };
 
 class AgentPlatform {
  public:
@@ -75,6 +88,26 @@ class AgentPlatform {
   std::size_t messages_sent() const noexcept { return messages_sent_; }
   std::size_t messages_delivered() const noexcept { return messages_delivered_; }
 
+  // -- chaos --------------------------------------------------------------------
+  /// Installs (or replaces) the fault-injection policy. Counters reset.
+  void set_chaos(ChaosPolicy policy);
+  void clear_chaos();
+  bool chaos_enabled() const noexcept { return chaos_.has_value() && chaos_->enabled(); }
+  /// Consistent snapshot of the injected-fault counters. The live counters
+  /// are atomic, so an engine metrics pass may call this from another thread
+  /// while the shard's worker is running.
+  ChaosStats chaos_stats() const;
+
+  /// Marks an agent crashed: deliveries to it bounce like an unknown agent,
+  /// sends from it vanish. The object (and its timers) stays alive.
+  void crash_agent(const std::string& name);
+  /// Marks an agent hung: a black hole — deliveries to it and sends from it
+  /// are silently swallowed. Only timeouts can observe this.
+  void hang_agent(const std::string& name);
+  /// Restores a crashed or hung agent to healthy (circuit-breaker recovery).
+  void revive_agent(const std::string& name);
+  AgentHealth agent_health(std::string_view name) const;
+
   // -- containment ---------------------------------------------------------------
   // A handler that throws must not take the platform down with it: deliver()
   // catches the exception, records it here (and in the trace), and converts
@@ -110,6 +143,12 @@ class AgentPlatform {
  private:
   void deliver(AclMessage message, grid::SimTime sent_at);
   void note_handler_failure(const AclMessage& message, const std::string& what);
+  void push_trace(TraceRecord record);
+  /// Trace a message the chaos layer consumed before/at delivery.
+  void trace_chaos_loss(const AclMessage& message, grid::SimTime sent_at,
+                        const std::string& note);
+  /// Fires any agent fault armed for this delivery attempt to `receiver`.
+  void apply_agent_faults(const std::string& receiver);
 
   grid::Simulation& sim_;
   std::vector<std::unique_ptr<Agent>> agents_;
@@ -122,6 +161,17 @@ class AgentPlatform {
   std::size_t messages_delivered_ = 0;
   std::map<std::string, std::size_t> handler_failures_;
   std::atomic<std::size_t> handler_failures_total_{0};
+
+  std::optional<ChaosPolicy> chaos_;
+  std::map<std::string, AgentHealth> health_;
+  std::map<std::string, std::size_t> deliveries_by_agent_;
+  std::atomic<std::size_t> chaos_dropped_{0};
+  std::atomic<std::size_t> chaos_delayed_{0};
+  std::atomic<std::size_t> chaos_duplicated_{0};
+  std::atomic<std::size_t> chaos_reordered_{0};
+  std::atomic<std::size_t> chaos_crashed_{0};
+  std::atomic<std::size_t> chaos_hung_{0};
+  std::atomic<std::size_t> chaos_swallowed_{0};
 };
 
 }  // namespace ig::agent

@@ -4,6 +4,7 @@
 
 #include "services/protocol.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "wfl/xml_io.hpp"
 
@@ -88,7 +89,13 @@ EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config
     shard->index = i;
     const double floor =
         i < config_.shard_failure_floor.size() ? config_.shard_failure_floor[i] : 0.0;
-    shard->environment = svc::make_shard_stack(config_.environment, config_.seed, i, floor);
+    svc::EnvironmentOptions options = config_.environment;
+    if (options.chaos.enabled()) {
+      // Same chaos rules on every shard, decorrelated fault streams: each
+      // shard's draw sequence comes from (template chaos seed, shard index).
+      options.chaos.seed = util::derive_stream(options.chaos.seed, 0xC4A05ULL, i);
+    }
+    shard->environment = svc::make_shard_stack(options, config_.seed, i, floor);
     shard->client = &shard->environment->platform().spawn<EngineClient>("engine-client");
     if (config_.shard_setup) config_.shard_setup(*shard->environment, i);
     shards_.push_back(std::move(shard));
@@ -277,10 +284,22 @@ EngineMetrics EnactmentEngine::metrics() const {
     sm.cases_run = shard->cases_run;
     sm.cases_completed = shard->cases_completed;
     sm.cases_failed = shard->cases_failed;
-    // The counter is atomic on the platform, so reading it here while the
-    // shard's worker is mid-enactment is safe.
-    sm.handler_failures = shard->environment->platform().handler_failures_total();
+    // These counters are all atomic on their owners (platform, request
+    // trackers, monitoring), so reading them here while the shard's worker
+    // is mid-enactment is safe.
+    svc::Environment& environment = *shard->environment;
+    sm.handler_failures = environment.platform().handler_failures_total();
+    sm.faults_injected = environment.platform().chaos_stats().total_injected();
+    sm.request_retries = environment.coordination().tracker().retries_total() +
+                         environment.planning().tracker().retries_total();
+    sm.dead_letters = environment.coordination().tracker().dead_letters_total() +
+                      environment.planning().tracker().dead_letters_total();
+    sm.containers_recovered = environment.monitoring().containers_recovered();
     snapshot.handler_failures += sm.handler_failures;
+    snapshot.faults_injected += sm.faults_injected;
+    snapshot.request_retries += sm.request_retries;
+    snapshot.dead_letters += sm.dead_letters;
+    snapshot.containers_recovered += sm.containers_recovered;
     sm.busy_seconds = shard->busy_seconds;
     sm.utilization =
         snapshot.uptime_seconds > 0.0 ? shard->busy_seconds / snapshot.uptime_seconds : 0.0;

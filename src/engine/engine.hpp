@@ -68,6 +68,10 @@ struct EngineConfig {
   std::uint64_t seed = 42;         ///< root of every shard's derived seed
   /// Template for each shard's stack (topology, catalogue, coordination
   /// tunables). The per-shard seed is derived; monitoring is disabled.
+  /// `environment.chaos` is also a template: when enabled, every shard gets
+  /// the same rules but a chaos seed derived from (template seed, shard
+  /// index), so shards inject decorrelated fault streams while the whole
+  /// fleet stays reproducible. With shards = 1 the run is bit-reproducible.
   svc::EnvironmentOptions environment;
   /// Per-shard dispatch-failure floor (index i applies to shard i; missing
   /// entries mean 0 = healthy). See grid::FailureInjector::set_failure_floor.
@@ -104,6 +108,10 @@ struct ShardMetrics {
   std::size_t cases_completed = 0;
   std::size_t cases_failed = 0;
   std::size_t handler_failures = 0;  ///< agent exceptions contained by the platform
+  std::size_t faults_injected = 0;   ///< chaos events (drops, delays, dups, ...)
+  std::size_t request_retries = 0;   ///< tracked requests re-sent after a timeout
+  std::size_t dead_letters = 0;      ///< tracked requests abandoned after max attempts
+  std::size_t containers_recovered = 0;  ///< Dead containers readmitted by the breaker
   double busy_seconds = 0.0;  ///< wall clock spent enacting
   double utilization = 0.0;   ///< busy_seconds / engine uptime
 };
@@ -117,6 +125,10 @@ struct EngineMetrics {
   std::size_t cancelled = 0;
   std::size_t retried = 0;  ///< re-admissions after a failed attempt
   std::size_t handler_failures = 0;  ///< contained agent exceptions, all shards
+  std::size_t faults_injected = 0;   ///< chaos events injected, all shards
+  std::size_t request_retries = 0;   ///< request-layer re-sends, all shards
+  std::size_t dead_letters = 0;      ///< abandoned requests, all shards
+  std::size_t containers_recovered = 0;  ///< circuit-breaker readmissions, all shards
   std::size_t queue_depth = 0;
   std::size_t running = 0;
   double latency_p50 = 0.0;  ///< seconds, over terminal cases

@@ -7,21 +7,35 @@ EventId Simulation::schedule(SimTime delay, std::function<void()> action) {
 }
 
 EventId Simulation::schedule_at(SimTime at, std::function<void()> action) {
+  return enqueue(at, std::move(action), /*daemon=*/false);
+}
+
+EventId Simulation::schedule_daemon(SimTime delay, std::function<void()> action) {
+  return enqueue(now_ + (delay > 0 ? delay : 0), std::move(action), /*daemon=*/true);
+}
+
+EventId Simulation::enqueue(SimTime at, std::function<void()> action, bool daemon) {
   if (at < now_) at = now_;
   const EventId id = next_id_++;
   queue_.push(Event{at, next_sequence_++, id});
-  actions_.emplace(id, std::move(action));
+  actions_.emplace(id, Action{std::move(action), daemon});
+  if (!daemon) ++real_pending_;
   return id;
 }
 
 bool Simulation::cancel(EventId id) {
-  if (actions_.find(id) == actions_.end()) return false;
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  if (!it->second.daemon) --real_pending_;
   cancelled_.insert(id);
-  actions_.erase(id);
+  actions_.erase(it);
   return true;
 }
 
-bool Simulation::step() {
+bool Simulation::step_one(bool daemons_alone) {
+  // Without real work pending, daemons alone must not advance the clock:
+  // the calendar counts as drained (unless the caller is time-bounded).
+  if (!daemons_alone && real_pending_ == 0) return false;
   while (!queue_.empty()) {
     const Event event = queue_.top();
     queue_.pop();
@@ -32,7 +46,8 @@ bool Simulation::step() {
     }
     auto action = actions_.find(event.id);
     if (action == actions_.end()) continue;  // defensive; should not happen
-    std::function<void()> callback = std::move(action->second);
+    std::function<void()> callback = std::move(action->second.callback);
+    if (!action->second.daemon) --real_pending_;
     actions_.erase(action);
     now_ = event.time;
     ++executed_;
@@ -41,6 +56,8 @@ bool Simulation::step() {
   }
   return false;
 }
+
+bool Simulation::step() { return step_one(/*daemons_alone=*/false); }
 
 std::size_t Simulation::run(std::size_t max_events) {
   std::size_t count = 0;
@@ -57,7 +74,7 @@ std::size_t Simulation::run_until(SimTime until) {
       queue_.pop();
     }
     if (queue_.empty() || queue_.top().time > until) break;
-    if (step()) ++count;
+    if (step_one(/*daemons_alone=*/true)) ++count;
   }
   if (now_ < until) now_ = until;
   return count;

@@ -39,6 +39,14 @@ class Simulation {
   /// Schedules `action` at absolute virtual time `at` (clamped to now).
   EventId schedule_at(SimTime at, std::function<void()> action);
 
+  /// Schedules a *daemon* event: background upkeep (heartbeats, utilization
+  /// sampling) that must never keep the calendar alive on its own. `run`
+  /// executes daemons that precede real work but stops — and reports the
+  /// calendar as drained — once only daemons remain; they stay queued and
+  /// resume when real work is scheduled again. `run_until` executes them
+  /// unconditionally (it is time-bounded). Mirrors daemon threads.
+  EventId schedule_daemon(SimTime delay, std::function<void()> action);
+
   /// Cancels a pending event; returns false if already fired or unknown.
   bool cancel(EventId id);
 
@@ -54,9 +62,13 @@ class Simulation {
   std::size_t run_until(SimTime until);
 
   std::size_t pending_events() const noexcept { return queue_.size() - cancelled_.size(); }
+  /// Pending non-daemon events: the "real work" that keeps `run` going.
+  std::size_t real_pending() const noexcept { return real_pending_; }
   std::size_t executed_events() const noexcept { return executed_; }
 
  private:
+  bool step_one(bool daemons_alone);
+
   struct Event {
     SimTime time;
     std::uint64_t sequence;
@@ -68,14 +80,22 @@ class Simulation {
     }
   };
 
+  struct Action {
+    std::function<void()> callback;
+    bool daemon = false;
+  };
+
+  EventId enqueue(SimTime at, std::function<void()> action, bool daemon);
+
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   EventId next_id_ = 1;
   std::size_t executed_ = 0;
+  std::size_t real_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::unordered_set<EventId> cancelled_;
   // Actions are stored out-of-band so Event stays trivially copyable.
-  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::unordered_map<EventId, Action> actions_;
 };
 
 }  // namespace ig::grid

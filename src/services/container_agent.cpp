@@ -28,6 +28,23 @@ void ContainerAgent::on_start() {
   advertisement.params["container"] = container_id_;
   advertisement.params["services"] = util::join(container->hosted_services(), ",");
   send(std::move(advertisement));
+
+  if (heartbeat_period_ > 0) emit_heartbeat();
+}
+
+void ContainerAgent::emit_heartbeat() {
+  // Crashed/hung agents keep running this loop — the chaos layer swallows
+  // their sends — so beats resume by themselves once the agent is revived
+  // and the monitor counts the recovery.
+  if (platform().has_agent(names::kMonitoring)) {
+    AclMessage beat;
+    beat.performative = Performative::Inform;
+    beat.receiver = names::kMonitoring;
+    beat.protocol = protocols::kHeartbeat;
+    beat.params["container"] = container_id_;
+    send(std::move(beat));
+  }
+  schedule_daemon(heartbeat_period_, [this] { emit_heartbeat(); });
 }
 
 void ContainerAgent::handle_message(const AclMessage& message) {

@@ -24,16 +24,21 @@ class ContainerAgent : public agent::Agent {
  public:
   /// `kernels` may be null: outputs then come from the services' declarative
   /// postconditions instead of the synthetic compute kernels.
+  /// `heartbeat_period` > 0 makes the agent emit liveness heartbeats to the
+  /// monitoring service at that spacing (as daemon events — they never keep
+  /// the calendar alive on their own); 0 disables them.
   ContainerAgent(std::string name, grid::Grid& grid, grid::Simulation& sim,
                  grid::FailureInjector& injector, std::string container_id,
-                 const wfl::ServiceCatalogue& catalogue, virolab::SyntheticKernels* kernels)
+                 const wfl::ServiceCatalogue& catalogue, virolab::SyntheticKernels* kernels,
+                 grid::SimTime heartbeat_period = 0.0)
       : Agent(std::move(name)),
         grid_(&grid),
         gsim_(&sim),
         injector_(&injector),
         container_id_(std::move(container_id)),
         catalogue_(&catalogue),
-        kernels_(kernels) {}
+        kernels_(kernels),
+        heartbeat_period_(heartbeat_period) {}
 
   void on_start() override;
   void handle_message(const agent::AclMessage& message) override;
@@ -44,6 +49,7 @@ class ContainerAgent : public agent::Agent {
   void handle_execute(const agent::AclMessage& message);
   void handle_query_executable(const agent::AclMessage& message);
   void report_performance(const std::string& outcome, double duration);
+  void emit_heartbeat();
 
   grid::Grid* grid_;
   grid::Simulation* gsim_;
@@ -51,6 +57,7 @@ class ContainerAgent : public agent::Agent {
   std::string container_id_;
   const wfl::ServiceCatalogue* catalogue_;
   virolab::SyntheticKernels* kernels_;
+  grid::SimTime heartbeat_period_ = 0.0;
 };
 
 }  // namespace ig::svc

@@ -15,6 +15,9 @@ using wfl::ActivityKind;
 
 void CoordinationService::on_start() {
   register_with_information_service(*this, platform(), "coordination");
+  tracker_.bind(
+      sim(), [this](AclMessage message) { send(std::move(message)); },
+      [this](const DeadLetter& letter) { on_dead_letter(letter); });
 }
 
 std::vector<std::string> CoordinationService::split_conversation(
@@ -150,6 +153,8 @@ void CoordinationService::handle_restore(const AclMessage& message) {
 
 void CoordinationService::start_enactment(Enactment& enactment) {
   ++enactment.epoch;
+  // Conversations of the superseded epoch must not retry or dead-letter.
+  tracker_.abandon_prefix(enactment.id + "/");
   enactment.completions.clear();
   enactment.running.clear();
   enactment.join_arrivals.clear();
@@ -273,10 +278,13 @@ void CoordinationService::dispatch(Enactment& enactment, const wfl::Activity& ac
   query.params["strategy"] = config_.match_strategy;
   query.params["exclude"] =
       util::join(enactment.excluded_containers[activity.id], ",");
-  send(std::move(query));
+  tracker_.track(std::move(query), config_.match_policy);
 }
 
 void CoordinationService::handle_match_reply(const AclMessage& message) {
+  // Late or duplicated replies (a retry raced the original, or the chaos
+  // layer duplicated the message) must not drive the machine twice.
+  if (!tracker_.settle(message.conversation_id)) return;
   const auto parts = split_conversation(message.conversation_id);
   Enactment* enactment = find_enactment(parts[0]);
   if (enactment == nullptr || enactment->finished) return;
@@ -306,10 +314,11 @@ void CoordinationService::handle_match_reply(const AclMessage& message) {
   execute.params["outputs"] = util::join(activity->output_data, ",");
   // Ship the whole current data set; the container binds the precondition.
   execute.content = wfl::dataset_to_xml_string(enactment->data);
-  send(std::move(execute));
+  tracker_.track(std::move(execute), config_.exec_policy);
 }
 
 void CoordinationService::handle_execution_reply(const AclMessage& message) {
+  if (!tracker_.settle(message.conversation_id)) return;
   const auto parts = split_conversation(message.conversation_id);
   Enactment* enactment = find_enactment(parts[0]);
   if (enactment == nullptr || enactment->finished) return;
@@ -389,10 +398,11 @@ void CoordinationService::request_replanning(Enactment& enactment,
   request.params["failed-services"] = failed_service;
   request.params["probe"] = "true";
   request.content = wfl::case_to_xml_string(current);
-  send(std::move(request));
+  tracker_.track(std::move(request), config_.replan_policy);
 }
 
 void CoordinationService::handle_plan_reply(const AclMessage& message) {
+  if (!tracker_.settle(message.conversation_id)) return;
   const auto parts = split_conversation(message.conversation_id);
   Enactment* enactment = find_enactment(parts[0]);
   if (enactment == nullptr || enactment->finished) return;
@@ -411,9 +421,41 @@ void CoordinationService::handle_plan_reply(const AclMessage& message) {
   start_enactment(*enactment);
 }
 
+void CoordinationService::on_dead_letter(const DeadLetter& letter) {
+  const auto parts = split_conversation(letter.conversation_id);
+  Enactment* enactment = parts.empty() ? nullptr : find_enactment(parts[0]);
+  if (enactment == nullptr || enactment->finished) return;
+  const std::string kind = parts.size() > 1 ? parts[1] : "";
+  const std::string activity_id = parts.size() > 2 ? parts[2] : "";
+  if (parts.size() > 3 && util::parse_int(parts[3]) != std::optional<int>(enactment->epoch))
+    return;
+
+  if (kind == "exec") {
+    // The container (or the path to it) is gone: exclude it and escalate
+    // through the normal dispatch-failure ladder.
+    return handle_dispatch_failure(*enactment, activity_id, letter.receiver, letter.reason);
+  }
+  if (kind == "match") {
+    // The matchmaking service itself is unreachable; re-planning is the
+    // only lever left.
+    enactment->running.erase(activity_id);
+    ++enactment->dispatch_failures;
+    const wfl::Activity* activity = enactment->process.find_activity(activity_id);
+    return request_replanning(*enactment,
+                              activity != nullptr ? activity->service_name : activity_id);
+  }
+  if (kind == "replan") {
+    enactment->awaiting_plan = false;
+    return finish(*enactment, false, "re-planning request timed out: " + letter.reason);
+  }
+}
+
 void CoordinationService::finish(Enactment& enactment, bool success, const std::string& reason) {
   if (enactment.finished) return;
   enactment.finished = true;
+  // Outstanding conversations of a finished case must not retry into the
+  // void (or keep the calendar alive until their deadlines).
+  tracker_.abandon_prefix(enactment.id + "/");
   if (success) ++cases_completed_;
   else ++cases_failed_;
 

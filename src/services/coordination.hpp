@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "agent/agent.hpp"
+#include "services/request_tracker.hpp"
 #include "wfl/case_description.hpp"
 #include "wfl/process.hpp"
 #include "wfl/xml_io.hpp"
@@ -46,6 +47,17 @@ struct CoordinationConfig {
   int max_replans = 2;          ///< re-planning episodes per case
   int max_loop_iterations = 8;  ///< guardrail for trivially-true loop guards
   std::string match_strategy = "balanced";
+  // Conversation-level reliability (see RequestTracker). Deadlines are
+  // generous — on a healthy platform every reply lands well inside them and
+  // the cancelled timers change nothing; under chaos they bound how long a
+  // dropped message or wedged peer can stall an enactment.
+  // The execution deadline must cover the slowest *legitimate* run —
+  // staging over a throttled WAN can take many virtual minutes — so the
+  // default is deliberately loose; chaos experiments tighten it to match
+  // their synthetic workloads.
+  RetryPolicy match_policy{30.0, 3, 0.25, 5.0};     ///< matchmaking queries
+  RetryPolicy exec_policy{1800.0, 2, 0.5, 10.0};    ///< container dispatches
+  RetryPolicy replan_policy{600.0, 2, 0.5, 10.0};   ///< planning requests
 };
 
 class CoordinationService : public agent::Agent {
@@ -61,6 +73,11 @@ class CoordinationService : public agent::Agent {
   std::size_t cases_completed() const noexcept { return cases_completed_; }
   std::size_t cases_failed() const noexcept { return cases_failed_; }
   std::size_t replans_triggered() const noexcept { return replans_triggered_; }
+
+  /// The conversation reliability layer (retry/timeout/dead-letter counts).
+  const RequestTracker& tracker() const noexcept { return tracker_; }
+  /// Seed for retry jitter; engines derive a per-shard stream.
+  void set_tracker_seed(std::uint64_t seed) noexcept { tracker_.set_seed(seed); }
 
  private:
   struct Enactment {
@@ -110,12 +127,15 @@ class CoordinationService : public agent::Agent {
                                const std::string& container, const std::string& reason);
   void request_replanning(Enactment& enactment, const std::string& failed_service);
   void finish(Enactment& enactment, bool success, const std::string& reason);
+  /// Escalation when a tracked conversation exhausted its retries.
+  void on_dead_letter(const DeadLetter& letter);
 
   Enactment* find_enactment(const std::string& id);
   /// Conversation ids look like "<enactment>/<kind>/<activity>".
   static std::vector<std::string> split_conversation(const std::string& conversation_id);
 
   CoordinationConfig config_;
+  RequestTracker tracker_;
   std::map<std::string, Enactment> enactments_;
   std::uint64_t next_enactment_ = 1;
   std::size_t cases_completed_ = 0;

@@ -24,10 +24,15 @@ Environment::Environment(const EnvironmentOptions& options)
   // -- core services (information service first so registrations succeed) -------
   information_ = &platform_.spawn<InformationService>(names::kInformation);
   brokerage_ = &platform_.spawn<BrokerageService>(names::kBrokerage);
-  matchmaking_ =
-      &platform_.spawn<MatchmakingService>(names::kMatchmaking, grid_, brokerage_);
+  // Monitoring precedes matchmaking: the matchmaker consults it for
+  // heartbeat liveness when ranking containers.
+  HeartbeatConfig heartbeat = options.heartbeat;
+  if (options.heartbeat_period > 0) heartbeat.period = options.heartbeat_period;
   monitoring_ = &platform_.spawn<MonitoringService>(names::kMonitoring, grid_,
-                                                    options.monitor_period);
+                                                    options.monitor_period, heartbeat);
+  matchmaking_ = &platform_.spawn<MatchmakingService>(
+      names::kMatchmaking, grid_, brokerage_,
+      options.heartbeat_period > 0 ? monitoring_ : nullptr);
   ontology_ = &platform_.spawn<OntologyService>(names::kOntology);
   ontology_->store(meta::standard_grid_ontology());
   ontology_->store(virolab::make_fig13_ontology());
@@ -39,17 +44,24 @@ Environment::Environment(const EnvironmentOptions& options)
   planning_ = &platform_.spawn<PlanningService>(names::kPlanning, catalogue_, options.gp);
   coordination_ =
       &platform_.spawn<CoordinationService>(names::kCoordination, options.coordination);
+  // Decorrelate the retry-jitter streams from the environment seed.
+  coordination_->set_tracker_seed(util::derive_stream(options.seed, 0x7AC4ULL));
+  planning_->set_tracker_seed(util::derive_stream(options.seed, 0x7AC5ULL));
 
   // -- one agent per application container ----------------------------------------
   virolab::SyntheticKernels* kernels =
       options.use_synthetic_kernels ? &kernels_ : nullptr;
   for (const auto& container : grid_.containers()) {
     platform_.spawn<ContainerAgent>(container->id(), grid_, sim_, injector_, container->id(),
-                                    catalogue_, kernels);
+                                    catalogue_, kernels, options.heartbeat_period);
   }
 
   // Flush registrations and advertisements so the environment is ready.
+  // Chaos is installed only after the bootstrap flush: losing a service
+  // registration models nothing from the paper and would just wedge the
+  // whole environment before the experiment starts.
   sim_.run(100'000);
+  if (options.chaos.enabled()) platform_.set_chaos(options.chaos);
 }
 
 std::unique_ptr<Environment> make_environment(EnvironmentOptions options) {

@@ -37,6 +37,14 @@ struct EnvironmentOptions {
   bool use_synthetic_kernels = true;  ///< false: declarative postconditions only
   bool tracing = false;               ///< record every delivered message
   grid::SimTime monitor_period = 0.0; ///< >0 enables periodic utilization sampling
+  /// >0: container agents emit liveness heartbeats at this spacing and the
+  /// monitoring service quarantines containers that stop beating (both run
+  /// as daemon events, so the calendar still drains between cases).
+  grid::SimTime heartbeat_period = 0.0;
+  HeartbeatConfig heartbeat;          ///< thresholds; `period` is overwritten
+                                      ///< from heartbeat_period when that is set
+  /// Fault-injection policy installed on the platform (empty = no chaos).
+  agent::ChaosPolicy chaos;
   std::uint64_t seed = 42;
 };
 

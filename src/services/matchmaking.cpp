@@ -19,6 +19,11 @@ MatchStrategy match_strategy_from_string(const std::string& text) {
   return MatchStrategy::Balanced;
 }
 
+bool MatchmakingService::quarantined(const std::string& container_id) const {
+  return monitoring_ != nullptr &&
+         monitoring_->liveness_of(container_id) == Liveness::Dead;
+}
+
 double MatchmakingService::expected_duration(const grid::ApplicationContainer& container,
                                              double work, grid::SimTime now) const {
   const grid::GridNode* node = grid_->find_node(container.node_id());
@@ -49,6 +54,7 @@ std::vector<std::string> MatchmakingService::rank_deadline(
   std::vector<Candidate> candidates;
   for (const auto* container : grid_->containers_hosting(service_type)) {
     if (std::find(excluded.begin(), excluded.end(), container->id()) != excluded.end()) continue;
+    if (quarantined(container->id())) continue;
     const double duration = expected_duration(*container, work, now);
     const bool feasible = duration <= deadline_s;
     const double key = feasible ? -score(*container, MatchStrategy::Reliable) : duration;
@@ -98,6 +104,7 @@ std::vector<std::string> MatchmakingService::rank(const std::string& service_typ
   std::vector<std::pair<double, std::string>> scored;
   for (const auto* container : grid_->containers_hosting(service_type)) {
     if (std::find(excluded.begin(), excluded.end(), container->id()) != excluded.end()) continue;
+    if (quarantined(container->id())) continue;
     scored.emplace_back(score(*container, strategy), container->id());
   }
   std::stable_sort(scored.begin(), scored.end(),

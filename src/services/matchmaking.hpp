@@ -15,6 +15,7 @@
 #include "agent/agent.hpp"
 #include "grid/grid.hpp"
 #include "services/brokerage.hpp"
+#include "services/monitoring.hpp"
 
 namespace ig::svc {
 
@@ -32,9 +33,12 @@ MatchStrategy match_strategy_from_string(const std::string& text);
 class MatchmakingService : public agent::Agent {
  public:
   /// `brokerage` may be null; history then defaults to neutral.
+  /// `monitoring` may be null; containers the monitor classifies Dead are
+  /// then not quarantined (no liveness data).
   MatchmakingService(std::string name, const grid::Grid& grid,
-                     const BrokerageService* brokerage)
-      : Agent(std::move(name)), grid_(&grid), brokerage_(brokerage) {}
+                     const BrokerageService* brokerage,
+                     MonitoringService* monitoring = nullptr)
+      : Agent(std::move(name)), grid_(&grid), brokerage_(brokerage), monitoring_(monitoring) {}
 
   void on_start() override;
   void handle_message(const agent::AclMessage& message) override;
@@ -63,9 +67,15 @@ class MatchmakingService : public agent::Agent {
 
  private:
   double score(const grid::ApplicationContainer& container, MatchStrategy strategy) const;
+  /// Heartbeat quarantine: true when the monitor says the container is Dead
+  /// (its candidacy would only burn a dispatch attempt). Suspect containers
+  /// stay eligible — a missed beat or two is not evidence enough to shrink
+  /// the pool.
+  bool quarantined(const std::string& container_id) const;
 
   const grid::Grid* grid_;
   const BrokerageService* brokerage_;
+  MonitoringService* monitoring_;
 };
 
 }  // namespace ig::svc

@@ -8,6 +8,16 @@ namespace ig::svc {
 using agent::AclMessage;
 using agent::Performative;
 
+const char* to_string(Liveness liveness) noexcept {
+  switch (liveness) {
+    case Liveness::Unknown: return "unknown";
+    case Liveness::Alive: return "alive";
+    case Liveness::Suspect: return "suspect";
+    case Liveness::Dead: return "dead";
+  }
+  return "unknown";
+}
+
 void MonitoringService::on_start() {
   register_with_information_service(*this, platform(), "monitoring");
   if (sample_period_ > 0) sample();
@@ -15,19 +25,87 @@ void MonitoringService::on_start() {
 
 void MonitoringService::sample() {
   const grid::SimTime elapsed = now() > 0 ? now() : 1.0;
-  bool capacity_left = false;
   for (const auto& node : grid_->nodes()) {
     auto& series = samples_[node->id()];
-    if (series.size() < max_samples_) {
-      series.push_back(node->busy_time() / elapsed);
-      capacity_left = true;
-    }
+    series.push_back(node->busy_time() / elapsed);
+    if (max_samples_ > 0 && series.size() > max_samples_)
+      series.erase(series.begin());
   }
-  // Stop rescheduling once full so a drained simulation can terminate.
-  if (capacity_left) schedule(sample_period_, [this] { sample(); });
+  // A daemon event: sampling runs for as long as real work keeps the
+  // calendar alive, and never keeps it alive by itself.
+  schedule_daemon(sample_period_, [this] { sample(); });
+}
+
+void MonitoringService::set_max_samples(std::size_t limit) {
+  max_samples_ = limit;
+  if (max_samples_ == 0) return;
+  for (auto& [node_id, series] : samples_) {
+    if (series.size() > max_samples_)
+      series.erase(series.begin(),
+                   series.begin() + static_cast<std::ptrdiff_t>(series.size() - max_samples_));
+  }
+}
+
+Liveness MonitoringService::classify(const Beat& beat) {
+  const double missed = (now() - beat.last_seen) / std::max(heartbeat_.period, 1e-9);
+  if (missed >= heartbeat_.dead_missed) return Liveness::Dead;
+  if (missed >= heartbeat_.suspect_missed) return Liveness::Suspect;
+  return Liveness::Alive;
+}
+
+void MonitoringService::record_heartbeat(const std::string& container_id) {
+  if (container_id.empty()) return;
+  ++heartbeats_received_;
+  auto it = beats_.find(container_id);
+  if (it == beats_.end()) {
+    beats_[container_id].last_seen = now();
+    return;
+  }
+  // A beat after a Dead-length silence is a recovery: the breaker closes.
+  if (classify(it->second) == Liveness::Dead)
+    containers_recovered_.fetch_add(1, std::memory_order_relaxed);
+  it->second.last_seen = now();
+}
+
+Liveness MonitoringService::liveness_of(const std::string& container_id) {
+  auto it = beats_.find(container_id);
+  if (it == beats_.end()) return Liveness::Unknown;
+  const Liveness liveness = classify(it->second);
+  if (liveness == Liveness::Dead &&
+      now() - it->second.last_probe >= heartbeat_.probe_interval) {
+    // Half-open probe: give the quarantined container a bounded chance to
+    // prove it recovered. Its reply (or a resumed heartbeat) readmits it.
+    it->second.last_probe = now();
+    AclMessage probe;
+    probe.performative = Performative::QueryIf;
+    probe.receiver = container_id;
+    probe.protocol = protocols::kQueryExecutable;
+    probe.conversation_id = name() + "/probe/" + std::to_string(next_probe_++);
+    probe.params["service"] = "";
+    send(std::move(probe));
+  }
+  return liveness;
+}
+
+std::vector<std::string> MonitoringService::dead_containers() {
+  std::vector<std::string> dead;
+  for (const auto& [container_id, beat] : beats_) {
+    if (classify(beat) == Liveness::Dead) dead.push_back(container_id);
+  }
+  return dead;
 }
 
 void MonitoringService::handle_message(const AclMessage& message) {
+  if (message.protocol == protocols::kHeartbeat) {
+    return record_heartbeat(message.param("container", message.sender));
+  }
+  if (message.protocol == protocols::kQueryExecutable) {
+    // Reply to one of our half-open probes: the container is answering
+    // messages again, which counts as a sign of life.
+    if (message.performative == Performative::Inform)
+      record_heartbeat(message.param("container", message.sender));
+    return;
+  }
   if (message.protocol != protocols::kQueryStatus) {
     if (!should_bounce_unknown(message)) return;
     send(make_not_understood(message, "unknown protocol '" + message.protocol + "'"));
@@ -60,10 +138,13 @@ void MonitoringService::handle_message(const AclMessage& message) {
       reply.params["available"] = usable ? "true" : "false";
       reply.params["dispatches"] = std::to_string(container->dispatch_count());
       reply.params["failures"] = std::to_string(container->failure_count());
+      reply.params["liveness"] = to_string(liveness_of(container_id));
     }
   } else {
     reply.params["nodes"] = std::to_string(grid_->nodes().size());
     reply.params["containers"] = std::to_string(grid_->containers().size());
+    reply.params["heartbeats"] = std::to_string(heartbeats_received_);
+    reply.params["dead-containers"] = std::to_string(dead_containers().size());
   }
   send(std::move(reply));
 }

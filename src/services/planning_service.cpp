@@ -13,6 +13,14 @@ using agent::Performative;
 
 void PlanningService::on_start() {
   register_with_information_service(*this, platform(), "planning");
+  tracker_.bind(
+      sim(), [this](AclMessage message) { send(std::move(message)); },
+      [this](const DeadLetter& letter) { on_dead_letter(letter); });
+}
+
+std::string PlanningService::session_of(const std::string& conversation_id) {
+  const auto slash = conversation_id.find('/');
+  return slash == std::string::npos ? conversation_id : conversation_id.substr(0, slash);
 }
 
 void PlanningService::handle_message(const AclMessage& message) {
@@ -123,20 +131,30 @@ void PlanningService::handle_replan_request(const AclMessage& message) {
   query.performative = Performative::QueryRef;
   query.receiver = names::kInformation;
   query.protocol = protocols::kQueryService;
-  query.conversation_id = session_id;
+  query.conversation_id = session_id + "/info";
   query.params["type"] = "brokerage";
-  send(std::move(query));
+  tracker_.track(std::move(query), probe_policy_);
 }
 
 void PlanningService::handle_information_reply(const AclMessage& message) {
-  auto it = sessions_.find(message.conversation_id);
+  if (!tracker_.settle(message.conversation_id)) return;
+  const std::string session_id = session_of(message.conversation_id);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+
+  const auto providers = util::split_trimmed(message.param("providers"), ',');
+  it->second.brokerage = providers.empty() ? names::kBrokerage : providers.front();
+  query_providers(session_id);
+}
+
+void PlanningService::query_providers(const std::string& session_id) {
+  auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   ReplanSession& session = it->second;
 
-  const auto providers = util::split_trimmed(message.param("providers"), ',');
-  session.brokerage = providers.empty() ? names::kBrokerage : providers.front();
-
   // Step 4: ask the brokerage for containers, one query per service type.
+  // Each query has its own conversation id so its deadline, retries, and
+  // reply are accounted for independently.
   for (const auto& service : catalogue_.services()) {
     if (session.excluded.count(service.name()) > 0) continue;
     session.to_probe.push_back(service.name());
@@ -145,15 +163,17 @@ void PlanningService::handle_information_reply(const AclMessage& message) {
     query.performative = Performative::QueryRef;
     query.receiver = session.brokerage;
     query.protocol = protocols::kQueryProviders;
-    query.conversation_id = message.conversation_id;
+    query.conversation_id = session_id + "/prov/" + service.name();
     query.params["service"] = service.name();
-    send(std::move(query));
+    tracker_.track(std::move(query), probe_policy_);
   }
-  if (session.pending_provider_queries == 0) finish_replan(message.conversation_id);
+  if (session.pending_provider_queries == 0) finish_replan(session_id);
 }
 
 void PlanningService::handle_provider_reply(const AclMessage& message) {
-  auto it = sessions_.find(message.conversation_id);
+  if (!tracker_.settle(message.conversation_id)) return;
+  const std::string session_id = session_of(message.conversation_id);
+  auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   ReplanSession& session = it->second;
   --session.pending_provider_queries;
@@ -168,23 +188,49 @@ void PlanningService::handle_provider_reply(const AclMessage& message) {
     probe.performative = Performative::QueryIf;
     probe.receiver = container;
     probe.protocol = protocols::kQueryExecutable;
-    probe.conversation_id = message.conversation_id;
+    probe.conversation_id = session_id + "/probe/" + std::to_string(session.next_probe++);
     probe.params["service"] = service;
-    send(std::move(probe));
+    tracker_.track(std::move(probe), probe_policy_);
   }
   if (session.pending_provider_queries == 0 && session.pending_probes == 0)
-    finish_replan(message.conversation_id);
+    finish_replan(session_id);
 }
 
 void PlanningService::handle_probe_reply(const AclMessage& message) {
-  auto it = sessions_.find(message.conversation_id);
+  if (!tracker_.settle(message.conversation_id)) return;
+  const std::string session_id = session_of(message.conversation_id);
+  auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   ReplanSession& session = it->second;
   --session.pending_probes;
   if (message.param_bool("executable", false))
     session.executable.insert(message.param("service"));
   if (session.pending_provider_queries == 0 && session.pending_probes == 0)
-    finish_replan(message.conversation_id);
+    finish_replan(session_id);
+}
+
+void PlanningService::on_dead_letter(const DeadLetter& letter) {
+  const std::string session_id = session_of(letter.conversation_id);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  ReplanSession& session = it->second;
+  const auto parts = util::split(letter.conversation_id, '/');
+  const std::string kind = parts.size() > 1 ? parts[1] : "";
+
+  if (kind == "info") {
+    // The information service is unreachable; fall back to the well-known
+    // brokerage name and press on.
+    session.brokerage = names::kBrokerage;
+    return query_providers(session_id);
+  }
+  // A lost provider list or a wedged container simply contributes no
+  // executable services; the session still converges.
+  session.degraded = true;
+  if (kind == "prov" && session.pending_provider_queries > 0)
+    --session.pending_provider_queries;
+  if (kind == "probe" && session.pending_probes > 0) --session.pending_probes;
+  if (session.pending_provider_queries == 0 && session.pending_probes == 0)
+    finish_replan(session_id);
 }
 
 void PlanningService::finish_replan(const std::string& session_id) {
@@ -200,6 +246,14 @@ void PlanningService::finish_replan(const std::string& session_id) {
     if (session.excluded.count(service.name()) > 0) continue;
     if (session.executable.count(service.name()) == 0) continue;
     reduced.add(service);
+  }
+  if (reduced.size() == 0 && session.degraded) {
+    // Probing was disrupted (dead letters), not answered: fall back to
+    // Method 1 — plan over the static catalogue minus the known-bad
+    // services — rather than declare everything non-executable.
+    for (const auto& service : catalogue_.services()) {
+      if (session.excluded.count(service.name()) == 0) reduced.add(service);
+    }
   }
   IG_LOG_DEBUG("ps") << "replan over " << reduced.size() << "/" << catalogue_.size()
                      << " executable services";

@@ -26,6 +26,7 @@
 
 #include "agent/agent.hpp"
 #include "planner/gp.hpp"
+#include "services/request_tracker.hpp"
 #include "wfl/service.hpp"
 
 namespace ig::svc {
@@ -49,6 +50,13 @@ class PlanningService : public agent::Agent {
 
   std::size_t plans_produced() const noexcept { return plans_produced_; }
 
+  /// Reliability of the Figure 3 environment probes: a dropped provider
+  /// list or a wedged container no longer stalls the session — its queries
+  /// time out and simply contribute no executable services.
+  void set_probe_policy(const RetryPolicy& policy) noexcept { probe_policy_ = policy; }
+  const RequestTracker& tracker() const noexcept { return tracker_; }
+  void set_tracker_seed(std::uint64_t seed) noexcept { tracker_.set_seed(seed); }
+
  private:
   struct ReplanSession {
     agent::AclMessage original;           ///< request to answer in step 8
@@ -56,8 +64,9 @@ class PlanningService : public agent::Agent {
     std::vector<std::string> to_probe;    ///< services awaiting provider lists
     std::size_t pending_provider_queries = 0;
     std::size_t pending_probes = 0;
+    std::size_t next_probe = 0;           ///< per-session probe conversation counter
+    bool degraded = false;                ///< a probe query dead-lettered
     std::set<std::string> executable;     ///< services with >= 1 live container
-    std::map<std::string, std::string> probe_service;  ///< probe conv-id -> service
     std::string brokerage;                ///< provider found in step 3
   };
 
@@ -66,7 +75,13 @@ class PlanningService : public agent::Agent {
   void handle_information_reply(const agent::AclMessage& message);
   void handle_provider_reply(const agent::AclMessage& message);
   void handle_probe_reply(const agent::AclMessage& message);
+  /// Step 4: one provider query per candidate service, each tracked under
+  /// its own conversation id ("<session>/prov/<service>").
+  void query_providers(const std::string& session_id);
   void finish_replan(const std::string& session_id);
+  void on_dead_letter(const DeadLetter& letter);
+  /// Conversation ids look like "<session>/<kind>/...": returns the session.
+  static std::string session_of(const std::string& conversation_id);
 
   /// Runs the GP over `catalogue` for the case in `request`'s content and
   /// replies with the process-description XML (after planning_latency_).
@@ -77,7 +92,9 @@ class PlanningService : public agent::Agent {
   grid::SimTime planning_latency_ = 0.5;
   std::size_t plans_produced_ = 0;
   std::uint64_t next_session_ = 1;
-  std::map<std::string, ReplanSession> sessions_;  ///< keyed by conversation id
+  RequestTracker tracker_;
+  RetryPolicy probe_policy_{10.0, 2, 0.25, 2.0};
+  std::map<std::string, ReplanSession> sessions_;  ///< keyed by session id
 };
 
 }  // namespace ig::svc

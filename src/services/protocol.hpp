@@ -42,6 +42,7 @@ inline constexpr const char* kQueryHistory = "history-query";
 inline constexpr const char* kFindContainer = "find-container";
 // Monitoring.
 inline constexpr const char* kQueryStatus = "status-query";
+inline constexpr const char* kHeartbeat = "heartbeat";
 // Ontology service.
 inline constexpr const char* kGetOntology = "get-ontology";
 inline constexpr const char* kGetShell = "get-ontology-shell";
