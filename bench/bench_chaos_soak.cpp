@@ -7,14 +7,20 @@
 // re-runs the harshest point with the same seed and checks that the fault
 // counts and case outcomes are identical — the whole nemesis is replayable.
 //
-// Appends one JSON Lines record per point to BENCH_chaos.json.
+// Appends one JSON Lines record per point to BENCH_chaos.json. With
+// `--export` the replay pass also runs traced and writes its observability
+// artifacts — chaos_trace.json (Chrome trace of the shard's spans) and
+// chaos_metrics.prom (Prometheus exposition) — validating both formats
+// before reporting success.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "engine/engine.hpp"
+#include "obs/export.hpp"
 #include "util/stopwatch.hpp"
 #include "virolab/catalogue.hpp"
 #include "virolab/workflow.hpp"
@@ -33,9 +39,22 @@ struct Point {
   double mean_makespan = 0.0;  ///< virtual seconds, over completed cases
   double wall_seconds = 0.0;
   engine::EngineMetrics metrics;
+  bool export_ok = true;  ///< false when a written artifact failed validation
 };
 
-Point run_point(double drop, double delay, std::size_t cases, std::uint64_t seed) {
+/// Writes `content` to `path`; returns false (and complains) on failure.
+bool write_artifact(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << content << '\n';
+  return true;
+}
+
+Point run_point(double drop, double delay, std::size_t cases, std::uint64_t seed,
+                bool export_artifacts = false) {
   engine::EngineConfig config;
   config.shards = 1;  // bit-reproducible: one shard, one event calendar
   config.queue_capacity = cases + 8;
@@ -55,6 +74,9 @@ Point run_point(double drop, double delay, std::size_t cases, std::uint64_t seed
     config.environment.chaos.rules.push_back(rule);
     config.environment.chaos.seed = seed;
   }
+  // Tracing is passive: enabling it on the export pass must not perturb the
+  // replay determinism check (spans only observe the event stream).
+  if (export_artifacts) config.environment.span_tracing = true;
   engine::EnactmentEngine engine(config);
 
   util::Stopwatch watch;
@@ -84,6 +106,22 @@ Point run_point(double drop, double delay, std::size_t cases, std::uint64_t seed
   }
   if (point.completed > 0)
     point.mean_makespan = makespan_sum / static_cast<double>(point.completed);
+
+  if (export_artifacts) {
+    const std::string trace = obs::to_chrome_trace(engine.shard_spans(0));
+    const std::string exposition = obs::to_prometheus(engine.registry().snapshot());
+    std::string problem;
+    if (!obs::validate_json(trace, &problem)) {
+      std::fprintf(stderr, "chaos_trace.json invalid: %s\n", problem.c_str());
+      point.export_ok = false;
+    }
+    if (!obs::validate_prometheus(exposition, &problem)) {
+      std::fprintf(stderr, "chaos_metrics.prom invalid: %s\n", problem.c_str());
+      point.export_ok = false;
+    }
+    if (!write_artifact("chaos_trace.json", trace)) point.export_ok = false;
+    if (!write_artifact("chaos_metrics.prom", exposition)) point.export_ok = false;
+  }
   return point;
 }
 
@@ -117,8 +155,11 @@ void print_point(const Point& point, double baseline_makespan) {
 
 int main(int argc, char** argv) {
   bool quick = false;
-  for (int i = 1; i < argc; ++i)
+  bool export_artifacts = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--export") == 0) export_artifacts = true;
+  }
 
   const std::size_t cases = quick ? 6 : 16;
   const std::uint64_t seed = 2004;
@@ -149,7 +190,10 @@ int main(int argc, char** argv) {
 
   // Replayability: the harshest point again, same seed -> same chaos, same
   // retries, same outcomes. This is what makes chaotic failures debuggable.
-  const Point replay = run_point(harshest.drop, harshest.delay, cases, seed);
+  // The export pass piggybacks on the replay: tracing is passive, so the
+  // traced run must still match the untraced original bit for bit.
+  const Point replay = run_point(harshest.drop, harshest.delay, cases, seed,
+                                 export_artifacts);
   const bool deterministic =
       replay.completed == harshest.completed && replay.failed == harshest.failed &&
       replay.metrics.faults_injected == harshest.metrics.faults_injected &&
@@ -161,11 +205,14 @@ int main(int argc, char** argv) {
   const bool recovery_ok = worst_recovery >= 0.95;
   std::printf("recovery rate under chaos: %.0f%% (target >= 95%%)\n",
               worst_recovery * 100.0);
+  if (export_artifacts)
+    std::printf("exported chaos_trace.json + chaos_metrics.prom: %s\n",
+                replay.export_ok ? "valid" : "INVALID");
 
   bench::JsonRecord summary("bench_chaos_soak");
   summary.add("config", std::string("summary"));
   summary.add("worst_recovery_rate", worst_recovery);
   summary.add("deterministic_replay", std::string(deterministic ? "yes" : "no"));
   summary.append_to("BENCH_chaos.json");
-  return (deterministic && recovery_ok) ? 0 : 1;
+  return (deterministic && recovery_ok && replay.export_ok) ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 
 #include "bench_json.hpp"
 #include "engine/engine.hpp"
+#include "obs/metrics.hpp"
 #include "util/stopwatch.hpp"
 #include "virolab/catalogue.hpp"
 #include "virolab/workflow.hpp"
@@ -28,6 +29,8 @@ struct Point {
   double wall_seconds = 0.0;
   double cases_per_second = 0.0;
   engine::EngineMetrics metrics;
+  double p50 = 0.0;  ///< from the registry's latency histogram
+  double p99 = 0.0;
 };
 
 // Real wall-clock latency per kernel execution: stands in for waiting on
@@ -38,7 +41,7 @@ constexpr double kKernelLatencySeconds = 0.010;
 
 Point run_point(std::size_t shards, std::size_t cases, std::size_t tenants,
                 std::vector<double> failure_floor, int max_case_retries,
-                bool engine_recovery_only) {
+                bool engine_recovery_only, bool traced = false) {
   engine::EngineConfig config;
   config.shards = shards;
   config.queue_capacity = cases + 8;
@@ -55,6 +58,7 @@ Point run_point(std::size_t shards, std::size_t cases, std::size_t tenants,
     config.environment.coordination.max_retries = 1;
     config.environment.coordination.max_replans = 0;
   }
+  if (traced) config.environment.span_tracing = true;
   engine::EnactmentEngine engine(config);
 
   // Each case targets a slightly different resolution, so every submission
@@ -79,6 +83,15 @@ Point run_point(std::size_t shards, std::size_t cases, std::size_t tenants,
       point.wall_seconds > 0.0
           ? static_cast<double>(point.metrics.completed) / point.wall_seconds
           : 0.0;
+  // Percentiles come straight off the exported histogram — the same numbers
+  // a scrape of the registry would report (and, because the sample ring is
+  // larger than the sweep, exactly what SampleSet used to compute).
+  const obs::RegistrySnapshot registry = engine.registry().snapshot();
+  if (const obs::MetricPoint* hist = registry.find("engine_case_latency_seconds")) {
+    const std::vector<double> qs = hist->histogram.quantiles({50.0, 99.0});
+    point.p50 = qs[0];
+    point.p99 = qs[1];
+  }
   return point;
 }
 
@@ -93,8 +106,8 @@ void emit_record(const char* label, const Point& point) {
   record.add("failed", point.metrics.failed);
   record.add("retried", point.metrics.retried);
   record.add("rejected", point.metrics.rejected);
-  record.add("latency_p50", point.metrics.latency_p50);
-  record.add("latency_p99", point.metrics.latency_p99);
+  record.add("latency_p50", point.p50);
+  record.add("latency_p99", point.p99);
   double utilization = 0.0;
   for (const auto& shard : point.metrics.shards) utilization += shard.utilization;
   if (!point.metrics.shards.empty())
@@ -109,9 +122,8 @@ void print_point(const Point& point) {
   if (!point.metrics.shards.empty())
     utilization /= static_cast<double>(point.metrics.shards.size());
   std::printf("%-8zu %-8zu %-10.2f %-12.2f %-10.2f %-8zu %-8zu %.2f\n", point.shards,
-              point.cases, point.wall_seconds, point.cases_per_second,
-              point.metrics.latency_p50, point.metrics.retried, point.metrics.failed,
-              utilization);
+              point.cases, point.wall_seconds, point.cases_per_second, point.p50,
+              point.metrics.retried, point.metrics.failed, utilization);
 }
 
 }  // namespace
@@ -151,6 +163,25 @@ int main(int argc, char** argv) {
   const bool fault_ok = fault.metrics.failed == 0 && fault.metrics.completed == fault.cases;
   std::printf("all cases completed despite faulty shard: %s (retried %zu)\n",
               fault_ok ? "yes" : "NO", fault.metrics.retried);
+
+  // Tracing overhead: the same 2-shard point with span tracing on. Spans
+  // are emitted per activity (orders of magnitude rarer than messages), so
+  // the traced run must stay within a few percent of the plain one.
+  std::printf("\n-- span tracing overhead (2 shards, tracing on) --\n");
+  const Point plain = run_point(2, cases, tenants, {}, 1, false, /*traced=*/false);
+  const Point traced = run_point(2, cases, tenants, {}, 1, false, /*traced=*/true);
+  const double overhead = plain.wall_seconds > 0.0
+                              ? (traced.wall_seconds - plain.wall_seconds) /
+                                    plain.wall_seconds
+                              : 0.0;
+  std::printf("plain %.2fs, traced %.2fs, overhead %+.1f%% (target <= 5%%)\n",
+              plain.wall_seconds, traced.wall_seconds, overhead * 100.0);
+  bench::JsonRecord overhead_record("bench_engine_throughput");
+  overhead_record.add("config", std::string("tracing_overhead"));
+  overhead_record.add("plain_wall_seconds", plain.wall_seconds);
+  overhead_record.add("traced_wall_seconds", traced.wall_seconds);
+  overhead_record.add("overhead_fraction", overhead);
+  overhead_record.append_to("BENCH_engine.json");
 
   const bool scaling_ok = speedup >= 2.0;
   std::printf("\nscaling target holds: %s\n", scaling_ok ? "yes" : "NO");

@@ -5,6 +5,7 @@
 // reads it with any JSONL-capable loader.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -20,7 +21,12 @@ class JsonRecord {
     line_ = "{\"bench\":\"" + bench_name + "\"";
   }
 
+  /// Non-finite values (the stats accumulators report NaN for "no samples")
+  /// are skipped entirely — the key is simply absent from the record, which
+  /// both keeps the line valid JSON and lets readers distinguish "not
+  /// measured" from a genuine zero.
   JsonRecord& add(const char* key, double value) {
+    if (!std::isfinite(value)) return *this;
     char buffer[64];
     std::snprintf(buffer, sizeof buffer, "%.17g", value);
     return add_raw(key, buffer);

@@ -7,6 +7,8 @@
 //   igrid_cli enact <workflow.txt> [seed]    execute on the simulated grid
 //   igrid_cli engine [cases] [shards]        sharded multi-case enactment demo
 //   igrid_cli chaos [seed] [drop%] [cases]   enact under message fault injection
+//   igrid_cli metrics [cases] [shards]       engine workload -> Prometheus text
+//   igrid_cli trace <workflow.txt|demo> [--out file]  enact -> Chrome trace JSON
 //   igrid_cli demo                           plan + enact the paper's case study
 //
 // Workflow files contain the concrete syntax, e.g.
@@ -19,6 +21,8 @@
 #include <string>
 
 #include "engine/engine.hpp"
+#include "obs/export.hpp"
+#include "obs/span.hpp"
 #include "planner/convert.hpp"
 #include "planner/evaluate.hpp"
 #include "planner/gp.hpp"
@@ -37,7 +41,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: igrid_cli <validate|lower|plan|simulate|enact|engine|demo> [args]\n"
+               "usage: igrid_cli <validate|lower|plan|simulate|enact|engine|metrics|trace|demo>"
+               " [args]\n"
                "  validate <workflow.txt>      parse + structural validation\n"
                "  lower    <workflow.txt>      print the lowered graph\n"
                "  plan     [seed]              GP-plan the virolab case\n"
@@ -45,6 +50,8 @@ int usage() {
                "  enact    <workflow.txt> [seed]  run on the simulated grid\n"
                "  engine   [cases] [shards]    sharded multi-case enactment demo\n"
                "  chaos    [seed] [drop%%] [cases]  enact under message fault injection\n"
+               "  metrics  [cases] [shards]    engine workload, Prometheus text on stdout\n"
+               "  trace    <workflow.txt|demo> [--out file]  enacted spans as Chrome trace\n"
                "  demo                         plan + enact the paper's case study\n");
   return 2;
 }
@@ -250,6 +257,85 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t drop_percent, std::size_t cases)
   return recovery >= 0.95 ? 0 : 1;
 }
 
+int cmd_metrics(std::size_t cases, std::size_t shards) {
+  engine::EngineConfig config;
+  config.shards = shards;
+  config.queue_capacity = cases + 4;
+  config.environment.topology.domains = 2;
+  config.environment.topology.nodes_per_domain = 3;
+  engine::EnactmentEngine engine(config);
+
+  for (std::size_t i = 0; i < cases; ++i)
+    engine.submit(virolab::make_fig10_process(), virolab::make_case_description(),
+                  "tenant-" + std::to_string(i % 2));
+  engine.drain();
+
+  engine.metrics();  // refreshes the registry's engine and per-shard counters
+  const std::string exposition = obs::to_prometheus(engine.registry().snapshot());
+  std::string problem;
+  if (!obs::validate_prometheus(exposition, &problem)) {
+    std::fprintf(stderr, "error: exposition failed validation: %s\n", problem.c_str());
+    return 1;
+  }
+  std::fputs(exposition.c_str(), stdout);
+  return 0;
+}
+
+int cmd_trace(const std::string& source, const std::string& out_path) {
+  svc::EnvironmentOptions options;
+  options.span_tracing = true;
+  auto environment = svc::make_environment(options);
+  const wfl::ProcessDescription process =
+      source == "demo" ? virolab::make_fig10_process() : load_process(source);
+  auto& user = environment->platform().spawn<CliUser>("cli", process);
+  environment->run();
+  if (user.outcome.param("success") != "true") {
+    std::fprintf(stderr, "error: enactment failed: %s\n",
+                 user.outcome.param("error").c_str());
+    return 1;
+  }
+
+  const std::vector<obs::Span> spans = environment->tracer().spans();
+  const std::string trace = obs::to_chrome_trace(spans);
+  std::string problem;
+  if (!obs::validate_json(trace, &problem)) {
+    std::fprintf(stderr, "error: trace is not valid JSON: %s\n", problem.c_str());
+    return 1;
+  }
+  // Every end-user activity the workflow declares must have been traced at
+  // least once (loops legitimately trace the same activity several times).
+  for (const wfl::Activity& activity : process.activities()) {
+    if (activity.kind != wfl::ActivityKind::EndUser) continue;
+    bool traced = false;
+    for (const obs::Span& span : spans) {
+      if (span.kind == obs::SpanKind::Activity && span.name == activity.name) {
+        traced = true;
+        break;
+      }
+    }
+    if (!traced) {
+      std::fprintf(stderr, "error: activity '%s' produced no span\n",
+                   activity.name.c_str());
+      return 1;
+    }
+  }
+
+  if (out_path.empty()) {
+    std::fputs(trace.c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    out << trace << '\n';
+  }
+  std::fprintf(stderr, "%zu spans, trace valid%s%s\n", spans.size(),
+               out_path.empty() ? "" : ", written to ", out_path.c_str());
+  return 0;
+}
+
 int cmd_demo() {
   std::printf("== planning the 3DSD case (Table 1 parameters) ==\n");
   if (cmd_plan(2004) != 0) return 1;
@@ -291,6 +377,13 @@ int main(int argc, char** argv) {
     if (command == "engine") return cmd_engine(uint_arg(2, 6), uint_arg(3, 2));
     if (command == "chaos")
       return cmd_chaos(uint_arg(2, 2004), uint_arg(3, 20), uint_arg(4, 4));
+    if (command == "metrics") return cmd_metrics(uint_arg(2, 4), uint_arg(3, 2));
+    if (command == "trace" && argc >= 3) {
+      std::string out_path;
+      for (int i = 3; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+      return cmd_trace(argv[2], out_path);
+    }
     if (command == "demo") return cmd_demo();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

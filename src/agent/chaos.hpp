@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "agent/message.hpp"
+#include "obs/metrics.hpp"
 
 namespace ig::agent {
 
@@ -83,6 +84,10 @@ struct ChaosStats {
   std::size_t total_injected() const noexcept {
     return dropped + delayed + duplicated + reordered + crashed + hung + swallowed;
   }
+
+  /// Publishes the snapshot into `registry` as `chaos_faults_total` counters
+  /// labelled by fault kind (plus `labels`, e.g. the owning shard).
+  void publish(obs::MetricsRegistry& registry, const obs::Labels& labels = {}) const;
 };
 
 }  // namespace ig::agent

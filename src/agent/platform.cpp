@@ -50,7 +50,7 @@ std::vector<std::string> AgentPlatform::agent_names() const {
 }
 
 void AgentPlatform::send(AclMessage message) {
-  const std::uint64_t sequence = messages_sent_++;
+  const std::uint64_t sequence = messages_sent_.fetch_add(1, std::memory_order_relaxed);
   const grid::SimTime sent_at = sim_.now();
   grid::SimTime latency =
       latency_fn_ ? latency_fn_(message.sender, message.receiver) : 0.001;
@@ -134,6 +134,15 @@ ChaosStats AgentPlatform::chaos_stats() const {
   return stats;
 }
 
+void AgentPlatform::publish_metrics(obs::MetricsRegistry& registry,
+                                    const obs::Labels& labels) const {
+  registry.counter("platform_messages_sent_total", labels).set_to(messages_sent());
+  registry.counter("platform_messages_delivered_total", labels).set_to(messages_delivered());
+  registry.counter("platform_handler_failures_total", labels).set_to(handler_failures_total());
+  registry.counter("platform_trace_dropped_total", labels).set_to(trace_dropped());
+  chaos_stats().publish(registry, labels);
+}
+
 void AgentPlatform::crash_agent(const std::string& name) { health_[name] = AgentHealth::Crashed; }
 
 void AgentPlatform::hang_agent(const std::string& name) { health_[name] = AgentHealth::Hung; }
@@ -162,19 +171,20 @@ void AgentPlatform::apply_agent_faults(const std::string& receiver) {
 }
 
 void AgentPlatform::set_trace_limit(std::size_t limit) {
-  trace_limit_ = limit;
-  if (trace_limit_ == 0) return;
-  while (trace_.size() > trace_limit_) {
+  trace_limit_.store(limit, std::memory_order_relaxed);
+  if (limit == 0) return;
+  while (trace_.size() > limit) {
     trace_.pop_front();
-    ++trace_dropped_;
+    trace_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void AgentPlatform::push_trace(TraceRecord record) {
   trace_.push_back(std::move(record));
-  if (trace_limit_ > 0 && trace_.size() > trace_limit_) {
+  const std::size_t limit = trace_limit_.load(std::memory_order_relaxed);
+  if (limit > 0 && trace_.size() > limit) {
     trace_.pop_front();
-    ++trace_dropped_;
+    trace_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -229,7 +239,7 @@ void AgentPlatform::deliver(AclMessage message, grid::SimTime sent_at) {
     }
     return;
   }
-  ++messages_delivered_;
+  messages_delivered_.fetch_add(1, std::memory_order_relaxed);
   try {
     receiver->handle_message(message);
   } catch (const std::exception& error) {

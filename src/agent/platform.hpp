@@ -85,8 +85,14 @@ class AgentPlatform {
     latency_fn_ = std::move(fn);
   }
 
-  std::size_t messages_sent() const noexcept { return messages_sent_; }
-  std::size_t messages_delivered() const noexcept { return messages_delivered_; }
+  /// Atomic, so an engine metrics snapshot may read them from another
+  /// thread while the shard's worker is delivering.
+  std::size_t messages_sent() const noexcept {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  std::size_t messages_delivered() const noexcept {
+    return messages_delivered_.load(std::memory_order_relaxed);
+  }
 
   // -- chaos --------------------------------------------------------------------
   /// Installs (or replaces) the fault-injection policy. Counters reset.
@@ -134,11 +140,24 @@ class AgentPlatform {
   /// which the Figure 2/3 harnesses rely on; long-running shards set a cap
   /// so a traced platform cannot grow without bound.
   void set_trace_limit(std::size_t limit);
-  std::size_t trace_limit() const noexcept { return trace_limit_; }
+  /// The limit and drop counters are atomic: the trace ring itself is only
+  /// mutated on the owning sim thread, but these two are read by engine
+  /// metrics snapshots from other threads (see engine_test's TSan case).
+  std::size_t trace_limit() const noexcept {
+    return trace_limit_.load(std::memory_order_relaxed);
+  }
   /// Records discarded so far due to the cap.
-  std::size_t trace_dropped() const noexcept { return trace_dropped_; }
+  std::size_t trace_dropped() const noexcept {
+    return trace_dropped_.load(std::memory_order_relaxed);
+  }
   /// Multi-line "t=0.001 REQUEST cs -> ps [planning-request]" rendering.
   std::string trace_to_string() const;
+
+  // -- metrics ------------------------------------------------------------------
+  /// Pushes the platform's counters (messages, handler failures, trace
+  /// drops, chaos faults) into `registry` under `labels`. Reads only atomic
+  /// state, so it is safe from a metrics thread while the sim runs.
+  void publish_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels = {}) const;
 
  private:
   void deliver(AclMessage message, grid::SimTime sent_at);
@@ -155,10 +174,10 @@ class AgentPlatform {
   std::function<grid::SimTime(const std::string&, const std::string&)> latency_fn_;
   bool tracing_ = false;
   std::deque<TraceRecord> trace_;
-  std::size_t trace_limit_ = 0;  ///< 0 = unlimited
-  std::size_t trace_dropped_ = 0;
-  std::size_t messages_sent_ = 0;
-  std::size_t messages_delivered_ = 0;
+  std::atomic<std::size_t> trace_limit_{0};  ///< 0 = unlimited
+  std::atomic<std::size_t> trace_dropped_{0};
+  std::atomic<std::size_t> messages_sent_{0};
+  std::atomic<std::size_t> messages_delivered_{0};
   std::map<std::string, std::size_t> handler_failures_;
   std::atomic<std::size_t> handler_failures_total_{0};
 

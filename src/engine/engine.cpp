@@ -80,6 +80,10 @@ EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config
   config_.shards = std::max<std::size_t>(1, config_.shards);
   config_.events_per_slice = std::max<std::size_t>(1, config_.events_per_slice);
   started_at_ = std::chrono::steady_clock::now();
+  // Ring capacity well above any bench's case count, so registry-derived
+  // percentiles stay exact (see obs/metrics.hpp).
+  latency_hist_ = &registry_.histogram("engine_case_latency_seconds",
+                                       obs::default_latency_buckets(), {}, 65536);
 
   // Build every shard stack on the caller's thread (deterministic seeds,
   // no construction races), then start the workers.
@@ -229,7 +233,7 @@ bool EnactmentEngine::cancel(CaseId id) {
     record.outcome.latency_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - record.submitted_at)
             .count();
-    latencies_.add(record.outcome.latency_seconds);
+    latency_hist_->observe(record.outcome.latency_seconds);
     ++cancelled_total_;
     case_terminal_.notify_all();
   }
@@ -268,10 +272,12 @@ EngineMetrics EnactmentEngine::metrics() const {
   snapshot.retried = retried_total_;
   snapshot.queue_depth = queued_;
   snapshot.running = running_;
-  if (latencies_.count() > 0) {
-    snapshot.latency_p50 = latencies_.percentile(50.0);
-    snapshot.latency_p90 = latencies_.percentile(90.0);
-    snapshot.latency_p99 = latencies_.percentile(99.0);
+  const obs::HistogramSnapshot hist = latency_hist_->snapshot();
+  if (hist.count > 0) {
+    const std::vector<double> qs = hist.quantiles({50.0, 90.0, 99.0});
+    snapshot.latency_p50 = qs[0];
+    snapshot.latency_p90 = qs[1];
+    snapshot.latency_p99 = qs[2];
   }
   snapshot.uptime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_).count();
@@ -295,6 +301,7 @@ EngineMetrics EnactmentEngine::metrics() const {
     sm.dead_letters = environment.coordination().tracker().dead_letters_total() +
                       environment.planning().tracker().dead_letters_total();
     sm.containers_recovered = environment.monitoring().containers_recovered();
+    sm.trace_dropped = environment.platform().trace_dropped();
     snapshot.handler_failures += sm.handler_failures;
     snapshot.faults_injected += sm.faults_injected;
     snapshot.request_retries += sm.request_retries;
@@ -303,9 +310,29 @@ EngineMetrics EnactmentEngine::metrics() const {
     sm.busy_seconds = shard->busy_seconds;
     sm.utilization =
         snapshot.uptime_seconds > 0.0 ? shard->busy_seconds / snapshot.uptime_seconds : 0.0;
+    // The registry view of the same shard, labelled so a scrape can tell
+    // shards apart while the EngineMetrics struct keeps its vector form.
+    environment.publish_metrics(registry_,
+                                {{"shard", std::to_string(shard->index)}});
     snapshot.shards.push_back(sm);
   }
+  registry_.counter("engine_cases_submitted_total").set_to(snapshot.submitted);
+  registry_.counter("engine_cases_rejected_total").set_to(snapshot.rejected);
+  registry_.counter("engine_cases_completed_total").set_to(snapshot.completed);
+  registry_.counter("engine_cases_failed_total").set_to(snapshot.failed);
+  registry_.counter("engine_cases_cancelled_total").set_to(snapshot.cancelled);
+  registry_.counter("engine_case_retries_total").set_to(snapshot.retried);
+  registry_.gauge("engine_queue_depth").set(static_cast<double>(snapshot.queue_depth));
+  registry_.gauge("engine_cases_running").set(static_cast<double>(snapshot.running));
+  registry_.gauge("engine_uptime_seconds").set(snapshot.uptime_seconds);
+  registry_.gauge("engine_completed_per_second").set(snapshot.completed_per_second);
   return snapshot;
+}
+
+std::vector<obs::Span> EnactmentEngine::shard_spans(std::size_t shard_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shard_index >= shards_.size()) return {};
+  return shards_[shard_index]->environment->tracer().spans();
 }
 
 void EnactmentEngine::shard_loop(Shard& shard) {
@@ -482,7 +509,7 @@ void EnactmentEngine::finalize_locked(CaseRecord& record, Shard& shard, CaseStat
   outcome.latency_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - record.submitted_at)
           .count();
-  latencies_.add(outcome.latency_seconds);
+  latency_hist_->observe(outcome.latency_seconds);
   switch (state) {
     case CaseState::Completed:
       ++completed_total_;

@@ -39,8 +39,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "services/environment.hpp"
-#include "util/stats.hpp"
 #include "wfl/case_description.hpp"
 #include "wfl/process.hpp"
 
@@ -112,6 +113,7 @@ struct ShardMetrics {
   std::size_t request_retries = 0;   ///< tracked requests re-sent after a timeout
   std::size_t dead_letters = 0;      ///< tracked requests abandoned after max attempts
   std::size_t containers_recovered = 0;  ///< Dead containers readmitted by the breaker
+  std::size_t trace_dropped = 0;  ///< message-trace ring evictions on the shard
   double busy_seconds = 0.0;  ///< wall clock spent enacting
   double utilization = 0.0;   ///< busy_seconds / engine uptime
 };
@@ -184,6 +186,20 @@ class EnactmentEngine {
 
   EngineMetrics metrics() const;
 
+  /// The engine's metrics registry. Case latencies land in the
+  /// `engine_case_latency_seconds` histogram as cases finish; every call to
+  /// metrics() also refreshes the engine- and per-shard counters (labelled
+  /// {shard=i}), so `registry().snapshot()` after metrics() is the complete
+  /// exporter feed. EngineMetrics' latency percentiles are derived from the
+  /// same histogram, so both views agree on the same run.
+  obs::MetricsRegistry& registry() noexcept { return registry_; }
+  const obs::MetricsRegistry& registry() const noexcept { return registry_; }
+
+  /// Retained enactment spans of one shard (empty when the shard template
+  /// did not enable span_tracing, or the index is out of range). Snapshot;
+  /// safe while the shard runs.
+  std::vector<obs::Span> shard_spans(std::size_t shard_index) const;
+
  private:
   struct CaseRecord {
     CaseId id = kInvalidCase;
@@ -232,7 +248,10 @@ class EnactmentEngine {
   std::size_t cancelled_total_ = 0;
   std::size_t retried_total_ = 0;
   std::size_t completion_sequence_ = 0;
-  util::SampleSet latencies_;
+  /// Mutable: metrics() is a const snapshot but refreshes the published
+  /// counters; the registry itself is internally synchronized.
+  mutable obs::MetricsRegistry registry_;
+  obs::Histogram* latency_hist_ = nullptr;  ///< owned by registry_
   std::chrono::steady_clock::time_point started_at_;
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -68,6 +68,10 @@ void CoordinationService::handle_enact(const AclMessage& message) {
     return;
   }
   enactment.data = enactment.case_description.initial_data();
+  if (tracer_ != nullptr) {
+    enactment.case_span =
+        tracer_->begin(obs::SpanKind::Case, enactment.process.name(), id, 0, now());
+  }
   IG_LOG_DEBUG("cs") << "enacting " << enactment.process.name() << " as " << id;
   start_enactment(enactment);
 }
@@ -147,12 +151,19 @@ void CoordinationService::handle_restore(const AclMessage& message) {
     enactments_.erase(id);
     return;
   }
+  if (tracer_ != nullptr) {
+    enactment.case_span =
+        tracer_->begin(obs::SpanKind::Case, enactment.process.name(), id, 0, now());
+    tracer_->tag(enactment.case_span, "restored", "true");
+  }
   IG_LOG_DEBUG("cs") << "restoring checkpointed case as " << id;
   start_enactment(enactment);
 }
 
 void CoordinationService::start_enactment(Enactment& enactment) {
   ++enactment.epoch;
+  // Work of the superseded plan stops here; its spans close as such.
+  if (enactment.epoch > 1) close_open_spans(enactment, "superseded");
   // Conversations of the superseded epoch must not retry or dead-letter.
   tracker_.abandon_prefix(enactment.id + "/");
   enactment.completions.clear();
@@ -182,6 +193,13 @@ void CoordinationService::complete_activity(Enactment& enactment,
   }
 
   const auto outgoing = enactment.process.outgoing(activity_id);
+  if (tracer_ != nullptr && activity->kind == ActivityKind::Fork) {
+    const obs::SpanId fork = tracer_->instant(obs::SpanKind::Barrier, activity->name,
+                                              enactment.id, enactment.case_span, now());
+    tracer_->tag(fork, "type", "fork");
+    tracer_->tag(fork, "fanout", std::to_string(outgoing.size()));
+  }
+
   if (activity->kind == ActivityKind::Choice) {
     // Evaluate guards in transition order against the current data.
     const wfl::Transition* chosen = nullptr;
@@ -213,6 +231,24 @@ void CoordinationService::complete_activity(Enactment& enactment,
     }
     if (chosen == nullptr)
       return finish(enactment, false, "Choice '" + activity->name + "' has no viable transition");
+    if (tracer_ != nullptr) {
+      const obs::SpanId decision = tracer_->instant(
+          obs::SpanKind::Choice, activity->name, enactment.id, enactment.case_span, now());
+      tracer_->tag(decision, "chosen", chosen->destination);
+      tracer_->tag(decision, "visit", std::to_string(enactment.completions[activity_id]));
+      // A back edge opens the next loop pass; any edge closes the current one.
+      auto open = enactment.iteration_spans.find(activity_id);
+      if (open != enactment.iteration_spans.end()) {
+        tracer_->end(open->second, now());
+        enactment.iteration_spans.erase(open);
+      }
+      if (enactment.completions[chosen->destination] > 0) {
+        const obs::SpanId pass = tracer_->begin(
+            obs::SpanKind::Iteration, activity->name, enactment.id, enactment.case_span, now());
+        tracer_->tag(pass, "pass", std::to_string(enactment.completions[activity_id]));
+        enactment.iteration_spans[activity_id] = pass;
+      }
+    }
     return follow_transition(enactment, *chosen);
   }
 
@@ -247,9 +283,25 @@ void CoordinationService::trigger(Enactment& enactment, const std::string& activ
       // "A Join activity can be triggered only after all of its predecessor
       // activities are completed."
       auto& arrivals = enactment.join_arrivals[activity_id];
+      if (tracer_ != nullptr && arrivals.empty() &&
+          enactment.barrier_spans.count(activity_id) == 0) {
+        // The wait starts at the first arrival and ends when the join fires.
+        const obs::SpanId wait = tracer_->begin(obs::SpanKind::Barrier, activity->name,
+                                                enactment.id, enactment.case_span, now());
+        tracer_->tag(wait, "type", "join");
+        enactment.barrier_spans[activity_id] = wait;
+      }
       arrivals.insert(from_activity);
       const auto predecessors = enactment.process.predecessors(activity_id);
       if (arrivals.size() < predecessors.size()) return;
+      if (tracer_ != nullptr) {
+        auto wait = enactment.barrier_spans.find(activity_id);
+        if (wait != enactment.barrier_spans.end()) {
+          tracer_->tag(wait->second, "arrivals", std::to_string(arrivals.size()));
+          tracer_->end(wait->second, now());
+          enactment.barrier_spans.erase(wait);
+        }
+      }
       arrivals.clear();  // reset for the next loop iteration, if any
       return complete_activity(enactment, activity_id);
     }
@@ -265,7 +317,20 @@ void CoordinationService::dispatch(Enactment& enactment, const wfl::Activity& ac
   if (credit != enactment.replay_credits.end() && credit->second > 0) {
     --credit->second;
     ++enactment.activities_replayed;
+    if (tracer_ != nullptr) {
+      const obs::SpanId replay = tracer_->instant(
+          obs::SpanKind::Activity, activity.name, enactment.id, enactment.case_span, now());
+      tracer_->tag(replay, "status", "replayed");
+    }
     return complete_activity(enactment, activity.id);
+  }
+  // One Activity span covers all container attempts of one dispatch: a
+  // retry tags the open span instead of opening a second one.
+  if (tracer_ != nullptr && enactment.activity_spans.count(activity.id) == 0) {
+    const obs::SpanId span = tracer_->begin(obs::SpanKind::Activity, activity.name,
+                                            enactment.id, enactment.case_span, now());
+    tracer_->tag(span, "service", activity.service_name);
+    enactment.activity_spans[activity.id] = span;
   }
   enactment.running.insert(activity.id);
   AclMessage query;
@@ -300,6 +365,15 @@ void CoordinationService::handle_match_reply(const AclMessage& message) {
     // No container can host the service at all: go straight to re-planning.
     enactment->running.erase(activity_id);
     ++enactment->dispatch_failures;
+    if (tracer_ != nullptr) {
+      auto span = enactment->activity_spans.find(activity_id);
+      if (span != enactment->activity_spans.end()) {
+        tracer_->tag(span->second, "status", "failed");
+        tracer_->tag(span->second, "fault", "no container offered");
+        tracer_->end(span->second, now());
+        enactment->activity_spans.erase(span);
+      }
+    }
     return request_replanning(*enactment, activity->service_name);
   }
 
@@ -349,6 +423,15 @@ void CoordinationService::handle_execution_reply(const AclMessage& message) {
   enactment->retries[activity_id] = 0;
   ++enactment->activities_executed;
   enactment->total_cost += message.param_double("cost", 0.0);
+  if (tracer_ != nullptr) {
+    auto span = enactment->activity_spans.find(activity_id);
+    if (span != enactment->activity_spans.end()) {
+      tracer_->tag(span->second, "status", "ok");
+      tracer_->tag(span->second, "container", message.param("container", message.sender));
+      tracer_->end(span->second, now());
+      enactment->activity_spans.erase(span);
+    }
+  }
   complete_activity(*enactment, activity_id);
 }
 
@@ -370,8 +453,23 @@ void CoordinationService::handle_dispatch_failure(Enactment& enactment,
 
   int& attempts = enactment.retries[activity_id];
   ++attempts;
+  if (tracer_ != nullptr) {
+    auto span = enactment.activity_spans.find(activity_id);
+    if (span != enactment.activity_spans.end()) {
+      tracer_->tag(span->second, "retry", std::to_string(attempts));
+      tracer_->tag(span->second, "fault", reason);
+    }
+  }
   if (!data_problem && attempts <= config_.max_retries) {
     return dispatch(enactment, *activity);  // try the next-best container
+  }
+  if (tracer_ != nullptr) {
+    auto span = enactment.activity_spans.find(activity_id);
+    if (span != enactment.activity_spans.end()) {
+      tracer_->tag(span->second, "status", "failed");
+      tracer_->end(span->second, now());
+      enactment.activity_spans.erase(span);
+    }
   }
   enactment.running.erase(activity_id);
   request_replanning(enactment, activity->service_name);
@@ -386,6 +484,11 @@ void CoordinationService::request_replanning(Enactment& enactment,
   ++enactment.replans;
   ++replans_triggered_;
   enactment.awaiting_plan = true;
+  if (tracer_ != nullptr) {
+    tracer_->tag(enactment.case_span, "replan", std::to_string(enactment.replans));
+    if (!failed_service.empty())
+      tracer_->tag(enactment.case_span, "replan-cause", failed_service);
+  }
 
   // Ship all available data: initial + everything created so far.
   wfl::CaseDescription current = enactment.case_description;
@@ -450,12 +553,33 @@ void CoordinationService::on_dead_letter(const DeadLetter& letter) {
   }
 }
 
+void CoordinationService::close_open_spans(Enactment& enactment, const std::string& status) {
+  if (tracer_ == nullptr) return;
+  const auto close = [&](std::map<std::string, obs::SpanId>& open) {
+    for (const auto& [id, span] : open) {
+      tracer_->tag(span, "status", status);
+      tracer_->end(span, now());
+    }
+    open.clear();
+  };
+  close(enactment.activity_spans);
+  close(enactment.barrier_spans);
+  close(enactment.iteration_spans);
+}
+
 void CoordinationService::finish(Enactment& enactment, bool success, const std::string& reason) {
   if (enactment.finished) return;
   enactment.finished = true;
   // Outstanding conversations of a finished case must not retry into the
   // void (or keep the calendar alive until their deadlines).
   tracker_.abandon_prefix(enactment.id + "/");
+  close_open_spans(enactment, success ? "ok" : "aborted");
+  if (tracer_ != nullptr && enactment.case_span != 0) {
+    tracer_->tag(enactment.case_span, "success", success ? "true" : "false");
+    tracer_->tag(enactment.case_span, "replans", std::to_string(enactment.replans));
+    if (!reason.empty()) tracer_->tag(enactment.case_span, "error", reason);
+    tracer_->end(enactment.case_span, now());
+  }
   if (success) ++cases_completed_;
   else ++cases_failed_;
 

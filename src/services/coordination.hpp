@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "agent/agent.hpp"
+#include "obs/span.hpp"
 #include "services/request_tracker.hpp"
 #include "wfl/case_description.hpp"
 #include "wfl/process.hpp"
@@ -79,6 +80,14 @@ class CoordinationService : public agent::Agent {
   /// Seed for retry jitter; engines derive a per-shard stream.
   void set_tracker_seed(std::uint64_t seed) noexcept { tracker_.set_seed(seed); }
 
+  /// Installs an enactment tracer (nullptr disables). The machine then
+  /// emits virtual-clock spans: one Case span per enactment, one Activity
+  /// span per dispatch (tagged with retries and fault reasons), Barrier
+  /// spans for FORK fan-out and JOIN waits, instant Choice spans per
+  /// decision, and Iteration spans per loop pass. Not owned; must outlive
+  /// the service.
+  void set_tracer(obs::SpanTracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   struct Enactment {
     std::string id;
@@ -108,6 +117,12 @@ class CoordinationService : public agent::Agent {
     int replans = 0;
     bool awaiting_plan = false;
     bool finished = false;
+
+    // Open-span bookkeeping (all 0 / empty when tracing is off).
+    obs::SpanId case_span = 0;
+    std::map<std::string, obs::SpanId> activity_spans;   ///< activity id -> open span
+    std::map<std::string, obs::SpanId> barrier_spans;    ///< join id -> open wait span
+    std::map<std::string, obs::SpanId> iteration_spans;  ///< choice id -> open pass span
   };
 
   void handle_enact(const agent::AclMessage& message);
@@ -127,6 +142,8 @@ class CoordinationService : public agent::Agent {
                                const std::string& container, const std::string& reason);
   void request_replanning(Enactment& enactment, const std::string& failed_service);
   void finish(Enactment& enactment, bool success, const std::string& reason);
+  /// Closes every open activity/barrier/iteration span with `status`.
+  void close_open_spans(Enactment& enactment, const std::string& status);
   /// Escalation when a tracked conversation exhausted its retries.
   void on_dead_letter(const DeadLetter& letter);
 
@@ -136,6 +153,7 @@ class CoordinationService : public agent::Agent {
 
   CoordinationConfig config_;
   RequestTracker tracker_;
+  obs::SpanTracer* tracer_ = nullptr;  ///< not owned; nullptr = tracing off
   std::map<std::string, Enactment> enactments_;
   std::uint64_t next_enactment_ = 1;
   std::size_t cases_completed_ = 0;

@@ -20,6 +20,9 @@ Environment::Environment(const EnvironmentOptions& options)
   grid::build_topology(grid_, topology, topology_rng);
 
   platform_.set_tracing(options.tracing);
+  platform_.set_trace_limit(options.trace_limit);
+  tracer_.set_enabled(options.span_tracing);
+  tracer_.set_limit(options.span_limit);
 
   // -- core services (information service first so registrations succeed) -------
   information_ = &platform_.spawn<InformationService>(names::kInformation);
@@ -47,6 +50,7 @@ Environment::Environment(const EnvironmentOptions& options)
   // Decorrelate the retry-jitter streams from the environment seed.
   coordination_->set_tracker_seed(util::derive_stream(options.seed, 0x7AC4ULL));
   planning_->set_tracker_seed(util::derive_stream(options.seed, 0x7AC5ULL));
+  coordination_->set_tracer(&tracer_);
 
   // -- one agent per application container ----------------------------------------
   virolab::SyntheticKernels* kernels =
@@ -62,6 +66,19 @@ Environment::Environment(const EnvironmentOptions& options)
   // whole environment before the experiment starts.
   sim_.run(100'000);
   if (options.chaos.enabled()) platform_.set_chaos(options.chaos);
+}
+
+void Environment::publish_metrics(obs::MetricsRegistry& registry,
+                                  const obs::Labels& labels) const {
+  platform_.publish_metrics(registry, labels);
+  obs::Labels coordination_labels = labels;
+  coordination_labels.emplace_back("owner", "coordination");
+  coordination_->tracker().publish(registry, coordination_labels);
+  obs::Labels planning_labels = labels;
+  planning_labels.emplace_back("owner", "planning");
+  planning_->tracker().publish(registry, planning_labels);
+  monitoring_->publish(registry, labels);
+  registry.counter("tracer_spans_dropped_total", labels).set_to(tracer_.dropped());
 }
 
 std::unique_ptr<Environment> make_environment(EnvironmentOptions options) {

@@ -11,6 +11,8 @@
 
 #include "agent/platform.hpp"
 #include "grid/grid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "planner/gp.hpp"
 #include "services/authentication.hpp"
 #include "services/brokerage.hpp"
@@ -36,6 +38,13 @@ struct EnvironmentOptions {
   virolab::KernelParams kernels;
   bool use_synthetic_kernels = true;  ///< false: declarative postconditions only
   bool tracing = false;               ///< record every delivered message
+  /// >0 caps the message trace at the most recent N records (ring); 0 keeps
+  /// everything (the Figure 2/3 harnesses rely on the full trace).
+  std::size_t trace_limit = 0;
+  /// Enables the enactment span tracer: the coordination service emits
+  /// case/activity/barrier/choice/iteration spans on the virtual clock.
+  bool span_tracing = false;
+  std::size_t span_limit = 0;         ///< >0 caps retained spans (oldest closed drop)
   grid::SimTime monitor_period = 0.0; ///< >0 enables periodic utilization sampling
   /// >0: container agents emit liveness heartbeats at this spacing and the
   /// monitoring service quarantines containers that stop beating (both run
@@ -76,6 +85,16 @@ class Environment {
   PlanningService& planning() noexcept { return *planning_; }
   CoordinationService& coordination() noexcept { return *coordination_; }
 
+  /// The enactment span tracer (disabled unless options.span_tracing).
+  obs::SpanTracer& tracer() noexcept { return tracer_; }
+  const obs::SpanTracer& tracer() const noexcept { return tracer_; }
+
+  /// Pushes every component's counters (platform, chaos, request trackers,
+  /// monitoring liveness) into `registry` under `labels`. Reads only atomic
+  /// state; an engine metrics pass calls this from another thread while the
+  /// shard's worker runs.
+  void publish_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels = {}) const;
+
   /// Drains the event calendar (bounded by `max_events` as a runaway guard).
   std::size_t run(std::size_t max_events = 1'000'000) { return sim_.run(max_events); }
 
@@ -84,6 +103,7 @@ class Environment {
   grid::Grid grid_;
   grid::FailureInjector injector_;
   agent::AgentPlatform platform_;
+  obs::SpanTracer tracer_;
   wfl::ServiceCatalogue catalogue_;
   virolab::SyntheticKernels kernels_;
 

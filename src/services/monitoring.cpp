@@ -55,7 +55,7 @@ Liveness MonitoringService::classify(const Beat& beat) {
 
 void MonitoringService::record_heartbeat(const std::string& container_id) {
   if (container_id.empty()) return;
-  ++heartbeats_received_;
+  heartbeats_received_.fetch_add(1, std::memory_order_relaxed);
   auto it = beats_.find(container_id);
   if (it == beats_.end()) {
     beats_[container_id].last_seen = now();
@@ -143,7 +143,7 @@ void MonitoringService::handle_message(const AclMessage& message) {
   } else {
     reply.params["nodes"] = std::to_string(grid_->nodes().size());
     reply.params["containers"] = std::to_string(grid_->containers().size());
-    reply.params["heartbeats"] = std::to_string(heartbeats_received_);
+    reply.params["heartbeats"] = std::to_string(heartbeats_received());
     reply.params["dead-containers"] = std::to_string(dead_containers().size());
   }
   send(std::move(reply));

@@ -23,6 +23,7 @@
 
 #include "agent/agent.hpp"
 #include "grid/grid.hpp"
+#include "obs/metrics.hpp"
 
 namespace ig::svc {
 
@@ -72,12 +73,22 @@ class MonitoringService : public agent::Agent {
   /// Containers currently classified Dead.
   std::vector<std::string> dead_containers();
 
-  std::size_t heartbeats_received() const noexcept { return heartbeats_received_; }
+  /// Atomic: engine metrics snapshots read this from another thread.
+  std::size_t heartbeats_received() const noexcept {
+    return heartbeats_received_.load(std::memory_order_relaxed);
+  }
   /// Containers that resumed beating (or answered a probe) after having
   /// been silent past the Dead threshold. Atomic: engine metrics snapshots
   /// read this from another thread while the shard runs.
   std::size_t containers_recovered() const noexcept {
     return containers_recovered_.load(std::memory_order_relaxed);
+  }
+
+  /// Pushes the liveness counters into `registry` under `labels`. Reads
+  /// only atomic state; safe from a metrics thread while the sim runs.
+  void publish(obs::MetricsRegistry& registry, const obs::Labels& labels = {}) const {
+    registry.counter("monitor_heartbeats_received_total", labels).set_to(heartbeats_received());
+    registry.counter("monitor_containers_recovered_total", labels).set_to(containers_recovered());
   }
 
  private:
@@ -97,7 +108,7 @@ class MonitoringService : public agent::Agent {
 
   HeartbeatConfig heartbeat_;
   std::map<std::string, Beat> beats_;
-  std::size_t heartbeats_received_ = 0;
+  std::atomic<std::size_t> heartbeats_received_{0};
   std::uint64_t next_probe_ = 0;
   std::atomic<std::size_t> containers_recovered_{0};
 };

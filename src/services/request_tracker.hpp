@@ -28,6 +28,7 @@
 
 #include "agent/message.hpp"
 #include "grid/sim.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace ig::svc {
@@ -108,6 +109,14 @@ class RequestTracker {
   }
   std::size_t dead_letters_total() const noexcept {
     return dead_letters_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Pushes the atomic counters into `registry` under `labels`. Safe from a
+  /// metrics thread while the simulation runs.
+  void publish(obs::MetricsRegistry& registry, const obs::Labels& labels = {}) const {
+    registry.counter("tracker_retries_total", labels).set_to(retries_total());
+    registry.counter("tracker_timeouts_total", labels).set_to(timeouts_total());
+    registry.counter("tracker_dead_letters_total", labels).set_to(dead_letters_total());
   }
 
  private:

@@ -2,8 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ig::util {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+double quantile_sorted(const std::vector<double>& sorted, double q) noexcept {
+  if (sorted.empty()) return kNaN;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 100.0) return sorted.back();
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(rank);
+  const double fraction = rank - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] + fraction * (sorted[lower + 1] - sorted[lower]);
+}
 
 void RunningStats::add(double value) noexcept {
   if (count_ == 0) {
@@ -20,21 +36,29 @@ void RunningStats::add(double value) noexcept {
   m2_ += delta * (value - mean_);
 }
 
+double RunningStats::mean() const noexcept { return count_ > 0 ? mean_ : kNaN; }
+
 double RunningStats::variance() const noexcept {
+  if (count_ == 0) return kNaN;
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
 }
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+double RunningStats::min() const noexcept { return count_ > 0 ? min_ : kNaN; }
+
+double RunningStats::max() const noexcept { return count_ > 0 ? max_ : kNaN; }
+
 double SampleSet::mean() const noexcept {
-  if (samples_.empty()) return 0.0;
+  if (samples_.empty()) return kNaN;
   double total = 0.0;
   for (double s : samples_) total += s;
   return total / static_cast<double>(samples_.size());
 }
 
 double SampleSet::stddev() const noexcept {
+  if (samples_.empty()) return kNaN;
   if (samples_.size() < 2) return 0.0;
   const double m = mean();
   double m2 = 0.0;
@@ -43,26 +67,32 @@ double SampleSet::stddev() const noexcept {
 }
 
 double SampleSet::min() const noexcept {
-  if (samples_.empty()) return 0.0;
+  if (samples_.empty()) return kNaN;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double SampleSet::max() const noexcept {
-  if (samples_.empty()) return 0.0;
+  if (samples_.empty()) return kNaN;
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
-double SampleSet::percentile(double q) const {
-  if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  if (q <= 0.0) return sorted.front();
-  if (q >= 100.0) return sorted.back();
-  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
-  const auto lower = static_cast<std::size_t>(rank);
-  const double fraction = rank - static_cast<double>(lower);
-  if (lower + 1 >= sorted.size()) return sorted.back();
-  return sorted[lower] + fraction * (sorted[lower + 1] - sorted[lower]);
+const std::vector<double>& SampleSet::sorted_view() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+double SampleSet::percentile(double q) const { return quantile_sorted(sorted_view(), q); }
+
+std::vector<double> SampleSet::percentiles(const std::vector<double>& qs) const {
+  const std::vector<double>& sorted = sorted_view();
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile_sorted(sorted, q));
+  return out;
 }
 
 }  // namespace ig::util

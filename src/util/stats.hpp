@@ -1,4 +1,8 @@
 // Streaming statistics accumulators used by the benchmark harnesses.
+//
+// Empty-sample queries (mean/min/max/percentile/...) return quiet NaN, not
+// 0.0 — a missing measurement must not masquerade as a real zero. Emitters
+// (bench_json, the obs exporters) skip or null non-finite values.
 #pragma once
 
 #include <cstddef>
@@ -6,18 +10,28 @@
 
 namespace ig::util {
 
+/// Linear-interpolated quantile over an already-sorted sample vector;
+/// `q` in [0, 100], clamped. NaN when `sorted` is empty. This is the one
+/// interpolation rule shared by SampleSet and the obs histogram snapshot,
+/// so percentiles derived from either source agree bitwise on equal data.
+double quantile_sorted(const std::vector<double>& sorted, double q) noexcept;
+
 /// Welford-style running mean / variance with min and max tracking.
 class RunningStats {
  public:
   void add(double value) noexcept;
 
   std::size_t count() const noexcept { return count_; }
-  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
-  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  /// NaN when empty.
+  double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 with exactly one sample, NaN when
+  /// empty.
   double variance() const noexcept;
   double stddev() const noexcept;
-  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
-  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  /// NaN when empty.
+  double min() const noexcept;
+  /// NaN when empty.
+  double max() const noexcept;
   double sum() const noexcept { return sum_; }
 
  private:
@@ -31,23 +45,42 @@ class RunningStats {
 
 /// Stores every sample; supports percentiles. Suited to the small sample
 /// counts of the experiment harness (tens to thousands of runs).
+///
+/// Percentile queries share one cached sorted view, built lazily on the
+/// first query after an add() and reused until the next add() — a batch of
+/// percentile(50)/percentile(90)/percentile(99) calls sorts once, not three
+/// times.
 class SampleSet {
  public:
-  void add(double value) { samples_.push_back(value); }
+  void add(double value) {
+    samples_.push_back(value);
+    sorted_valid_ = false;
+  }
 
   std::size_t count() const noexcept { return samples_.size(); }
+  /// NaN when empty.
   double mean() const noexcept;
+  /// NaN when empty; 0 with exactly one sample.
   double stddev() const noexcept;
+  /// NaN when empty.
   double min() const noexcept;
+  /// NaN when empty.
   double max() const noexcept;
-  /// Linear-interpolated percentile; `q` in [0, 100].
+  /// Linear-interpolated percentile; `q` in [0, 100]. NaN when empty.
   double percentile(double q) const;
+  /// Single-pass multi-quantile: one sort (at most), one result per `qs`
+  /// entry, same interpolation as percentile().
+  std::vector<double> percentiles(const std::vector<double>& qs) const;
   double median() const { return percentile(50.0); }
 
   const std::vector<double>& samples() const noexcept { return samples_; }
 
  private:
+  const std::vector<double>& sorted_view() const;
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace ig::util

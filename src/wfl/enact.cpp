@@ -36,9 +36,33 @@ class Machine {
       : process_(process),
         case_(case_description),
         executor_(executor),
-        options_(options) {}
+        options_(options),
+        tracer_(options.tracer),
+        case_id_(options.trace_case_id.empty() ? process.name() : options.trace_case_id) {}
 
   EnactmentResult run() {
+    if (tracer_ != nullptr)
+      case_span_ = tracer_->begin(obs::SpanKind::Case, process_.name(), case_id_, 0, clock_);
+    EnactmentResult result = run_machine();
+    if (case_span_ != 0) {
+      const auto close = [&](std::map<std::string, obs::SpanId>& open) {
+        for (const auto& [id, span] : open) {
+          tracer_->tag(span, "status", result.success ? "ok" : "aborted");
+          tracer_->end(span, clock_);
+        }
+        open.clear();
+      };
+      close(join_spans_);
+      close(iteration_spans_);
+      tracer_->tag(case_span_, "success", result.success ? "true" : "false");
+      if (!result.error.empty()) tracer_->tag(case_span_, "error", result.error);
+      tracer_->end(case_span_, clock_);
+    }
+    return result;
+  }
+
+ private:
+  EnactmentResult run_machine() {
     EnactmentResult result;
     const auto errors = validate(process_);
     if (!errors.empty()) {
@@ -80,7 +104,6 @@ class Machine {
     return result;
   }
 
- private:
   struct Token {
     std::string activity_id;
     std::string from;
@@ -94,30 +117,57 @@ class Machine {
     trace_.push_back({activity.id, activity.name, executed, failed});
   }
 
-  /// Processes one token; returns false on fatal failure.
+  /// Processes one token; returns false on fatal failure. Every consumed
+  /// token advances the step clock the spans are stamped with.
   bool consume(const Token& token, EnactmentResult& result) {
     const Activity* activity = process_.find_activity(token.activity_id);
     if (activity == nullptr) {
       result.error = "dangling transition to '" + token.activity_id + "'";
       return false;
     }
+    clock_ += 1.0;
     visited_.insert(activity->id);
     switch (activity->kind) {
       case ActivityKind::Begin:
+      case ActivityKind::Merge:
+        step_span(*activity);
         record(*activity, false, false);
         return propagate(*activity);
       case ActivityKind::End:
+        step_span(*activity);
         record(*activity, false, false);
         reached_end_ = true;
         return true;
-      case ActivityKind::Fork:
-      case ActivityKind::Merge:
+      case ActivityKind::Fork: {
+        if (tracer_ != nullptr) {
+          const obs::SpanId fork = tracer_->instant(obs::SpanKind::Barrier, activity->name,
+                                                    case_id_, case_span_, clock_);
+          tracer_->tag(fork, "type", "fork");
+          tracer_->tag(fork, "fanout",
+                       std::to_string(process_.outgoing(activity->id).size()));
+        }
         record(*activity, false, false);
         return propagate(*activity);
+      }
       case ActivityKind::Join: {
         auto& arrivals = join_arrivals_[activity->id];
+        if (tracer_ != nullptr && arrivals.empty() &&
+            join_spans_.count(activity->id) == 0) {
+          const obs::SpanId wait = tracer_->begin(obs::SpanKind::Barrier, activity->name,
+                                                  case_id_, case_span_, clock_);
+          tracer_->tag(wait, "type", "join");
+          join_spans_[activity->id] = wait;
+        }
         arrivals.insert(token.from);
         if (arrivals.size() < process_.predecessors(activity->id).size()) return true;
+        if (tracer_ != nullptr) {
+          auto wait = join_spans_.find(activity->id);
+          if (wait != join_spans_.end()) {
+            tracer_->tag(wait->second, "arrivals", std::to_string(arrivals.size()));
+            tracer_->end(wait->second, clock_);
+            join_spans_.erase(wait);
+          }
+        }
         arrivals.clear();
         record(*activity, false, false);
         return propagate(*activity);
@@ -126,11 +176,26 @@ class Machine {
         record(*activity, false, false);
         return choose(*activity, result);
       case ActivityKind::EndUser: {
+        obs::SpanId span = 0;
+        if (tracer_ != nullptr) {
+          span = tracer_->begin(obs::SpanKind::Activity, activity->name, case_id_,
+                                case_span_, clock_);
+          tracer_->tag(span, "service", activity->service_name);
+        }
         auto produced = executor_(*activity, data_);
+        clock_ += 1.0;  // an execution costs one step
         if (!produced.has_value()) {
+          if (span != 0) {
+            tracer_->tag(span, "status", "failed");
+            tracer_->end(span, clock_);
+          }
           record(*activity, true, true);
           result.error = "activity '" + activity->name + "' failed";
           return false;
+        }
+        if (span != 0) {
+          tracer_->tag(span, "status", "ok");
+          tracer_->end(span, clock_);
         }
         ++executed_;
         record(*activity, true, false);
@@ -140,6 +205,12 @@ class Machine {
     }
     result.error = "unknown activity kind";
     return false;
+  }
+
+  /// Instant Step span for a flow-control node visit.
+  void step_span(const Activity& activity) {
+    if (tracer_ == nullptr) return;
+    tracer_->instant(obs::SpanKind::Step, activity.name, case_id_, case_span_, clock_);
   }
 
   /// Follows every outgoing transition (Fork fans out; others have one).
@@ -178,6 +249,24 @@ class Machine {
       result.error = "Choice '" + activity.name + "' has no viable transition";
       return false;
     }
+    if (tracer_ != nullptr) {
+      const obs::SpanId decision = tracer_->instant(obs::SpanKind::Choice, activity.name,
+                                                    case_id_, case_span_, clock_);
+      tracer_->tag(decision, "chosen", chosen->destination);
+      tracer_->tag(decision, "visit", std::to_string(visits));
+      // A back edge opens the next loop pass; any edge closes the open one.
+      auto open = iteration_spans_.find(activity.id);
+      if (open != iteration_spans_.end()) {
+        tracer_->end(open->second, clock_);
+        iteration_spans_.erase(open);
+      }
+      if (visited_.count(chosen->destination) > 0) {
+        const obs::SpanId pass = tracer_->begin(obs::SpanKind::Iteration, activity.name,
+                                                case_id_, case_span_, clock_);
+        tracer_->tag(pass, "pass", std::to_string(visits));
+        iteration_spans_[activity.id] = pass;
+      }
+    }
     trigger(chosen->destination, activity.id);
     return true;
   }
@@ -186,6 +275,8 @@ class Machine {
   const CaseDescription& case_;
   const ActivityExecutor& executor_;
   const EnactmentOptions& options_;
+  obs::SpanTracer* tracer_;  ///< nullptr = tracing off
+  std::string case_id_;
 
   DataSet data_;
   std::deque<Token> tokens_;
@@ -195,6 +286,10 @@ class Machine {
   std::vector<EnactmentStep> trace_;
   bool reached_end_ = false;
   int executed_ = 0;
+  double clock_ = 0.0;  ///< machine steps; span timestamps
+  obs::SpanId case_span_ = 0;
+  std::map<std::string, obs::SpanId> join_spans_;
+  std::map<std::string, obs::SpanId> iteration_spans_;
 };
 
 }  // namespace

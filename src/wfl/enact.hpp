@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "wfl/case_description.hpp"
 #include "wfl/process.hpp"
 #include "wfl/service.hpp"
@@ -40,6 +41,14 @@ struct EnactmentOptions {
   int max_loop_iterations = 8;
   /// Upper bound on machine steps (malformed graphs cannot spin forever).
   int max_steps = 100000;
+  /// Optional span tracer (not owned; nullptr = tracing off). The machine
+  /// emits one Case span, one Activity span per end-user execution, Barrier
+  /// spans for Fork/Join, instant Choice decisions, Iteration spans per
+  /// loop pass, and Step spans for Begin/End/Merge visits. Timestamps are
+  /// machine steps — this engine has no virtual clock.
+  obs::SpanTracer* tracer = nullptr;
+  /// Case id the spans are grouped under; the process name when empty.
+  std::string trace_case_id;
 };
 
 /// One executed (or attempted) activity, for the trace.

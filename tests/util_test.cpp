@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <sstream>
 
@@ -116,8 +117,12 @@ TEST(Rng, SplitProducesIndependentStream) {
 TEST(RunningStats, Empty) {
   RunningStats stats;
   EXPECT_EQ(stats.count(), 0u);
-  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
-  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+  // An empty accumulator has no mean — NaN, not a fake 0.0 that could be
+  // mistaken for a real measurement.
+  EXPECT_TRUE(std::isnan(stats.mean()));
+  EXPECT_TRUE(std::isnan(stats.stddev()));
+  EXPECT_TRUE(std::isnan(stats.min()));
+  EXPECT_TRUE(std::isnan(stats.max()));
 }
 
 TEST(RunningStats, KnownValues) {
@@ -164,8 +169,40 @@ TEST(SampleSet, MeanAndStddevMatchRunningStats) {
 
 TEST(SampleSet, EmptyIsSafe) {
   SampleSet samples;
-  EXPECT_DOUBLE_EQ(samples.mean(), 0.0);
-  EXPECT_DOUBLE_EQ(samples.percentile(50), 0.0);
+  EXPECT_TRUE(std::isnan(samples.mean()));
+  EXPECT_TRUE(std::isnan(samples.stddev()));
+  EXPECT_TRUE(std::isnan(samples.min()));
+  EXPECT_TRUE(std::isnan(samples.max()));
+  EXPECT_TRUE(std::isnan(samples.percentile(50)));
+  const auto qs = samples.percentiles({50.0, 99.0});
+  ASSERT_EQ(qs.size(), 2u);
+  EXPECT_TRUE(std::isnan(qs[0]));
+  EXPECT_TRUE(std::isnan(qs[1]));
+}
+
+TEST(SampleSet, MultiQuantileMatchesPercentile) {
+  SampleSet samples;
+  Rng rng(47);
+  for (int i = 0; i < 333; ++i) samples.add(rng.next_double(-5, 5));
+  const auto qs = samples.percentiles({0.0, 12.5, 50.0, 90.0, 99.0, 100.0});
+  ASSERT_EQ(qs.size(), 6u);
+  EXPECT_DOUBLE_EQ(qs[0], samples.percentile(0.0));
+  EXPECT_DOUBLE_EQ(qs[1], samples.percentile(12.5));
+  EXPECT_DOUBLE_EQ(qs[2], samples.percentile(50.0));
+  EXPECT_DOUBLE_EQ(qs[3], samples.percentile(90.0));
+  EXPECT_DOUBLE_EQ(qs[4], samples.percentile(99.0));
+  EXPECT_DOUBLE_EQ(qs[5], samples.percentile(100.0));
+}
+
+TEST(SampleSet, CachedSortInvalidatedOnAdd) {
+  SampleSet samples;
+  samples.add(10.0);
+  samples.add(20.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(100), 20.0);  // builds the cache
+  samples.add(5.0);                                 // must invalidate it
+  EXPECT_DOUBLE_EQ(samples.percentile(0), 5.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(100), 20.0);
+  EXPECT_DOUBLE_EQ(samples.median(), 10.0);
 }
 
 // ---------------------------------------------------------------------------
