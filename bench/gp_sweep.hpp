@@ -1,17 +1,17 @@
 // Shared helper for the GP ablation benches: run N seeded GP runs for a
 // configuration and aggregate the best-of-run statistics. The seeded runs
-// are independent, so they execute on a thread pool (one run per task, each
-// run itself single-threaded to avoid oversubscription); run_gp is
-// thread-count-deterministic and results are aggregated in seed order, so
-// the numbers match the serial sweep exactly.
+// are independent, so they execute on the work-stealing job system (one run
+// per job, each run itself single-threaded to avoid oversubscription);
+// run_gp is thread-count-deterministic and results are aggregated in seed
+// order, so the numbers match the serial sweep exactly.
 #pragma once
 
 #include <cstdio>
 #include <vector>
 
 #include "planner/gp.hpp"
+#include "sched/job_system.hpp"
 #include "util/stats.hpp"
-#include "util/thread_pool.hpp"
 #include "virolab/catalogue.hpp"
 
 namespace ig::bench {
@@ -44,20 +44,22 @@ inline SweepPoint run_sweep_point(const planner::PlanningProblem& problem,
                                   std::uint64_t seed_base = 1000,
                                   std::size_t outer_threads = 0) {
   if (outer_threads == 0)
-    outer_threads = std::min<std::size_t>(util::ThreadPool::hardware_threads(),
+    outer_threads = std::min<std::size_t>(sched::JobSystem::hardware_threads(),
                                           runs > 0 ? static_cast<std::size_t>(runs) : 1);
 
   std::vector<planner::GpResult> results(static_cast<std::size_t>(runs > 0 ? runs : 0));
   const auto run_one = [&](std::size_t run) {
     planner::GpConfig run_config = config;
     run_config.seed = seed_base + run;
-    // The pool supplies the parallelism; each run stays single-threaded.
+    // The job system supplies the parallelism; each run stays single-threaded.
     if (outer_threads > 1) run_config.threads = 1;
     results[run] = planner::run_gp(problem, run_config);
   };
   if (outer_threads > 1) {
-    util::ThreadPool pool(outer_threads);
-    pool.parallel_for(results.size(), [&](std::size_t run, std::size_t) { run_one(run); });
+    sched::JobSystem jobs(outer_threads);
+    jobs.parallel_for(
+        results.size(), [&](std::size_t run, std::size_t) { run_one(run); },
+        /*min_chunk=*/1);
   } else {
     for (std::size_t run = 0; run < results.size(); ++run) run_one(run);
   }

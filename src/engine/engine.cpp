@@ -55,25 +55,40 @@ class EngineClient final : public agent::Agent {
 
 }  // namespace
 
-/// One worker shard: a private environment, its proxy agent, and the thread
-/// that drives the shard's virtual clock. Stats are guarded by the engine
-/// mutex; the environment is owned exclusively by the worker thread.
-struct EnactmentEngine::Shard {
-  std::size_t index = 0;
-  std::unique_ptr<svc::Environment> environment;
-  EngineClient* client = nullptr;
-  std::thread worker;
-  // -- stats, under the engine mutex --
-  std::size_t cases_run = 0;
-  std::size_t cases_completed = 0;
-  std::size_t cases_failed = 0;
-  double busy_seconds = 0.0;
-};
-
 struct EnactmentEngine::AttemptResult {
   enum class Kind { Success, Failure, Cancelled } kind = Kind::Failure;
   AclMessage reply;             ///< the case-completed (or failure) reply
   std::string checkpoint_xml;  ///< snapshot captured after a failure
+};
+
+/// One shard: a private environment, its proxy agent, and the state machine
+/// that a chain of pump jobs advances one simulation slice at a time. The
+/// attempt state is touched only by the shard's single in-flight pump job
+/// (the job chain serializes through the job system's deques), so it needs
+/// no lock even though successive slices may run on different workers.
+/// Stats and `pump_scheduled` are guarded by the engine mutex.
+struct EnactmentEngine::Shard {
+  std::size_t index = 0;
+  std::unique_ptr<svc::Environment> environment;
+  EngineClient* client = nullptr;
+
+  // -- attempt state machine, owned by the in-flight pump job --
+  /// Idle: no case. Drain: flushing calendar leftovers of an abandoned
+  /// case. Enact: slicing the simulation until the completion reply.
+  /// Checkpoint: snapshotting a failed enactment for a cross-shard retry.
+  enum class Phase { Idle, Drain, Enact, Checkpoint };
+  Phase phase = Phase::Idle;
+  CaseRecord snapshot;        ///< inputs of the current attempt
+  std::string conversation;   ///< engine/<case>/<retry>
+  std::size_t slices = 0;     ///< slices consumed in the current phase
+  AttemptResult attempt;      ///< result under construction
+
+  // -- stats, under the engine mutex --
+  bool pump_scheduled = false;  ///< a pump job for this shard is in flight
+  std::size_t cases_run = 0;
+  std::size_t cases_completed = 0;
+  std::size_t cases_failed = 0;
+  double busy_seconds = 0.0;
 };
 
 EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config)) {
@@ -104,9 +119,12 @@ EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config
     if (config_.shard_setup) config_.shard_setup(*shard->environment, i);
     shards_.push_back(std::move(shard));
   }
-  for (auto& shard : shards_) {
-    shard->worker = std::thread([this, raw = shard.get()] { shard_loop(*raw); });
-  }
+  // One shared work-stealing pool under every shard's pump stream. The
+  // default (workers = shards) keeps the old thread-per-shard concurrency;
+  // fewer workers time-slice the streams, and either way an idle worker
+  // steals a busy shard's next slice instead of sleeping.
+  const std::size_t workers = config_.workers == 0 ? config_.shards : config_.workers;
+  jobs_ = std::make_unique<sched::JobSystem>(workers);
 }
 
 EnactmentEngine::~EnactmentEngine() { shutdown(); }
@@ -117,10 +135,16 @@ void EnactmentEngine::shutdown() {
     if (stopping_) return;
     stopping_ = true;
   }
-  work_available_.notify_all();
   case_terminal_.notify_all();
-  for (auto& shard : shards_) {
-    if (shard->worker.joinable()) shard->worker.join();
+  // Drain the in-flight pump jobs: each sees stopping_, finalizes its
+  // running attempt as Failed ("engine shutdown"), and does not repost.
+  // Queued cases stay Queued. The counters survive for metrics().
+  jobs_->wait_idle();
+  {
+    // Under the mutex so a concurrent metrics() never sees jobs_ mid-reset.
+    std::lock_guard<std::mutex> lock(mutex_);
+    final_job_stats_ = jobs_->stats();
+    jobs_.reset();
   }
 }
 
@@ -133,22 +157,45 @@ CaseId EnactmentEngine::submit(const wfl::ProcessDescription& process,
 
 CaseId EnactmentEngine::submit_xml(std::string process_xml, std::string case_xml,
                                    const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (stopping_ || queued_ >= config_.queue_capacity) {
-    ++rejected_total_;
-    return kInvalidCase;
+  std::vector<Shard*> to_pump;
+  CaseId id = kInvalidCase;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queued_ >= config_.queue_capacity) {
+      ++rejected_total_;
+      return kInvalidCase;
+    }
+    id = next_case_id_++;
+    CaseRecord& record = records_[id];
+    record.id = id;
+    record.tenant = tenant.empty() ? "default" : tenant;
+    record.process_xml = std::move(process_xml);
+    record.case_xml = std::move(case_xml);
+    record.submitted_at = std::chrono::steady_clock::now();
+    ++submitted_total_;
+    admit_locked(record);
+    to_pump = claim_idle_pumps_locked();
   }
-  const CaseId id = next_case_id_++;
-  CaseRecord& record = records_[id];
-  record.id = id;
-  record.tenant = tenant.empty() ? "default" : tenant;
-  record.process_xml = std::move(process_xml);
-  record.case_xml = std::move(case_xml);
-  record.submitted_at = std::chrono::steady_clock::now();
-  ++submitted_total_;
-  admit_locked(record);
-  work_available_.notify_all();
+  // Posting outside the engine mutex: a pump job can start (and take the
+  // mutex) before we would have released it.
+  for (Shard* shard : to_pump) post_pump(*shard);
   return id;
+}
+
+std::vector<EnactmentEngine::Shard*> EnactmentEngine::claim_idle_pumps_locked() {
+  std::vector<Shard*> claimed;
+  for (auto& shard : shards_) {
+    if (shard->pump_scheduled) continue;
+    shard->pump_scheduled = true;
+    claimed.push_back(shard.get());
+  }
+  return claimed;
+}
+
+void EnactmentEngine::post_pump(Shard& shard) {
+  // Affinity pins the stream to one home worker (cache-warm environment);
+  // the job stays stealable when that worker is mid-slice on another shard.
+  jobs_->post([this, &shard] { pump(shard); }, shard.index);
 }
 
 void EnactmentEngine::admit_locked(CaseRecord& record) {
@@ -272,6 +319,11 @@ EngineMetrics EnactmentEngine::metrics() const {
   snapshot.retried = retried_total_;
   snapshot.queue_depth = queued_;
   snapshot.running = running_;
+  const sched::JobStats job_stats = jobs_ ? jobs_->stats() : final_job_stats_;
+  snapshot.jobs_executed = job_stats.executed;
+  snapshot.jobs_stolen = job_stats.stolen;
+  snapshot.steal_attempts = job_stats.steal_attempts;
+  snapshot.steal_rate = job_stats.steal_rate();
   const obs::HistogramSnapshot hist = latency_hist_->snapshot();
   if (hist.count > 0) {
     const std::vector<double> qs = hist.quantiles({50.0, 90.0, 99.0});
@@ -326,6 +378,7 @@ EngineMetrics EnactmentEngine::metrics() const {
   registry_.gauge("engine_cases_running").set(static_cast<double>(snapshot.running));
   registry_.gauge("engine_uptime_seconds").set(snapshot.uptime_seconds);
   registry_.gauge("engine_completed_per_second").set(snapshot.completed_per_second);
+  if (jobs_) jobs_->publish_metrics(registry_);
   return snapshot;
 }
 
@@ -335,159 +388,219 @@ std::vector<obs::Span> EnactmentEngine::shard_spans(std::size_t shard_index) con
   return shards_[shard_index]->environment->tracer().spans();
 }
 
-void EnactmentEngine::shard_loop(Shard& shard) {
-  for (;;) {
-    CaseRecord snapshot;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      std::optional<CaseId> popped;
-      work_available_.wait(lock, [&] {
-        if (stopping_) return true;
-        popped = pop_for_shard_locked(shard.index);
-        return popped.has_value();
-      });
-      if (stopping_) return;
+void EnactmentEngine::pump(Shard& shard) {
+  util::Stopwatch slice_clock;
+  const bool again = step(shard);
+  const double busy = slice_clock.elapsed_seconds();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shard.busy_seconds += busy;
+  }
+  // Repost while the stream has work. The repost happens *after* the step,
+  // so at most one pump job per shard is ever queued or running; when the
+  // stream goes idle, step() already cleared pump_scheduled under the mutex.
+  if (again) post_pump(shard);
+}
+
+bool EnactmentEngine::step(Shard& shard) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      if (shard.phase != Shard::Phase::Idle) {
+        // Abandon the in-flight attempt (a Checkpoint phase is already a
+        // failed attempt; Drain/Enact become failures now).
+        auto it = records_.find(shard.snapshot.id);
+        if (it != records_.end()) {
+          finalize_locked(it->second, shard, CaseState::Failed, shard.attempt.reply);
+          it->second.outcome.error = "engine shutdown";
+        }
+        --running_;
+        shard.phase = Shard::Phase::Idle;
+      }
+      shard.pump_scheduled = false;
+      return false;
+    }
+  }
+
+  svc::Environment& environment = *shard.environment;
+  grid::Simulation& sim = environment.sim();
+
+  switch (shard.phase) {
+    case Shard::Phase::Idle: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Popping the queue and clearing pump_scheduled happen in the same
+      // critical section, so a submit either sees the flag and skips the
+      // post, or sees it cleared and reschedules — never a lost wakeup.
+      std::optional<CaseId> popped = pop_for_shard_locked(shard.index);
+      if (!popped.has_value()) {
+        shard.pump_scheduled = false;
+        return false;
+      }
       CaseRecord& record = records_.at(*popped);
       record.state = CaseState::Running;
       record.outcome.shard = shard.index;
       ++running_;
       ++shard.cases_run;
-      snapshot = record;  // inputs the attempt needs, copied out of the lock
+      shard.snapshot = record;  // inputs the attempt needs, copied out of the lock
+      shard.conversation = "engine/" + std::to_string(record.id) + "/" +
+                           std::to_string(record.retries_used);
+      shard.slices = 0;
+      shard.attempt = AttemptResult{};
+      shard.phase = Shard::Phase::Drain;
+      return true;
     }
 
-    util::Stopwatch attempt_clock;
-    AttemptResult attempt = run_attempt(shard, snapshot);
-    const double busy = attempt_clock.elapsed_seconds();
-
-    std::lock_guard<std::mutex> lock(mutex_);
-    shard.busy_seconds += busy;
-    --running_;
-    auto it = records_.find(snapshot.id);
-    if (it == records_.end()) continue;
-    CaseRecord& record = it->second;
-
-    if (stopping_ && attempt.kind != AttemptResult::Kind::Success) {
-      finalize_locked(record, shard, CaseState::Failed, attempt.reply);
-      record.outcome.error = "engine shutdown";
-      continue;
+    case Shard::Phase::Drain: {
+      // Flush anything a previous (possibly abandoned) case left on the
+      // calendar before the fresh attempt starts.
+      if (sim.run(config_.events_per_slice) == 0 ||
+          ++shard.slices >= config_.max_slices_per_case) {
+        begin_enact(shard);
+      }
+      return true;
     }
-    switch (attempt.kind) {
-      case AttemptResult::Kind::Cancelled:
-        finalize_locked(record, shard, CaseState::Cancelled, attempt.reply);
-        record.outcome.error = "cancelled while running";
-        break;
-      case AttemptResult::Kind::Success:
-        finalize_locked(record, shard, CaseState::Completed, attempt.reply);
-        break;
-      case AttemptResult::Kind::Failure:
-        if (record.retries_used < config_.max_case_retries && !record.cancel_requested) {
-          ++record.retries_used;
-          ++retried_total_;
-          if (!attempt.checkpoint_xml.empty())
-            record.checkpoint_xml = std::move(attempt.checkpoint_xml);
-          if (shards_.size() > 1) {
-            // Prefer a different shard; never strand the case when the
-            // exclusion set would cover the whole fleet.
-            record.excluded_shards.insert(shard.index);
-            if (record.excluded_shards.size() >= shards_.size())
-              record.excluded_shards.clear();
-          }
-          admit_locked(record);
-          work_available_.notify_all();
-        } else {
-          finalize_locked(record, shard, CaseState::Failed, attempt.reply);
+
+    case Shard::Phase::Enact: {
+      if (cancel_requested(shard.snapshot.id)) {
+        shard.attempt.kind = AttemptResult::Kind::Cancelled;
+        return complete_attempt(shard);
+      }
+      const std::size_t executed = sim.run(config_.events_per_slice);
+      std::optional<AclMessage> reply = shard.client->take(shard.conversation);
+      if (!reply.has_value()) {
+        if (executed == 0 || ++shard.slices >= config_.max_slices_per_case) {
+          // Calendar drained (or budget blown) without an answer: stalled.
+          shard.attempt.kind = AttemptResult::Kind::Failure;
+          shard.attempt.reply.params["error"] = "enactment stalled (no completion reply)";
+          return complete_attempt(shard);
         }
-        break;
+        return true;
+      }
+      shard.attempt.reply = *reply;
+      const bool success = reply->performative == Performative::Inform &&
+                           reply->param_bool("success", true);
+      if (success) {
+        shard.attempt.kind = AttemptResult::Kind::Success;
+        return complete_attempt(shard);
+      }
+      shard.attempt.kind = AttemptResult::Kind::Failure;
+      // Snapshot the failed enactment so a retry on another shard replays
+      // the work that did complete. The reply names the coordinator's local
+      // case id; submissions rejected before an enactment existed (e.g.
+      // invalid XML) carry none, and then the retry resubmits from scratch.
+      const std::string local_case = reply->param("case");
+      if (local_case.empty() || shard.snapshot.retries_used >= config_.max_case_retries)
+        return complete_attempt(shard);
+      AclMessage checkpoint;
+      checkpoint.performative = Performative::Request;
+      checkpoint.receiver = svc::names::kCoordination;
+      checkpoint.protocol = svc::protocols::kCheckpointCase;
+      checkpoint.conversation_id = shard.conversation + "/checkpoint";
+      checkpoint.params["case"] = local_case;
+      shard.client->post(std::move(checkpoint));
+      shard.phase = Shard::Phase::Checkpoint;
+      shard.slices = 0;
+      return true;
+    }
+
+    case Shard::Phase::Checkpoint: {
+      const std::size_t executed = sim.run(config_.events_per_slice);
+      auto snapshot_reply = shard.client->take(shard.conversation + "/checkpoint");
+      if (snapshot_reply.has_value()) {
+        if (snapshot_reply->performative == Performative::Inform)
+          shard.attempt.checkpoint_xml = snapshot_reply->content;
+        return complete_attempt(shard);
+      }
+      if (executed == 0 || ++shard.slices >= config_.max_slices_per_case)
+        return complete_attempt(shard);
+      return true;
     }
   }
+  return false;  // unreachable
 }
 
-EnactmentEngine::AttemptResult EnactmentEngine::run_attempt(Shard& shard,
-                                                            const CaseRecord& snapshot) {
-  AttemptResult result;
+void EnactmentEngine::begin_enact(Shard& shard) {
   svc::Environment& environment = *shard.environment;
-  grid::Simulation& sim = environment.sim();
-
-  // Drain anything a previous (possibly abandoned) case left on the
-  // calendar, then give this case a fresh kernel state.
-  for (std::size_t i = 0; i < config_.max_slices_per_case; ++i) {
-    if (sim.run(config_.events_per_slice) == 0) break;
-  }
+  // Drain done: give this case a fresh kernel state.
   environment.kernels().reset();
 
-  const std::string conversation = "engine/" + std::to_string(snapshot.id) + "/" +
-                                   std::to_string(snapshot.retries_used);
   AclMessage request;
   request.performative = Performative::Request;
   request.receiver = svc::names::kCoordination;
-  request.conversation_id = conversation;
-  if (snapshot.checkpoint_xml.empty()) {
+  request.conversation_id = shard.conversation;
+  if (shard.snapshot.checkpoint_xml.empty()) {
     request.protocol = svc::protocols::kEnactCase;
-    request.content = snapshot.process_xml;
-    request.params["case-xml"] = snapshot.case_xml;
+    request.content = shard.snapshot.process_xml;
+    request.params["case-xml"] = shard.snapshot.case_xml;
   } else {
     // Retry from the failed attempt's snapshot: completed activities replay,
     // and the new shard gets a full re-planning budget again.
     request.protocol = svc::protocols::kRestoreCase;
-    request.content = snapshot.checkpoint_xml;
+    request.content = shard.snapshot.checkpoint_xml;
     request.params["reset-replans"] = "true";
   }
   shard.client->post(std::move(request));
+  shard.phase = Shard::Phase::Enact;
+  shard.slices = 0;
+}
 
-  std::optional<AclMessage> reply;
-  for (std::size_t slice = 0; slice < config_.max_slices_per_case; ++slice) {
-    if (cancel_requested(snapshot.id)) {
-      result.kind = AttemptResult::Kind::Cancelled;
-      return result;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) break;
-    }
-    const std::size_t executed = sim.run(config_.events_per_slice);
-    reply = shard.client->take(conversation);
-    if (reply.has_value()) break;
-    if (executed == 0) break;  // calendar drained without an answer: stalled
-  }
-  if (!reply.has_value()) {
-    result.kind = AttemptResult::Kind::Failure;
-    result.reply.params["error"] = "enactment stalled (no completion reply)";
-    return result;
-  }
+bool EnactmentEngine::complete_attempt(Shard& shard) {
+  AttemptResult attempt = std::move(shard.attempt);
+  shard.attempt = AttemptResult{};
+  shard.phase = Shard::Phase::Idle;
 
-  result.reply = *reply;
-  const bool success = reply->performative == Performative::Inform &&
-                       reply->param_bool("success", true);
-  if (success) {
-    result.kind = AttemptResult::Kind::Success;
-    return result;
-  }
-  result.kind = AttemptResult::Kind::Failure;
-
-  // Snapshot the failed enactment so a retry on another shard replays the
-  // work that did complete. The reply names the coordinator's local case id;
-  // submissions rejected before an enactment existed (e.g. invalid XML)
-  // carry none, and then the retry simply resubmits from scratch.
-  const std::string local_case = reply->param("case");
-  if (local_case.empty() || snapshot.retries_used >= config_.max_case_retries) return result;
-  AclMessage checkpoint;
-  checkpoint.performative = Performative::Request;
-  checkpoint.receiver = svc::names::kCoordination;
-  checkpoint.protocol = svc::protocols::kCheckpointCase;
-  checkpoint.conversation_id = conversation + "/checkpoint";
-  checkpoint.params["case"] = local_case;
-  shard.client->post(std::move(checkpoint));
-  for (std::size_t slice = 0; slice < config_.max_slices_per_case; ++slice) {
-    const std::size_t executed = sim.run(config_.events_per_slice);
-    auto snapshot_reply = shard.client->take(conversation + "/checkpoint");
-    if (snapshot_reply.has_value()) {
-      if (snapshot_reply->performative == Performative::Inform)
-        result.checkpoint_xml = snapshot_reply->content;
-      break;
+  std::vector<Shard*> to_pump;
+  bool again = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --running_;
+    auto it = records_.find(shard.snapshot.id);
+    if (it != records_.end()) {
+      CaseRecord& record = it->second;
+      if (stopping_ && attempt.kind != AttemptResult::Kind::Success) {
+        finalize_locked(record, shard, CaseState::Failed, attempt.reply);
+        record.outcome.error = "engine shutdown";
+      } else {
+        switch (attempt.kind) {
+          case AttemptResult::Kind::Cancelled:
+            finalize_locked(record, shard, CaseState::Cancelled, attempt.reply);
+            record.outcome.error = "cancelled while running";
+            break;
+          case AttemptResult::Kind::Success:
+            finalize_locked(record, shard, CaseState::Completed, attempt.reply);
+            break;
+          case AttemptResult::Kind::Failure:
+            if (record.retries_used < config_.max_case_retries && !record.cancel_requested) {
+              ++record.retries_used;
+              ++retried_total_;
+              if (!attempt.checkpoint_xml.empty())
+                record.checkpoint_xml = std::move(attempt.checkpoint_xml);
+              if (shards_.size() > 1) {
+                // Prefer a different shard; never strand the case when the
+                // exclusion set would cover the whole fleet.
+                record.excluded_shards.insert(shard.index);
+                if (record.excluded_shards.size() >= shards_.size())
+                  record.excluded_shards.clear();
+              }
+              admit_locked(record);
+              // The readmitted case excludes this shard, so another shard's
+              // stream must pick it up; this shard keeps pumping via its own
+              // repost (its pump_scheduled is still set, so it is skipped).
+              to_pump = claim_idle_pumps_locked();
+            } else {
+              finalize_locked(record, shard, CaseState::Failed, attempt.reply);
+            }
+            break;
+        }
+      }
     }
-    if (executed == 0) break;
+    if (stopping_) {
+      shard.pump_scheduled = false;
+      again = false;
+    }
   }
-  return result;
+  for (Shard* other : to_pump) post_pump(*other);
+  return again;
 }
 
 void EnactmentEngine::finalize_locked(CaseRecord& record, Shard& shard, CaseState state,

@@ -2,13 +2,18 @@
 //
 // The coordination service enacts one case at a time on one agent platform;
 // the engine turns that single-case machine into a throughput machine. It
-// owns N worker *shards*, each a private `svc::Environment` (simulation +
-// agent platform + the full Figure 1 service stack) driven by exactly one
-// worker thread, so the virtual-clock substrate stays single-threaded per
-// shard and none of the existing services need locks. Cases flow through a
-// bounded admission queue with round-robin per-tenant fairness; a full
-// queue rejects new submissions (backpressure) instead of buffering without
-// bound.
+// owns N *shards*, each a private `svc::Environment` (simulation + agent
+// platform + the full Figure 1 service stack). Shards no longer own
+// threads: each shard is an affinity-pinned *job stream* on the shared
+// work-stealing `sched::JobSystem` — a chain of pump jobs where each job
+// advances the shard's enactment by one slice of simulation events and
+// reposts itself. At most one pump job per shard is ever in flight, so the
+// virtual-clock substrate stays single-threaded per shard and none of the
+// existing services need locks; but because the slices are ordinary jobs,
+// an idle shard's worker steals another shard's case steps instead of
+// sleeping next to a backlog. Cases flow through a bounded admission queue
+// with round-robin per-tenant fairness; a full queue rejects new
+// submissions (backpressure) instead of buffering without bound.
 //
 // Lifecycle: `submit` -> Queued -> Running -> {Completed | Failed |
 // Cancelled}; a full queue yields Rejected without creating a case. A
@@ -41,6 +46,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "sched/job_system.hpp"
 #include "services/environment.hpp"
 #include "wfl/case_description.hpp"
 #include "wfl/process.hpp"
@@ -63,7 +69,12 @@ using CaseId = std::uint64_t;
 inline constexpr CaseId kInvalidCase = 0;
 
 struct EngineConfig {
-  std::size_t shards = 2;          ///< worker shards, each a private environment
+  std::size_t shards = 2;          ///< shards, each a private environment
+  /// Job-system workers shared by every shard's pump stream. 0 = one per
+  /// shard (the old thread-per-shard concurrency). Fewer workers than
+  /// shards time-slices the shard streams over the pool via stealing; more
+  /// buys nothing (a shard's stream is serialized on itself).
+  std::size_t workers = 0;
   std::size_t queue_capacity = 64; ///< admission bound across all tenants
   int max_case_retries = 1;        ///< checkpoint/restore re-admissions per case
   std::uint64_t seed = 42;         ///< root of every shard's derived seed
@@ -133,6 +144,11 @@ struct EngineMetrics {
   std::size_t containers_recovered = 0;  ///< circuit-breaker readmissions, all shards
   std::size_t queue_depth = 0;
   std::size_t running = 0;
+  // -- shared job-system view (see sched::JobStats for semantics) --
+  std::size_t jobs_executed = 0;   ///< pump jobs run across all shards
+  std::size_t jobs_stolen = 0;     ///< pump jobs that migrated off their home worker
+  std::size_t steal_attempts = 0;
+  double steal_rate = 0.0;         ///< stolen / executed
   double latency_p50 = 0.0;  ///< seconds, over terminal cases
   double latency_p90 = 0.0;
   double latency_p99 = 0.0;
@@ -151,6 +167,7 @@ class EnactmentEngine {
 
   const EngineConfig& config() const noexcept { return config_; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t worker_count() const noexcept { return jobs_ ? jobs_->size() : 0; }
 
   /// Queues a case for enactment. Returns kInvalidCase (and counts a
   /// rejection) when the admission queue is full or the engine is shutting
@@ -215,12 +232,21 @@ class EnactmentEngine {
     CaseOutcome outcome;
   };
 
-  struct Shard;  // worker thread + private environment (engine.cpp)
+  struct Shard;  // private environment + pump state machine (engine.cpp)
 
   struct AttemptResult;  // what one enactment attempt produced (engine.cpp)
 
-  void shard_loop(Shard& shard);
-  AttemptResult run_attempt(Shard& shard, const CaseRecord& snapshot);
+  /// One link of a shard's job stream: advances the shard's state machine by
+  /// one step and reposts itself while there is work. At most one pump job
+  /// per shard is in flight (guarded by Shard::pump_scheduled).
+  void pump(Shard& shard);
+  bool step(Shard& shard);  ///< returns false when the stream goes idle
+  void begin_enact(Shard& shard);
+  bool complete_attempt(Shard& shard);
+  void post_pump(Shard& shard);
+  /// Marks every shard without an in-flight pump as scheduled and returns
+  /// them; the caller posts the jobs after releasing the mutex.
+  std::vector<Shard*> claim_idle_pumps_locked();
   void admit_locked(CaseRecord& record);
   std::optional<CaseId> pop_for_shard_locked(std::size_t shard_index);
   void finalize_locked(CaseRecord& record, Shard& shard, CaseState state,
@@ -229,7 +255,6 @@ class EnactmentEngine {
 
   EngineConfig config_;
   mutable std::mutex mutex_;
-  std::condition_variable work_available_;
   std::condition_variable case_terminal_;
   bool stopping_ = false;
 
@@ -255,6 +280,11 @@ class EnactmentEngine {
   std::chrono::steady_clock::time_point started_at_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Shared worker pool under every shard's pump stream. Declared after
+  /// shards_ (and reset in shutdown()) so in-flight pump jobs never outlive
+  /// the shards they reference.
+  std::unique_ptr<sched::JobSystem> jobs_;
+  sched::JobStats final_job_stats_;  ///< captured just before shutdown's drain
 };
 
 }  // namespace ig::engine

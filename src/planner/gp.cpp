@@ -30,12 +30,23 @@ util::Rng stream_rng(const GpConfig& config, std::uint64_t generation, std::uint
 
 GpResult run_gp(const PlanningProblem& problem, const GpConfig& config) {
   const std::size_t threads =
-      config.threads == 0 ? util::ThreadPool::hardware_threads() : config.threads;
+      config.threads == 0 ? sched::JobSystem::hardware_threads() : config.threads;
   PlanEvaluator evaluator(problem, config.evaluation, threads);
+  // The work-stealing job system is the production scheduler; the legacy
+  // pool stays constructible so the parallel bench can A/B them. With one
+  // thread everything runs inline on the caller (worker id 0).
+  std::optional<sched::JobSystem> jobs;
   std::optional<util::ThreadPool> pool;
-  if (threads > 1) pool.emplace(threads);
+  if (threads > 1) {
+    if (config.scheduler == GpScheduler::LegacyPool)
+      pool.emplace(threads);
+    else
+      jobs.emplace(threads);
+  }
   const auto for_each = [&](std::size_t count, auto&& fn) {
-    if (pool)
+    if (jobs)
+      jobs->parallel_for(count, fn);
+    else if (pool)
       pool->parallel_for(count, fn);
     else
       for (std::size_t index = 0; index < count; ++index) fn(index, 0);
@@ -131,6 +142,7 @@ GpResult run_gp(const PlanningProblem& problem, const GpConfig& config) {
 
   result.evaluations = evaluator.evaluations();
   result.memo_hits = evaluator.memo_hits();
+  if (jobs) result.scheduler_stats = jobs->stats();
   return result;
 }
 

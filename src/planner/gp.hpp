@@ -16,9 +16,16 @@
 #include "planner/operators.hpp"
 #include "planner/plan_tree.hpp"
 #include "planner/problem.hpp"
+#include "sched/job_system.hpp"
 #include "util/rng.hpp"
 
 namespace ig::planner {
+
+/// Which scheduler drives the data-parallel GP loops. JobSystem is the
+/// production path (work-stealing, chunked parallel_for); LegacyPool keeps
+/// the old util::ThreadPool reachable so bench_planner_parallel can A/B the
+/// two on identical work. Both are bitwise-deterministic.
+enum class GpScheduler { JobSystem, LegacyPool };
 
 /// Table 1's parameter settings, as defaults.
 struct GpConfig {
@@ -44,6 +51,8 @@ struct GpConfig {
   /// (seed, generation, index), so the result is bitwise-identical at any
   /// thread count — `threads` is purely a wall-clock knob.
   std::size_t threads = 0;
+  /// Benchmarking knob; see GpScheduler. Leave at JobSystem.
+  GpScheduler scheduler = GpScheduler::JobSystem;
 };
 
 /// Per-generation progress sample.
@@ -68,6 +77,10 @@ struct GpResult {
   std::size_t memo_hits = 0;
   /// Worker threads actually used (resolves the config's 0 = auto).
   std::size_t threads_used = 1;
+  /// Job-system counters for the run (all zero on the serial and legacy-pool
+  /// paths). Scheduling-dependent — how much was stolen varies with timing —
+  /// unlike every result field above.
+  sched::JobStats scheduler_stats;
 };
 
 /// Runs the GP planner on one problem. Deterministic given config.seed:

@@ -1,0 +1,308 @@
+#include "sched/job_system.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace ig::sched {
+
+namespace {
+
+/// Identifies the calling thread as a worker of one JobSystem. A nested
+/// system (a job that builds its own JobSystem) spawns fresh threads, so
+/// one slot per thread is enough.
+struct WorkerIdentity {
+  const JobSystem* system = nullptr;
+  std::size_t id = JobSystem::kAnyWorker;
+};
+
+thread_local WorkerIdentity tls_identity;
+
+}  // namespace
+
+JobSystem::JobSystem(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t id = 0; id < workers; ++id) workers_.push_back(std::make_unique<Worker>());
+  for (std::size_t id = 0; id < workers; ++id)
+    workers_[id]->thread = std::thread([this, id] { worker_loop(id); });
+}
+
+JobSystem::~JobSystem() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+std::size_t JobSystem::hardware_threads() noexcept {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<std::size_t>(reported);
+}
+
+std::size_t JobSystem::current_worker() const noexcept {
+  return tls_identity.system == this ? tls_identity.id : kAnyWorker;
+}
+
+void JobSystem::post(Job job, std::size_t affinity) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  std::size_t target;
+  if (affinity != kAnyWorker) {
+    target = affinity % workers_.size();
+  } else {
+    const std::size_t self = current_worker();
+    // A worker posting without a hint keeps the job local (it is the warmest
+    // place); external threads round-robin across the deques.
+    target = self != kAnyWorker
+                 ? self
+                 : next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  }
+  push_to(target, std::move(job));
+}
+
+void JobSystem::push_to(std::size_t target, Job job) {
+  Worker& worker = *workers_[target];
+  bool was_parked = false;
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.deque.push_back(std::move(job));
+    was_parked = worker.parked;
+    depth = worker.deque.size();
+    if (was_parked) worker.cv.notify_one();
+  }
+  // The target is busy and its backlog is growing: poke one parked
+  // neighbour to come steal instead of letting it sleep through the load.
+  if (!was_parked && depth > 1) wake_one_thief(target);
+}
+
+void JobSystem::wake_one_thief(std::size_t except) {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (i == except) continue;
+    Worker& worker = *workers_[i];
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.parked && !worker.poked) {
+      worker.poked = true;
+      worker.cv.notify_one();
+      return;
+    }
+  }
+}
+
+bool JobSystem::try_pop_local(Worker& self, Job& job) {
+  std::lock_guard<std::mutex> lock(self.mutex);
+  if (self.deque.empty()) return false;
+  job = std::move(self.deque.back());  // LIFO: newest first, still cache-warm
+  self.deque.pop_back();
+  return true;
+}
+
+bool JobSystem::try_steal(std::size_t thief, Job& job) {
+  Worker& self = *workers_[thief];
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(thief + k) % n];
+    std::vector<Job> batch;
+    {
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      self.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      if (victim.deque.empty()) {
+        self.steal_failures.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Steal-half from the FIFO end: the oldest jobs are the coldest on the
+      // victim, and moving a batch repairs an imbalance in one probe.
+      const std::size_t take = (victim.deque.size() + 1) / 2;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(victim.deque.front()));
+        victim.deque.pop_front();
+      }
+    }
+    self.stolen.fetch_add(batch.size(), std::memory_order_relaxed);
+    job = std::move(batch.front());
+    if (batch.size() > 1) {
+      {
+        std::lock_guard<std::mutex> lock(self.mutex);
+        for (std::size_t i = 1; i < batch.size(); ++i)
+          self.deque.push_back(std::move(batch[i]));
+      }
+      // We now hold a backlog of our own; recruit another sleeper for it.
+      wake_one_thief(thief);
+    }
+    return true;
+  }
+  return false;
+}
+
+void JobSystem::run_job(Worker& self, Job& job) {
+  try {
+    job();
+  } catch (...) {
+    // post() jobs are fire-and-forget; a future-bearing submit() never gets
+    // here (packaged_task captures). Swallow, count, and keep the worker.
+    swallowed_.fetch_add(1, std::memory_order_relaxed);
+    IG_LOG_WARN("sched") << "job exception swallowed (use submit() to propagate)";
+  }
+  job = nullptr;  // release captures before signalling idle
+  self.executed.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+void JobSystem::worker_loop(std::size_t id) {
+  tls_identity = {this, id};
+  Worker& self = *workers_[id];
+  for (;;) {
+    Job job;
+    if (try_pop_local(self, job) || try_steal(id, job)) {
+      run_job(self, job);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(self.mutex);
+    if (!self.deque.empty()) continue;  // arrived between the scan and the lock
+    if (self.poked) {
+      self.poked = false;  // a victim has work: rescan for it
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;  // every deque drained
+    self.parked = true;
+    self.parks.fetch_add(1, std::memory_order_relaxed);
+    self.cv.wait(lock, [&] {
+      return !self.deque.empty() || self.poked ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    self.parked = false;
+    self.poked = false;
+    self.unparks.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void JobSystem::parallel_for(std::size_t count,
+                             const std::function<void(std::size_t, std::size_t)>& fn,
+                             std::size_t min_chunk) {
+  if (count == 0) return;
+  if (min_chunk == 0) min_chunk = 1;
+
+  struct LoopState {
+    std::atomic<std::size_t> remaining{0};
+    std::mutex done_mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  // A few chunks per worker keeps stealing able to rebalance a tail without
+  // paying per-index dispatch.
+  const std::size_t n = workers_.size();
+  const std::size_t target_chunks = std::max<std::size_t>(1, n * 4);
+  const std::size_t chunk =
+      std::max(min_chunk, (count + target_chunks - 1) / target_chunks);
+  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+  state->remaining.store(num_chunks, std::memory_order_relaxed);
+
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(begin + chunk, count);
+    // Block distribution: adjacent chunks start on the same worker, so the
+    // no-steal schedule touches contiguous indices per worker.
+    const std::size_t home = num_chunks > 1 ? c * n / num_chunks : 0;
+    post(
+        [state, &fn, begin, end, this] {
+          const std::size_t worker = current_worker();
+          try {
+            for (std::size_t index = begin; index < end; ++index) fn(index, worker);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(state->error_mutex);
+            if (!state->error) state->error = std::current_exception();
+          }
+          if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(state->done_mutex);
+            state->done.notify_all();
+          }
+        },
+        home);
+  }
+
+  const std::size_t self_id = current_worker();
+  if (self_id != kAnyWorker) {
+    // Called from inside a job: help drain instead of blocking the worker
+    // (blocking could deadlock a one-worker system).
+    Worker& self = *workers_[self_id];
+    while (state->remaining.load(std::memory_order_acquire) > 0) {
+      Job job;
+      if (try_pop_local(self, job) || try_steal(self_id, job))
+        run_job(self, job);
+      else
+        std::this_thread::yield();  // chunks are finishing on other workers
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done.wait(lock, [&] {
+      return state->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void JobSystem::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock,
+                [&] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+JobStats JobSystem::stats() const {
+  JobStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) {
+    stats.executed += worker->executed.load(std::memory_order_relaxed);
+    stats.stolen += worker->stolen.load(std::memory_order_relaxed);
+    stats.steal_attempts += worker->steal_attempts.load(std::memory_order_relaxed);
+    stats.steal_failures += worker->steal_failures.load(std::memory_order_relaxed);
+    stats.parks += worker->parks.load(std::memory_order_relaxed);
+    stats.unparks += worker->unparks.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+std::vector<std::size_t> JobSystem::queue_depths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    depths.push_back(worker->deque.size());
+  }
+  return depths;
+}
+
+void JobSystem::publish_metrics(obs::MetricsRegistry& registry,
+                                const obs::Labels& labels) const {
+  const JobStats stats = this->stats();
+  registry.counter("sched_jobs_submitted_total", labels).set_to(stats.submitted);
+  registry.counter("sched_jobs_executed_total", labels).set_to(stats.executed);
+  registry.counter("sched_jobs_stolen_total", labels).set_to(stats.stolen);
+  registry.counter("sched_steal_attempts_total", labels).set_to(stats.steal_attempts);
+  registry.counter("sched_steal_failures_total", labels).set_to(stats.steal_failures);
+  registry.counter("sched_parks_total", labels).set_to(stats.parks);
+  registry.counter("sched_unparks_total", labels).set_to(stats.unparks);
+  registry.gauge("sched_workers", labels).set(static_cast<double>(workers_.size()));
+  const std::vector<std::size_t> depths = queue_depths();
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    obs::Labels worker_labels = labels;
+    worker_labels.emplace_back("worker", std::to_string(i));
+    registry.gauge("sched_queue_depth", worker_labels)
+        .set(static_cast<double>(depths[i]));
+  }
+}
+
+}  // namespace ig::sched

@@ -1,17 +1,19 @@
-// A fixed-size worker pool for data-parallel loops.
+// A fixed-size worker pool for data-parallel loops. LEGACY: production
+// callers have moved to the work-stealing `sched::JobSystem`; this pool is
+// kept (with its `parallel_for` contention bug fixed by chunking the atomic
+// cursor) as the A/B baseline for bench_planner_parallel and its own test.
+// Grow new code on the job system, not here.
 //
-// The planner's hot loop evaluates hundreds of independent plan trees per
-// generation; this pool turns that into `parallel_for` over the population.
 // Design points:
 //
 //   * Workers are created once and keep stable ids in [0, size()); callers
 //     that shard per-worker state (e.g. the evaluator's output caches) index
 //     it by the id passed to their callback.
-//   * `parallel_for` hands indices to workers one at a time through an
-//     atomic cursor, so uneven per-item cost (memo hits vs. full
-//     simulations) balances automatically. Results must be keyed by index;
-//     the pool guarantees every index runs exactly once, not in which order
-//     or on which worker.
+//   * `parallel_for` hands *chunks* of indices to workers through an atomic
+//     cursor, so uneven per-item cost (memo hits vs. full simulations)
+//     balances automatically without per-index cursor traffic. Results must
+//     be keyed by index; the pool guarantees every index runs exactly once,
+//     not in which order or on which worker.
 //   * `submit` runs one task and returns a future, for coarse-grained jobs
 //     such as the bench harness's independent seeded GP runs.
 #pragma once
