@@ -138,14 +138,12 @@ void EnactmentEngine::shutdown() {
   case_terminal_.notify_all();
   // Drain the in-flight pump jobs: each sees stopping_, finalizes its
   // running attempt as Failed ("engine shutdown"), and does not repost.
-  // Queued cases stay Queued. The counters survive for metrics().
+  // Queued cases stay Queued. The counters survive for metrics(). The job
+  // system itself is NOT torn down here: submit() is thread-safe and may
+  // race this drain, posting a pump just after wait_idle() returns — that
+  // post needs a live JobSystem to land on (the pump then sees stopping_
+  // and no-ops). jobs_ dies with the engine, whose destructor drains again.
   jobs_->wait_idle();
-  {
-    // Under the mutex so a concurrent metrics() never sees jobs_ mid-reset.
-    std::lock_guard<std::mutex> lock(mutex_);
-    final_job_stats_ = jobs_->stats();
-    jobs_.reset();
-  }
 }
 
 CaseId EnactmentEngine::submit(const wfl::ProcessDescription& process,
@@ -177,7 +175,9 @@ CaseId EnactmentEngine::submit_xml(std::string process_xml, std::string case_xml
     to_pump = claim_idle_pumps_locked();
   }
   // Posting outside the engine mutex: a pump job can start (and take the
-  // mutex) before we would have released it.
+  // mutex) before we would have released it. A shutdown() racing these
+  // posts is safe — jobs_ stays alive until the engine is destroyed, and
+  // the pumps themselves observe stopping_ and no-op.
   for (Shard* shard : to_pump) post_pump(*shard);
   return id;
 }
@@ -319,7 +319,7 @@ EngineMetrics EnactmentEngine::metrics() const {
   snapshot.retried = retried_total_;
   snapshot.queue_depth = queued_;
   snapshot.running = running_;
-  const sched::JobStats job_stats = jobs_ ? jobs_->stats() : final_job_stats_;
+  const sched::JobStats job_stats = jobs_->stats();
   snapshot.jobs_executed = job_stats.executed;
   snapshot.jobs_stolen = job_stats.stolen;
   snapshot.steal_attempts = job_stats.steal_attempts;
@@ -378,7 +378,7 @@ EngineMetrics EnactmentEngine::metrics() const {
   registry_.gauge("engine_cases_running").set(static_cast<double>(snapshot.running));
   registry_.gauge("engine_uptime_seconds").set(snapshot.uptime_seconds);
   registry_.gauge("engine_completed_per_second").set(snapshot.completed_per_second);
-  if (jobs_) jobs_->publish_metrics(registry_);
+  jobs_->publish_metrics(registry_);
   return snapshot;
 }
 

@@ -167,7 +167,7 @@ class EnactmentEngine {
 
   const EngineConfig& config() const noexcept { return config_; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
-  std::size_t worker_count() const noexcept { return jobs_ ? jobs_->size() : 0; }
+  std::size_t worker_count() const noexcept { return jobs_->size(); }
 
   /// Queues a case for enactment. Returns kInvalidCase (and counts a
   /// rejection) when the admission queue is full or the engine is shutting
@@ -197,8 +197,10 @@ class EnactmentEngine {
   /// Blocks until every admitted case is terminal.
   void drain();
 
-  /// Stops the shard workers. Queued cases stay Queued; running attempts are
-  /// abandoned and marked Failed. Idempotent.
+  /// Stops the shard pump streams and drains their in-flight jobs (the
+  /// worker pool itself survives until destruction, so racing submits stay
+  /// safe). Queued cases stay Queued; running attempts are abandoned and
+  /// marked Failed. Idempotent.
   void shutdown();
 
   EngineMetrics metrics() const;
@@ -281,10 +283,11 @@ class EnactmentEngine {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Shared worker pool under every shard's pump stream. Declared after
-  /// shards_ (and reset in shutdown()) so in-flight pump jobs never outlive
-  /// the shards they reference.
+  /// shards_ so in-flight pump jobs never outlive the shards they
+  /// reference, and kept alive through shutdown() (which only drains it):
+  /// a submit() racing shutdown may post a pump after the drain, and that
+  /// post needs a live JobSystem — the pump then sees stopping_ and no-ops.
   std::unique_ptr<sched::JobSystem> jobs_;
-  sched::JobStats final_job_stats_;  ///< captured just before shutdown's drain
 };
 
 }  // namespace ig::engine

@@ -1,6 +1,7 @@
 #include "sched/job_system.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <string>
 
@@ -68,19 +69,35 @@ void JobSystem::post(Job job, std::size_t affinity) {
 }
 
 void JobSystem::push_to(std::size_t target, Job job) {
-  Worker& worker = *workers_[target];
-  bool was_parked = false;
-  std::size_t depth = 0;
-  {
-    std::lock_guard<std::mutex> lock(worker.mutex);
-    worker.deque.push_back(std::move(job));
-    was_parked = worker.parked;
-    depth = worker.deque.size();
-    if (was_parked) worker.cv.notify_one();
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t slot = (target + k) % n;
+    Worker& worker = *workers_[slot];
+    bool was_parked = false;
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      // During the destructor's drain a worker exits once its own deque is
+      // empty; a job landing there afterwards would never run (stranding
+      // pending_ above zero). The exited flag and the owner's final deque
+      // check share this mutex, so a job either lands before the owner's
+      // last look — and runs — or moves on to a still-live worker.
+      if (worker.exited) continue;
+      worker.deque.push_back(std::move(job));
+      was_parked = worker.parked;
+      depth = worker.deque.size();
+      if (was_parked) worker.cv.notify_one();
+    }
+    // The target is busy and its backlog is growing: poke one parked
+    // neighbour to come steal instead of letting it sleep through the load.
+    if (!was_parked && depth > 1) wake_one_thief(slot);
+    return;
   }
-  // The target is busy and its backlog is growing: poke one parked
-  // neighbour to come steal instead of letting it sleep through the load.
-  if (!was_parked && depth > 1) wake_one_thief(target);
+  // Every worker has already exited — only reachable when an external thread
+  // posts while the destructor runs (a job posting from inside a worker
+  // keeps that worker live). Run inline so the job is not dropped and
+  // pending_ still reaches zero.
+  run_job(*workers_[target % n], job);
 }
 
 void JobSystem::wake_one_thief(std::size_t except) {
@@ -174,7 +191,13 @@ void JobSystem::worker_loop(std::size_t id) {
       self.poked = false;  // a victim has work: rescan for it
       continue;
     }
-    if (stopping_.load(std::memory_order_acquire)) return;  // every deque drained
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Own deque drained. Mark the exit under the same mutex push_to
+      // locks, so late hinted posts from still-running jobs redirect to a
+      // live worker instead of landing here unseen.
+      self.exited = true;
+      return;
+    }
     self.parked = true;
     self.parks.fetch_add(1, std::memory_order_relaxed);
     self.cv.wait(lock, [&] {
@@ -241,10 +264,18 @@ void JobSystem::parallel_for(std::size_t count,
     Worker& self = *workers_[self_id];
     while (state->remaining.load(std::memory_order_acquire) > 0) {
       Job job;
-      if (try_pop_local(self, job) || try_steal(self_id, job))
+      if (try_pop_local(self, job) || try_steal(self_id, job)) {
         run_job(self, job);
-      else
-        std::this_thread::yield();  // chunks are finishing on other workers
+        continue;
+      }
+      // Nothing left to help with: the final chunks are running on other
+      // workers. Park on the loop's done condition instead of burning the
+      // core; the short timeout re-opens the pop/steal scan in case new
+      // work (another nested loop's chunks) lands meanwhile.
+      std::unique_lock<std::mutex> lock(state->done_mutex);
+      state->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return state->remaining.load(std::memory_order_acquire) == 0;
+      });
     }
   } else {
     std::unique_lock<std::mutex> lock(state->done_mutex);

@@ -151,6 +151,7 @@ class JobSystem {
     std::condition_variable cv;  ///< parked here when idle
     bool parked = false;         ///< under mutex
     bool poked = false;          ///< "wake up and steal", under mutex
+    bool exited = false;         ///< thread returned during drain; under mutex
     std::thread thread;
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> stolen{0};

@@ -390,5 +390,29 @@ TEST(Engine, ShutdownIsIdempotentAndStopsWorkers) {
   engine.reset();  // destructor after explicit shutdown must be safe
 }
 
+TEST(Engine, SubmitRacingShutdownIsSafe) {
+  // Regression: submit posts its pump jobs after releasing the engine
+  // mutex. A concurrent shutdown() used to reset the job system inside
+  // that window, so the racing post dereferenced null (or joined against a
+  // pump blocked on the engine mutex). The pool now lives until the engine
+  // is destroyed and a late pump just observes stopping_ and no-ops.
+  for (int round = 0; round < 5; ++round) {
+    EnactmentEngine engine(small_config(2));
+    std::atomic<bool> stop{false};
+    std::thread submitter([&] {
+      while (!stop.load())
+        engine.submit(virolab::make_fig10_process(), virolab::make_case_description());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    engine.shutdown();
+    stop.store(true);
+    submitter.join();
+    // The engine must still answer queries consistently after the race.
+    const EngineMetrics metrics = engine.metrics();
+    EXPECT_EQ(metrics.running, 0u);
+    EXPECT_GE(metrics.submitted + metrics.rejected, 1u);
+  }
+}
+
 }  // namespace
 }  // namespace ig::engine

@@ -173,6 +173,37 @@ TEST(JobSystem, JobsPostedDuringDrainStillExecute) {
   EXPECT_EQ(runs.load(), 1);
 }
 
+TEST(JobSystem, HintedPostDuringDrainRedirectsOffExitedWorkers) {
+  // A job still running during the destructor's drain posts with affinity
+  // hints naming workers that have (very likely) already exited; each job
+  // must land on a live deque and run instead of being stranded on a dead
+  // one, which would also wedge pending_ above zero and hang the join.
+  std::atomic<int> runs{0};
+  std::atomic<bool> blocker_started{false};
+  std::atomic<bool> release{false};
+  std::thread releaser;
+  {
+    sched::JobSystem jobs(4);
+    jobs.post(
+        [&] {
+          blocker_started.store(true);
+          while (!release.load()) std::this_thread::yield();
+          for (std::size_t hint = 1; hint < 4; ++hint)
+            jobs.post([&] { runs.fetch_add(1); }, hint);
+        },
+        /*affinity=*/0);
+    ASSERT_TRUE(eventually([&] { return blocker_started.load(); }));
+    releaser = std::thread([&] {
+      // Give ~JobSystem time to set stopping_ and let the idle workers
+      // drain out and exit before the blocker posts its hinted jobs.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      release.store(true);
+    });
+  }  // ~JobSystem joins the blocker's worker, gated on `release`
+  releaser.join();
+  EXPECT_EQ(runs.load(), 3);
+}
+
 TEST(JobSystem, PublishMetricsExportsSchedulerCounters) {
   sched::JobSystem jobs(2);
   jobs.parallel_for(100, [](std::size_t, std::size_t) {});
