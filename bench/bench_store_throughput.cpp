@@ -1,0 +1,145 @@
+// Durable store throughput and recovery cost (DESIGN.md §11, EXPERIMENTS A19).
+//
+// Two sweeps over the mmap-backed WAL:
+//   * append throughput per SyncMode — kNone (no fsync), kCommit with the
+//     whole batch under one commit() (the group-commit sweet spot), kCommit
+//     with a commit() per record (worst case), and kAlways;
+//   * cold-start recovery time as the journal grows, with and without a
+//     snapshot bounding the replay.
+//
+// Appends one JSON Lines record per point to BENCH_store.json.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "bench_json.hpp"
+#include "store/storage_engine.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace ig;
+
+namespace {
+
+constexpr const char* kJsonPath = "BENCH_store.json";
+constexpr std::size_t kPayloadBytes = 128;
+
+std::string bench_dir(const char* tag) {
+  static std::uint64_t counter = 0;
+  return "bench_store_data/" + std::string(tag) + "-" + std::to_string(counter++);
+}
+
+void wipe(const std::string& dir) { std::system(("rm -rf '" + dir + "'").c_str()); }
+
+std::string make_payload(std::mt19937_64& rng) {
+  std::string payload(kPayloadBytes, '\0');
+  for (char& c : payload) c = static_cast<char>('a' + rng() % 26);
+  return payload;
+}
+
+struct AppendPoint {
+  const char* label;
+  store::SyncMode sync;
+  bool commit_each;
+};
+
+void run_append_sweep(std::size_t records) {
+  std::printf("append throughput (%zu records x %zu B payload)\n", records, kPayloadBytes);
+  std::printf("  %-18s %12s %12s %10s\n", "mode", "appends/s", "MB/s", "fsyncs");
+  const AppendPoint points[] = {
+      {"none", store::SyncMode::kNone, false},
+      {"commit-batched", store::SyncMode::kCommit, false},
+      {"commit-each", store::SyncMode::kCommit, true},
+      {"always", store::SyncMode::kAlways, false},
+  };
+  for (const AppendPoint& point : points) {
+    const std::string dir = bench_dir(point.label);
+    wipe(dir);
+    store::Options options;
+    options.data_dir = dir;
+    options.snapshot_interval = 0;  // measure the raw WAL, not snapshotting
+    options.sync = point.sync;
+    std::mt19937_64 rng(2004);
+    util::Stopwatch watch;
+    {
+      store::StorageEngine engine(options);
+      for (std::size_t i = 0; i < records; ++i) {
+        engine.append_event("bench", make_payload(rng));
+        if (point.commit_each) engine.commit();
+      }
+      engine.commit();
+      const double seconds = watch.elapsed_seconds();
+      const store::StoreStats stats = engine.stats();
+      const double per_second = static_cast<double>(records) / seconds;
+      const double mb_per_second =
+          static_cast<double>(stats.wal.bytes) / seconds / (1024.0 * 1024.0);
+      std::printf("  %-18s %12.0f %12.2f %10llu\n", point.label, per_second, mb_per_second,
+                  static_cast<unsigned long long>(stats.wal.fsyncs));
+      bench::JsonRecord record("bench_store_throughput");
+      record.add("sweep", std::string("append"));
+      record.add("mode", std::string(point.label));
+      record.add("records", records);
+      record.add("payload_bytes", kPayloadBytes);
+      record.add("appends_per_second", per_second);
+      record.add("mb_per_second", mb_per_second);
+      record.add("fsyncs", static_cast<std::size_t>(stats.wal.fsyncs));
+      record.add("group_commits", static_cast<std::size_t>(stats.wal.group_commits));
+      record.append_to(kJsonPath);
+    }
+    wipe(dir);
+  }
+}
+
+void run_recovery_sweep(std::size_t max_records) {
+  std::printf("\ncold-start recovery (kv puts, SyncMode::kNone while seeding)\n");
+  std::printf("  %-10s %-10s %12s %14s\n", "records", "snapshot", "recovery_ms",
+              "replayed");
+  for (std::size_t records = 1000; records <= max_records; records *= 4) {
+    for (const bool snapshotted : {false, true}) {
+      const std::string dir = bench_dir(snapshotted ? "recover-snap" : "recover-wal");
+      wipe(dir);
+      store::Options options;
+      options.data_dir = dir;
+      options.snapshot_interval = 0;
+      options.sync = store::SyncMode::kNone;  // seeding speed is not the subject
+      std::mt19937_64 rng(records);
+      {
+        store::StorageEngine seed(options);
+        for (std::size_t i = 0; i < records; ++i)
+          seed.put("bench/key-" + std::to_string(i % (records / 2 + 1)),
+                   make_payload(rng));
+        seed.commit();
+        if (snapshotted) seed.snapshot();
+      }
+      util::Stopwatch watch;
+      store::StorageEngine reopened(options);
+      const double recovery_ms = watch.elapsed_ms();
+      const store::StoreStats stats = reopened.stats();
+      std::printf("  %-10zu %-10s %12.2f %14llu\n", records, snapshotted ? "yes" : "no",
+                  recovery_ms, static_cast<unsigned long long>(stats.replayed_records));
+      bench::JsonRecord record("bench_store_throughput");
+      record.add("sweep", std::string("recovery"));
+      record.add("records", records);
+      record.add("snapshotted", std::size_t{snapshotted ? 1u : 0u});
+      record.add("recovery_ms", recovery_ms);
+      record.add("replayed_records", static_cast<std::size_t>(stats.replayed_records));
+      record.add("keys", static_cast<std::size_t>(stats.keys));
+      record.append_to(kJsonPath);
+      wipe(dir);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default sizes finish in seconds on CI; pass a scale factor for real runs.
+  std::size_t scale = 1;
+  if (argc > 1) scale = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (scale == 0) scale = 1;
+  run_append_sweep(20000 * scale);
+  run_recovery_sweep(16000 * scale);
+  wipe("bench_store_data");
+  return 0;
+}

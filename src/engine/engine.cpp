@@ -1,8 +1,10 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "services/protocol.hpp"
+#include "store/codec.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -53,6 +55,64 @@ class EngineClient final : public agent::Agent {
   std::map<std::string, AclMessage> replies_;
 };
 
+// -- journal event encoding ----------------------------------------------------
+//
+// One WAL event per lifecycle transition on stream "engine". Retry and
+// Terminal carry the case's *resulting* state (absolute, not a delta), so
+// replaying an event twice — which happens when it is both inside a
+// snapshot blob and still in the WAL tail — converges instead of drifting.
+constexpr std::uint8_t kEventAdmit = 1;
+constexpr std::uint8_t kEventRetry = 2;
+constexpr std::uint8_t kEventCancel = 3;
+constexpr std::uint8_t kEventTerminal = 4;
+constexpr std::uint32_t kStateBlobVersion = 1;
+
+std::uint64_t double_bits(double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double bits_to_double(std::uint64_t bits) noexcept {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void write_outcome(store::Writer& w, const CaseOutcome& outcome) {
+  w.u8(static_cast<std::uint8_t>(outcome.state));
+  w.str(outcome.error);
+  w.u64(double_bits(outcome.makespan));
+  w.u32(static_cast<std::uint32_t>(outcome.activities_executed));
+  w.u32(static_cast<std::uint32_t>(outcome.activities_replayed));
+  w.u32(static_cast<std::uint32_t>(outcome.dispatch_failures));
+  w.u32(static_cast<std::uint32_t>(outcome.replans));
+  w.u32(static_cast<std::uint32_t>(outcome.engine_retries));
+  w.u64(double_bits(outcome.goal_satisfaction));
+  w.u64(double_bits(outcome.total_cost));
+  w.u64(double_bits(outcome.latency_seconds));
+  w.u64(outcome.shard);
+  w.u64(outcome.completion_index);
+}
+
+CaseOutcome read_outcome(store::Reader& r) {
+  CaseOutcome outcome;
+  outcome.state = static_cast<CaseState>(r.u8());
+  outcome.error = std::string(r.str());
+  outcome.makespan = bits_to_double(r.u64());
+  outcome.activities_executed = static_cast<int>(r.u32());
+  outcome.activities_replayed = static_cast<int>(r.u32());
+  outcome.dispatch_failures = static_cast<int>(r.u32());
+  outcome.replans = static_cast<int>(r.u32());
+  outcome.engine_retries = static_cast<int>(r.u32());
+  outcome.goal_satisfaction = bits_to_double(r.u64());
+  outcome.total_cost = bits_to_double(r.u64());
+  outcome.latency_seconds = bits_to_double(r.u64());
+  outcome.shard = static_cast<std::size_t>(r.u64());
+  outcome.completion_index = static_cast<std::size_t>(r.u64());
+  return outcome;
+}
+
 }  // namespace
 
 struct EnactmentEngine::AttemptResult {
@@ -89,6 +149,16 @@ struct EnactmentEngine::Shard {
   std::size_t cases_completed = 0;
   std::size_t cases_failed = 0;
   double busy_seconds = 0.0;
+  // Counters folded in from retired environments: durable mode rebuilds
+  // the stack per attempt, and each rebuild would otherwise zero the
+  // platform/tracker counters metrics() reads. metrics() reports
+  // accumulator + live environment.
+  std::size_t acc_handler_failures = 0;
+  std::size_t acc_faults_injected = 0;
+  std::size_t acc_request_retries = 0;
+  std::size_t acc_dead_letters = 0;
+  std::size_t acc_containers_recovered = 0;
+  std::size_t acc_trace_dropped = 0;
 };
 
 EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config)) {
@@ -99,6 +169,10 @@ EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config
   // percentiles stay exact (see obs/metrics.hpp).
   latency_hist_ = &registry_.histogram("engine_case_latency_seconds",
                                        obs::default_latency_buckets(), {}, 65536);
+
+  // Durable mode: open the journal and rebuild the case table before any
+  // shard exists, so recovered cases are queued by the time pumps start.
+  if (!config_.storage.data_dir.empty()) recover_from_journal();
 
   // Build every shard stack on the caller's thread (deterministic seeds,
   // no construction races), then start the workers.
@@ -125,6 +199,11 @@ EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config
   // steals a busy shard's next slice instead of sleeping.
   const std::size_t workers = config_.workers == 0 ? config_.shards : config_.workers;
   jobs_ = std::make_unique<sched::JobSystem>(workers);
+  // Cold-start resume: cases the journal recovered into the queues have no
+  // submit() call coming to kick the pumps — kick them here.
+  if (queued_ > 0) {
+    for (Shard* shard : claim_idle_pumps_locked()) post_pump(*shard);
+  }
 }
 
 EnactmentEngine::~EnactmentEngine() { shutdown(); }
@@ -144,6 +223,10 @@ void EnactmentEngine::shutdown() {
   // post needs a live JobSystem to land on (the pump then sees stopping_
   // and no-ops). jobs_ dies with the engine, whose destructor drains again.
   jobs_->wait_idle();
+  // Abandoned attempts journal no Terminal event (the whole point: a
+  // restart resumes them), but everything journaled so far becomes durable
+  // on this clean path.
+  if (journal_) journal_->commit();
 }
 
 CaseId EnactmentEngine::submit(const wfl::ProcessDescription& process,
@@ -171,9 +254,22 @@ CaseId EnactmentEngine::submit_xml(std::string process_xml, std::string case_xml
     record.case_xml = std::move(case_xml);
     record.submitted_at = std::chrono::steady_clock::now();
     ++submitted_total_;
+    if (journal_) {
+      std::string payload;
+      store::Writer w(payload);
+      w.u8(kEventAdmit);
+      w.u64(record.id);
+      w.str(record.tenant);
+      w.str(record.process_xml);
+      w.str(record.case_xml);
+      journal_->append_event("engine", payload);
+    }
     admit_locked(record);
     to_pump = claim_idle_pumps_locked();
   }
+  // The admission becomes durable before the id is handed back; the msync
+  // runs outside the engine mutex (group commit absorbs concurrent submits).
+  if (journal_) journal_->commit();
   // Posting outside the engine mutex: a pump job can start (and take the
   // mutex) before we would have released it. A shutdown() racing these
   // posts is safe — jobs_ stays alive until the engine is destroyed, and
@@ -249,42 +345,62 @@ std::optional<CaseOutcome> EnactmentEngine::result(CaseId id) const {
 }
 
 bool EnactmentEngine::cancel(CaseId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = records_.find(id);
-  if (it == records_.end()) return false;
-  CaseRecord& record = it->second;
-  if (is_terminal(record.state)) return false;
-  record.cancel_requested = true;
-  if (record.state == CaseState::Queued) {
-    // Remove from its tenant queue and terminate immediately.
-    auto queue_it = tenant_queues_.find(record.tenant);
-    if (queue_it != tenant_queues_.end()) {
-      auto& queue = queue_it->second;
-      auto pos = std::find(queue.begin(), queue.end(), id);
-      if (pos != queue.end()) {
-        queue.erase(pos);
-        --queued_;
-      }
-      if (queue.empty()) {
-        tenant_queues_.erase(queue_it);
-        auto order = std::find(tenant_order_.begin(), tenant_order_.end(), record.tenant);
-        if (order != tenant_order_.end()) tenant_order_.erase(order);
-        rr_cursor_ = tenant_order_.empty() ? 0 : rr_cursor_ % tenant_order_.size();
-      }
+  bool journaled = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(id);
+    if (it == records_.end()) return false;
+    CaseRecord& record = it->second;
+    if (is_terminal(record.state)) return false;
+    record.cancel_requested = true;
+    if (journal_) {
+      std::string payload;
+      store::Writer w(payload);
+      w.u8(kEventCancel);
+      w.u64(id);
+      journal_->append_event("engine", payload);
+      journaled = true;
     }
-    record.state = CaseState::Cancelled;
-    record.outcome.state = CaseState::Cancelled;
-    record.outcome.error = "cancelled while queued";
-    record.outcome.engine_retries = record.retries_used;
-    record.outcome.completion_index = ++completion_sequence_;
-    record.outcome.latency_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - record.submitted_at)
-            .count();
-    latency_hist_->observe(record.outcome.latency_seconds);
-    ++cancelled_total_;
-    case_terminal_.notify_all();
+    if (record.state == CaseState::Queued) {
+      // Remove from its tenant queue and terminate immediately.
+      auto queue_it = tenant_queues_.find(record.tenant);
+      if (queue_it != tenant_queues_.end()) {
+        auto& queue = queue_it->second;
+        auto pos = std::find(queue.begin(), queue.end(), id);
+        if (pos != queue.end()) {
+          queue.erase(pos);
+          --queued_;
+        }
+        if (queue.empty()) {
+          tenant_queues_.erase(queue_it);
+          auto order = std::find(tenant_order_.begin(), tenant_order_.end(), record.tenant);
+          if (order != tenant_order_.end()) tenant_order_.erase(order);
+          rr_cursor_ = tenant_order_.empty() ? 0 : rr_cursor_ % tenant_order_.size();
+        }
+      }
+      record.state = CaseState::Cancelled;
+      record.outcome.state = CaseState::Cancelled;
+      record.outcome.error = "cancelled while queued";
+      record.outcome.engine_retries = record.retries_used;
+      record.outcome.completion_index = ++completion_sequence_;
+      record.outcome.latency_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - record.submitted_at)
+              .count();
+      latency_hist_->observe(record.outcome.latency_seconds);
+      ++cancelled_total_;
+      if (journal_) {
+        std::string payload;
+        store::Writer w(payload);
+        w.u8(kEventTerminal);
+        w.u64(id);
+        write_outcome(w, record.outcome);
+        journal_->append_event("engine", payload);
+      }
+      case_terminal_.notify_all();
+    }
+    // A Running case is abandoned by its shard at the next slice boundary.
   }
-  // A Running case is abandoned by its shard at the next slice boundary.
+  if (journaled) journal_->commit();
   return true;
 }
 
@@ -317,6 +433,7 @@ EngineMetrics EnactmentEngine::metrics() const {
   snapshot.failed = failed_total_;
   snapshot.cancelled = cancelled_total_;
   snapshot.retried = retried_total_;
+  snapshot.recovered = recovered_total_;
   snapshot.queue_depth = queued_;
   snapshot.running = running_;
   const sched::JobStats job_stats = jobs_->stats();
@@ -346,14 +463,19 @@ EngineMetrics EnactmentEngine::metrics() const {
     // trackers, monitoring), so reading them here while the shard's worker
     // is mid-enactment is safe.
     svc::Environment& environment = *shard->environment;
-    sm.handler_failures = environment.platform().handler_failures_total();
-    sm.faults_injected = environment.platform().chaos_stats().total_injected();
-    sm.request_retries = environment.coordination().tracker().retries_total() +
+    sm.handler_failures =
+        shard->acc_handler_failures + environment.platform().handler_failures_total();
+    sm.faults_injected =
+        shard->acc_faults_injected + environment.platform().chaos_stats().total_injected();
+    sm.request_retries = shard->acc_request_retries +
+                         environment.coordination().tracker().retries_total() +
                          environment.planning().tracker().retries_total();
-    sm.dead_letters = environment.coordination().tracker().dead_letters_total() +
+    sm.dead_letters = shard->acc_dead_letters +
+                      environment.coordination().tracker().dead_letters_total() +
                       environment.planning().tracker().dead_letters_total();
-    sm.containers_recovered = environment.monitoring().containers_recovered();
-    sm.trace_dropped = environment.platform().trace_dropped();
+    sm.containers_recovered =
+        shard->acc_containers_recovered + environment.monitoring().containers_recovered();
+    sm.trace_dropped = shard->acc_trace_dropped + environment.platform().trace_dropped();
     snapshot.handler_failures += sm.handler_failures;
     snapshot.faults_injected += sm.faults_injected;
     snapshot.request_retries += sm.request_retries;
@@ -374,11 +496,13 @@ EngineMetrics EnactmentEngine::metrics() const {
   registry_.counter("engine_cases_failed_total").set_to(snapshot.failed);
   registry_.counter("engine_cases_cancelled_total").set_to(snapshot.cancelled);
   registry_.counter("engine_case_retries_total").set_to(snapshot.retried);
+  registry_.counter("engine_cases_recovered_total").set_to(snapshot.recovered);
   registry_.gauge("engine_queue_depth").set(static_cast<double>(snapshot.queue_depth));
   registry_.gauge("engine_cases_running").set(static_cast<double>(snapshot.running));
   registry_.gauge("engine_uptime_seconds").set(snapshot.uptime_seconds);
   registry_.gauge("engine_completed_per_second").set(snapshot.completed_per_second);
   jobs_->publish_metrics(registry_);
+  if (journal_) journal_->publish_metrics(registry_, {{"component", "engine-journal"}});
   return snapshot;
 }
 
@@ -408,10 +532,12 @@ bool EnactmentEngine::step(Shard& shard) {
     if (stopping_) {
       if (shard.phase != Shard::Phase::Idle) {
         // Abandon the in-flight attempt (a Checkpoint phase is already a
-        // failed attempt; Drain/Enact become failures now).
+        // failed attempt; Drain/Enact become failures now). No Terminal is
+        // journaled: a durable engine's cold start must resume the case.
         auto it = records_.find(shard.snapshot.id);
         if (it != records_.end()) {
-          finalize_locked(it->second, shard, CaseState::Failed, shard.attempt.reply);
+          finalize_locked(it->second, shard, CaseState::Failed, shard.attempt.reply,
+                          /*journal_terminal=*/false);
           it->second.outcome.error = "engine shutdown";
         }
         --running_;
@@ -427,26 +553,33 @@ bool EnactmentEngine::step(Shard& shard) {
 
   switch (shard.phase) {
     case Shard::Phase::Idle: {
-      std::lock_guard<std::mutex> lock(mutex_);
-      // Popping the queue and clearing pump_scheduled happen in the same
-      // critical section, so a submit either sees the flag and skips the
-      // post, or sees it cleared and reschedules — never a lost wakeup.
-      std::optional<CaseId> popped = pop_for_shard_locked(shard.index);
-      if (!popped.has_value()) {
-        shard.pump_scheduled = false;
-        return false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Popping the queue and clearing pump_scheduled happen in the same
+        // critical section, so a submit either sees the flag and skips the
+        // post, or sees it cleared and reschedules — never a lost wakeup.
+        std::optional<CaseId> popped = pop_for_shard_locked(shard.index);
+        if (!popped.has_value()) {
+          shard.pump_scheduled = false;
+          return false;
+        }
+        CaseRecord& record = records_.at(*popped);
+        record.state = CaseState::Running;
+        record.outcome.shard = shard.index;
+        ++running_;
+        ++shard.cases_run;
+        shard.snapshot = record;  // inputs the attempt needs, copied out of the lock
+        shard.conversation = "engine/" + std::to_string(record.id) + "/" +
+                             std::to_string(record.retries_used);
+        shard.slices = 0;
+        shard.attempt = AttemptResult{};
+        shard.phase = Shard::Phase::Drain;
       }
-      CaseRecord& record = records_.at(*popped);
-      record.state = CaseState::Running;
-      record.outcome.shard = shard.index;
-      ++running_;
-      ++shard.cases_run;
-      shard.snapshot = record;  // inputs the attempt needs, copied out of the lock
-      shard.conversation = "engine/" + std::to_string(record.id) + "/" +
-                           std::to_string(record.retries_used);
-      shard.slices = 0;
-      shard.attempt = AttemptResult{};
-      shard.phase = Shard::Phase::Drain;
+      // Durable mode: the attempt runs on a stack derived purely from
+      // (case id, retries) — rebuilt fresh, outside the engine mutex, so
+      // a crash-resumed attempt re-executes bit-identically no matter
+      // which shard hosts it or what ran on the shard before.
+      if (journal_) refresh_shard_environment(shard);
       return true;
     }
 
@@ -551,15 +684,20 @@ bool EnactmentEngine::complete_attempt(Shard& shard) {
 
   std::vector<Shard*> to_pump;
   bool again = true;
+  bool journaled = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     --running_;
     auto it = records_.find(shard.snapshot.id);
     if (it != records_.end()) {
       CaseRecord& record = it->second;
+      journaled = journal_ != nullptr;
       if (stopping_ && attempt.kind != AttemptResult::Kind::Success) {
-        finalize_locked(record, shard, CaseState::Failed, attempt.reply);
+        // Abandoned by shutdown: no Terminal journaled, restart resumes it.
+        finalize_locked(record, shard, CaseState::Failed, attempt.reply,
+                        /*journal_terminal=*/false);
         record.outcome.error = "engine shutdown";
+        journaled = false;
       } else {
         switch (attempt.kind) {
           case AttemptResult::Kind::Cancelled:
@@ -582,6 +720,19 @@ bool EnactmentEngine::complete_attempt(Shard& shard) {
                 if (record.excluded_shards.size() >= shards_.size())
                   record.excluded_shards.clear();
               }
+              if (journal_) {
+                // The event carries the resulting retry state (absolute),
+                // so replay converges even when it overlaps a snapshot.
+                std::string payload;
+                store::Writer w(payload);
+                w.u8(kEventRetry);
+                w.u64(record.id);
+                w.u32(static_cast<std::uint32_t>(record.retries_used));
+                w.str(record.checkpoint_xml);
+                w.u64(record.excluded_shards.size());
+                for (std::size_t excluded : record.excluded_shards) w.u64(excluded);
+                journal_->append_event("engine", payload);
+              }
               admit_locked(record);
               // The readmitted case excludes this shard, so another shard's
               // stream must pick it up; this shard keeps pumping via its own
@@ -599,12 +750,19 @@ bool EnactmentEngine::complete_attempt(Shard& shard) {
       again = false;
     }
   }
+  if (journaled) {
+    // Group-commit barrier off the engine mutex, then a snapshot if the
+    // journal accumulated enough records since the last one (the provider
+    // re-takes the engine mutex, so this must run here, unlocked).
+    journal_->commit();
+    journal_->maybe_snapshot();
+  }
   for (Shard* other : to_pump) post_pump(*other);
   return again;
 }
 
 void EnactmentEngine::finalize_locked(CaseRecord& record, Shard& shard, CaseState state,
-                                      const AclMessage& reply) {
+                                      const AclMessage& reply, bool journal_terminal) {
   record.state = state;
   CaseOutcome& outcome = record.outcome;
   outcome.state = state;
@@ -636,9 +794,224 @@ void EnactmentEngine::finalize_locked(CaseRecord& record, Shard& shard, CaseStat
       ++shard.cases_failed;
       break;
   }
+  if (journal_ && journal_terminal) {
+    std::string payload;
+    store::Writer w(payload);
+    w.u8(kEventTerminal);
+    w.u64(record.id);
+    write_outcome(w, outcome);
+    journal_->append_event("engine", payload);
+  }
   IG_LOG_DEBUG("engine") << "case " << record.id << " -> " << to_string(state)
                          << " on shard " << shard.index;
   case_terminal_.notify_all();
+}
+
+// -- durable mode ----------------------------------------------------------------
+
+void EnactmentEngine::recover_from_journal() {
+  // The storage engine replays during construction; buffer the events and
+  // apply them after the snapshot blob, which they must land on top of.
+  std::vector<std::string> replayed;
+  journal_ = std::make_unique<store::StorageEngine>(
+      config_.storage, [&replayed](std::string_view stream, std::string_view payload) {
+        if (stream == "engine") replayed.emplace_back(payload);
+      });
+  const std::string blob = journal_->recovered_state("engine");
+  if (!blob.empty() && !decode_engine_state(blob)) {
+    IG_LOG_DEBUG("engine") << "discarding undecodable engine snapshot blob ("
+                           << blob.size() << " bytes); rebuilding from the WAL alone";
+    records_.clear();
+  }
+  for (const std::string& payload : replayed) apply_journal_event(payload);
+
+  // Rebuild the queues and aggregate counters the replay implies. Cases
+  // that were Queued *or Running* when the process died are re-admitted:
+  // a running attempt left no durable partial state, and because its
+  // random streams derive only from (case id, retries) it re-executes
+  // identically on whatever shard picks it up after the restart.
+  submitted_total_ = records_.size();
+  for (auto& [id, record] : records_) {
+    next_case_id_ = std::max(next_case_id_, id + 1);
+    retried_total_ += static_cast<std::size_t>(record.retries_used);
+    completion_sequence_ = std::max(completion_sequence_, record.outcome.completion_index);
+    switch (record.state) {
+      case CaseState::Completed: ++completed_total_; break;
+      case CaseState::Cancelled: ++cancelled_total_; break;
+      case CaseState::Failed: ++failed_total_; break;
+      default: {
+        // A restart may run fewer shards than the run that journaled the
+        // exclusions; never let a stale set cover the whole fleet.
+        if (record.excluded_shards.size() >= config_.shards) record.excluded_shards.clear();
+        record.submitted_at = std::chrono::steady_clock::now();
+        admit_locked(record);
+        ++recovered_total_;
+        break;
+      }
+    }
+  }
+  if (recovered_total_ > 0) {
+    IG_LOG_DEBUG("engine") << "cold start recovered " << records_.size() << " cases, "
+                           << recovered_total_ << " resumed";
+  }
+  journal_->set_state_provider("engine", [this] { return encode_engine_state(); });
+}
+
+void EnactmentEngine::apply_journal_event(std::string_view payload) {
+  store::Reader r(payload);
+  const std::uint8_t type = r.u8();
+  const CaseId id = r.u64();
+  switch (type) {
+    case kEventAdmit: {
+      const std::string tenant(r.str());
+      std::string process_xml(r.str());
+      std::string case_xml(r.str());
+      if (!r.ok() || id == kInvalidCase) return;
+      CaseRecord& record = records_[id];
+      if (record.id != kInvalidCase) return;  // already known via the snapshot blob
+      record.id = id;
+      record.tenant = tenant;
+      record.process_xml = std::move(process_xml);
+      record.case_xml = std::move(case_xml);
+      record.state = CaseState::Queued;
+      return;
+    }
+    case kEventRetry: {
+      const std::uint32_t retries = r.u32();
+      std::string checkpoint_xml(r.str());
+      const std::uint64_t excluded_count = r.u64();
+      std::set<std::size_t> excluded;
+      for (std::uint64_t i = 0; i < excluded_count && r.ok(); ++i)
+        excluded.insert(static_cast<std::size_t>(r.u64()));
+      auto it = records_.find(id);
+      if (!r.ok() || it == records_.end()) return;
+      CaseRecord& record = it->second;
+      if (is_terminal(record.state)) return;  // stale overlap of a finished case
+      record.retries_used = static_cast<int>(retries);
+      record.checkpoint_xml = std::move(checkpoint_xml);
+      record.excluded_shards = std::move(excluded);
+      record.state = CaseState::Queued;
+      return;
+    }
+    case kEventCancel: {
+      auto it = records_.find(id);
+      if (!r.ok() || it == records_.end()) return;
+      it->second.cancel_requested = true;
+      return;
+    }
+    case kEventTerminal: {
+      const CaseOutcome outcome = read_outcome(r);
+      auto it = records_.find(id);
+      if (!r.ok() || it == records_.end()) return;
+      if (!is_terminal(outcome.state)) return;  // corrupt state byte
+      it->second.state = outcome.state;
+      it->second.outcome = outcome;
+      return;
+    }
+    default:
+      IG_LOG_DEBUG("engine") << "skipping unknown journal event type "
+                             << static_cast<int>(type);
+      return;
+  }
+}
+
+std::string EnactmentEngine::encode_engine_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  store::Writer w(out);
+  w.u32(kStateBlobVersion);
+  w.u64(next_case_id_);
+  w.u64(completion_sequence_);
+  w.u64(records_.size());
+  for (const auto& [id, record] : records_) {
+    w.u64(id);
+    w.str(record.tenant);
+    w.str(record.process_xml);
+    w.str(record.case_xml);
+    w.str(record.checkpoint_xml);
+    w.u8(static_cast<std::uint8_t>(record.state));
+    w.u8(record.cancel_requested ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(record.retries_used));
+    w.u64(record.excluded_shards.size());
+    for (std::size_t excluded : record.excluded_shards) w.u64(excluded);
+    write_outcome(w, record.outcome);
+  }
+  return out;
+}
+
+bool EnactmentEngine::decode_engine_state(std::string_view blob) {
+  store::Reader r(blob);
+  if (r.u32() != kStateBlobVersion) return false;
+  const std::uint64_t next_id = r.u64();
+  const std::uint64_t completion_sequence = r.u64();
+  const std::uint64_t count = r.u64();
+  std::map<CaseId, CaseRecord> records;
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    CaseRecord record;
+    record.id = r.u64();
+    record.tenant = std::string(r.str());
+    record.process_xml = std::string(r.str());
+    record.case_xml = std::string(r.str());
+    record.checkpoint_xml = std::string(r.str());
+    const std::uint8_t state = r.u8();
+    record.cancel_requested = r.u8() != 0;
+    record.retries_used = static_cast<int>(r.u32());
+    const std::uint64_t excluded_count = r.u64();
+    for (std::uint64_t k = 0; k < excluded_count && r.ok(); ++k)
+      record.excluded_shards.insert(static_cast<std::size_t>(r.u64()));
+    record.outcome = read_outcome(r);
+    if (!r.ok() || record.id == kInvalidCase ||
+        state > static_cast<std::uint8_t>(CaseState::Rejected)) {
+      return false;
+    }
+    record.state = static_cast<CaseState>(state);
+    const CaseId record_id = record.id;
+    records.emplace(record_id, std::move(record));
+  }
+  if (!r.ok() || !r.done()) return false;
+  records_ = std::move(records);
+  next_case_id_ = std::max<CaseId>(1, next_id);
+  completion_sequence_ = static_cast<std::size_t>(completion_sequence);
+  return true;
+}
+
+void EnactmentEngine::refresh_shard_environment(Shard& shard) {
+  const double floor = shard.index < config_.shard_failure_floor.size()
+                           ? config_.shard_failure_floor[shard.index]
+                           : 0.0;
+  svc::EnvironmentOptions options = config_.environment;
+  const std::uint64_t retries = static_cast<std::uint64_t>(shard.snapshot.retries_used);
+  if (options.chaos.enabled()) {
+    options.chaos.seed =
+        util::derive_stream(options.chaos.seed, 0xC4A05ULL, shard.snapshot.id, retries);
+  }
+  // Shard index pinned to 0 in the seed derivation: the attempt's random
+  // streams must depend only on (engine seed, case id, retries), or a
+  // restarted engine — whose shard assignment can differ — would diverge.
+  auto fresh = svc::make_shard_stack(
+      options, util::derive_stream(config_.seed, shard.snapshot.id, retries), 0, floor);
+  EngineClient* client = &fresh->platform().spawn<EngineClient>("engine-client");
+  if (config_.shard_setup) config_.shard_setup(*fresh, shard.index);
+  std::unique_ptr<svc::Environment> retiring;
+  {
+    // Swap under the engine mutex — metrics() and shard_spans() read
+    // shard.environment under the same mutex — folding the retiring
+    // stack's counters into the shard accumulators first.
+    std::lock_guard<std::mutex> lock(mutex_);
+    svc::Environment& old_env = *shard.environment;
+    shard.acc_handler_failures += old_env.platform().handler_failures_total();
+    shard.acc_faults_injected += old_env.platform().chaos_stats().total_injected();
+    shard.acc_request_retries += old_env.coordination().tracker().retries_total() +
+                                 old_env.planning().tracker().retries_total();
+    shard.acc_dead_letters += old_env.coordination().tracker().dead_letters_total() +
+                              old_env.planning().tracker().dead_letters_total();
+    shard.acc_containers_recovered += old_env.monitoring().containers_recovered();
+    shard.acc_trace_dropped += old_env.platform().trace_dropped();
+    retiring = std::move(shard.environment);
+    shard.environment = std::move(fresh);
+    shard.client = client;
+  }
+  // `retiring` dies here, off the engine mutex (platform teardown is not cheap).
 }
 
 }  // namespace ig::engine

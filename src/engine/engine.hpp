@@ -48,6 +48,7 @@
 #include "obs/span.hpp"
 #include "sched/job_system.hpp"
 #include "services/environment.hpp"
+#include "store/storage_engine.hpp"
 #include "wfl/case_description.hpp"
 #include "wfl/process.hpp"
 
@@ -94,8 +95,19 @@ struct EngineConfig {
   std::size_t max_slices_per_case = 1 << 14;
   /// Optional hook run once per shard after its stack is built and before
   /// its worker starts (shard index is the second argument). Tests use it to
-  /// inject faulty agents into a specific shard's platform.
+  /// inject faulty agents into a specific shard's platform. In durable mode
+  /// the hook also re-runs for every per-attempt stack rebuild.
   std::function<void(svc::Environment&, std::size_t)> shard_setup;
+  /// Durable journal options. `storage.data_dir` empty (the default) keeps
+  /// the engine fully in-memory — the historical behavior, with warm shard
+  /// stacks reused across cases. Non-empty arms durable mode: every case
+  /// lifecycle transition (admit, retry, cancel, terminal) is WAL-journaled
+  /// under the directory, a cold start replays the journal and re-admits
+  /// every case that was Queued or Running, and each attempt runs on a
+  /// freshly built shard stack seeded from (engine seed, case id, retries)
+  /// — independent of which shard hosts it — so an attempt interrupted by
+  /// a crash re-executes bit-identically after the restart.
+  store::Options storage;
 };
 
 /// Terminal report for one case.
@@ -137,6 +149,7 @@ struct EngineMetrics {
   std::size_t failed = 0;
   std::size_t cancelled = 0;
   std::size_t retried = 0;  ///< re-admissions after a failed attempt
+  std::size_t recovered = 0;  ///< cases re-admitted by cold-start journal replay
   std::size_t handler_failures = 0;  ///< contained agent exceptions, all shards
   std::size_t faults_injected = 0;   ///< chaos events injected, all shards
   std::size_t request_retries = 0;   ///< request-layer re-sends, all shards
@@ -168,6 +181,14 @@ class EnactmentEngine {
   const EngineConfig& config() const noexcept { return config_; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
   std::size_t worker_count() const noexcept { return jobs_->size(); }
+
+  /// True when the engine journals to disk (config.storage.data_dir set).
+  bool durable() const noexcept { return journal_ != nullptr; }
+  /// The journal backing durable mode (null in in-memory mode). Exposed for
+  /// inspection (CLI `store` subcommand, recovery tests); callers must not
+  /// append engine-stream events themselves.
+  store::StorageEngine* journal() noexcept { return journal_.get(); }
+  const store::StorageEngine* journal() const noexcept { return journal_.get(); }
 
   /// Queues a case for enactment. Returns kInvalidCase (and counts a
   /// rejection) when the admission queue is full or the engine is shutting
@@ -252,8 +273,24 @@ class EnactmentEngine {
   void admit_locked(CaseRecord& record);
   std::optional<CaseId> pop_for_shard_locked(std::size_t shard_index);
   void finalize_locked(CaseRecord& record, Shard& shard, CaseState state,
-                       const agent::AclMessage& reply);
+                       const agent::AclMessage& reply, bool journal_terminal = true);
   bool cancel_requested(CaseId id) const;
+
+  // -- durable mode ------------------------------------------------------------
+  /// Opens the journal and rebuilds records_/queues/counters from the
+  /// newest snapshot plus the WAL tail. Constructor-only (no locking).
+  void recover_from_journal();
+  /// Applies one replayed journal event; idempotent by case id, so events
+  /// that are both inside the snapshot blob and in the WAL tail are safe.
+  void apply_journal_event(std::string_view payload);
+  /// Serializes records_ (+ id/completion counters) as the "engine" stream
+  /// snapshot blob. Takes the engine mutex; runs on the snapshotting thread.
+  std::string encode_engine_state() const;
+  bool decode_engine_state(std::string_view blob);
+  /// Replaces `shard`'s environment with a stack built solely from the
+  /// pending attempt's (case id, retries) — the durable-mode determinism
+  /// contract. Builds outside the engine mutex, swaps under it.
+  void refresh_shard_environment(Shard& shard);
 
   EngineConfig config_;
   mutable std::mutex mutex_;
@@ -274,12 +311,17 @@ class EnactmentEngine {
   std::size_t failed_total_ = 0;
   std::size_t cancelled_total_ = 0;
   std::size_t retried_total_ = 0;
+  std::size_t recovered_total_ = 0;
   std::size_t completion_sequence_ = 0;
   /// Mutable: metrics() is a const snapshot but refreshes the published
   /// counters; the registry itself is internally synchronized.
   mutable obs::MetricsRegistry registry_;
   obs::Histogram* latency_hist_ = nullptr;  ///< owned by registry_
   std::chrono::steady_clock::time_point started_at_;
+
+  /// Durable-mode journal; null in in-memory mode. Declared before shards_
+  /// so in-flight pump jobs (which append to it) die first.
+  std::unique_ptr<store::StorageEngine> journal_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Shared worker pool under every shard's pump stream. Declared after

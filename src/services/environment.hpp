@@ -54,6 +54,11 @@ struct EnvironmentOptions {
                                       ///< from heartbeat_period when that is set
   /// Fault-injection policy installed on the platform (empty = no chaos).
   agent::ChaosPolicy chaos;
+  /// Backing store for the PersistentStorageService (not owned). Null gives
+  /// the service a private in-memory store (the historical behavior); a
+  /// durable engine makes its documents crash-recoverable and lets several
+  /// environments share one knowledge base.
+  store::StorageEngine* storage_engine = nullptr;
   std::uint64_t seed = 42;
 };
 

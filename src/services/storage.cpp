@@ -8,26 +8,28 @@ namespace ig::svc {
 using agent::AclMessage;
 using agent::Performative;
 
-void PersistentStorageService::put(const std::string& key, std::string value) {
-  store_.insert_or_assign(key, std::move(value));
+PersistentStorageService::PersistentStorageService(std::string name,
+                                                   store::StorageEngine* engine)
+    : Agent(std::move(name)) {
+  if (engine != nullptr) {
+    store_ = engine;
+  } else {
+    owned_ = std::make_unique<store::StorageEngine>();  // in-memory
+    store_ = owned_.get();
+  }
 }
 
-const std::string* PersistentStorageService::get(const std::string& key) const {
-  auto it = store_.find(key);
-  return it != store_.end() ? &it->second : nullptr;
+void PersistentStorageService::put(const std::string& key, std::string value) {
+  store_->put(key, std::move(value));
+}
+
+std::optional<std::string> PersistentStorageService::get(const std::string& key) const {
+  return store_->get(key);
 }
 
 std::vector<std::string> PersistentStorageService::keys_with_prefix(
     const std::string& prefix) const {
-  // The map is ordered, so every key sharing `prefix` is contiguous: jump to
-  // the first candidate and stop at the first key that no longer matches,
-  // instead of scanning the whole store.
-  std::vector<std::string> keys;
-  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
-    if (!util::starts_with(it->first, prefix)) break;
-    keys.push_back(it->first);
-  }
-  return keys;
+  return store_->keys_with_prefix(prefix);
 }
 
 void PersistentStorageService::on_start() {
@@ -44,11 +46,11 @@ void PersistentStorageService::handle_message(const AclMessage& message) {
   }
   if (message.protocol == protocols::kStoreGet) {
     const std::string key = message.param("key");
-    const std::string* value = get(key);
+    const std::optional<std::string> value = get(key);
     AclMessage reply =
-        message.make_reply(value != nullptr ? Performative::Inform : Performative::Failure);
+        message.make_reply(value.has_value() ? Performative::Inform : Performative::Failure);
     reply.params["key"] = key;
-    if (value != nullptr) reply.content = *value;
+    if (value.has_value()) reply.content = *value;
     else reply.params["error"] = "no document under key '" + key + "'";
     send(std::move(reply));
     return;

@@ -1,0 +1,55 @@
+#include "store/crc32c.hpp"
+
+#include <array>
+
+namespace ig::store {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // kTables[k][b]: CRC contribution of byte b seen k positions before the
+  // end of an 8-byte block (slicing-by-8).
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t k = 1; k < 8; ++k)
+      for (std::uint32_t i = 0; i < 256; ++i)
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  // Un-finalize the seed so chunked checksumming composes.
+  std::uint32_t crc = ~seed;
+  const auto& t = kTables.t;
+  while (size >= 8) {
+    // Assemble the next 8 bytes without alignment assumptions; the
+    // little-endian mix below is byte-order independent because each byte
+    // goes through its own positional table.
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+          t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace ig::store

@@ -1,0 +1,157 @@
+#include "store/segment.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "store/crc32c.hpp"
+#include "util/log.hpp"
+
+namespace ig::store {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x3130304745534749ULL;  // "IGSEG01" + version tag
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(unsigned char* at, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) at[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFF);
+}
+
+void put_u64(unsigned char* at, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) at[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFF);
+}
+
+std::uint32_t get_u32(const unsigned char* at) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= static_cast<std::uint32_t>(at[i]) << (8 * i);
+  return value;
+}
+
+std::uint64_t get_u64(const unsigned char* at) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value |= static_cast<std::uint64_t>(at[i]) << (8 * i);
+  return value;
+}
+
+}  // namespace
+
+std::unique_ptr<Segment> Segment::create(const std::string& path, std::size_t capacity,
+                                         std::uint64_t sequence, Lsn first_lsn) {
+  if (capacity < kHeaderSize + kFrameOverhead) capacity = kHeaderSize + kFrameOverhead;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return nullptr;
+  if (::ftruncate(fd, static_cast<off_t>(capacity)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  void* map = ::mmap(nullptr, capacity, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) return nullptr;
+
+  auto segment = std::unique_ptr<Segment>(new Segment());
+  segment->path_ = path;
+  segment->map_ = static_cast<unsigned char*>(map);
+  segment->capacity_ = capacity;
+  segment->sequence_ = sequence;
+  segment->first_lsn_ = first_lsn;
+  unsigned char* h = segment->map_;
+  put_u64(h, kMagic);
+  put_u32(h + 8, kVersion);
+  put_u32(h + 12, 0);
+  put_u64(h + 16, sequence);
+  put_u64(h + 24, first_lsn);
+  put_u64(h + 32, capacity);
+  return segment;
+}
+
+std::unique_ptr<Segment> Segment::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < kHeaderSize) {
+    ::close(fd);
+    return nullptr;
+  }
+  // Peek at the header to learn the declared capacity, then grow the file
+  // back to it if a crash (or a test harness) truncated it — the restored
+  // bytes read as zeros, which the scan below treats as a clean end.
+  unsigned char header[kHeaderSize];
+  if (::pread(fd, header, kHeaderSize, 0) != static_cast<ssize_t>(kHeaderSize) ||
+      get_u64(header) != kMagic || get_u32(header + 8) != kVersion) {
+    ::close(fd);
+    return nullptr;
+  }
+  const std::size_t capacity = get_u64(header + 32);
+  if (capacity < kHeaderSize + kFrameOverhead ||
+      (static_cast<std::size_t>(st.st_size) != capacity &&
+       ::ftruncate(fd, static_cast<off_t>(capacity)) != 0)) {
+    ::close(fd);
+    return nullptr;
+  }
+  void* map = ::mmap(nullptr, capacity, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) return nullptr;
+
+  auto segment = std::unique_ptr<Segment>(new Segment());
+  segment->path_ = path;
+  segment->map_ = static_cast<unsigned char*>(map);
+  segment->capacity_ = capacity;
+  segment->sequence_ = get_u64(segment->map_ + 16);
+  segment->first_lsn_ = get_u64(segment->map_ + 24);
+
+  // Scan the record run. Stop cleanly at a zero length (never-written
+  // space — a file the crash truncated short was re-extended with zeros
+  // above, so a frame the truncation cut lands here too, via either a
+  // zeroed length or a CRC mismatch over its zeroed tail); stop *torn* at
+  // an implausible length or a CRC mismatch.
+  std::size_t offset = kHeaderSize;
+  while (offset + kFrameOverhead <= capacity) {
+    const std::uint32_t length = get_u32(segment->map_ + offset);
+    if (length == 0) break;  // clean end of the run
+    if (length > capacity - offset - kFrameOverhead) {
+      segment->torn_ = true;
+      break;
+    }
+    const std::uint32_t stored_crc = get_u32(segment->map_ + offset + 4);
+    const unsigned char* payload = segment->map_ + offset + kFrameOverhead;
+    if (crc32c(payload, length) != stored_crc) {
+      segment->torn_ = true;
+      break;
+    }
+    segment->records_.emplace_back(reinterpret_cast<const char*>(payload), length);
+    offset += kFrameOverhead + length;
+  }
+  segment->tail_ = offset;
+  if (segment->torn_ && offset < capacity) {
+    // Scrub everything after the last intact record: garbage from the torn
+    // write must not be joinable into a plausible frame by a later append.
+    std::memset(segment->map_ + offset, 0, capacity - offset);
+    IG_LOG_DEBUG("store") << "segment " << path << ": torn tail dropped at offset "
+                          << offset << " (" << segment->records_.size()
+                          << " records recovered)";
+  }
+  return segment;
+}
+
+Segment::~Segment() {
+  if (map_ != nullptr) {
+    ::msync(map_, capacity_, MS_ASYNC);
+    ::munmap(map_, capacity_);
+  }
+}
+
+void Segment::append(std::string_view payload) {
+  unsigned char* at = map_ + tail_;
+  put_u32(at, static_cast<std::uint32_t>(payload.size()));
+  put_u32(at + 4, crc32c(payload));
+  std::memcpy(at + kFrameOverhead, payload.data(), payload.size());
+  records_.emplace_back(reinterpret_cast<const char*>(at + kFrameOverhead), payload.size());
+  tail_ += kFrameOverhead + payload.size();
+}
+
+void Segment::sync() { ::msync(map_, capacity_, MS_SYNC); }
+
+}  // namespace ig::store

@@ -1,0 +1,451 @@
+#include "store/storage_engine.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "store/codec.hpp"
+#include "store/crc32c.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace ig::store {
+namespace {
+
+// WAL record payload types.
+constexpr std::uint8_t kPutRecord = 1;
+constexpr std::uint8_t kEraseRecord = 2;
+constexpr std::uint8_t kEventRecord = 3;
+
+// Snapshot frame payload types.
+constexpr std::uint8_t kSnapMeta = 10;
+constexpr std::uint8_t kSnapKv = 11;
+constexpr std::uint8_t kSnapState = 12;
+constexpr std::uint8_t kSnapEnd = 13;
+constexpr std::uint32_t kSnapVersion = 1;
+
+std::string snapshot_path(const std::string& dir, Lsn lsn) {
+  char name[40];
+  std::snprintf(name, sizeof name, "snap-%016llu.snap",
+                static_cast<unsigned long long>(lsn));
+  return dir + "/" + name;
+}
+
+/// Appends one CRC frame (same u32 len + u32 crc layout as segments) to a
+/// byte buffer.
+void append_frame(std::string& out, std::string_view payload) {
+  Writer writer(out);
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.u32(crc32c(payload));
+  out.append(payload.data(), payload.size());
+}
+
+/// Splits a buffer back into frame payloads; returns false on any corrupt
+/// or truncated frame (the whole snapshot is then untrusted).
+bool split_frames(std::string_view bytes, std::vector<std::string_view>& frames) {
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < 8) return false;
+    Reader reader(bytes.substr(offset, 8));
+    const std::uint32_t length = reader.u32();
+    const std::uint32_t stored_crc = reader.u32();
+    if (bytes.size() - offset - 8 < length) return false;
+    const std::string_view payload = bytes.substr(offset + 8, length);
+    if (crc32c(payload) != stored_crc) return false;
+    frames.push_back(payload);
+    offset += 8 + length;
+  }
+  return true;
+}
+
+std::vector<std::string> list_snapshots(const std::string& dir) {
+  std::vector<std::string> paths;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name.rfind("snap-", 0) == 0 && name.size() > 5 &&
+          name.compare(name.size() - 5, 5, ".snap") == 0)
+        paths.push_back(dir + "/" + name);
+    }
+    ::closedir(d);
+  }
+  std::sort(paths.begin(), paths.end());  // zero-padded LSN => lexicographic = numeric
+  return paths;
+}
+
+}  // namespace
+
+StorageEngine::StorageEngine(Options options, EventReplayFn event_replay)
+    : options_(std::move(options)) {
+  if (options_.data_dir.empty()) return;
+  const auto started = std::chrono::steady_clock::now();
+  WalOptions wal_options;
+  wal_options.dir = options_.data_dir;
+  wal_options.segment_size = options_.segment_size;
+  wal_options.sync = options_.sync;
+  wal_ = std::make_unique<WriteAheadLog>(std::move(wal_options));
+  load_snapshot();
+  wal_->skip_to(snapshot_lsn_);  // no-op unless the log fell behind the snapshot
+  wal_->replay(snapshot_lsn_, [&](Lsn, std::string_view payload) {
+    Reader reader(payload);
+    switch (reader.u8()) {
+      case kPutRecord: {
+        const std::string_view key = reader.str();
+        const std::string_view value = reader.str();
+        if (reader.ok()) map_[std::string(key)] = std::string(value);
+        break;
+      }
+      case kEraseRecord: {
+        const std::string_view key = reader.str();
+        if (reader.ok()) map_.erase(std::string(key));
+        break;
+      }
+      case kEventRecord: {
+        const std::string_view stream = reader.str();
+        const std::string_view event = reader.str();
+        if (reader.ok() && event_replay) event_replay(stream, event);
+        break;
+      }
+      default:
+        IG_LOG_WARN("store") << "skipping WAL record of unknown type";
+        break;
+    }
+    ++replayed_records_;
+  });
+  recovery_ms_ =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - started)
+          .count();
+}
+
+StorageEngine::~StorageEngine() = default;
+
+void StorageEngine::put(const std::string& key, std::string value) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (wal_ == nullptr) {
+    map_.insert_or_assign(key, std::move(value));
+    ++memory_lsn_;
+    return;
+  }
+  std::string record;
+  Writer writer(record);
+  writer.u8(kPutRecord);
+  writer.str(key);
+  writer.str(value);
+  const Lsn lsn = wal_->append(record);
+  map_.insert_or_assign(key, std::move(value));
+  lock.unlock();
+  wal_->commit(lsn);  // durable before the caller sees the put succeed
+}
+
+bool StorageEngine::erase(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool existed = map_.erase(key) > 0;
+  if (wal_ == nullptr) {
+    if (existed) ++memory_lsn_;
+    return existed;
+  }
+  if (!existed) return false;
+  std::string record;
+  Writer writer(record);
+  writer.u8(kEraseRecord);
+  writer.str(key);
+  const Lsn lsn = wal_->append(record);
+  lock.unlock();
+  wal_->commit(lsn);
+  return true;
+}
+
+std::optional<std::string> StorageEngine::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> StorageEngine::keys_with_prefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+    if (!util::starts_with(it->first, prefix)) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+std::size_t StorageEngine::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+Lsn StorageEngine::append_event(std::string_view stream, std::string_view payload) {
+  std::string record;
+  Writer writer(record);
+  writer.u8(kEventRecord);
+  writer.str(stream);
+  writer.str(payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wal_ == nullptr) return ++memory_lsn_;
+  return wal_->append(record);
+}
+
+void StorageEngine::commit() {
+  if (wal_ != nullptr) wal_->commit(wal_->last_lsn());
+}
+
+void StorageEngine::set_state_provider(const std::string& stream,
+                                       std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_[stream] = std::move(provider);
+}
+
+std::string StorageEngine::recovered_state(const std::string& stream) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = recovered_.find(stream);
+  return it == recovered_.end() ? std::string() : it->second;
+}
+
+bool StorageEngine::snapshot() {
+  if (wal_ == nullptr) return false;
+  Lsn lsn = 0;
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::map<std::string, std::function<std::string()>> providers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (snapshot_in_progress_) return false;
+    snapshot_in_progress_ = true;
+    // Read the LSN *before* collecting state: anything a provider bakes in
+    // past this point is also replayed after recovery, which is safe
+    // because stream replay is idempotent (and KV replay is last-write-wins
+    // in LSN order, converging on the same map).
+    lsn = wal_->last_lsn();
+    kv.assign(map_.begin(), map_.end());
+    providers = providers_;
+  }
+  // Providers run outside the store mutex: they lock their own subsystem
+  // (e.g. the enactment engine's mutex) and must not call back into us.
+  std::vector<std::pair<std::string, std::string>> blobs;
+  blobs.reserve(providers.size());
+  for (const auto& [stream, provider] : providers) blobs.emplace_back(stream, provider());
+  // The WAL prefix the snapshot claims to cover must be durable first —
+  // otherwise a crash could leave a snapshot referencing records the log
+  // never persisted.
+  wal_->commit(lsn);
+  const bool ok = write_snapshot_file(lsn, kv, blobs);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_in_progress_ = false;
+    if (ok) {
+      snapshot_lsn_ = lsn;
+      ++snapshots_written_;
+    }
+  }
+  if (ok && options_.auto_compact) compact();
+  return ok;
+}
+
+bool StorageEngine::maybe_snapshot() {
+  if (wal_ == nullptr || options_.snapshot_interval == 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (snapshot_in_progress_ ||
+        wal_->last_lsn() - snapshot_lsn_ < options_.snapshot_interval)
+      return false;
+  }
+  return snapshot();
+}
+
+std::size_t StorageEngine::compact() {
+  if (wal_ == nullptr) return 0;
+  Lsn lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lsn = snapshot_lsn_;
+  }
+  if (lsn == 0) return 0;
+  const std::size_t removed = wal_->remove_segments_below(lsn);
+  // Older snapshots are strictly dominated by the newest one.
+  const std::string keep = snapshot_path(options_.data_dir, lsn);
+  for (const std::string& path : list_snapshots(options_.data_dir))
+    if (path < keep) ::unlink(path.c_str());
+  if (removed > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    segments_compacted_ += removed;
+  }
+  return removed;
+}
+
+StoreStats StorageEngine::stats() const {
+  StoreStats stats;
+  if (wal_ != nullptr) {
+    stats.wal = wal_->stats();
+    stats.segments = wal_->segment_count();
+    stats.last_lsn = wal_->last_lsn();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.durable = wal_ != nullptr;
+  stats.keys = map_.size();
+  if (wal_ == nullptr) stats.last_lsn = memory_lsn_;
+  stats.snapshot_lsn = snapshot_lsn_;
+  stats.snapshots_written = snapshots_written_;
+  stats.segments_compacted = segments_compacted_;
+  stats.replayed_records = replayed_records_;
+  stats.recovery_ms = recovery_ms_;
+  return stats;
+}
+
+void StorageEngine::publish_metrics(obs::MetricsRegistry& registry,
+                                    const obs::Labels& labels) const {
+  const StoreStats stats = this->stats();
+  registry.counter("store_wal_appends_total", labels).set_to(stats.wal.appends);
+  registry.counter("store_fsyncs_total", labels).set_to(stats.wal.fsyncs);
+  registry.counter("store_group_commits_total", labels).set_to(stats.wal.group_commits);
+  registry.counter("store_snapshots_total", labels).set_to(stats.snapshots_written);
+  registry.counter("store_segments_compacted_total", labels).set_to(stats.segments_compacted);
+  registry.counter("store_wal_records_replayed_total", labels).set_to(stats.replayed_records);
+  registry.gauge("store_segments", labels).set(static_cast<double>(stats.segments));
+  registry.gauge("store_wal_records", labels).set(static_cast<double>(stats.wal.records));
+  registry.gauge("store_keys", labels).set(static_cast<double>(stats.keys));
+  registry.gauge("store_last_snapshot_lsn", labels)
+      .set(static_cast<double>(stats.snapshot_lsn));
+  registry.gauge("store_recovery_ms", labels).set(stats.recovery_ms);
+}
+
+void StorageEngine::load_snapshot() {
+  std::vector<std::string> paths = list_snapshots(options_.data_dir);
+  // Newest first; fall back through older snapshots on corruption.
+  std::reverse(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) continue;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string bytes = buffer.str();
+
+    std::vector<std::string_view> frames;
+    std::map<std::string, std::string> map;
+    std::map<std::string, std::string> recovered;
+    Lsn lsn = 0;
+    bool complete = false;
+    bool valid = split_frames(bytes, frames) && frames.size() >= 2;
+    if (valid) {
+      Reader meta(frames.front());
+      valid = meta.u8() == kSnapMeta && meta.u32() == kSnapVersion;
+      lsn = meta.u64();
+      valid = valid && meta.ok();
+    }
+    if (valid) {
+      for (std::size_t i = 1; valid && i < frames.size(); ++i) {
+        Reader reader(frames[i]);
+        switch (reader.u8()) {
+          case kSnapKv: {
+            const std::string_view key = reader.str();
+            const std::string_view value = reader.str();
+            valid = reader.ok();
+            if (valid) map[std::string(key)] = std::string(value);
+            break;
+          }
+          case kSnapState: {
+            const std::string_view stream = reader.str();
+            const std::string_view blob = reader.str();
+            valid = reader.ok();
+            if (valid) recovered[std::string(stream)] = std::string(blob);
+            break;
+          }
+          case kSnapEnd:
+            complete = reader.u64() == frames.size() - 2 && reader.ok() &&
+                       i == frames.size() - 1;
+            valid = complete;
+            break;
+          default:
+            valid = false;
+            break;
+        }
+      }
+    }
+    if (valid && complete) {
+      map_ = std::move(map);
+      recovered_ = std::move(recovered);
+      snapshot_lsn_ = lsn;
+      return;
+    }
+    // A corrupt snapshot buys nothing at the next open either.
+    IG_LOG_WARN("store") << "dropping corrupt snapshot " << path;
+    ::unlink(path.c_str());
+  }
+}
+
+bool StorageEngine::write_snapshot_file(
+    Lsn lsn, const std::vector<std::pair<std::string, std::string>>& kv,
+    const std::vector<std::pair<std::string, std::string>>& blobs) {
+  std::string buffer;
+  {
+    std::string payload;
+    Writer writer(payload);
+    writer.u8(kSnapMeta);
+    writer.u32(kSnapVersion);
+    writer.u64(lsn);
+    append_frame(buffer, payload);
+  }
+  for (const auto& [key, value] : kv) {
+    std::string payload;
+    Writer writer(payload);
+    writer.u8(kSnapKv);
+    writer.str(key);
+    writer.str(value);
+    append_frame(buffer, payload);
+  }
+  for (const auto& [stream, blob] : blobs) {
+    std::string payload;
+    Writer writer(payload);
+    writer.u8(kSnapState);
+    writer.str(stream);
+    writer.str(blob);
+    append_frame(buffer, payload);
+  }
+  {
+    std::string payload;
+    Writer writer(payload);
+    writer.u8(kSnapEnd);
+    writer.u64(kv.size() + blobs.size());
+    append_frame(buffer, payload);
+  }
+
+  // tmp + fsync + rename: the snapshot either exists completely under its
+  // final name or not at all.
+  const std::string final_path = snapshot_path(options_.data_dir, lsn);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  while (written < buffer.size()) {
+    const ssize_t n = ::write(fd, buffer.data() + written, buffer.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (options_.sync != SyncMode::kNone) ::fsync(fd);
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  if (options_.sync != SyncMode::kNone) {
+    const int dir_fd = ::open(options_.data_dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd >= 0) {
+      ::fsync(dir_fd);
+      ::close(dir_fd);
+    }
+  }
+  return true;
+}
+
+}  // namespace ig::store

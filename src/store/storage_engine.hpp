@@ -1,0 +1,151 @@
+// Durable storage engine: a crash-recoverable key/value store plus a
+// general-purpose event journal, both over one write-ahead log.
+//
+// Two kinds of state share the WAL:
+//   * key/value mutations (put / erase) — the backing store of
+//     `svc::PersistentStorageService`, replayed into the in-memory map at
+//     open;
+//   * journal *events* — opaque payloads tagged with a stream name (the
+//     enactment engine journals case lifecycle events on stream "engine"),
+//     handed back to the owning subsystem at open in LSN order.
+//
+// Periodic snapshots bound recovery time and enable compaction: a snapshot
+// file captures the whole KV map plus one state blob per registered
+// stream (the stream's own serialization of "everything my events up to
+// this LSN amount to"); WAL segments entirely at or below the snapshot
+// LSN are then deleted. Because the snapshot LSN is read *before* the
+// state is collected, an event may be both inside a blob and replayed
+// after it — stream consumers must keep their replay idempotent (the
+// engine keys everything by case id, so re-applying is harmless).
+//
+// `data_dir` empty selects the in-memory mode: the same API over just the
+// map, no files, no fsyncs — what every deterministic test and bench that
+// predates this subsystem gets, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "store/wal.hpp"
+
+namespace ig::store {
+
+struct Options {
+  std::string data_dir;                ///< empty = in-memory (no files at all)
+  std::size_t segment_size = 1 << 20;  ///< standard WAL segment capacity
+  SyncMode sync = SyncMode::kCommit;
+  /// WAL records between automatic snapshots (checked by maybe_snapshot);
+  /// 0 disables automatic snapshotting.
+  std::size_t snapshot_interval = 4096;
+  bool auto_compact = true;  ///< compact the WAL after every snapshot
+};
+
+struct StoreStats {
+  bool durable = false;
+  std::uint64_t keys = 0;
+  std::uint64_t segments = 0;  ///< live WAL segment files
+  Lsn last_lsn = 0;
+  Lsn snapshot_lsn = 0;  ///< LSN covered by the newest snapshot (0 = none)
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t segments_compacted = 0;
+  std::uint64_t replayed_records = 0;  ///< WAL records re-applied at open
+  double recovery_ms = 0.0;            ///< wall time of open (snapshot + replay)
+  WalStats wal;
+};
+
+class StorageEngine {
+ public:
+  /// stream name + event payload, in LSN order.
+  using EventReplayFn = std::function<void(std::string_view, std::string_view)>;
+
+  /// Opens (or creates) the store. When recovering, KV records are applied
+  /// internally and every journal event is forwarded to `event_replay`
+  /// before the constructor returns — single-threaded, so the consumer
+  /// needs no locking while it rebuilds.
+  explicit StorageEngine(Options options = {}, EventReplayFn event_replay = nullptr);
+  ~StorageEngine();
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  bool durable() const noexcept { return wal_ != nullptr; }
+  const Options& options() const noexcept { return options_; }
+
+  // -- key/value (PersistentStorageService semantics) -------------------------
+  /// Durable on return under SyncMode::kCommit/kAlways.
+  void put(const std::string& key, std::string value);
+  bool erase(const std::string& key);
+  std::optional<std::string> get(const std::string& key) const;
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+  std::size_t size() const;
+
+  // -- event journal -----------------------------------------------------------
+  /// Appends one event; NOT yet durable — call commit() (or batch several
+  /// appends under one commit, the group-commit sweet spot). Returns the
+  /// record's LSN (a plain counter in in-memory mode).
+  Lsn append_event(std::string_view stream, std::string_view payload);
+
+  /// Durability barrier over everything appended so far.
+  void commit();
+
+  // -- snapshots & compaction --------------------------------------------------
+  /// Registers the provider whose blob represents `stream`'s state in
+  /// future snapshots. Providers run on the snapshotting thread and must
+  /// not call back into this engine.
+  void set_state_provider(const std::string& stream, std::function<std::string()> provider);
+
+  /// The blob the newest snapshot stored for `stream` (empty when none) —
+  /// read once after construction, before replayed events are applied on
+  /// top of it.
+  std::string recovered_state(const std::string& stream) const;
+
+  /// Writes a snapshot now (tmp file + fsync + atomic rename), then
+  /// compacts when options.auto_compact. False in in-memory mode or on a
+  /// filesystem error (the previous snapshot survives either way).
+  bool snapshot();
+
+  /// snapshot() iff snapshot_interval records accumulated since the last.
+  bool maybe_snapshot();
+
+  /// Deletes WAL segments and older snapshots fully covered by the newest
+  /// snapshot. Returns segments removed.
+  std::size_t compact();
+
+  StoreStats stats() const;
+
+  /// Pushes store_* counters/gauges into `registry` (wal_appends, fsyncs,
+  /// group_commits, segments, segments_compacted, snapshots, recovery_ms,
+  /// wal_records, keys).
+  void publish_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels = {}) const;
+
+ private:
+  void load_snapshot();  ///< newest intact snapshot -> map_ + recovered_
+  bool write_snapshot_file(Lsn lsn,
+                           const std::vector<std::pair<std::string, std::string>>& kv,
+                           const std::vector<std::pair<std::string, std::string>>& blobs);
+
+  Options options_;
+  mutable std::mutex mutex_;  ///< guards map_, recovered_, snapshot bookkeeping
+  std::map<std::string, std::string> map_;
+  std::map<std::string, std::string> recovered_;  ///< stream -> blob from snapshot
+  std::map<std::string, std::function<std::string()>> providers_;
+  std::unique_ptr<WriteAheadLog> wal_;  ///< null in in-memory mode
+
+  Lsn memory_lsn_ = 0;  ///< monotonic counter standing in for the WAL's LSN
+  Lsn snapshot_lsn_ = 0;
+  std::uint64_t snapshots_written_ = 0;
+  std::uint64_t segments_compacted_ = 0;
+  std::uint64_t replayed_records_ = 0;
+  double recovery_ms_ = 0.0;
+  bool snapshot_in_progress_ = false;
+};
+
+}  // namespace ig::store

@@ -1,0 +1,271 @@
+#include "store/wal.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace ig::store {
+namespace {
+
+constexpr const char* kSegmentPrefix = "wal-";
+constexpr const char* kSegmentSuffix = ".seg";
+
+void make_dirs(const std::string& dir) {
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') continue;
+    partial = dir.substr(0, i == dir.size() ? i : i + 1);
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+      throw std::runtime_error("store: cannot create directory '" + partial + "'");
+  }
+}
+
+std::string segment_path(const std::string& dir, std::uint64_t sequence) {
+  char name[32];
+  std::snprintf(name, sizeof name, "%s%08llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(sequence), kSegmentSuffix);
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(WalOptions options) : options_(std::move(options)) {
+  make_dirs(options_.dir);
+
+  // Collect and sort existing segments by their header sequence number.
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(options_.dir.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.rfind(kSegmentPrefix, 0) == 0 &&
+          name.size() > std::string(kSegmentSuffix).size() &&
+          name.compare(name.size() - 4, 4, kSegmentSuffix) == 0)
+        names.push_back(options_.dir + "/" + name);
+    }
+    ::closedir(dir);
+  }
+  std::vector<std::unique_ptr<Segment>> found;
+  for (const std::string& path : names) {
+    if (auto segment = Segment::open(path)) found.push_back(std::move(segment));
+    else {
+      // Unreadable header: nothing in the file is trustworthy. Remove it so
+      // it cannot shadow a future segment with the same name.
+      IG_LOG_WARN("store") << "dropping unreadable segment " << path;
+      ::unlink(path.c_str());
+      ++segments_removed_;
+    }
+  }
+  std::sort(found.begin(), found.end(), [](const auto& a, const auto& b) {
+    return a->sequence() < b->sequence();
+  });
+
+  // Keep the longest intact prefix: a torn tail or an LSN discontinuity
+  // invalidates everything after it (those records were appended after the
+  // lost ones and may depend on them).
+  for (auto& segment : found) {
+    const bool continuous =
+        segments_.empty() ? true : segment->first_lsn() == last_lsn_ + 1;
+    if (!continuous || (!segments_.empty() && segments_.back()->torn_tail_repaired())) {
+      IG_LOG_WARN("store") << "dropping segment " << segment->path()
+                           << " past the recovered prefix";
+      const std::string path = segment->path();
+      segment.reset();  // unmap before unlink
+      ::unlink(path.c_str());
+      ++segments_removed_;
+      continue;
+    }
+    last_lsn_ = segment->last_lsn();
+    recovered_records_ += segment->records().size();
+    torn_tail_repaired_ = torn_tail_repaired_ || segment->torn_tail_repaired();
+    next_sequence_ = segment->sequence() + 1;
+    segments_.push_back(std::move(segment));
+  }
+
+  if (segments_.empty()) {
+    auto segment = Segment::create(segment_path(options_.dir, next_sequence_),
+                                   options_.segment_size, next_sequence_, 1);
+    if (!segment) throw std::runtime_error("store: cannot create segment in " + options_.dir);
+    ++next_sequence_;
+    ++segments_created_;
+    segments_.push_back(std::move(segment));
+    if (options_.sync != SyncMode::kNone) sync_dir();
+  }
+  durable_lsn_ = last_lsn_;  // everything recovered is already on disk
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  // Best-effort flush so a clean shutdown persists even under kNone.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!segments_.empty()) segments_.back()->sync();
+}
+
+void WriteAheadLog::replay(Lsn after,
+                           const std::function<void(Lsn, std::string_view)>& fn) const {
+  for (const auto& segment : segments_) {
+    Lsn lsn = segment->first_lsn();
+    for (const std::string_view record : segment->records()) {
+      if (lsn > after) fn(lsn, record);
+      ++lsn;
+    }
+  }
+}
+
+Lsn WriteAheadLog::append(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_locked().fits(payload.size())) roll_locked(payload.size());
+  active_locked().append(payload);
+  ++appends_;
+  const Lsn lsn = ++last_lsn_;
+  if (options_.sync == SyncMode::kAlways) {
+    active_locked().sync();
+    ++fsyncs_;
+    std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+    if (durable_lsn_ < lsn) durable_lsn_ = lsn;
+  }
+  return lsn;
+}
+
+void WriteAheadLog::commit(Lsn upto) {
+  if (options_.sync == SyncMode::kNone) return;
+  std::unique_lock<std::mutex> lock(commit_mutex_);
+  while (durable_lsn_ < upto && sync_in_flight_) commit_cv_.wait(lock);
+  if (durable_lsn_ >= upto) {
+    // Another thread's barrier already covered our records: group commit.
+    ++group_commits_;
+    return;
+  }
+  sync_in_flight_ = true;
+  lock.unlock();
+  Lsn target = 0;
+  {
+    // The msync runs under the append mutex so the segment cannot roll or
+    // be compacted away mid-sync; sealed segments were synced at roll time,
+    // so syncing the active one covers everything up to last_lsn_.
+    std::lock_guard<std::mutex> append_lock(mutex_);
+    target = last_lsn_;
+    active_locked().sync();
+    ++fsyncs_;
+  }
+  lock.lock();
+  sync_in_flight_ = false;
+  if (durable_lsn_ < target) durable_lsn_ = target;
+  commit_cv_.notify_all();
+}
+
+Lsn WriteAheadLog::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_lsn_;
+}
+
+Lsn WriteAheadLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(commit_mutex_);
+  return durable_lsn_;
+}
+
+void WriteAheadLog::skip_to(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (last_lsn_ >= lsn) return;
+  for (auto& segment : segments_) {
+    const std::string path = segment->path();
+    segment.reset();  // unmap before unlink
+    ::unlink(path.c_str());
+    ++segments_removed_;
+  }
+  segments_.clear();
+  last_lsn_ = lsn;
+  auto segment = Segment::create(segment_path(options_.dir, next_sequence_),
+                                 options_.segment_size, next_sequence_, lsn + 1);
+  if (!segment) throw std::runtime_error("store: cannot create segment in " + options_.dir);
+  ++next_sequence_;
+  ++segments_created_;
+  segments_.push_back(std::move(segment));
+  if (options_.sync != SyncMode::kNone) sync_dir();
+}
+
+std::size_t WriteAheadLog::remove_segments_below(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t removed = 0;
+  while (segments_.size() > 1 && segments_.front()->last_lsn() <= lsn) {
+    const std::string path = segments_.front()->path();
+    segments_.erase(segments_.begin());  // unmap before unlink
+    ::unlink(path.c_str());
+    ++removed;
+  }
+  segments_removed_ += removed;
+  if (removed > 0 && options_.sync != SyncMode::kNone) sync_dir();
+  return removed;
+}
+
+std::size_t WriteAheadLog::segment_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_.size();
+}
+
+WalStats WriteAheadLog::stats() const {
+  WalStats stats;
+  {
+    std::lock_guard<std::mutex> lock(commit_mutex_);
+    stats.group_commits = group_commits_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.appends = appends_;
+  stats.fsyncs = fsyncs_;
+  stats.segments_created = segments_created_;
+  stats.segments_removed = segments_removed_;
+  stats.recovered_records = recovered_records_;
+  stats.torn_tail_repaired = torn_tail_repaired_;
+  for (const auto& segment : segments_) {
+    const std::size_t records = segment->records().size();
+    stats.records += records;
+    stats.bytes += segment->tail() - Segment::kHeaderSize -
+                   Segment::kFrameOverhead * records;
+  }
+  return stats;
+}
+
+std::string WriteAheadLog::active_segment_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_.back()->path();
+}
+
+std::size_t WriteAheadLog::active_tail() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_.back()->tail();
+}
+
+void WriteAheadLog::roll_locked(std::size_t payload_size) {
+  const std::size_t needed =
+      Segment::kHeaderSize + Segment::kFrameOverhead + payload_size;
+  if (options_.sync != SyncMode::kNone) {
+    // Seal-time sync: commit() only ever syncs the active segment, so a
+    // sealed segment must already be durable when it stops being active.
+    active_locked().sync();
+    ++fsyncs_;
+  }
+  auto segment = Segment::create(segment_path(options_.dir, next_sequence_),
+                                 std::max(options_.segment_size, needed), next_sequence_,
+                                 last_lsn_ + 1);
+  if (!segment) throw std::runtime_error("store: cannot create segment in " + options_.dir);
+  ++next_sequence_;
+  ++segments_created_;
+  segments_.push_back(std::move(segment));
+  if (options_.sync != SyncMode::kNone) sync_dir();
+}
+
+void WriteAheadLog::sync_dir() {
+  const int fd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace ig::store

@@ -1,0 +1,132 @@
+// Write-ahead log over mmap-backed segments, with group commit.
+//
+// The WAL is a directory of segment files (`wal-<seq>.seg`) forming one
+// logical record sequence numbered by LSN. Appends go to the newest
+// ("active") segment and roll to a fresh one when a record does not fit;
+// a record larger than the standard segment gets a dedicated segment sized
+// to hold it, so callers never need to split payloads.
+//
+// Durability points are explicit: `commit(lsn)` returns once every record
+// up to `lsn` is on stable storage. Under concurrency it group-commits —
+// one thread performs the msync while the others wait on the same barrier
+// and are covered by it, so N concurrent committers cost one fsync, not N.
+// `SyncMode::kAlways` folds the barrier into every append (slow, maximal
+// safety); `kNone` never syncs until close (benchmarks, throwaway dirs).
+//
+// Recovery (`open`): segments are scanned in sequence order; the first
+// torn tail or LSN discontinuity ends the trustworthy prefix, later
+// segments are deleted (their records depended on the lost ones), and the
+// log resumes appending after the last intact record.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/segment.hpp"
+
+namespace ig::store {
+
+enum class SyncMode {
+  kNone,    ///< never fsync (fast, loses the tail on crash)
+  kCommit,  ///< fsync on commit() barriers, group-committed
+  kAlways,  ///< fsync every append before it returns
+};
+
+struct WalOptions {
+  std::string dir;                     ///< created if missing
+  std::size_t segment_size = 1 << 20;  ///< standard segment capacity, bytes
+  SyncMode sync = SyncMode::kCommit;
+};
+
+struct WalStats {
+  std::uint64_t appends = 0;        ///< records appended this process
+  std::uint64_t fsyncs = 0;         ///< msync/fsync barriers performed
+  std::uint64_t group_commits = 0;  ///< commit() calls satisfied by another thread's fsync
+  std::uint64_t segments_created = 0;
+  std::uint64_t segments_removed = 0;  ///< compaction + recovery deletions
+  std::uint64_t records = 0;           ///< live records across all segments
+  std::uint64_t bytes = 0;             ///< live payload bytes across all segments
+  std::uint64_t recovered_records = 0; ///< records found intact at open
+  bool torn_tail_repaired = false;     ///< open() dropped a torn record
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens (creating the directory if needed) and recovers the log.
+  /// Throws std::runtime_error when the directory cannot be created or a
+  /// segment cannot be mapped.
+  explicit WriteAheadLog(WalOptions options);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Replays every intact record with lsn > `after`, in LSN order. Not
+  /// thread-safe against append; callers replay before going concurrent.
+  void replay(Lsn after, const std::function<void(Lsn, std::string_view)>& fn) const;
+
+  /// Appends one record and returns its LSN. Thread-safe. Under
+  /// SyncMode::kAlways the record is durable on return.
+  Lsn append(std::string_view payload);
+
+  /// Durability barrier: returns once every record with lsn <= `upto` is
+  /// synced (no-op under SyncMode::kNone). Thread-safe; concurrent callers
+  /// share one fsync.
+  void commit(Lsn upto);
+
+  Lsn last_lsn() const;
+  Lsn durable_lsn() const;
+
+  /// Fast-forwards the log past `lsn` when recovery found it behind a
+  /// snapshot (possible when the snapshot survived a crash that the
+  /// unsynced WAL tail did not, e.g. under SyncMode::kNone). Every current
+  /// segment is covered by that snapshot, so they are deleted and a fresh
+  /// segment starts at lsn + 1 — without this, new appends would reuse
+  /// LSNs the snapshot already claims and be skipped by the next replay.
+  void skip_to(Lsn lsn);
+
+  /// Deletes every non-active segment whose records all have lsn <= `lsn`
+  /// (they are covered by a snapshot). Returns segments removed.
+  std::size_t remove_segments_below(Lsn lsn);
+
+  std::size_t segment_count() const;
+  WalStats stats() const;
+
+  /// Test/CLI hooks into the active segment's framing.
+  std::string active_segment_path() const;
+  std::size_t active_tail() const;
+
+ private:
+  Segment& active_locked() { return *segments_.back(); }
+  void roll_locked(std::size_t payload_size);
+  void sync_dir();
+
+  WalOptions options_;
+  mutable std::mutex mutex_;  ///< guards segments_ and the append path
+  std::vector<std::unique_ptr<Segment>> segments_;
+  Lsn last_lsn_ = 0;
+  std::uint64_t next_sequence_ = 1;
+
+  // Group-commit state (separate mutex so appends continue during a sync).
+  mutable std::mutex commit_mutex_;
+  std::condition_variable commit_cv_;
+  bool sync_in_flight_ = false;
+  Lsn durable_lsn_ = 0;
+
+  // Stats counters (under mutex_ except the commit-side ones).
+  std::uint64_t appends_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  std::uint64_t group_commits_ = 0;
+  std::uint64_t segments_created_ = 0;
+  std::uint64_t segments_removed_ = 0;
+  std::uint64_t recovered_records_ = 0;
+  bool torn_tail_repaired_ = false;
+};
+
+}  // namespace ig::store

@@ -399,10 +399,17 @@ TEST(Engine, SubmitRacingShutdownIsSafe) {
   for (int round = 0; round < 5; ++round) {
     EnactmentEngine engine(small_config(2));
     std::atomic<bool> stop{false};
+    std::atomic<std::size_t> submits{0};
     std::thread submitter([&] {
-      while (!stop.load())
+      while (!stop.load()) {
         engine.submit(virolab::make_fig10_process(), virolab::make_case_description());
+        submits.fetch_add(1);
+      }
     });
+    // The final metrics check needs at least one submit to have landed; on a
+    // loaded machine the 2 ms window alone doesn't guarantee the submitter
+    // thread was ever scheduled.
+    while (submits.load() == 0) std::this_thread::yield();
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     engine.shutdown();
     stop.store(true);

@@ -481,7 +481,7 @@ TEST(PlanningServiceTest, Figure2PlanRequestReturnsValidProcess) {
   const auto process = wfl::process_from_xml_string(reply.content);
   EXPECT_GT(process.end_user_activity_count(), 0u);
   // The plan is archived in the knowledge base (persistent storage).
-  EXPECT_NE(fixture.environment->storage().get("process/PD-3DSD"), nullptr);
+  EXPECT_TRUE(fixture.environment->storage().get("process/PD-3DSD").has_value());
 }
 
 TEST(PlanningServiceTest, Figure3ReplanExcludesFailedServices) {
