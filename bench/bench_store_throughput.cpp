@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <random>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_json.hpp"
 #include "store/storage_engine.hpp"
@@ -91,6 +93,67 @@ void run_append_sweep(std::size_t records) {
   }
 }
 
+void run_group_window_sweep(std::size_t records) {
+  // Satellite measurement: sequential per-thread commits (the durable
+  // engine's shard pattern) with and without the commit-leader linger
+  // window. The interesting column is commits/fsync — the window turns
+  // one-barrier-per-commit into one barrier per window.
+  constexpr std::size_t kThreads = 4;
+  std::printf("\ngroup-commit window (%zu threads, commit per record)\n", kThreads);
+  std::printf("  %-12s %12s %10s %14s %14s\n", "window_us", "appends/s", "fsyncs",
+              "group_commits", "commits/fsync");
+  for (const std::uint32_t window_us : {0u, 200u, 2000u}) {
+    const std::string dir = bench_dir("window");
+    wipe(dir);
+    store::Options options;
+    options.data_dir = dir;
+    options.snapshot_interval = 0;
+    options.sync = store::SyncMode::kCommit;
+    options.group_window_us = window_us;
+    util::Stopwatch watch;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t group_commits = 0;
+    double seconds = 0.0;
+    {
+      store::StorageEngine engine(options);
+      std::vector<std::thread> threads;
+      const std::size_t per_thread = records / kThreads;
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&engine, per_thread, t] {
+          std::mt19937_64 rng(2004 + t);
+          for (std::size_t i = 0; i < per_thread; ++i) {
+            engine.append_event("bench", make_payload(rng));
+            engine.commit();
+          }
+        });
+      }
+      for (auto& thread : threads) thread.join();
+      seconds = watch.elapsed_seconds();
+      const store::StoreStats stats = engine.stats();
+      fsyncs = stats.wal.fsyncs;
+      group_commits = stats.wal.group_commits;
+    }
+    const std::size_t commits = records / kThreads * kThreads;
+    const double per_second = static_cast<double>(commits) / seconds;
+    const double commits_per_fsync =
+        fsyncs == 0 ? 0.0 : static_cast<double>(commits) / static_cast<double>(fsyncs);
+    std::printf("  %-12u %12.0f %10llu %14llu %14.1f\n", window_us, per_second,
+                static_cast<unsigned long long>(fsyncs),
+                static_cast<unsigned long long>(group_commits), commits_per_fsync);
+    bench::JsonRecord record("bench_store_throughput");
+    record.add("sweep", std::string("group_window"));
+    record.add("window_us", static_cast<std::size_t>(window_us));
+    record.add("threads", kThreads);
+    record.add("commits", commits);
+    record.add("appends_per_second", per_second);
+    record.add("fsyncs", static_cast<std::size_t>(fsyncs));
+    record.add("group_commits", static_cast<std::size_t>(group_commits));
+    record.add("commits_per_fsync", commits_per_fsync);
+    record.append_to(kJsonPath);
+    wipe(dir);
+  }
+}
+
 void run_recovery_sweep(std::size_t max_records) {
   std::printf("\ncold-start recovery (kv puts, SyncMode::kNone while seeding)\n");
   std::printf("  %-10s %-10s %12s %14s\n", "records", "snapshot", "recovery_ms",
@@ -139,6 +202,7 @@ int main(int argc, char** argv) {
   if (argc > 1) scale = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
   if (scale == 0) scale = 1;
   run_append_sweep(20000 * scale);
+  run_group_window_sweep(2000 * scale);
   run_recovery_sweep(16000 * scale);
   wipe("bench_store_data");
   return 0;

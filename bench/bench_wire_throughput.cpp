@@ -1,0 +1,141 @@
+// Binary wire codec vs XML ACL serialization (DESIGN.md §12, EXPERIMENTS A20).
+//
+// Measures complete round trips — encode, frame/parse, decode, materialize
+// into an owning AclMessage — for the two encodings of the same message
+// stream, plus the bytes each puts on the wire. The binary column runs the
+// real receive path (Stream: peek_frame + zero-copy decode); the XML column
+// runs acl_to_xml + acl_from_xml. The tentpole acceptance bar is >= 5x
+// msgs/sec for the binary codec.
+//
+// Appends one JSON Lines record per point to BENCH_wire.json.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "agent/message.hpp"
+#include "bench_json.hpp"
+#include "util/stopwatch.hpp"
+#include "wire/acl_xml.hpp"
+#include "wire/channel.hpp"
+#include "wire/codec.hpp"
+
+using namespace ig;
+
+namespace {
+
+constexpr const char* kJsonPath = "BENCH_wire.json";
+
+/// A production-chain style message stream: fixed protocol vocabulary
+/// (where interning pays), varying conversation ids and payloads.
+std::vector<agent::AclMessage> make_stream(std::size_t count) {
+  std::vector<agent::AclMessage> messages;
+  messages.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    agent::AclMessage message;
+    message.performative =
+        i % 3 == 0 ? agent::Performative::Request : agent::Performative::Inform;
+    message.sender = i % 2 == 0 ? "coordination" : "ac-" + std::to_string(i % 7);
+    message.receiver = i % 2 == 0 ? "ac-" + std::to_string(i % 7) : "coordination";
+    message.conversation_id = "case-" + std::to_string(i / 8);
+    message.protocol = "enactment-request";
+    message.ontology = "grid-standard";
+    message.content = "<activity name='mc-gen-" + std::to_string(i) + "'/>";
+    message.params["activity"] = "mc-gen-" + std::to_string(i % 12);
+    message.params["deadline"] = "12.5";
+    message.params["attempt"] = std::to_string(i % 3);
+    messages.push_back(std::move(message));
+  }
+  return messages;
+}
+
+struct Measurement {
+  double msgs_per_second = 0.0;
+  std::uint64_t wire_bytes = 0;
+  std::size_t round_trips = 0;
+};
+
+Measurement run_binary(const std::vector<agent::AclMessage>& messages, std::size_t rounds) {
+  Measurement result;
+  util::Stopwatch watch;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    wire::Stream stream;  // fresh intern tables per round: includes warm-up cost
+    for (const agent::AclMessage& message : messages) {
+      stream.send(message);
+      stream.receive([&](const wire::WireMessageView& view) {
+        const agent::AclMessage decoded = view.materialize();
+        if (decoded.sender.empty() && !message.sender.empty()) std::abort();
+        ++result.round_trips;
+      });
+    }
+    result.wire_bytes = stream.encoder_stats().frame_bytes;
+  }
+  result.msgs_per_second =
+      static_cast<double>(result.round_trips) / watch.elapsed_seconds();
+  return result;
+}
+
+Measurement run_xml(const std::vector<agent::AclMessage>& messages, std::size_t rounds) {
+  Measurement result;
+  util::Stopwatch watch;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::uint64_t bytes = 0;
+    for (const agent::AclMessage& message : messages) {
+      const std::string text = wire::acl_to_xml(message);
+      bytes += text.size();
+      const agent::AclMessage decoded = wire::acl_from_xml(text);
+      if (decoded.sender.empty() && !message.sender.empty()) std::abort();
+      ++result.round_trips;
+    }
+    result.wire_bytes = bytes;
+  }
+  result.msgs_per_second =
+      static_cast<double>(result.round_trips) / watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t scale = 1;
+  if (argc > 1) scale = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (scale == 0) scale = 1;
+  const std::size_t kMessages = 2000;
+  const std::size_t kRounds = 10 * scale;
+
+  const std::vector<agent::AclMessage> messages = make_stream(kMessages);
+  // XML first so the binary run cannot ride a warmed cache it created.
+  const Measurement xml = run_xml(messages, kRounds);
+  const Measurement binary = run_binary(messages, kRounds);
+
+  const double speedup = binary.msgs_per_second / xml.msgs_per_second;
+  const double size_ratio =
+      static_cast<double>(xml.wire_bytes) / static_cast<double>(binary.wire_bytes);
+  std::printf("ACL round trips (%zu messages x %zu rounds)\n", kMessages, kRounds);
+  std::printf("  %-8s %14s %14s\n", "codec", "msgs/s", "bytes/msg");
+  std::printf("  %-8s %14.0f %14.1f\n", "xml", xml.msgs_per_second,
+              static_cast<double>(xml.wire_bytes) / static_cast<double>(kMessages));
+  std::printf("  %-8s %14.0f %14.1f\n", "binary", binary.msgs_per_second,
+              static_cast<double>(binary.wire_bytes) / static_cast<double>(kMessages));
+  std::printf("speedup %.1fx msgs/s, %.1fx smaller on the wire\n", speedup, size_ratio);
+
+  bench::JsonRecord record("bench_wire_throughput");
+  record.add("messages", kMessages);
+  record.add("rounds", kRounds);
+  record.add("xml_msgs_per_second", xml.msgs_per_second);
+  record.add("binary_msgs_per_second", binary.msgs_per_second);
+  record.add("xml_bytes_per_msg",
+             static_cast<double>(xml.wire_bytes) / static_cast<double>(kMessages));
+  record.add("binary_bytes_per_msg",
+             static_cast<double>(binary.wire_bytes) / static_cast<double>(kMessages));
+  record.add("speedup", speedup);
+  record.add("size_ratio", size_ratio);
+  record.append_to(kJsonPath);
+
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: binary codec is %.1fx, acceptance bar is 5x\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -5,11 +5,15 @@
 //   igrid_cli plan [seed]                    GP-plan the virolab case
 //   igrid_cli simulate <workflow.txt>        dry-run fitness vs the virolab case
 //   igrid_cli enact <workflow.txt> [seed]    execute on the simulated grid
-//   igrid_cli engine [cases] [shards]        sharded multi-case enactment demo
-//   igrid_cli chaos [seed] [drop%] [cases]   enact under message fault injection
+//   igrid_cli engine [cases] [shards] [--data-dir <dir>]  sharded enactment demo;
+//     with --data-dir the engine journals durably and recovers on restart
+//   igrid_cli chaos [seed] [drop%] [cases] [--data-dir <dir>] [--wire]
+//     enact under message fault injection; --wire routes every message
+//     through the binary codec so chaos drops real frames
 //   igrid_cli metrics [cases] [shards]       engine workload -> Prometheus text
 //   igrid_cli trace <workflow.txt|demo> [--out file]  enact -> Chrome trace JSON
 //   igrid_cli store <dir> [--populate N] [--compact]  inspect a durable data dir
+//   igrid_cli wire [messages]                binary vs XML ACL encoding comparison
 //   igrid_cli demo                           plan + enact the paper's case study
 //
 // Workflow files contain the concrete syntax, e.g.
@@ -31,6 +35,9 @@
 #include "services/protocol.hpp"
 #include "store/storage_engine.hpp"
 #include "util/strings.hpp"
+#include "wire/acl_xml.hpp"
+#include "wire/channel.hpp"
+#include "wire/codec.hpp"
 #include "virolab/catalogue.hpp"
 #include "virolab/workflow.hpp"
 #include "wfl/structure.hpp"
@@ -50,11 +57,14 @@ int usage() {
                "  plan     [seed]              GP-plan the virolab case\n"
                "  simulate <workflow.txt>      dry-run fitness for the virolab case\n"
                "  enact    <workflow.txt> [seed]  run on the simulated grid\n"
-               "  engine   [cases] [shards]    sharded multi-case enactment demo\n"
-               "  chaos    [seed] [drop%%] [cases]  enact under message fault injection\n"
+               "  engine   [cases] [shards] [--data-dir <dir>]  sharded multi-case "
+               "enactment demo\n"
+               "  chaos    [seed] [drop%%] [cases] [--data-dir <dir>] [--wire]  enact "
+               "under message fault injection\n"
                "  metrics  [cases] [shards]    engine workload, Prometheus text on stdout\n"
                "  trace    <workflow.txt|demo> [--out file]  enacted spans as Chrome trace\n"
                "  store    <dir> [--populate N] [--compact]  inspect a durable data dir\n"
+               "  wire     [messages]          binary vs XML ACL encoding comparison\n"
                "  demo                         plan + enact the paper's case study\n");
   return 2;
 }
@@ -161,14 +171,18 @@ int cmd_enact(const std::string& path, std::uint64_t seed) {
   return 0;
 }
 
-int cmd_engine(std::size_t cases, std::size_t shards) {
+int cmd_engine(std::size_t cases, std::size_t shards, const std::string& data_dir) {
   engine::EngineConfig config;
   config.shards = shards;
   config.queue_capacity = cases + 4;
   config.environment.topology.domains = 2;
   config.environment.topology.nodes_per_domain = 3;
+  config.storage.data_dir = data_dir;  // empty = in-memory (historical default)
   engine::EnactmentEngine engine(config);
 
+  if (!data_dir.empty())
+    std::printf("durable engine at '%s': %zu case(s) recovered from the journal\n",
+                data_dir.c_str(), engine.metrics().recovered);
   std::printf("submitting %zu fig10 cases across %zu shard(s)...\n", cases, shards);
   std::vector<engine::CaseId> ids;
   for (std::size_t i = 0; i < cases; ++i) {
@@ -195,10 +209,10 @@ int cmd_engine(std::size_t cases, std::size_t shards) {
   }
 
   const engine::EngineMetrics metrics = engine.metrics();
-  std::printf("engine: %zu submitted, %zu completed, %zu failed, %zu retried, "
-              "p50 latency %.3fs\n",
-              metrics.submitted, metrics.completed, metrics.failed, metrics.retried,
-              metrics.latency_p50);
+  std::printf("engine: %zu submitted, %zu recovered, %zu completed, %zu failed, "
+              "%zu retried, p50 latency %.3fs\n",
+              metrics.submitted, metrics.recovered, metrics.completed, metrics.failed,
+              metrics.retried, metrics.latency_p50);
   for (std::size_t i = 0; i < metrics.shards.size(); ++i)
     std::printf("  shard %zu: %zu run, %zu completed, utilization %.0f%%\n", i,
                 metrics.shards[i].cases_run, metrics.shards[i].cases_completed,
@@ -206,7 +220,8 @@ int cmd_engine(std::size_t cases, std::size_t shards) {
   return metrics.completed == metrics.submitted ? 0 : 1;
 }
 
-int cmd_chaos(std::uint64_t seed, std::uint64_t drop_percent, std::size_t cases) {
+int cmd_chaos(std::uint64_t seed, std::uint64_t drop_percent, std::size_t cases,
+              const std::string& data_dir, bool wire) {
   const double drop = static_cast<double>(drop_percent) / 100.0;
   engine::EngineConfig config;
   config.shards = 1;  // one shard keeps the chaotic run bit-reproducible
@@ -214,6 +229,8 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t drop_percent, std::size_t cases)
   config.environment.topology.domains = 2;
   config.environment.topology.nodes_per_domain = 3;
   config.environment.heartbeat_period = 5.0;
+  config.environment.wire_transport = wire;
+  config.storage.data_dir = data_dir;
   // Tighten the request layer so dropped dispatches re-send within a
   // makespan (the defaults assume an honest transport).
   config.environment.coordination.exec_policy = {300.0, 3, 0.5, 10.0};
@@ -226,10 +243,14 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t drop_percent, std::size_t cases)
   config.environment.chaos.seed = seed;
   engine::EnactmentEngine engine(config);
 
+  if (!data_dir.empty())
+    std::printf("durable chaos run at '%s': %zu case(s) recovered from the journal\n",
+                data_dir.c_str(), engine.metrics().recovered);
   std::printf("enacting %zu fig10 cases, dropping %llu%% of container-bound "
-              "messages (seed %llu)...\n",
+              "messages (seed %llu)%s...\n",
               cases, static_cast<unsigned long long>(drop_percent),
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed),
+              wire ? ", frames crossing the binary wire codec" : "");
   std::vector<engine::CaseId> ids;
   for (std::size_t i = 0; i < cases; ++i) {
     const double resolution = 8.0 - 0.04 * static_cast<double>(i);
@@ -255,6 +276,19 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t drop_percent, std::size_t cases)
               "%zu containers recovered\n",
               metrics.faults_injected, metrics.request_retries, metrics.dead_letters,
               metrics.containers_recovered);
+  if (wire) {
+    // metrics() refreshed the registry, so the shard's wire counters are hot.
+    const obs::Labels shard0 = {{"shard", "0"}};
+    std::printf("wire: %llu frames (%llu bytes), %llu intern hits, %llu decode errors\n",
+                static_cast<unsigned long long>(
+                    engine.registry().counter("wire_frames_total", shard0).value()),
+                static_cast<unsigned long long>(
+                    engine.registry().counter("wire_bytes_total", shard0).value()),
+                static_cast<unsigned long long>(
+                    engine.registry().counter("wire_intern_hits_total", shard0).value()),
+                static_cast<unsigned long long>(
+                    engine.registry().counter("wire_decode_errors_total", shard0).value()));
+  }
   std::printf("recovery: %zu/%zu cases completed (%.0f%%)\n", metrics.completed, cases,
               recovery * 100.0);
   return recovery >= 0.95 ? 0 : 1;
@@ -403,6 +437,44 @@ int cmd_store(const std::string& dir, std::uint64_t populate, bool compact) {
   return 0;
 }
 
+int cmd_wire(std::size_t messages) {
+  // Side-by-side of the two ACL encodings on a representative exchange:
+  // the binary codec sends the protocol vocabulary once and ids after,
+  // XML re-spells it per message.
+  wire::Encoder encoder;
+  std::string frames;
+  std::size_t xml_bytes = 0;
+  agent::AclMessage message;
+  message.performative = agent::Performative::Request;
+  message.sender = "coordination";
+  message.receiver = "ac-3";
+  message.protocol = svc::protocols::kEnactCase;
+  message.ontology = "grid-standard";
+  for (std::size_t i = 0; i < messages; ++i) {
+    message.conversation_id = "case-" + std::to_string(i);
+    message.params["activity"] = "mc-gen-" + std::to_string(i);
+    message.params["deadline"] = "12.5";
+    encoder.encode(message, frames);
+    xml_bytes += wire::acl_to_xml(message).size();
+  }
+  wire::Stream stream;
+  stream.feed_bytes(frames);
+  const std::size_t delivered = stream.receive([](const wire::WireMessageView&) {});
+  const wire::EncoderStats stats = encoder.stats();
+  std::printf("%zu messages: binary %llu bytes (%.1f/msg), XML %zu bytes (%.1f/msg), "
+              "%.1fx smaller\n",
+              messages, static_cast<unsigned long long>(stats.frame_bytes),
+              static_cast<double>(stats.frame_bytes) / static_cast<double>(messages),
+              xml_bytes, static_cast<double>(xml_bytes) / static_cast<double>(messages),
+              static_cast<double>(xml_bytes) / static_cast<double>(stats.frame_bytes));
+  std::printf("intern table: %zu entries, %llu hits, %llu definitions\n",
+              encoder.intern_size(), static_cast<unsigned long long>(stats.intern_hits),
+              static_cast<unsigned long long>(stats.intern_misses));
+  std::printf("decoded %zu/%zu frames, %llu errors\n", delivered, messages,
+              static_cast<unsigned long long>(stream.decode_errors()));
+  return delivered == messages ? 0 : 1;
+}
+
 int cmd_demo() {
   std::printf("== planning the 3DSD case (Table 1 parameters) ==\n");
   if (cmd_plan(2004) != 0) return 1;
@@ -441,9 +513,37 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(uint_arg(2, 1));
     if (command == "simulate" && argc >= 3) return cmd_simulate(argv[2]);
     if (command == "enact" && argc >= 3) return cmd_enact(argv[2], uint_arg(3, 42));
-    if (command == "engine") return cmd_engine(uint_arg(2, 6), uint_arg(3, 2));
-    if (command == "chaos")
-      return cmd_chaos(uint_arg(2, 2004), uint_arg(3, 20), uint_arg(4, 4));
+    // engine/chaos mix positional numbers with flags: strip the flags first,
+    // then bind the remaining positionals in order.
+    if (command == "engine" || command == "chaos") {
+      std::string data_dir;
+      bool wire = false;
+      std::vector<std::uint64_t> positional;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--data-dir" && i + 1 < argc) {
+          data_dir = argv[++i];
+          continue;
+        }
+        if (arg == "--wire") {
+          wire = true;
+          continue;
+        }
+        const auto value = ig::util::parse_uint(arg);
+        if (!value.has_value()) {
+          std::fprintf(stderr, "error: argument %d ('%s') is not a non-negative integer\n",
+                       i, arg.c_str());
+          return 1;
+        }
+        positional.push_back(*value);
+      }
+      const auto pos = [&](std::size_t index, std::uint64_t fallback) {
+        return index < positional.size() ? positional[index] : fallback;
+      };
+      if (command == "engine")
+        return cmd_engine(pos(0, 6), pos(1, 2), data_dir);
+      return cmd_chaos(pos(0, 2004), pos(1, 20), pos(2, 4), data_dir, wire);
+    }
     if (command == "metrics") return cmd_metrics(uint_arg(2, 4), uint_arg(3, 2));
     if (command == "trace" && argc >= 3) {
       std::string out_path;
@@ -461,6 +561,7 @@ int main(int argc, char** argv) {
       }
       return cmd_store(argv[2], populate, compact);
     }
+    if (command == "wire") return cmd_wire(uint_arg(2, 1000));
     if (command == "demo") return cmd_demo();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -23,6 +23,20 @@ std::string_view to_string(Performative performative) noexcept {
   return "?";
 }
 
+std::optional<Performative> performative_from_string(std::string_view text) noexcept {
+  static constexpr Performative kAll[] = {
+      Performative::Request,        Performative::Inform,         Performative::Agree,
+      Performative::Refuse,         Performative::Failure,        Performative::QueryRef,
+      Performative::QueryIf,        Performative::Propose,        Performative::AcceptProposal,
+      Performative::RejectProposal, Performative::Subscribe,      Performative::Cancel,
+      Performative::NotUnderstood,
+  };
+  for (const Performative performative : kAll) {
+    if (to_string(performative) == text) return performative;
+  }
+  return std::nullopt;
+}
+
 std::string AclMessage::param(std::string_view key, std::string_view fallback) const {
   auto it = params.find(std::string(key));
   return it != params.end() ? it->second : std::string(fallback);

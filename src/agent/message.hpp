@@ -35,6 +35,11 @@ enum class Performative {
 
 std::string_view to_string(Performative performative) noexcept;
 
+/// Inverse of to_string: "REQUEST" -> Performative::Request. nullopt for
+/// anything else (the wire decoder turns that into a decode error instead
+/// of guessing).
+std::optional<Performative> performative_from_string(std::string_view text) noexcept;
+
 struct AclMessage {
   Performative performative = Performative::Inform;
   std::string sender;

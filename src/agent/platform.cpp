@@ -69,6 +69,22 @@ void AgentPlatform::send(AclMessage message) {
     }
   }
 
+  // The transport hook carries the message through a real encode/decode
+  // path before any chaos decision, so the chaos layer handles frames that
+  // actually crossed the codec. A rejected message never reaches the wire:
+  // it is counted, traced, and gone.
+  if (transport_hook_) {
+    std::string error;
+    std::optional<AclMessage> decoded = transport_hook_(message, &error);
+    if (!decoded.has_value()) {
+      transport_rejects_.fetch_add(1, std::memory_order_relaxed);
+      trace_chaos_loss(message, sent_at,
+                       "wire: " + (error.empty() ? std::string("decode error") : error));
+      return;
+    }
+    message = *std::move(decoded);
+  }
+
   if (chaos_.has_value() && chaos_->enabled()) {
     if (const ChaosRule* rule = chaos_->first_match(message)) {
       // One stream per message, keyed by the platform-wide send sequence:
@@ -140,6 +156,7 @@ void AgentPlatform::publish_metrics(obs::MetricsRegistry& registry,
   registry.counter("platform_messages_delivered_total", labels).set_to(messages_delivered());
   registry.counter("platform_handler_failures_total", labels).set_to(handler_failures_total());
   registry.counter("platform_trace_dropped_total", labels).set_to(trace_dropped());
+  registry.counter("platform_transport_rejects_total", labels).set_to(transport_rejects());
   chaos_stats().publish(registry, labels);
 }
 

@@ -45,6 +45,15 @@ struct TraceRecord {
 /// Transport-level condition of an agent (see ChaosPolicy's AgentFault).
 enum class AgentHealth { Healthy, Crashed, Hung };
 
+/// A transport hook stands in for the physical medium between send() and the
+/// chaos layer: it carries the message through a real encode/decode path
+/// (e.g. the wire codec's framed byte stream) and returns what arrived, or
+/// nullopt if the transport rejected it (writing a reason into *error). The
+/// chaos policy then acts on the *decoded* message, so injected faults hit
+/// frames that really crossed a codec, not in-memory copies.
+using TransportHook =
+    std::function<std::optional<AclMessage>(const AclMessage&, std::string* error)>;
+
 class AgentPlatform {
  public:
   explicit AgentPlatform(grid::Simulation& sim) : sim_(sim) {}
@@ -83,6 +92,15 @@ class AgentPlatform {
   /// Transport latency function (sender, receiver) -> seconds.
   void set_latency_function(std::function<grid::SimTime(const std::string&, const std::string&)> fn) {
     latency_fn_ = std::move(fn);
+  }
+
+  /// Installs (or clears, with nullptr) the transport hook. Runs in send()
+  /// after the sender-health check and before any chaos decision.
+  void set_transport_hook(TransportHook hook) { transport_hook_ = std::move(hook); }
+  /// Messages the transport hook rejected (decode errors). Atomic, readable
+  /// from a metrics thread.
+  std::size_t transport_rejects() const noexcept {
+    return transport_rejects_.load(std::memory_order_relaxed);
   }
 
   /// Atomic, so an engine metrics snapshot may read them from another
@@ -172,6 +190,8 @@ class AgentPlatform {
   grid::Simulation& sim_;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::function<grid::SimTime(const std::string&, const std::string&)> latency_fn_;
+  TransportHook transport_hook_;
+  std::atomic<std::size_t> transport_rejects_{0};
   bool tracing_ = false;
   std::deque<TraceRecord> trace_;
   std::atomic<std::size_t> trace_limit_{0};  ///< 0 = unlimited

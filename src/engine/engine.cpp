@@ -172,7 +172,14 @@ EnactmentEngine::EnactmentEngine(EngineConfig config) : config_(std::move(config
 
   // Durable mode: open the journal and rebuild the case table before any
   // shard exists, so recovered cases are queued by the time pumps start.
-  if (!config_.storage.data_dir.empty()) recover_from_journal();
+  if (!config_.storage.data_dir.empty()) {
+    // Several shards journaling through one store turn sequential per-case
+    // commits into one barrier per window instead of one fsync each; a
+    // single shard gains nothing and would only add latency.
+    if (config_.storage.group_window_us == 0 && config_.shards > 1)
+      config_.storage.group_window_us = 200;
+    recover_from_journal();
+  }
 
   // Build every shard stack on the caller's thread (deterministic seeds,
   // no construction races), then start the workers.

@@ -21,6 +21,13 @@ Environment::Environment(const EnvironmentOptions& options)
 
   platform_.set_tracing(options.tracing);
   platform_.set_trace_limit(options.trace_limit);
+  if (options.wire_transport) {
+    // Installed before the bootstrap flush so even the service registration
+    // traffic crosses the codec: the intern tables warm up on the names and
+    // protocols the run will keep using.
+    wire_link_ = std::make_unique<wire::WireLink>();
+    platform_.set_transport_hook(wire::make_transport_hook(*wire_link_));
+  }
   tracer_.set_enabled(options.span_tracing);
   tracer_.set_limit(options.span_limit);
 
@@ -80,6 +87,7 @@ void Environment::publish_metrics(obs::MetricsRegistry& registry,
   planning_->tracker().publish(registry, planning_labels);
   monitoring_->publish(registry, labels);
   registry.counter("tracer_spans_dropped_total", labels).set_to(tracer_.dropped());
+  if (wire_link_ != nullptr) wire_link_->publish_metrics(registry, labels);
 }
 
 std::unique_ptr<Environment> make_environment(EnvironmentOptions options) {

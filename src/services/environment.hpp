@@ -27,6 +27,7 @@
 #include "services/storage.hpp"
 #include "virolab/kernels.hpp"
 #include "wfl/service.hpp"
+#include "wire/channel.hpp"
 
 namespace ig::svc {
 
@@ -52,6 +53,13 @@ struct EnvironmentOptions {
   grid::SimTime heartbeat_period = 0.0;
   HeartbeatConfig heartbeat;          ///< thresholds; `period` is overwritten
                                       ///< from heartbeat_period when that is set
+  /// Routes every platform send through the binary wire codec (frame,
+  /// CRC, intern, zero-copy decode, materialize) over a loopback byte
+  /// stream before the chaos layer sees it. Chaos faults then hit frames
+  /// that really crossed the codec; wire_* counters appear in
+  /// publish_metrics. Deterministic: the round trip is bitwise, so chaos
+  /// replays stay seed-stable with the hook on or off.
+  bool wire_transport = false;
   /// Fault-injection policy installed on the platform (empty = no chaos).
   agent::ChaosPolicy chaos;
   /// Backing store for the PersistentStorageService (not owned). Null gives
@@ -94,6 +102,10 @@ class Environment {
   obs::SpanTracer& tracer() noexcept { return tracer_; }
   const obs::SpanTracer& tracer() const noexcept { return tracer_; }
 
+  /// The wire transport link, or nullptr unless options.wire_transport.
+  wire::WireLink* wire_link() noexcept { return wire_link_.get(); }
+  const wire::WireLink* wire_link() const noexcept { return wire_link_.get(); }
+
   /// Pushes every component's counters (platform, chaos, request trackers,
   /// monitoring liveness) into `registry` under `labels`. Reads only atomic
   /// state; an engine metrics pass calls this from another thread while the
@@ -108,6 +120,7 @@ class Environment {
   grid::Grid grid_;
   grid::FailureInjector injector_;
   agent::AgentPlatform platform_;
+  std::unique_ptr<wire::WireLink> wire_link_;
   obs::SpanTracer tracer_;
   wfl::ServiceCatalogue catalogue_;
   virolab::SyntheticKernels kernels_;

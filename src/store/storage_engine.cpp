@@ -89,6 +89,7 @@ StorageEngine::StorageEngine(Options options, EventReplayFn event_replay)
   wal_options.dir = options_.data_dir;
   wal_options.segment_size = options_.segment_size;
   wal_options.sync = options_.sync;
+  wal_options.group_window_us = options_.group_window_us;
   wal_ = std::make_unique<WriteAheadLog>(std::move(wal_options));
   load_snapshot();
   wal_->skip_to(snapshot_lsn_);  // no-op unless the log fell behind the snapshot

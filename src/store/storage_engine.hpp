@@ -42,6 +42,10 @@ struct Options {
   std::string data_dir;                ///< empty = in-memory (no files at all)
   std::size_t segment_size = 1 << 20;  ///< standard WAL segment capacity
   SyncMode sync = SyncMode::kCommit;
+  /// Commit-leader linger window forwarded to WalOptions::group_window_us
+  /// (0 = sync immediately). The enactment engine enables a small window
+  /// when several durable shards share this store.
+  std::uint32_t group_window_us = 0;
   /// WAL records between automatic snapshots (checked by maybe_snapshot);
   /// 0 disables automatic snapshotting.
   std::size_t snapshot_interval = 4096;

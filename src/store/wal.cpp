@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 
@@ -144,6 +145,15 @@ void WriteAheadLog::commit(Lsn upto) {
     return;
   }
   sync_in_flight_ = true;
+  if (options_.group_window_us > 0) {
+    // Leader linger: hold the leadership but release the lock for a short
+    // window so commits arriving meanwhile register as followers. The
+    // msync target is read *after* the window, so every one of them is
+    // covered by this single barrier.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(options_.group_window_us);
+    commit_cv_.wait_until(lock, deadline, [] { return false; });
+  }
   lock.unlock();
   Lsn target = 0;
   {

@@ -1,0 +1,231 @@
+#include "wire/codec.hpp"
+
+#include "store/crc32c.hpp"
+
+namespace ig::wire {
+
+// -- varint ---------------------------------------------------------------------
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::optional<std::uint64_t> read_varint(store::Reader& reader) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = reader.u8();
+    if (!reader.ok()) return std::nullopt;
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The 10th byte may only contribute the top bit of a 64-bit value.
+      if (shift == 63 && byte > 1) return std::nullopt;
+      return value;
+    }
+  }
+  return std::nullopt;  // continuation bit still set after 64 bits
+}
+
+// -- encoder --------------------------------------------------------------------
+
+void Encoder::intern_field(std::string_view value, std::string& payload) {
+  auto it = table_.find(value);
+  if (it != table_.end()) {
+    ++stats_.intern_hits;
+    put_varint(payload, it->second);
+    return;
+  }
+  ++stats_.intern_misses;
+  const std::uint32_t id = next_id_++;
+  table_.emplace(std::string(value), id);
+  put_varint(payload, 0);  // definition marker
+  put_varint(payload, id);
+  store::Writer writer(payload);
+  writer.str(value);
+}
+
+void Encoder::encode(const agent::AclMessage& message, std::string& out) {
+  std::string payload;
+  store::Writer writer(payload);
+  writer.u8(kWireVersion);
+  intern_field(agent::to_string(message.performative), payload);
+  writer.str(message.sender);
+  writer.str(message.receiver);
+  writer.str(message.conversation_id);
+  intern_field(message.protocol, payload);
+  intern_field(message.ontology, payload);
+  writer.str(message.content);
+  put_varint(payload, message.params.size());
+  for (const auto& [name, value] : message.params) {
+    intern_field(name, payload);
+    store::Writer param_writer(payload);
+    param_writer.str(value);
+  }
+
+  std::string header;
+  store::Writer header_writer(header);
+  header_writer.u32(static_cast<std::uint32_t>(payload.size()));
+  header_writer.u32(store::crc32c(payload));
+  out += header;
+  out += payload;
+
+  ++stats_.frames;
+  stats_.payload_bytes += payload.size();
+  stats_.frame_bytes += kFrameHeaderBytes + payload.size();
+}
+
+std::string Encoder::encode(const agent::AclMessage& message) {
+  std::string out;
+  encode(message, out);
+  return out;
+}
+
+// -- decoder --------------------------------------------------------------------
+
+agent::AclMessage WireMessageView::materialize() const {
+  agent::AclMessage message;
+  message.performative = performative;
+  message.sender = std::string(sender);
+  message.receiver = std::string(receiver);
+  message.conversation_id = std::string(conversation_id);
+  message.protocol = std::string(protocol);
+  message.ontology = std::string(ontology);
+  message.content = std::string(content);
+  for (const auto& [name, value] : params) message.params.emplace(name, value);
+  return message;
+}
+
+FrameStatus peek_frame(std::string_view buffer, std::string_view& payload,
+                       std::size_t& frame_size, std::string* error) {
+  if (buffer.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  store::Reader reader(buffer);
+  const std::uint32_t length = reader.u32();
+  const std::uint32_t checksum = reader.u32();
+  if (length > kMaxFramePayload) {
+    if (error != nullptr)
+      *error = "oversized frame: length prefix " + std::to_string(length) + " exceeds " +
+               std::to_string(kMaxFramePayload);
+    return FrameStatus::kBad;
+  }
+  if (buffer.size() - kFrameHeaderBytes < length) return FrameStatus::kNeedMore;
+  payload = buffer.substr(kFrameHeaderBytes, length);
+  if (store::crc32c(payload) != checksum) {
+    if (error != nullptr) *error = "frame checksum mismatch";
+    payload = {};
+    return FrameStatus::kBad;
+  }
+  frame_size = kFrameHeaderBytes + length;
+  return FrameStatus::kFrame;
+}
+
+bool Decoder::intern_field(store::Reader& reader, std::string_view& value, std::string* error) {
+  const auto tag = read_varint(reader);
+  if (!tag.has_value()) {
+    if (error != nullptr) *error = "truncated intern tag";
+    return false;
+  }
+  if (*tag != 0) {
+    // Reference to an already-defined vocabulary entry.
+    if (*tag > table_.size()) {
+      if (error != nullptr)
+        *error = "unknown intern id " + std::to_string(*tag) + " (table holds " +
+                 std::to_string(table_.size()) + ")";
+      return false;
+    }
+    value = table_[static_cast<std::size_t>(*tag) - 1];
+    return true;
+  }
+  const auto id = read_varint(reader);
+  if (!id.has_value() || *id == 0) {
+    if (error != nullptr) *error = "malformed intern definition id";
+    return false;
+  }
+  const std::string_view literal = reader.str();
+  if (!reader.ok()) {
+    if (error != nullptr) *error = "truncated intern literal";
+    return false;
+  }
+  if (*id <= table_.size()) {
+    // Idempotent redefinition (a duplicated frame); the literal must match.
+    const std::string& existing = table_[static_cast<std::size_t>(*id) - 1];
+    if (existing != literal) {
+      if (error != nullptr)
+        *error = "intern id " + std::to_string(*id) + " redefined with different literal";
+      return false;
+    }
+    value = existing;
+    return true;
+  }
+  if (*id != table_.size() + 1) {
+    // A gap means the defining frame was lost; indexing past it would lie.
+    if (error != nullptr)
+      *error = "intern definition out of order: id " + std::to_string(*id) +
+               " after table of " + std::to_string(table_.size());
+    return false;
+  }
+  table_.emplace_back(literal);
+  value = table_.back();
+  return true;
+}
+
+bool Decoder::decode_payload(std::string_view payload, WireMessageView& view,
+                             std::string* error) {
+  view = WireMessageView{};
+  store::Reader reader(payload);
+  const std::uint8_t version = reader.u8();
+  if (!reader.ok() || version != kWireVersion) {
+    if (error != nullptr)
+      *error = "unsupported wire version " + std::to_string(version);
+    return false;
+  }
+  std::string_view performative;
+  if (!intern_field(reader, performative, error)) return false;
+  const auto parsed = agent::performative_from_string(performative);
+  if (!parsed.has_value()) {
+    if (error != nullptr) *error = "unknown performative '" + std::string(performative) + "'";
+    return false;
+  }
+  view.performative = *parsed;
+  view.sender = reader.str();
+  view.receiver = reader.str();
+  view.conversation_id = reader.str();
+  if (!reader.ok()) {
+    if (error != nullptr) *error = "truncated addressing fields";
+    return false;
+  }
+  if (!intern_field(reader, view.protocol, error)) return false;
+  if (!intern_field(reader, view.ontology, error)) return false;
+  view.content = reader.str();
+  if (!reader.ok()) {
+    if (error != nullptr) *error = "truncated content";
+    return false;
+  }
+  const auto count = read_varint(reader);
+  if (!count.has_value() || *count > payload.size()) {
+    // A param needs at least one byte each; a count beyond the payload size
+    // is corrupt and must not drive a giant reserve().
+    if (error != nullptr) *error = "malformed param count";
+    return false;
+  }
+  view.params.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    std::string_view name;
+    if (!intern_field(reader, name, error)) return false;
+    const std::string_view value = reader.str();
+    if (!reader.ok()) {
+      if (error != nullptr) *error = "truncated param value";
+      return false;
+    }
+    view.params.emplace_back(name, value);
+  }
+  if (!reader.done()) {
+    if (error != nullptr) *error = "trailing bytes after message";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ig::wire

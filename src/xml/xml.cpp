@@ -43,7 +43,17 @@ std::optional<std::uint32_t> decode_char_ref(std::string_view body) {
   if (ec != std::errc() || ptr != last) return std::nullopt;
   if (code == 0 || code > 0x10FFFF) return std::nullopt;
   if (code >= 0xD800 && code <= 0xDFFF) return std::nullopt;  // surrogates
+  // C0 controls other than tab/LF/CR are not XML characters: a document
+  // containing &#1; was never well-formed, and decoding it would smuggle
+  // into memory a byte the writer can no longer serialize.
+  if (code < 0x20 && code != 0x09 && code != 0x0A && code != 0x0D) return std::nullopt;
   return code;
+}
+
+/// "0x%02X" without printf: escape() reports rejected control bytes.
+std::string to_hex_byte(unsigned char byte) {
+  static const char* digits = "0123456789ABCDEF";
+  return {digits[byte >> 4], digits[byte & 0x0F]};
 }
 
 }  // namespace
@@ -178,14 +188,28 @@ std::string Document::to_string(int indent) const {
 std::string escape(std::string_view text) {
   std::string out;
   out.reserve(text.size());
-  for (char c : text) {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
     switch (c) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
       case '>': out += "&gt;"; break;
       case '"': out += "&quot;"; break;
       case '\'': out += "&apos;"; break;
-      default: out += c;
+      default: {
+        // XML 1.0 has no representation for C0 control characters other
+        // than tab/LF/CR — not even as character references. Passing them
+        // through raw (the old behavior) produced documents whose parse
+        // silently mangled the value; refusing here keeps the corruption
+        // out of the archive. Binary payloads belong on the wire codec.
+        const unsigned char byte = static_cast<unsigned char>(c);
+        if (byte < 0x20 && c != '\t' && c != '\n' && c != '\r') {
+          throw ParseError("control character 0x" + to_hex_byte(byte) +
+                               " cannot be represented in XML 1.0",
+                           i);
+        }
+        out += c;
+      }
     }
   }
   return out;

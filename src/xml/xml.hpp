@@ -129,10 +129,15 @@ class Document {
 };
 
 /// Escapes the five predefined entities in character data / attributes.
+/// Throws ParseError (offset = position in `text`) on C0 control characters
+/// other than tab/LF/CR: XML 1.0 cannot represent them, and the historical
+/// pass-through produced documents that parsed back corrupted. Binary
+/// payloads belong on the wire codec, not in XML.
 std::string escape(std::string_view text);
 /// Reverses `escape`. Also decodes numeric character references, decimal
 /// (&#10;) and hex (&#x41;), emitting UTF-8; unknown or malformed entities
-/// raise ParseError.
+/// and references to non-XML characters (C0 controls other than 9/10/13,
+/// surrogates, > 0x10FFFF) raise ParseError.
 std::string unescape(std::string_view text);
 
 /// Parses a document; the input must contain exactly one root element.

@@ -299,6 +299,41 @@ TEST(Wal, GroupCommitBatchesFsyncs) {
   EXPECT_EQ(wal.durable_lsn(), 100u);
 }
 
+TEST(Wal, GroupWindowBatchesSequentialCommittersAcrossThreads) {
+  // Models durable engine shards finishing cases back to back: each thread
+  // appends then commits, round after round, so commits overlap only
+  // briefly. With a leader-linger window the first committer of a round
+  // waits for the stragglers and one msync covers them all; the fsync
+  // count must fall well below one-per-commit.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  TempDir dir("window");
+  WalOptions options;
+  options.dir = dir.str();
+  options.sync = SyncMode::kCommit;
+  options.group_window_us = 20'000;  // generous: robust on a loaded 1-core CI box
+  WriteAheadLog wal(options);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const Lsn lsn = wal.append("t" + std::to_string(t) + "-r" + std::to_string(round));
+        wal.commit(lsn);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const WalStats stats = wal.stats();
+  EXPECT_EQ(stats.appends, static_cast<std::uint64_t>(kThreads * kRounds));
+  EXPECT_EQ(wal.durable_lsn(), static_cast<Lsn>(kThreads * kRounds));
+  // One-per-commit would be kThreads * kRounds fsyncs; the window must at
+  // least halve that, and some commit must have ridden another's barrier.
+  EXPECT_LE(stats.fsyncs * 2, static_cast<std::uint64_t>(kThreads * kRounds));
+  EXPECT_GT(stats.group_commits, 0u);
+}
+
 // -- storage engine ------------------------------------------------------------
 
 TEST(StorageEngine, InMemoryModeHasNoFilesAndFullKvSemantics) {

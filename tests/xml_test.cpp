@@ -218,9 +218,36 @@ TEST(Parser, NumericReferencesInTextAndAttributes) {
   EXPECT_EQ(document.root().text(), "x&y");
 }
 
+TEST(Escape, RejectsControlCharactersWithOffset) {
+  // XML 1.0 cannot represent C0 controls (other than tab/LF/CR), and the
+  // historical pass-through wrote documents that parsed back corrupted.
+  // Reject-with-reason is the fix; binary payloads take the wire codec.
+  for (const char byte : {'\0', '\x01', '\x08', '\x0B', '\x1F'}) {
+    const std::string text = std::string("ab") + byte + "c";
+    try {
+      escape(text);
+      FAIL() << "control byte " << static_cast<int>(byte) << " accepted";
+    } catch (const ParseError& error) {
+      EXPECT_EQ(error.offset(), 2u);
+    }
+  }
+}
+
+TEST(Escape, KeepsXmlWhitespaceControls) {
+  EXPECT_EQ(escape("a\tb\nc\rd"), "a\tb\nc\rd");
+}
+
+TEST(Unescape, RejectsReferencesToControlCharacters) {
+  // &#1; was never a well-formed reference; decoding it would smuggle in a
+  // byte escape() can no longer write back.
+  for (const char* bad : {"&#1;", "&#8;", "&#x0B;", "&#31;", "&#x1F;"})
+    EXPECT_THROW(unescape(bad), ParseError) << bad;
+  EXPECT_EQ(unescape("&#9;&#10;&#13;"), "\t\n\r");  // the three XML allows
+}
+
 TEST(RoundTrip, EscapeThenParseRecoversControlCharacters) {
-  // escape() leaves raw control characters alone; the parser must accept
-  // the writer's output, and explicitly-referenced ones must round-trip.
+  // The parser must accept the writer's output; tab/LF/CR and the five
+  // predefined entities must round-trip.
   Document document("r");
   document.root().set_attribute("k", "a&b<c>\"d'");
   document.root().set_text("text & <markup> \"quoted\"");
