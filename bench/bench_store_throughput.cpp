@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "store/error.hpp"
+#include "store/fault_fs.hpp"
 #include "store/storage_engine.hpp"
 #include "util/stopwatch.hpp"
 
@@ -154,6 +156,119 @@ void run_group_window_sweep(std::size_t records) {
   }
 }
 
+void run_seam_overhead(std::size_t records) {
+  // The acceptance point for the FileOps seam: the same commit-batched
+  // append workload through the raw POSIX ops and through a pass-through
+  // FaultFs (zero fault rates, so every op takes the judge + emulated-mmap
+  // path). The overhead of having the fault layer in place must stay small.
+  std::printf("\nfault-injection seam overhead (%zu records, commit-batched)\n", records);
+  std::printf("  %-14s %12s\n", "ops", "appends/s");
+  double rates[2] = {0.0, 0.0};
+  store::FaultFs pass_through{store::FaultFsOptions{}};
+  for (const int with_faultfs : {0, 1}) {
+    const std::string dir = bench_dir(with_faultfs ? "seam-faultfs" : "seam-posix");
+    wipe(dir);
+    store::Options options;
+    options.data_dir = dir;
+    options.snapshot_interval = 0;
+    options.sync = store::SyncMode::kCommit;
+    options.file_ops = with_faultfs ? &pass_through : nullptr;
+    std::mt19937_64 rng(2004);
+    util::Stopwatch watch;
+    {
+      store::StorageEngine engine(options);
+      for (std::size_t i = 0; i < records; ++i) engine.append_event("bench", make_payload(rng));
+      engine.commit();
+      rates[with_faultfs] = static_cast<double>(records) / watch.elapsed_seconds();
+    }
+    std::printf("  %-14s %12.0f\n", with_faultfs ? "faultfs" : "posix", rates[with_faultfs]);
+    wipe(dir);
+  }
+  const double overhead_percent = (rates[0] / rates[1] - 1.0) * 100.0;
+  std::printf("  pass-through overhead: %.2f%%\n", overhead_percent);
+  bench::JsonRecord record("bench_store_throughput");
+  record.add("sweep", std::string("fault_seam_overhead"));
+  record.add("records", records);
+  record.add("posix_appends_per_second", rates[0]);
+  record.add("faultfs_appends_per_second", rates[1]);
+  record.add("overhead_percent", overhead_percent);
+  record.append_to(kJsonPath);
+}
+
+void run_fault_sweep(std::size_t records) {
+  // --faults: seeded fault rates against the commit path. For each rate the
+  // workload appends until the store fails (or finishes), then reopens on
+  // the real filesystem and measures what recovery gets back and how fast.
+  // The acked count is the zero-loss floor: every record covered by a
+  // successful commit must still be there.
+  std::printf("\nfault sweep (%zu records, commit every 16)\n", records);
+  std::printf("  %-8s %10s %10s %10s %10s %12s\n", "rate", "injected", "acked",
+              "retained", "poisoned", "recovery_ms");
+  for (const double rate : {0.0, 0.005, 0.02, 0.05}) {
+    const std::string dir = bench_dir("faults");
+    wipe(dir);
+    store::FaultFsOptions fault_options;
+    fault_options.seed = 2004;
+    fault_options.rules.push_back({store::FaultMatch{}, /*io_error=*/rate / 2.0,
+                                   /*no_space=*/rate / 2.0, /*short_write=*/rate / 2.0,
+                                   /*fsync_error=*/rate / 2.0});
+    store::FaultFs faults(fault_options);
+    store::Options options;
+    options.data_dir = dir;
+    options.segment_size = 64 * 1024;
+    options.snapshot_interval = 0;
+    options.sync = store::SyncMode::kCommit;
+    options.file_ops = &faults;
+    std::mt19937_64 rng(2004);
+    std::size_t acked = 0;
+    std::size_t appended = 0;
+    bool poisoned = false;
+    try {
+      store::StorageEngine engine(options);
+      for (std::size_t i = 0; i < records; ++i) {
+        engine.append_event("bench", make_payload(rng));
+        ++appended;
+        if (appended % 16 == 0) {
+          engine.commit();
+          acked = appended;
+        }
+      }
+      engine.commit();
+      acked = appended;
+    } catch (const store::Error& e) {
+      poisoned = e.kind() == store::ErrorKind::kPoisoned;
+    }
+    std::size_t retained = 0;
+    util::Stopwatch watch;
+    double recovery_ms = 0.0;
+    {
+      store::Options reopen_options = options;
+      reopen_options.file_ops = nullptr;
+      store::StorageEngine reopened(reopen_options,
+                                    [&](std::string_view, std::string_view) { ++retained; });
+      recovery_ms = watch.elapsed_ms();
+    }
+    if (retained < acked)
+      std::fprintf(stderr, "ACKED-LOSS at rate %.3f: %zu acked, %zu retained\n", rate,
+                   acked, retained);
+    const store::FaultFsStats stats = faults.stats();
+    std::printf("  %-8.3f %10llu %10zu %10zu %10s %12.2f\n", rate,
+                static_cast<unsigned long long>(stats.total_injected()), acked, retained,
+                poisoned ? "yes" : "no", recovery_ms);
+    bench::JsonRecord record("bench_store_throughput");
+    record.add("sweep", std::string("faults"));
+    record.add("rate", rate);
+    record.add("records", records);
+    record.add("injected", static_cast<std::size_t>(stats.total_injected()));
+    record.add("acked_records", acked);
+    record.add("retained_records", retained);
+    record.add("poisoned", std::size_t{poisoned ? 1u : 0u});
+    record.add("recovery_ms", recovery_ms);
+    record.append_to(kJsonPath);
+    wipe(dir);
+  }
+}
+
 void run_recovery_sweep(std::size_t max_records) {
   std::printf("\ncold-start recovery (kv puts, SyncMode::kNone while seeding)\n");
   std::printf("  %-10s %-10s %12s %14s\n", "records", "snapshot", "recovery_ms",
@@ -197,13 +312,25 @@ void run_recovery_sweep(std::size_t max_records) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Default sizes finish in seconds on CI; pass a scale factor for real runs.
+  // Default sizes finish in seconds on CI; pass a scale factor for real
+  // runs. --faults adds the seeded fault-rate sweep (recovery time and data
+  // retained vs fault rate).
   std::size_t scale = 1;
-  if (argc > 1) scale = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
-  if (scale == 0) scale = 1;
+  bool faults = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--faults") {
+      faults = true;
+      continue;
+    }
+    const std::size_t value = static_cast<std::size_t>(std::strtoull(arg.c_str(), nullptr, 10));
+    if (value > 0) scale = value;
+  }
   run_append_sweep(20000 * scale);
   run_group_window_sweep(2000 * scale);
+  run_seam_overhead(20000 * scale);
   run_recovery_sweep(16000 * scale);
+  if (faults) run_fault_sweep(2000 * scale);
   wipe("bench_store_data");
   return 0;
 }

@@ -19,8 +19,13 @@
 // Workflow files contain the concrete syntax, e.g.
 //   BEGIN, POD; P3DR1=P3DR; {ITERATIVE {COND R.Value > 8}
 //     {POR; {FORK {P3DR2=P3DR} {P3DR3=P3DR} {P3DR4=P3DR} JOIN}; PSF}}, END
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -67,6 +72,25 @@ int usage() {
                "  wire     [messages]          binary vs XML ACL encoding comparison\n"
                "  demo                         plan + enact the paper's case study\n");
   return 2;
+}
+
+/// Preflight for every durable command: a data dir the store cannot
+/// possibly use (uncreatable or unwritable) fails fast with exit 1 and one
+/// stderr line, instead of a stack trace from deep inside the engine.
+bool data_dir_usable(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: data dir '%s' is unusable: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  if (::access(dir.c_str(), W_OK | X_OK) != 0) {
+    std::fprintf(stderr, "error: data dir '%s' is not writable: %s\n", dir.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  return true;
 }
 
 std::string read_file(const std::string& path) {
@@ -172,6 +196,7 @@ int cmd_enact(const std::string& path, std::uint64_t seed) {
 }
 
 int cmd_engine(std::size_t cases, std::size_t shards, const std::string& data_dir) {
+  if (!data_dir.empty() && !data_dir_usable(data_dir)) return 1;
   engine::EngineConfig config;
   config.shards = shards;
   config.queue_capacity = cases + 4;
@@ -222,6 +247,7 @@ int cmd_engine(std::size_t cases, std::size_t shards, const std::string& data_di
 
 int cmd_chaos(std::uint64_t seed, std::uint64_t drop_percent, std::size_t cases,
               const std::string& data_dir, bool wire) {
+  if (!data_dir.empty() && !data_dir_usable(data_dir)) return 1;
   const double drop = static_cast<double>(drop_percent) / 100.0;
   engine::EngineConfig config;
   config.shards = 1;  // one shard keeps the chaotic run bit-reproducible
@@ -374,6 +400,7 @@ int cmd_trace(const std::string& source, const std::string& out_path) {
 }
 
 int cmd_store(const std::string& dir, std::uint64_t populate, bool compact) {
+  if (!data_dir_usable(dir)) return 1;
   store::Options options;
   options.data_dir = dir;
   options.segment_size = 64 * 1024;  // small segments so demos roll over

@@ -233,7 +233,7 @@ void EnactmentEngine::shutdown() {
   // Abandoned attempts journal no Terminal event (the whole point: a
   // restart resumes them), but everything journaled so far becomes durable
   // on this clean path.
-  if (journal_) journal_->commit();
+  if (journal_) journal_commit();
 }
 
 CaseId EnactmentEngine::submit(const wfl::ProcessDescription& process,
@@ -247,10 +247,20 @@ CaseId EnactmentEngine::submit_xml(std::string process_xml, std::string case_xml
                                    const std::string& tenant) {
   std::vector<Shard*> to_pump;
   CaseId id = kInvalidCase;
+  bool durable = false;
+  bool journal_failed = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_ || queued_ >= config_.queue_capacity) {
       ++rejected_total_;
+      return kInvalidCase;
+    }
+    if (journal_ && degraded_) {
+      // Graceful degradation: an engine whose journal failed cannot promise
+      // durability, so it stops accepting durable work instead of lying.
+      ++rejected_total_;
+      IG_LOG_WARN("engine") << "rejecting submission: journal degraded ("
+                            << degraded_reason_ << ")";
       return kInvalidCase;
     }
     id = next_case_id_++;
@@ -261,7 +271,8 @@ CaseId EnactmentEngine::submit_xml(std::string process_xml, std::string case_xml
     record.case_xml = std::move(case_xml);
     record.submitted_at = std::chrono::steady_clock::now();
     ++submitted_total_;
-    if (journal_) {
+    durable = journal_ != nullptr;
+    if (durable) {
       std::string payload;
       store::Writer w(payload);
       w.u8(kEventAdmit);
@@ -269,14 +280,37 @@ CaseId EnactmentEngine::submit_xml(std::string process_xml, std::string case_xml
       w.str(record.tenant);
       w.str(record.process_xml);
       w.str(record.case_xml);
-      journal_->append_event("engine", payload);
+      // The record deliberately stays out of the tenant queues here: a
+      // durable submission is admitted (and its id acked) only after the
+      // admit event is on disk, so an acked id can never be lost to a
+      // crash — the invariant the crash-point matrix test holds us to.
+      journal_failed = !journal_append_locked(payload);
+    } else {
+      admit_locked(record);
+      to_pump = claim_idle_pumps_locked();
     }
-    admit_locked(record);
-    to_pump = claim_idle_pumps_locked();
   }
-  // The admission becomes durable before the id is handed back; the msync
-  // runs outside the engine mutex (group commit absorbs concurrent submits).
-  if (journal_) journal_->commit();
+  if (durable) {
+    // The msync runs outside the engine mutex (group commit absorbs
+    // concurrent submits).
+    if (!journal_failed) journal_failed = !journal_commit();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(id);
+    if (journal_failed) {
+      // Never acked, so it must leave no trace: the caller sees a rejection
+      // with a reason (degraded_), not a case that silently evaporates.
+      if (it != records_.end()) records_.erase(it);
+      --submitted_total_;
+      ++rejected_total_;
+      if (next_case_id_ == id + 1) next_case_id_ = id;
+      id = kInvalidCase;
+    } else if (it != records_.end() && it->second.state == CaseState::Queued &&
+               !it->second.cancel_requested) {
+      // (A cancel that raced the commit already finalized the record.)
+      admit_locked(it->second);
+      to_pump = claim_idle_pumps_locked();
+    }
+  }
   // Posting outside the engine mutex: a pump job can start (and take the
   // mutex) before we would have released it. A shutdown() racing these
   // posts is safe — jobs_ stays alive until the engine is destroyed, and
@@ -365,8 +399,7 @@ bool EnactmentEngine::cancel(CaseId id) {
       store::Writer w(payload);
       w.u8(kEventCancel);
       w.u64(id);
-      journal_->append_event("engine", payload);
-      journaled = true;
+      journaled = journal_append_locked(payload);
     }
     if (record.state == CaseState::Queued) {
       // Remove from its tenant queue and terminate immediately.
@@ -401,13 +434,13 @@ bool EnactmentEngine::cancel(CaseId id) {
         w.u8(kEventTerminal);
         w.u64(id);
         write_outcome(w, record.outcome);
-        journal_->append_event("engine", payload);
+        journal_append_locked(payload);
       }
       case_terminal_.notify_all();
     }
     // A Running case is abandoned by its shard at the next slice boundary.
   }
-  if (journaled) journal_->commit();
+  if (journaled) journal_commit();
   return true;
 }
 
@@ -441,6 +474,8 @@ EngineMetrics EnactmentEngine::metrics() const {
   snapshot.cancelled = cancelled_total_;
   snapshot.retried = retried_total_;
   snapshot.recovered = recovered_total_;
+  snapshot.store_io_errors = store_io_errors_;
+  snapshot.degraded = degraded_;
   snapshot.queue_depth = queued_;
   snapshot.running = running_;
   const sched::JobStats job_stats = jobs_->stats();
@@ -508,6 +543,8 @@ EngineMetrics EnactmentEngine::metrics() const {
   registry_.gauge("engine_cases_running").set(static_cast<double>(snapshot.running));
   registry_.gauge("engine_uptime_seconds").set(snapshot.uptime_seconds);
   registry_.gauge("engine_completed_per_second").set(snapshot.completed_per_second);
+  registry_.counter("store_io_errors_total").set_to(snapshot.store_io_errors);
+  registry_.gauge("engine_degraded").set(snapshot.degraded ? 1.0 : 0.0);
   jobs_->publish_metrics(registry_);
   if (journal_) journal_->publish_metrics(registry_, {{"component", "engine-journal"}});
   return snapshot;
@@ -738,7 +775,7 @@ bool EnactmentEngine::complete_attempt(Shard& shard) {
                 w.str(record.checkpoint_xml);
                 w.u64(record.excluded_shards.size());
                 for (std::size_t excluded : record.excluded_shards) w.u64(excluded);
-                journal_->append_event("engine", payload);
+                journal_append_locked(payload);
               }
               admit_locked(record);
               // The readmitted case excludes this shard, so another shard's
@@ -761,8 +798,7 @@ bool EnactmentEngine::complete_attempt(Shard& shard) {
     // Group-commit barrier off the engine mutex, then a snapshot if the
     // journal accumulated enough records since the last one (the provider
     // re-takes the engine mutex, so this must run here, unlocked).
-    journal_->commit();
-    journal_->maybe_snapshot();
+    if (journal_commit()) journal_->maybe_snapshot();
   }
   for (Shard* other : to_pump) post_pump(*other);
   return again;
@@ -807,11 +843,42 @@ void EnactmentEngine::finalize_locked(CaseRecord& record, Shard& shard, CaseStat
     w.u8(kEventTerminal);
     w.u64(record.id);
     write_outcome(w, outcome);
-    journal_->append_event("engine", payload);
+    journal_append_locked(payload);
   }
   IG_LOG_DEBUG("engine") << "case " << record.id << " -> " << to_string(state)
                          << " on shard " << shard.index;
   case_terminal_.notify_all();
+}
+
+void EnactmentEngine::degrade_locked(const std::string& reason) {
+  ++store_io_errors_;
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_reason_ = reason;
+  IG_LOG_WARN("engine") << "journal failure — degrading: running cases finish "
+                           "in memory, new durable admissions are rejected ("
+                        << reason << ")";
+}
+
+bool EnactmentEngine::journal_append_locked(std::string_view payload) {
+  try {
+    journal_->append_event("engine", payload);
+    return true;
+  } catch (const store::Error& e) {
+    degrade_locked(e.what());
+    return false;
+  }
+}
+
+bool EnactmentEngine::journal_commit() {
+  try {
+    journal_->commit();
+    return true;
+  } catch (const store::Error& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    degrade_locked(e.what());
+    return false;
+  }
 }
 
 // -- durable mode ----------------------------------------------------------------

@@ -150,6 +150,10 @@ struct EngineMetrics {
   std::size_t cancelled = 0;
   std::size_t retried = 0;  ///< re-admissions after a failed attempt
   std::size_t recovered = 0;  ///< cases re-admitted by cold-start journal replay
+  std::size_t store_io_errors = 0;  ///< journal writes/barriers that failed
+  /// True once a journal write failed: running cases finish in memory, new
+  /// durable admissions are rejected with a reason (graceful degradation).
+  bool degraded = false;
   std::size_t handler_failures = 0;  ///< contained agent exceptions, all shards
   std::size_t faults_injected = 0;   ///< chaos events injected, all shards
   std::size_t request_retries = 0;   ///< request-layer re-sends, all shards
@@ -277,6 +281,18 @@ class EnactmentEngine {
   bool cancel_requested(CaseId id) const;
 
   // -- durable mode ------------------------------------------------------------
+  /// Disk-failure containment (durable mode). A store::Error from the
+  /// journal never propagates out of the engine after construction:
+  /// degrade_locked counts it, flips degraded_ and records the reason;
+  /// from then on new durable admissions are rejected while running and
+  /// queued cases finish on their in-memory state (DESIGN.md §13).
+  void degrade_locked(const std::string& reason);
+  /// append_event wrapped in the degradation policy; mutex_ held.
+  bool journal_append_locked(std::string_view payload);
+  /// Journal durability barrier wrapped in the degradation policy; called
+  /// WITHOUT mutex_ (the msync must not serialize the engine).
+  bool journal_commit();
+
   /// Opens the journal and rebuilds records_/queues/counters from the
   /// newest snapshot plus the WAL tail. Constructor-only (no locking).
   void recover_from_journal();
@@ -312,6 +328,9 @@ class EnactmentEngine {
   std::size_t cancelled_total_ = 0;
   std::size_t retried_total_ = 0;
   std::size_t recovered_total_ = 0;
+  std::size_t store_io_errors_ = 0;
+  bool degraded_ = false;
+  std::string degraded_reason_;
   std::size_t completion_sequence_ = 0;
   /// Mutable: metrics() is a const snapshot but refreshes the published
   /// counters; the registry itself is internally synchronized.

@@ -1,0 +1,52 @@
+// Typed store errors.
+//
+// The storage layer's failure semantics are part of its contract (DESIGN.md
+// §13): an ENOSPC on append is recoverable (the log is intact, the record
+// simply was not written), an fsync failure is fail-stop (the WAL poisons
+// itself — "fsyncgate"), and callers need to tell the two apart without
+// parsing strings. Every throwing path in src/store raises this Error.
+#pragma once
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+
+namespace ig::store {
+
+enum class ErrorKind {
+  kIo,        ///< EIO and everything else unclassified: the operation failed
+  kNoSpace,   ///< ENOSPC/EDQUOT: nothing was written, the log is intact
+  kPoisoned,  ///< the WAL saw an fsync failure earlier and is fail-stop
+};
+
+inline const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kIo: return "io";
+    case ErrorKind::kNoSpace: return "no-space";
+    case ErrorKind::kPoisoned: return "poisoned";
+  }
+  return "unknown";
+}
+
+inline ErrorKind errno_to_kind(int err) {
+  return (err == ENOSPC || err == EDQUOT) ? ErrorKind::kNoSpace : ErrorKind::kIo;
+}
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, std::string op, const std::string& path,
+        const std::string& detail = {})
+      : std::runtime_error("store: " + op + " failed (" + std::string(to_string(kind)) +
+                           ") on '" + path + "'" + (detail.empty() ? "" : ": " + detail)),
+        kind_(kind),
+        op_(std::move(op)) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+  const std::string& op() const noexcept { return op_; }
+
+ private:
+  ErrorKind kind_;
+  std::string op_;
+};
+
+}  // namespace ig::store

@@ -1,0 +1,326 @@
+#include "store/fault_fs.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace ig::store {
+namespace {
+
+bool space_consuming(FileOp op) {
+  switch (op) {
+    case FileOp::kOpen:
+    case FileOp::kPwrite:
+    case FileOp::kTruncate:
+    case FileOp::kMsync:
+    case FileOp::kRename:
+    case FileOp::kMkdir:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_bytes(FileOp op) { return op == FileOp::kPwrite || op == FileOp::kMsync; }
+
+}  // namespace
+
+const char* to_string(FileOp op) {
+  switch (op) {
+    case FileOp::kOpen: return "open";
+    case FileOp::kPread: return "pread";
+    case FileOp::kPwrite: return "pwrite";
+    case FileOp::kFsync: return "fsync";
+    case FileOp::kTruncate: return "ftruncate";
+    case FileOp::kMmap: return "mmap";
+    case FileOp::kMsync: return "msync";
+    case FileOp::kRename: return "rename";
+    case FileOp::kUnlink: return "unlink";
+    case FileOp::kMkdir: return "mkdir";
+  }
+  return "unknown";
+}
+
+bool FaultMatch::matches(FileOp candidate, const std::string& candidate_path) const {
+  if (op.has_value() && *op != candidate) return false;
+  if (path.empty()) return true;
+  if (!path.empty() && path.back() == '*')
+    return candidate_path.rfind(path.substr(0, path.size() - 1), 0) == 0;
+  return candidate_path == path;
+}
+
+FaultFs::FaultFs(FaultFsOptions options, FileOps& inner)
+    : options_(std::move(options)), inner_(inner) {}
+
+FaultFs::~FaultFs() {
+  // Leaked mappings mean a Segment outlived its FaultFs — release anyway.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [addr, mapping] : mappings_) {
+    ::operator delete(addr);
+    ::close(mapping.fd);
+  }
+  mappings_.clear();
+}
+
+std::optional<FaultAction> FaultFs::judge(FileOp op, const std::string& path,
+                                          std::uint64_t* op_index) {
+  const std::uint64_t n = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (op_index != nullptr) *op_index = n;
+
+  std::optional<FaultAction> action;
+  bool from_power_cut = false;
+  if (options_.power_cut_after > 0 && n > options_.power_cut_after) {
+    // After the cut there is no disk: every operation fails, forever.
+    power_cut_.store(true, std::memory_order_relaxed);
+    action = FaultAction::kIoError;
+    from_power_cut = true;
+  }
+  if (!action.has_value()) {
+    for (const OneShotFault& shot : options_.one_shots) {
+      if (shot.at_op == n) {
+        action = shot.action;
+        break;
+      }
+    }
+  }
+  if (!action.has_value()) {
+    for (const FaultRule& rule : options_.rules) {
+      if (!rule.match.matches(op, path)) continue;
+      // Draws happen in declaration order, unconditionally, so the random
+      // stream for operation n does not depend on which op kind n is.
+      util::Rng rng(util::derive_stream(options_.seed, n));
+      const bool io = rng.next_bool(rule.io_error);
+      const bool nospace = rng.next_bool(rule.no_space);
+      const bool tear = rng.next_bool(rule.short_write);
+      const bool fsync_fail = rng.next_bool(rule.fsync_error);
+      if (io) action = FaultAction::kIoError;
+      else if (nospace && space_consuming(op)) action = FaultAction::kNoSpace;
+      else if (tear && writes_bytes(op)) action = FaultAction::kShortWrite;
+      else if (fsync_fail && (op == FileOp::kFsync || op == FileOp::kMsync))
+        action = FaultAction::kFsyncFailure;
+      break;  // only the first matching rule applies
+    }
+  }
+
+  // Degrade inapplicable actions to plain EIO so at-every-op sweeps never
+  // silently skip a point.
+  if (action == FaultAction::kShortWrite && !writes_bytes(op))
+    action = FaultAction::kIoError;
+  if (action == FaultAction::kFsyncFailure && op != FileOp::kFsync && op != FileOp::kMsync)
+    action = FaultAction::kIoError;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.ops;
+  if (from_power_cut) {
+    ++stats_.power_cut_failures;
+  } else if (action.has_value()) {
+    switch (*action) {
+      case FaultAction::kIoError: ++stats_.io_errors; break;
+      case FaultAction::kNoSpace: ++stats_.no_space; break;
+      case FaultAction::kShortWrite: ++stats_.short_writes; break;
+      case FaultAction::kFsyncFailure: ++stats_.fsync_failures; break;
+    }
+  }
+  return action;
+}
+
+int FaultFs::refuse(FaultAction action) {
+  errno = action == FaultAction::kNoSpace ? ENOSPC : EIO;
+  return -1;
+}
+
+int FaultFs::open(const std::string& path, int flags, int mode) {
+  if (const auto action = judge(FileOp::kOpen, path, nullptr)) return refuse(*action);
+  const int fd = inner_.open(path, flags, mode);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+int FaultFs::close(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_.erase(fd);
+  }
+  return inner_.close(fd);
+}
+
+ssize_t FaultFs::pread(int fd, void* buf, std::size_t count, off_t offset) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = fd_paths_.find(fd);
+    if (it != fd_paths_.end()) path = it->second;
+  }
+  if (const auto action = judge(FileOp::kPread, path, nullptr)) return refuse(*action);
+  return inner_.pread(fd, buf, count, offset);
+}
+
+ssize_t FaultFs::pwrite(int fd, const void* buf, std::size_t count, off_t offset) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = fd_paths_.find(fd);
+    if (it != fd_paths_.end()) path = it->second;
+  }
+  std::uint64_t n = 0;
+  const auto action = judge(FileOp::kPwrite, path, &n);
+  if (!action.has_value()) return inner_.pwrite(fd, buf, count, offset);
+  if (*action == FaultAction::kShortWrite && count > 0) {
+    // A torn write: a deterministic prefix reaches the disk, the syscall
+    // reports failure. What reopen finds at the tail is the test's problem.
+    util::Rng rng(util::derive_stream(options_.seed, n, 7));
+    const std::size_t prefix = static_cast<std::size_t>(rng.next_below(count));
+    if (prefix > 0) inner_.pwrite(fd, buf, prefix, offset);
+    errno = EIO;
+    return -1;
+  }
+  return refuse(*action);
+}
+
+int FaultFs::fsync(int fd) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = fd_paths_.find(fd);
+    if (it != fd_paths_.end()) path = it->second;
+  }
+  if (const auto action = judge(FileOp::kFsync, path, nullptr)) return refuse(*action);
+  return inner_.fsync(fd);
+}
+
+int FaultFs::ftruncate(int fd, off_t length) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = fd_paths_.find(fd);
+    if (it != fd_paths_.end()) path = it->second;
+  }
+  if (const auto action = judge(FileOp::kTruncate, path, nullptr)) return refuse(*action);
+  return inner_.ftruncate(fd, length);
+}
+
+off_t FaultFs::size(int fd) {
+  // Metadata read; not an ISSUE-listed fault point, passes through uncounted.
+  return inner_.size(fd);
+}
+
+void* FaultFs::mmap(int fd, std::size_t length) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = fd_paths_.find(fd);
+    if (it != fd_paths_.end()) path = it->second;
+  }
+  if (const auto action = judge(FileOp::kMmap, path, nullptr)) {
+    refuse(*action);
+    return MAP_FAILED;
+  }
+  const int dup_fd = ::dup(fd);
+  if (dup_fd < 0) return MAP_FAILED;
+  auto* buffer = static_cast<unsigned char*>(::operator new(length));
+  std::memset(buffer, 0, length);
+  std::size_t filled = 0;
+  while (filled < length) {
+    const ssize_t got = inner_.pread(dup_fd, buffer + filled, length - filled,
+                                     static_cast<off_t>(filled));
+    if (got < 0) {
+      const int err = errno;
+      ::operator delete(buffer);
+      ::close(dup_fd);
+      errno = err;
+      return MAP_FAILED;
+    }
+    if (got == 0) break;  // short file: the remainder stays zero
+    filled += static_cast<std::size_t>(got);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  mappings_[buffer] = Mapping{dup_fd, length, path};
+  return buffer;
+}
+
+int FaultFs::msync(void* addr, std::size_t length, bool sync) {
+  Mapping mapping;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = mappings_.find(addr);
+    if (it == mappings_.end()) {
+      // Not one of ours (shouldn't happen; be transparent anyway).
+      return inner_.msync(addr, length, sync);
+    }
+    mapping = it->second;
+  }
+  std::uint64_t n = 0;
+  const auto action = judge(FileOp::kMsync, mapping.path, &n);
+  const auto* buffer = static_cast<const unsigned char*>(addr);
+  if (!action.has_value())
+    return write_back(mapping, buffer, length, sync) ? 0 : -1;
+  if (*action == FaultAction::kShortWrite && length > 0) {
+    // The flush tore: a deterministic prefix of the mapping is durable,
+    // the rest never reached the disk — the canonical torn-tail producer.
+    util::Rng rng(util::derive_stream(options_.seed, n, 7));
+    const std::size_t prefix = static_cast<std::size_t>(rng.next_below(length));
+    if (prefix > 0) {
+      Mapping prefix_target = mapping;
+      prefix_target.length = prefix;
+      write_back(prefix_target, buffer, prefix, true);
+    }
+    errno = EIO;
+    return -1;
+  }
+  // kFsyncFailure / kIoError / kNoSpace: nothing is written. Durability of
+  // earlier page-cache state is exactly as unknown as after a real failed
+  // fsync, which is why the WAL treats this as fail-stop.
+  return refuse(*action);
+}
+
+int FaultFs::munmap(void* addr, std::size_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = mappings_.find(addr);
+  if (it == mappings_.end()) return inner_.munmap(addr, length);
+  ::close(it->second.fd);
+  mappings_.erase(it);
+  ::operator delete(addr);
+  return 0;
+}
+
+int FaultFs::rename(const std::string& from, const std::string& to) {
+  if (const auto action = judge(FileOp::kRename, from, nullptr)) return refuse(*action);
+  return inner_.rename(from, to);
+}
+
+int FaultFs::unlink(const std::string& path) {
+  if (const auto action = judge(FileOp::kUnlink, path, nullptr)) return refuse(*action);
+  return inner_.unlink(path);
+}
+
+int FaultFs::mkdir(const std::string& path, int mode) {
+  if (const auto action = judge(FileOp::kMkdir, path, nullptr)) return refuse(*action);
+  return inner_.mkdir(path, mode);
+}
+
+FaultFsStats FaultFs::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool FaultFs::write_back(const Mapping& mapping, const unsigned char* buffer,
+                         std::size_t length, bool sync) {
+  std::size_t written = 0;
+  while (written < length) {
+    const ssize_t wrote = inner_.pwrite(mapping.fd, buffer + written, length - written,
+                                        static_cast<off_t>(written));
+    if (wrote <= 0) return false;
+    written += static_cast<std::size_t>(wrote);
+  }
+  if (sync && inner_.fsync(mapping.fd) != 0) return false;
+  return true;
+}
+
+}  // namespace ig::store

@@ -1,0 +1,160 @@
+// Deterministic disk-fault injection under the store (the FaultFs).
+//
+// The disk-side sibling of agent::ChaosPolicy: a FileOps wrapper that
+// injects EIO, ENOSPC, short writes, fsync failures and a simulated power
+// cut, with every random decision drawn from a stream derived with
+// util::derive_stream from one seed and the operation's sequence number —
+// so a faulty run is bitwise reproducible, the same Jepsen-style
+// repeatable-nemesis discipline the chaos layer applies to messages.
+//
+// Three ways to schedule a fault:
+//   * probabilistic rules (FaultRule), matched by path prefix and/or
+//     operation kind, first match wins — soak-style testing;
+//   * one-shot faults (OneShotFault) pinned to the Nth counted operation —
+//     exhaustive sweeps ("ENOSPC at every append offset");
+//   * power_cut_after = N: operations 1..N succeed, every later operation
+//     fails with EIO and nothing further reaches the disk — the crash-point
+//     matrix harness replays a workload with the cut at every N.
+//
+// mmap is emulated so the power cut is honest: FaultFs::mmap hands back an
+// anonymous buffer pre-filled from the file, and only msync copies it to
+// the real file (through the inner FileOps) — a plain memcpy append is
+// never durable until a successful msync, exactly the guarantee a real
+// power loss enforces probabilistically and this layer enforces always.
+// Consequence: a FaultFs must outlive every Segment mapped through it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/file_ops.hpp"
+
+namespace ig::store {
+
+/// Counted (and therefore faultable / power-cuttable) operation kinds.
+/// close and munmap are pure resource releases and pass through uncounted.
+enum class FileOp {
+  kOpen,
+  kPread,
+  kPwrite,
+  kFsync,
+  kTruncate,
+  kMmap,
+  kMsync,
+  kRename,
+  kUnlink,
+  kMkdir,
+};
+
+const char* to_string(FileOp op);
+
+/// Which operations a rule applies to. An empty path matches every file; a
+/// trailing '*' matches by prefix ("/data/wal-*" covers the segments). An
+/// unset op matches all operation kinds.
+struct FaultMatch {
+  std::string path;
+  std::optional<FileOp> op;
+
+  bool matches(FileOp op, const std::string& path) const;
+};
+
+/// One fault rule. Probabilities are drawn independently in declaration
+/// order; only the first matching rule applies to an operation.
+struct FaultRule {
+  FaultMatch match;
+  double io_error = 0.0;     ///< P(fail with EIO)
+  double no_space = 0.0;     ///< P(fail with ENOSPC)
+  double short_write = 0.0;  ///< P(pwrite/msync persists a prefix, then fails)
+  double fsync_error = 0.0;  ///< P(fsync / MS_SYNC msync fails with EIO)
+};
+
+enum class FaultAction { kIoError, kNoSpace, kShortWrite, kFsyncFailure };
+
+/// Fires exactly once, on the `at_op`-th counted operation (1-based).
+/// Actions that make no sense for the operation they land on degrade to a
+/// plain EIO, so exhaustive at-every-op sweeps never silently skip a point.
+struct OneShotFault {
+  std::uint64_t at_op = 0;
+  FaultAction action = FaultAction::kIoError;
+};
+
+struct FaultFsOptions {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+  std::vector<OneShotFault> one_shots;
+  /// 0 = never. Otherwise operations numbered > power_cut_after all fail
+  /// with EIO and nothing further is written through to the inner FileOps.
+  std::uint64_t power_cut_after = 0;
+};
+
+/// Injected-fault counters (one consistent snapshot).
+struct FaultFsStats {
+  std::uint64_t ops = 0;  ///< counted operations attempted
+  std::uint64_t io_errors = 0;
+  std::uint64_t no_space = 0;
+  std::uint64_t short_writes = 0;
+  std::uint64_t fsync_failures = 0;
+  std::uint64_t power_cut_failures = 0;  ///< operations refused after the cut
+
+  std::uint64_t total_injected() const noexcept {
+    return io_errors + no_space + short_writes + fsync_failures + power_cut_failures;
+  }
+};
+
+class FaultFs final : public FileOps {
+ public:
+  explicit FaultFs(FaultFsOptions options, FileOps& inner = posix_file_ops());
+  ~FaultFs() override;
+
+  int open(const std::string& path, int flags, int mode) override;
+  int close(int fd) override;
+  ssize_t pread(int fd, void* buf, std::size_t count, off_t offset) override;
+  ssize_t pwrite(int fd, const void* buf, std::size_t count, off_t offset) override;
+  int fsync(int fd) override;
+  int ftruncate(int fd, off_t length) override;
+  off_t size(int fd) override;
+  void* mmap(int fd, std::size_t length) override;
+  int msync(void* addr, std::size_t length, bool sync) override;
+  int munmap(void* addr, std::size_t length) override;
+  int rename(const std::string& from, const std::string& to) override;
+  int unlink(const std::string& path) override;
+  int mkdir(const std::string& path, int mode) override;
+
+  /// Counted operations so far — run a workload once against a
+  /// pass-through FaultFs to learn N, then sweep power_cut_after over 1..N.
+  std::uint64_t ops() const noexcept { return ops_.load(std::memory_order_relaxed); }
+  FaultFsStats stats() const;
+
+ private:
+  struct Mapping {
+    int fd = -1;  ///< duped descriptor kept for write-back
+    std::size_t length = 0;
+    std::string path;
+  };
+
+  /// Counts the operation and decides its fate. Returns the injected
+  /// action, or nullopt when the operation should pass through.
+  std::optional<FaultAction> judge(FileOp op, const std::string& path,
+                                   std::uint64_t* op_index);
+  /// Applies a non-short-write action's errno and stats. Returns -1.
+  int refuse(FaultAction action);
+  bool write_back(const Mapping& mapping, const unsigned char* buffer, std::size_t length,
+                  bool sync);
+
+  FaultFsOptions options_;
+  FileOps& inner_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<bool> power_cut_{false};
+
+  mutable std::mutex mutex_;  ///< guards mappings_, fd paths and stats
+  std::map<void*, Mapping> mappings_;
+  std::map<int, std::string> fd_paths_;
+  FaultFsStats stats_;
+};
+
+}  // namespace ig::store

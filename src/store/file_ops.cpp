@@ -1,0 +1,53 @@
+#include "store/file_ops.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace ig::store {
+namespace {
+
+class PosixFileOps final : public FileOps {
+ public:
+  int open(const std::string& path, int flags, int mode) override {
+    return ::open(path.c_str(), flags, mode);
+  }
+  int close(int fd) override { return ::close(fd); }
+  ssize_t pread(int fd, void* buf, std::size_t count, off_t offset) override {
+    return ::pread(fd, buf, count, offset);
+  }
+  ssize_t pwrite(int fd, const void* buf, std::size_t count, off_t offset) override {
+    return ::pwrite(fd, buf, count, offset);
+  }
+  int fsync(int fd) override { return ::fsync(fd); }
+  int ftruncate(int fd, off_t length) override { return ::ftruncate(fd, length); }
+  off_t size(int fd) override {
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) return -1;
+    return st.st_size;
+  }
+  void* mmap(int fd, std::size_t length) override {
+    return ::mmap(nullptr, length, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  }
+  int msync(void* addr, std::size_t length, bool sync) override {
+    return ::msync(addr, length, sync ? MS_SYNC : MS_ASYNC);
+  }
+  int munmap(void* addr, std::size_t length) override { return ::munmap(addr, length); }
+  int rename(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str());
+  }
+  int unlink(const std::string& path) override { return ::unlink(path.c_str()); }
+  int mkdir(const std::string& path, int mode) override {
+    return ::mkdir(path.c_str(), static_cast<mode_t>(mode));
+  }
+};
+
+}  // namespace
+
+FileOps& posix_file_ops() {
+  static PosixFileOps ops;
+  return ops;
+}
+
+}  // namespace ig::store

@@ -1,0 +1,55 @@
+// The seam under all store I/O.
+//
+// Segment, WriteAheadLog and StorageEngine never call open/pwrite/fsync/
+// mmap/rename directly; they go through a FileOps, whose default
+// implementation (posix_file_ops()) is a thin forwarding shim over the real
+// syscalls. That indirection is what makes disk failure *testable*:
+// store::FaultFs (fault_fs.hpp) wraps any FileOps and injects EIO, ENOSPC,
+// short writes, fsync failures and a simulated power cut — deterministically,
+// from a seed — so every failure path in the store has a test driving it
+// rather than a comment hoping about it.
+//
+// Error reporting follows POSIX: each call returns the syscall's value
+// (-1 / MAP_FAILED on failure) and leaves errno set. Nothing here throws.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+
+namespace ig::store {
+
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// open(2); the path is part of the signature (not just the fd) so a
+  /// fault layer can match rules by file name.
+  virtual int open(const std::string& path, int flags, int mode) = 0;
+  virtual int close(int fd) = 0;
+  virtual ssize_t pread(int fd, void* buf, std::size_t count, off_t offset) = 0;
+  virtual ssize_t pwrite(int fd, const void* buf, std::size_t count, off_t offset) = 0;
+  virtual int fsync(int fd) = 0;
+  virtual int ftruncate(int fd, off_t length) = 0;
+  /// File size via fstat(2); -1 on failure.
+  virtual off_t size(int fd) = 0;
+
+  /// Read-write MAP_SHARED mapping of [0, length). Returns MAP_FAILED on
+  /// error. The mapping must outlive the fd (callers close it right after).
+  virtual void* mmap(int fd, std::size_t length) = 0;
+  /// `sync` true = MS_SYNC (durability point), false = MS_ASYNC
+  /// (best-effort writeback, e.g. at close).
+  virtual int msync(void* addr, std::size_t length, bool sync) = 0;
+  virtual int munmap(void* addr, std::size_t length) = 0;
+
+  virtual int rename(const std::string& from, const std::string& to) = 0;
+  virtual int unlink(const std::string& path) = 0;
+  virtual int mkdir(const std::string& path, int mode) = 0;
+};
+
+/// The process-wide default: every call forwards to the identically named
+/// syscall, nothing else.
+FileOps& posix_file_ops();
+
+}  // namespace ig::store

@@ -2,9 +2,8 @@
 
 #include <fcntl.h>
 #include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 #include "store/crc32c.hpp"
@@ -38,20 +37,28 @@ std::uint64_t get_u64(const unsigned char* at) {
 
 }  // namespace
 
-std::unique_ptr<Segment> Segment::create(const std::string& path, std::size_t capacity,
-                                         std::uint64_t sequence, Lsn first_lsn) {
+std::unique_ptr<Segment> Segment::create(FileOps& fops, const std::string& path,
+                                         std::size_t capacity, std::uint64_t sequence,
+                                         Lsn first_lsn) {
   if (capacity < kHeaderSize + kFrameOverhead) capacity = kHeaderSize + kFrameOverhead;
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  const int fd = fops.open(path, O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return nullptr;
-  if (::ftruncate(fd, static_cast<off_t>(capacity)) != 0) {
-    ::close(fd);
+  if (fops.ftruncate(fd, static_cast<off_t>(capacity)) != 0) {
+    const int err = errno;  // close() must not clobber the real failure
+    fops.close(fd);
+    errno = err;
     return nullptr;
   }
-  void* map = ::mmap(nullptr, capacity, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  ::close(fd);  // the mapping keeps the file alive
-  if (map == MAP_FAILED) return nullptr;
+  void* map = fops.mmap(fd, capacity);
+  const int map_err = errno;
+  fops.close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    errno = map_err;
+    return nullptr;
+  }
 
   auto segment = std::unique_ptr<Segment>(new Segment());
+  segment->fops_ = &fops;
   segment->path_ = path;
   segment->map_ = static_cast<unsigned char*>(map);
   segment->capacity_ = capacity;
@@ -67,35 +74,42 @@ std::unique_ptr<Segment> Segment::create(const std::string& path, std::size_t ca
   return segment;
 }
 
-std::unique_ptr<Segment> Segment::open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDWR);
+std::unique_ptr<Segment> Segment::open(FileOps& fops, const std::string& path) {
+  const int fd = fops.open(path, O_RDWR, 0);
   if (fd < 0) return nullptr;
-  struct stat st{};
-  if (::fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < kHeaderSize) {
-    ::close(fd);
+  const off_t file_size = fops.size(fd);
+  if (file_size < 0 || static_cast<std::size_t>(file_size) < kHeaderSize) {
+    fops.close(fd);
     return nullptr;
   }
   // Peek at the header to learn the declared capacity, then grow the file
   // back to it if a crash (or a test harness) truncated it — the restored
   // bytes read as zeros, which the scan below treats as a clean end.
   unsigned char header[kHeaderSize];
-  if (::pread(fd, header, kHeaderSize, 0) != static_cast<ssize_t>(kHeaderSize) ||
+  if (fops.pread(fd, header, kHeaderSize, 0) != static_cast<ssize_t>(kHeaderSize) ||
       get_u64(header) != kMagic || get_u32(header + 8) != kVersion) {
-    ::close(fd);
+    fops.close(fd);
     return nullptr;
   }
   const std::size_t capacity = get_u64(header + 32);
   if (capacity < kHeaderSize + kFrameOverhead ||
-      (static_cast<std::size_t>(st.st_size) != capacity &&
-       ::ftruncate(fd, static_cast<off_t>(capacity)) != 0)) {
-    ::close(fd);
+      (static_cast<std::size_t>(file_size) != capacity &&
+       fops.ftruncate(fd, static_cast<off_t>(capacity)) != 0)) {
+    const int err = errno;
+    fops.close(fd);
+    errno = err;
     return nullptr;
   }
-  void* map = ::mmap(nullptr, capacity, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  ::close(fd);
-  if (map == MAP_FAILED) return nullptr;
+  void* map = fops.mmap(fd, capacity);
+  const int map_err = errno;
+  fops.close(fd);
+  if (map == MAP_FAILED) {
+    errno = map_err;
+    return nullptr;
+  }
 
   auto segment = std::unique_ptr<Segment>(new Segment());
+  segment->fops_ = &fops;
   segment->path_ = path;
   segment->map_ = static_cast<unsigned char*>(map);
   segment->capacity_ = capacity;
@@ -138,8 +152,8 @@ std::unique_ptr<Segment> Segment::open(const std::string& path) {
 
 Segment::~Segment() {
   if (map_ != nullptr) {
-    ::msync(map_, capacity_, MS_ASYNC);
-    ::munmap(map_, capacity_);
+    fops_->msync(map_, tail_, /*sync=*/false);  // best-effort; a failure here
+    fops_->munmap(map_, capacity_);             // cannot be acted on anyway
   }
 }
 
@@ -152,6 +166,9 @@ void Segment::append(std::string_view payload) {
   tail_ += kFrameOverhead + payload.size();
 }
 
-void Segment::sync() { ::msync(map_, capacity_, MS_SYNC); }
+// Only the used prefix needs a barrier: everything at or past tail_ is
+// zeros (or a scrubbed torn tail that reopen would reject again anyway),
+// and the header lives inside any non-empty prefix.
+bool Segment::sync() { return fops_->msync(map_, tail_, /*sync=*/true) == 0; }
 
 }  // namespace ig::store

@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "store/file_ops.hpp"
+
 namespace ig::store {
 
 /// Log sequence number: 1-based, monotonically increasing record index
@@ -36,14 +38,17 @@ class Segment {
   static constexpr std::size_t kFrameOverhead = 8;  ///< u32 len + u32 crc
 
   /// Creates a pre-sized file at `path` and maps it. `capacity` includes
-  /// the header. Returns nullptr on any filesystem error.
-  static std::unique_ptr<Segment> create(const std::string& path, std::size_t capacity,
-                                         std::uint64_t sequence, Lsn first_lsn);
+  /// the header. All I/O goes through `fops`, which must outlive the
+  /// segment. Returns nullptr on any filesystem error, with errno holding
+  /// the failing operation's error.
+  static std::unique_ptr<Segment> create(FileOps& fops, const std::string& path,
+                                         std::size_t capacity, std::uint64_t sequence,
+                                         Lsn first_lsn);
 
   /// Maps an existing segment, scans its records and repairs the tail.
   /// Returns nullptr when the file is missing or its header is not a valid
   /// segment header (such a file holds no trustworthy records at all).
-  static std::unique_ptr<Segment> open(const std::string& path);
+  static std::unique_ptr<Segment> open(FileOps& fops, const std::string& path);
 
   ~Segment();
 
@@ -72,12 +77,14 @@ class Segment {
   /// payload must be non-empty (a zero length marks the end of the run).
   void append(std::string_view payload);
 
-  /// Flushes the mapping to stable storage (msync MS_SYNC).
-  void sync();
+  /// Flushes the mapping to stable storage (msync MS_SYNC). False on
+  /// failure, with errno set — the WAL treats that as fail-stop.
+  bool sync();
 
  private:
   Segment() = default;
 
+  FileOps* fops_ = nullptr;
   std::string path_;
   unsigned char* map_ = nullptr;
   std::size_t capacity_ = 0;

@@ -7,8 +7,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
 #include "store/codec.hpp"
 #include "store/crc32c.hpp"
@@ -64,13 +62,13 @@ bool split_frames(std::string_view bytes, std::vector<std::string_view>& frames)
   return true;
 }
 
-std::vector<std::string> list_snapshots(const std::string& dir) {
+std::vector<std::string> list_with_suffix(const std::string& dir, const std::string& suffix) {
   std::vector<std::string> paths;
   if (DIR* d = ::opendir(dir.c_str())) {
     while (const dirent* entry = ::readdir(d)) {
       const std::string name = entry->d_name;
-      if (name.rfind("snap-", 0) == 0 && name.size() > 5 &&
-          name.compare(name.size() - 5, 5, ".snap") == 0)
+      if (name.rfind("snap-", 0) == 0 && name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0)
         paths.push_back(dir + "/" + name);
     }
     ::closedir(d);
@@ -79,10 +77,15 @@ std::vector<std::string> list_snapshots(const std::string& dir) {
   return paths;
 }
 
+std::vector<std::string> list_snapshots(const std::string& dir) {
+  return list_with_suffix(dir, ".snap");
+}
+
 }  // namespace
 
 StorageEngine::StorageEngine(Options options, EventReplayFn event_replay)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      fops_(options_.file_ops != nullptr ? options_.file_ops : &posix_file_ops()) {
   if (options_.data_dir.empty()) return;
   const auto started = std::chrono::steady_clock::now();
   WalOptions wal_options;
@@ -90,7 +93,9 @@ StorageEngine::StorageEngine(Options options, EventReplayFn event_replay)
   wal_options.segment_size = options_.segment_size;
   wal_options.sync = options_.sync;
   wal_options.group_window_us = options_.group_window_us;
+  wal_options.file_ops = options_.file_ops;
   wal_ = std::make_unique<WriteAheadLog>(std::move(wal_options));
+  remove_stale_snapshot_tmps();
   load_snapshot();
   wal_->skip_to(snapshot_lsn_);  // no-op unless the log fell behind the snapshot
   wal_->replay(snapshot_lsn_, [&](Lsn, std::string_view payload) {
@@ -235,9 +240,16 @@ bool StorageEngine::snapshot() {
   for (const auto& [stream, provider] : providers) blobs.emplace_back(stream, provider());
   // The WAL prefix the snapshot claims to cover must be durable first —
   // otherwise a crash could leave a snapshot referencing records the log
-  // never persisted.
-  wal_->commit(lsn);
-  const bool ok = write_snapshot_file(lsn, kv, blobs);
+  // never persisted. A poisoned log cannot make that promise, so snapshot
+  // failure (like every other disk failure here) reports as `false` and
+  // the previous snapshot stays authoritative.
+  bool ok = false;
+  try {
+    wal_->commit(lsn);
+    ok = write_snapshot_file(lsn, kv, blobs);
+  } catch (const Error&) {
+    ok = false;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     snapshot_in_progress_ = false;
@@ -273,7 +285,7 @@ std::size_t StorageEngine::compact() {
   // Older snapshots are strictly dominated by the newest one.
   const std::string keep = snapshot_path(options_.data_dir, lsn);
   for (const std::string& path : list_snapshots(options_.data_dir))
-    if (path < keep) ::unlink(path.c_str());
+    if (path < keep) fops_->unlink(path);
   if (removed > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     segments_compacted_ += removed;
@@ -309,6 +321,8 @@ void StorageEngine::publish_metrics(obs::MetricsRegistry& registry,
   registry.counter("store_snapshots_total", labels).set_to(stats.snapshots_written);
   registry.counter("store_segments_compacted_total", labels).set_to(stats.segments_compacted);
   registry.counter("store_wal_records_replayed_total", labels).set_to(stats.replayed_records);
+  registry.counter("store_fsync_failures_total", labels).set_to(stats.wal.fsync_failures);
+  registry.gauge("store_poisoned", labels).set(stats.wal.poisoned ? 1.0 : 0.0);
   registry.gauge("store_segments", labels).set(static_cast<double>(stats.segments));
   registry.gauge("store_wal_records", labels).set(static_cast<double>(stats.wal.records));
   registry.gauge("store_keys", labels).set(static_cast<double>(stats.keys));
@@ -317,16 +331,49 @@ void StorageEngine::publish_metrics(obs::MetricsRegistry& registry,
   registry.gauge("store_recovery_ms", labels).set(stats.recovery_ms);
 }
 
+void StorageEngine::remove_stale_snapshot_tmps() {
+  // A crash mid-snapshot leaves `snap-*.snap.tmp` behind: never renamed,
+  // so never authoritative, and without this sweep it would sit there
+  // forever (or worse, confuse a human into trusting it). The previous
+  // good snapshot — the one the rename never replaced — stays in charge.
+  for (const std::string& path : list_with_suffix(options_.data_dir, ".snap.tmp")) {
+    IG_LOG_WARN("store") << "removing stale snapshot tmp " << path;
+    fops_->unlink(path);
+  }
+}
+
 void StorageEngine::load_snapshot() {
   std::vector<std::string> paths = list_snapshots(options_.data_dir);
   // Newest first; fall back through older snapshots on corruption.
   std::reverse(paths.begin(), paths.end());
   for (const std::string& path : paths) {
-    std::ifstream file(path, std::ios::binary);
-    if (!file) continue;
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    const std::string bytes = buffer.str();
+    const int fd = fops_->open(path, O_RDONLY, 0);
+    if (fd < 0) continue;
+    std::string bytes;
+    bool read_ok = true;
+    const off_t file_size = fops_->size(fd);
+    if (file_size < 0) read_ok = false;
+    if (read_ok) {
+      bytes.resize(static_cast<std::size_t>(file_size));
+      std::size_t got = 0;
+      while (got < bytes.size()) {
+        const ssize_t n =
+            fops_->pread(fd, bytes.data() + got, bytes.size() - got, static_cast<off_t>(got));
+        if (n <= 0) {
+          read_ok = false;
+          break;
+        }
+        got += static_cast<std::size_t>(n);
+      }
+    }
+    fops_->close(fd);
+    if (!read_ok) {
+      // Unreadable is indistinguishable from corrupt for our purposes:
+      // fall through to the deletion below and try the next-older one.
+      IG_LOG_WARN("store") << "dropping unreadable snapshot " << path;
+      fops_->unlink(path);
+      continue;
+    }
 
     std::vector<std::string_view> frames;
     std::map<std::string, std::string> map;
@@ -377,7 +424,7 @@ void StorageEngine::load_snapshot() {
     }
     // A corrupt snapshot buys nothing at the next open either.
     IG_LOG_WARN("store") << "dropping corrupt snapshot " << path;
-    ::unlink(path.c_str());
+    fops_->unlink(path);
   }
 }
 
@@ -418,32 +465,41 @@ bool StorageEngine::write_snapshot_file(
   }
 
   // tmp + fsync + rename: the snapshot either exists completely under its
-  // final name or not at all.
+  // final name or not at all. On *any* failure the tmp is unlinked (best
+  // effort) and the previous snapshot stays authoritative — snapshot
+  // failure degrades recovery time, never correctness.
   const std::string final_path = snapshot_path(options_.data_dir, lsn);
   const std::string tmp_path = final_path + ".tmp";
-  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = fops_->open(tmp_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;
   std::size_t written = 0;
   while (written < buffer.size()) {
-    const ssize_t n = ::write(fd, buffer.data() + written, buffer.size() - written);
+    const ssize_t n = fops_->pwrite(fd, buffer.data() + written, buffer.size() - written,
+                                    static_cast<off_t>(written));
     if (n <= 0) {
-      ::close(fd);
-      ::unlink(tmp_path.c_str());
+      fops_->close(fd);
+      fops_->unlink(tmp_path);
       return false;
     }
     written += static_cast<std::size_t>(n);
   }
-  if (options_.sync != SyncMode::kNone) ::fsync(fd);
-  ::close(fd);
-  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    ::unlink(tmp_path.c_str());
+  if (options_.sync != SyncMode::kNone && fops_->fsync(fd) != 0) {
+    // An unsynced snapshot must never be renamed into authority: a crash
+    // could then leave a *newest* snapshot with silently missing pages.
+    fops_->close(fd);
+    fops_->unlink(tmp_path);
+    return false;
+  }
+  fops_->close(fd);
+  if (fops_->rename(tmp_path, final_path) != 0) {
+    fops_->unlink(tmp_path);
     return false;
   }
   if (options_.sync != SyncMode::kNone) {
-    const int dir_fd = ::open(options_.data_dir.c_str(), O_RDONLY | O_DIRECTORY);
+    const int dir_fd = fops_->open(options_.data_dir, O_RDONLY | O_DIRECTORY, 0);
     if (dir_fd >= 0) {
-      ::fsync(dir_fd);
-      ::close(dir_fd);
+      fops_->fsync(dir_fd);
+      fops_->close(dir_fd);
     }
   }
   return true;

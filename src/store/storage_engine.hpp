@@ -50,6 +50,10 @@ struct Options {
   /// 0 disables automatic snapshotting.
   std::size_t snapshot_interval = 4096;
   bool auto_compact = true;  ///< compact the WAL after every snapshot
+  /// All file I/O (WAL segments *and* snapshot files) goes through this
+  /// seam (nullptr = the real POSIX ops). Must outlive the engine; tests
+  /// point it at a store::FaultFs.
+  FileOps* file_ops = nullptr;
 };
 
 struct StoreStats {
@@ -84,7 +88,11 @@ class StorageEngine {
   const Options& options() const noexcept { return options_; }
 
   // -- key/value (PersistentStorageService semantics) -------------------------
-  /// Durable on return under SyncMode::kCommit/kAlways.
+  /// Durable on return under SyncMode::kCommit/kAlways. In durable mode
+  /// put/erase/append_event/commit throw store::Error when the disk fails:
+  /// kNoSpace/kIo mean this write did not happen (the store is otherwise
+  /// intact), kPoisoned means a durability barrier failed earlier and the
+  /// WAL is fail-stop (see wal.hpp).
   void put(const std::string& key, std::string value);
   bool erase(const std::string& key);
   std::optional<std::string> get(const std::string& key) const;
@@ -132,11 +140,13 @@ class StorageEngine {
 
  private:
   void load_snapshot();  ///< newest intact snapshot -> map_ + recovered_
+  void remove_stale_snapshot_tmps();  ///< crash-mid-snapshot leftovers
   bool write_snapshot_file(Lsn lsn,
                            const std::vector<std::pair<std::string, std::string>>& kv,
                            const std::vector<std::pair<std::string, std::string>>& blobs);
 
   Options options_;
+  FileOps* fops_ = nullptr;
   mutable std::mutex mutex_;  ///< guards map_, recovered_, snapshot bookkeeping
   std::map<std::string, std::string> map_;
   std::map<std::string, std::string> recovered_;  ///< stream -> blob from snapshot

@@ -9,7 +9,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <stdexcept>
+#include <cstring>
 
 #include "util/log.hpp"
 
@@ -19,14 +19,14 @@ namespace {
 constexpr const char* kSegmentPrefix = "wal-";
 constexpr const char* kSegmentSuffix = ".seg";
 
-void make_dirs(const std::string& dir) {
+void make_dirs(FileOps& fops, const std::string& dir) {
   std::string partial;
   for (std::size_t i = 0; i <= dir.size(); ++i) {
     if (i < dir.size() && dir[i] != '/') continue;
     partial = dir.substr(0, i == dir.size() ? i : i + 1);
     if (partial.empty() || partial == "/") continue;
-    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
-      throw std::runtime_error("store: cannot create directory '" + partial + "'");
+    if (fops.mkdir(partial, 0755) != 0 && errno != EEXIST)
+      throw Error(errno_to_kind(errno), "mkdir", partial, std::strerror(errno));
   }
 }
 
@@ -39,8 +39,10 @@ std::string segment_path(const std::string& dir, std::uint64_t sequence) {
 
 }  // namespace
 
-WriteAheadLog::WriteAheadLog(WalOptions options) : options_(std::move(options)) {
-  make_dirs(options_.dir);
+WriteAheadLog::WriteAheadLog(WalOptions options)
+    : options_(std::move(options)),
+      fops_(options_.file_ops != nullptr ? options_.file_ops : &posix_file_ops()) {
+  make_dirs(*fops_, options_.dir);
 
   // Collect and sort existing segments by their header sequence number.
   std::vector<std::string> names;
@@ -56,12 +58,12 @@ WriteAheadLog::WriteAheadLog(WalOptions options) : options_(std::move(options)) 
   }
   std::vector<std::unique_ptr<Segment>> found;
   for (const std::string& path : names) {
-    if (auto segment = Segment::open(path)) found.push_back(std::move(segment));
+    if (auto segment = Segment::open(*fops_, path)) found.push_back(std::move(segment));
     else {
       // Unreadable header: nothing in the file is trustworthy. Remove it so
       // it cannot shadow a future segment with the same name.
       IG_LOG_WARN("store") << "dropping unreadable segment " << path;
-      ::unlink(path.c_str());
+      fops_->unlink(path);
       ++segments_removed_;
     }
   }
@@ -80,7 +82,7 @@ WriteAheadLog::WriteAheadLog(WalOptions options) : options_(std::move(options)) 
                            << " past the recovered prefix";
       const std::string path = segment->path();
       segment.reset();  // unmap before unlink
-      ::unlink(path.c_str());
+      fops_->unlink(path);
       ++segments_removed_;
       continue;
     }
@@ -92,9 +94,10 @@ WriteAheadLog::WriteAheadLog(WalOptions options) : options_(std::move(options)) 
   }
 
   if (segments_.empty()) {
-    auto segment = Segment::create(segment_path(options_.dir, next_sequence_),
+    auto segment = Segment::create(*fops_, segment_path(options_.dir, next_sequence_),
                                    options_.segment_size, next_sequence_, 1);
-    if (!segment) throw std::runtime_error("store: cannot create segment in " + options_.dir);
+    if (!segment)
+      throw Error(errno_to_kind(errno), "create-segment", options_.dir, std::strerror(errno));
     ++next_sequence_;
     ++segments_created_;
     segments_.push_back(std::move(segment));
@@ -104,9 +107,19 @@ WriteAheadLog::WriteAheadLog(WalOptions options) : options_(std::move(options)) 
 }
 
 WriteAheadLog::~WriteAheadLog() {
-  // Best-effort flush so a clean shutdown persists even under kNone.
+  // Best-effort flush so a clean shutdown persists even under kNone. A
+  // poisoned log stays hands-off: its last barrier already failed and a
+  // lucky flush now would make the on-disk state lie about what was acked.
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!segments_.empty()) segments_.back()->sync();
+  if (!segments_.empty() && !poisoned_.load(std::memory_order_acquire))
+    segments_.back()->sync();
+}
+
+void WriteAheadLog::poison_locked(std::string reason) {
+  if (poisoned_.load(std::memory_order_relaxed)) return;
+  poison_reason_ = std::move(reason);
+  poisoned_.store(true, std::memory_order_release);
+  IG_LOG_WARN("store") << "WAL poisoned (fail-stop): " << poison_reason_;
 }
 
 void WriteAheadLog::replay(Lsn after,
@@ -122,12 +135,19 @@ void WriteAheadLog::replay(Lsn after,
 
 Lsn WriteAheadLog::append(std::string_view payload) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (poisoned_.load(std::memory_order_acquire))
+    throw Error(ErrorKind::kPoisoned, "append", options_.dir, poison_reason_);
   if (!active_locked().fits(payload.size())) roll_locked(payload.size());
   active_locked().append(payload);
   ++appends_;
   const Lsn lsn = ++last_lsn_;
   if (options_.sync == SyncMode::kAlways) {
-    active_locked().sync();
+    if (!active_locked().sync()) {
+      const int err = errno;
+      ++fsync_failures_;
+      poison_locked(std::string("append fsync failed: ") + std::strerror(err));
+      throw Error(ErrorKind::kPoisoned, "append", options_.dir, poison_reason_);
+    }
     ++fsyncs_;
     std::lock_guard<std::mutex> commit_lock(commit_mutex_);
     if (durable_lsn_ < lsn) durable_lsn_ = lsn;
@@ -144,6 +164,11 @@ void WriteAheadLog::commit(Lsn upto) {
     ++group_commits_;
     return;
   }
+  // Fail-stop: once a barrier failed, no later barrier may ack anything.
+  // Checked *after* the durable fast path — records a successful barrier
+  // already covered stay honestly acked.
+  if (poisoned_.load(std::memory_order_acquire))
+    throw Error(ErrorKind::kPoisoned, "commit", options_.dir, poison_reason_);
   sync_in_flight_ = true;
   if (options_.group_window_us > 0) {
     // Leader linger: hold the leadership but release the lock for a short
@@ -156,19 +181,30 @@ void WriteAheadLog::commit(Lsn upto) {
   }
   lock.unlock();
   Lsn target = 0;
+  bool ok = true;
+  int err = 0;
   {
     // The msync runs under the append mutex so the segment cannot roll or
     // be compacted away mid-sync; sealed segments were synced at roll time,
     // so syncing the active one covers everything up to last_lsn_.
     std::lock_guard<std::mutex> append_lock(mutex_);
     target = last_lsn_;
-    active_locked().sync();
-    ++fsyncs_;
+    ok = active_locked().sync();
+    if (ok) {
+      ++fsyncs_;
+    } else {
+      err = errno;
+      ++fsync_failures_;
+      poison_locked(std::string("commit fsync failed: ") + std::strerror(err));
+    }
   }
   lock.lock();
   sync_in_flight_ = false;
-  if (durable_lsn_ < target) durable_lsn_ = target;
+  // durable_lsn_ only ever advances over a barrier that *succeeded*; a
+  // failed one wakes every waiter into the poisoned check below.
+  if (ok && durable_lsn_ < target) durable_lsn_ = target;
   commit_cv_.notify_all();
+  if (!ok) throw Error(ErrorKind::kPoisoned, "commit", options_.dir, poison_reason_);
 }
 
 Lsn WriteAheadLog::last_lsn() const {
@@ -187,14 +223,15 @@ void WriteAheadLog::skip_to(Lsn lsn) {
   for (auto& segment : segments_) {
     const std::string path = segment->path();
     segment.reset();  // unmap before unlink
-    ::unlink(path.c_str());
+    fops_->unlink(path);
     ++segments_removed_;
   }
   segments_.clear();
   last_lsn_ = lsn;
-  auto segment = Segment::create(segment_path(options_.dir, next_sequence_),
+  auto segment = Segment::create(*fops_, segment_path(options_.dir, next_sequence_),
                                  options_.segment_size, next_sequence_, lsn + 1);
-  if (!segment) throw std::runtime_error("store: cannot create segment in " + options_.dir);
+  if (!segment)
+    throw Error(errno_to_kind(errno), "create-segment", options_.dir, std::strerror(errno));
   ++next_sequence_;
   ++segments_created_;
   segments_.push_back(std::move(segment));
@@ -207,7 +244,7 @@ std::size_t WriteAheadLog::remove_segments_below(Lsn lsn) {
   while (segments_.size() > 1 && segments_.front()->last_lsn() <= lsn) {
     const std::string path = segments_.front()->path();
     segments_.erase(segments_.begin());  // unmap before unlink
-    ::unlink(path.c_str());
+    fops_->unlink(path);
     ++removed;
   }
   segments_removed_ += removed;
@@ -229,10 +266,12 @@ WalStats WriteAheadLog::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   stats.appends = appends_;
   stats.fsyncs = fsyncs_;
+  stats.fsync_failures = fsync_failures_;
   stats.segments_created = segments_created_;
   stats.segments_removed = segments_removed_;
   stats.recovered_records = recovered_records_;
   stats.torn_tail_repaired = torn_tail_repaired_;
+  stats.poisoned = poisoned_.load(std::memory_order_acquire);
   for (const auto& segment : segments_) {
     const std::size_t records = segment->records().size();
     stats.records += records;
@@ -258,13 +297,22 @@ void WriteAheadLog::roll_locked(std::size_t payload_size) {
   if (options_.sync != SyncMode::kNone) {
     // Seal-time sync: commit() only ever syncs the active segment, so a
     // sealed segment must already be durable when it stops being active.
-    active_locked().sync();
+    if (!active_locked().sync()) {
+      const int err = errno;
+      ++fsync_failures_;
+      poison_locked(std::string("seal fsync failed: ") + std::strerror(err));
+      throw Error(ErrorKind::kPoisoned, "append", options_.dir, poison_reason_);
+    }
     ++fsyncs_;
   }
-  auto segment = Segment::create(segment_path(options_.dir, next_sequence_),
+  // A failed create is *not* fail-stop: the active segment is sealed and
+  // intact, last_lsn_ is unchanged, and nothing was appended — the caller
+  // sees a clean kNoSpace/kIo and may retry once space frees up.
+  auto segment = Segment::create(*fops_, segment_path(options_.dir, next_sequence_),
                                  std::max(options_.segment_size, needed), next_sequence_,
                                  last_lsn_ + 1);
-  if (!segment) throw std::runtime_error("store: cannot create segment in " + options_.dir);
+  if (!segment)
+    throw Error(errno_to_kind(errno), "create-segment", options_.dir, std::strerror(errno));
   ++next_sequence_;
   ++segments_created_;
   segments_.push_back(std::move(segment));
@@ -272,10 +320,10 @@ void WriteAheadLog::roll_locked(std::size_t payload_size) {
 }
 
 void WriteAheadLog::sync_dir() {
-  const int fd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const int fd = fops_->open(options_.dir, O_RDONLY | O_DIRECTORY, 0);
   if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
+  fops_->fsync(fd);
+  fops_->close(fd);
 }
 
 }  // namespace ig::store

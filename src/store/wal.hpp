@@ -17,8 +17,17 @@
 // torn tail or LSN discontinuity ends the trustworthy prefix, later
 // segments are deleted (their records depended on the lost ones), and the
 // log resumes appending after the last intact record.
+//
+// Failure semantics (DESIGN.md §13): an fsync/msync failure is *fail-stop*
+// — the log poisons itself, the failed barrier and every later append or
+// commit throw Error(kPoisoned), and no retry is ever attempted (a failed
+// fsync leaves the dirty-page state unknowable; retrying and succeeding
+// would ack data that may not be on disk — the "fsyncgate" lesson). An
+// ENOSPC creating a segment is *not* fail-stop: the append throws
+// Error(kNoSpace), the log stays intact, and a later append may succeed.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -28,6 +37,8 @@
 #include <string_view>
 #include <vector>
 
+#include "store/error.hpp"
+#include "store/file_ops.hpp"
 #include "store/segment.hpp"
 
 namespace ig::store {
@@ -49,6 +60,9 @@ struct WalOptions {
   /// sustained load. 0 (default): sync immediately, the historical
   /// behavior. kCommit mode only; kAlways syncs in append.
   std::uint32_t group_window_us = 0;
+  /// All file I/O goes through this seam (nullptr = the real POSIX ops).
+  /// Must outlive the log; tests point it at a store::FaultFs.
+  FileOps* file_ops = nullptr;
 };
 
 struct WalStats {
@@ -60,13 +74,15 @@ struct WalStats {
   std::uint64_t records = 0;           ///< live records across all segments
   std::uint64_t bytes = 0;             ///< live payload bytes across all segments
   std::uint64_t recovered_records = 0; ///< records found intact at open
+  std::uint64_t fsync_failures = 0;    ///< failed durability barriers (each poisons)
   bool torn_tail_repaired = false;     ///< open() dropped a torn record
+  bool poisoned = false;               ///< fail-stop after an fsync failure
 };
 
 class WriteAheadLog {
  public:
   /// Opens (creating the directory if needed) and recovers the log.
-  /// Throws std::runtime_error when the directory cannot be created or a
+  /// Throws store::Error when the directory cannot be created or a
   /// segment cannot be mapped.
   explicit WriteAheadLog(WalOptions options);
   ~WriteAheadLog();
@@ -79,13 +95,20 @@ class WriteAheadLog {
   void replay(Lsn after, const std::function<void(Lsn, std::string_view)>& fn) const;
 
   /// Appends one record and returns its LSN. Thread-safe. Under
-  /// SyncMode::kAlways the record is durable on return.
+  /// SyncMode::kAlways the record is durable on return. Throws
+  /// store::Error: kPoisoned when the log is fail-stop, kNoSpace/kIo when
+  /// a segment roll fails (the log stays intact — nothing was appended).
   Lsn append(std::string_view payload);
 
   /// Durability barrier: returns once every record with lsn <= `upto` is
   /// synced (no-op under SyncMode::kNone). Thread-safe; concurrent callers
-  /// share one fsync.
+  /// share one fsync. A failed barrier poisons the log and throws
+  /// store::Error(kPoisoned) — in this and in every waiting committer —
+  /// and durable_lsn() never advances past data a barrier did not cover.
   void commit(Lsn upto);
+
+  /// True once an fsync failure made the log fail-stop.
+  bool poisoned() const noexcept { return poisoned_.load(std::memory_order_acquire); }
 
   Lsn last_lsn() const;
   Lsn durable_lsn() const;
@@ -113,8 +136,11 @@ class WriteAheadLog {
   Segment& active_locked() { return *segments_.back(); }
   void roll_locked(std::size_t payload_size);
   void sync_dir();
+  /// Marks the log fail-stop; requires mutex_ (all sync sites hold it).
+  void poison_locked(std::string reason);
 
   WalOptions options_;
+  FileOps* fops_ = nullptr;
   mutable std::mutex mutex_;  ///< guards segments_ and the append path
   std::vector<std::unique_ptr<Segment>> segments_;
   Lsn last_lsn_ = 0;
@@ -126,9 +152,15 @@ class WriteAheadLog {
   bool sync_in_flight_ = false;
   Lsn durable_lsn_ = 0;
 
+  // Fail-stop state: the reason is written once under mutex_, then
+  // published by the release store; readers acquire-load the flag first.
+  std::atomic<bool> poisoned_{false};
+  std::string poison_reason_;
+
   // Stats counters (under mutex_ except the commit-side ones).
   std::uint64_t appends_ = 0;
   std::uint64_t fsyncs_ = 0;
+  std::uint64_t fsync_failures_ = 0;
   std::uint64_t group_commits_ = 0;
   std::uint64_t segments_created_ = 0;
   std::uint64_t segments_removed_ = 0;

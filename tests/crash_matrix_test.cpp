@@ -1,0 +1,229 @@
+// Crash-point recovery matrix: the canonical durable workload is run once
+// through a pass-through FaultFs to count its I/O operations (N), then
+// replayed N times with a simulated power cut after operation k, for every
+// k in 1..N. After each cut the store is reopened on the real filesystem
+// and three invariants must hold:
+//   * zero acked-commit loss — every case id acked before the cut is still
+//     known to the engine;
+//   * no duplicated case attempts — a further reopen recovers nothing and
+//     terminal counts are stable;
+//   * chaos-replay identity — once the unacked cases are resubmitted, every
+//     per-case outcome is bitwise identical to the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "store/error.hpp"
+#include "store/fault_fs.hpp"
+#include "virolab/catalogue.hpp"
+#include "virolab/workflow.hpp"
+
+namespace ig {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<std::uint64_t> counter{0};
+    path_ = fs::path(::testing::TempDir()) /
+            ("igrid-crashmx-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+constexpr std::size_t kCases = 3;
+constexpr double kDrop = 0.2;
+constexpr std::uint64_t kSeed = 77;
+
+engine::EngineConfig matrix_config(const std::string& dir, store::FileOps* fops) {
+  engine::EngineConfig config;
+  config.shards = 1;  // one shard = deterministic case order
+  config.queue_capacity = kCases + 4;
+  config.seed = kSeed;
+  config.environment.topology.domains = 2;
+  config.environment.topology.nodes_per_domain = 2;
+  config.environment.heartbeat_period = 5.0;
+  config.environment.coordination.exec_policy = {300.0, 3, 0.5, 10.0};
+  config.environment.coordination.replan_policy = {300.0, 2, 0.5, 10.0};
+  agent::ChaosRule rule;
+  rule.match.receiver = "ac-*";
+  rule.drop = kDrop;
+  rule.delay = kDrop / 2.0;
+  config.environment.chaos.rules.push_back(rule);
+  config.environment.chaos.seed = kSeed;
+  config.storage.data_dir = dir;
+  config.storage.snapshot_interval = 4;  // snapshots inside the matrix window
+  config.storage.segment_size = 8192;    // segment rolls inside it too
+  config.storage.file_ops = fops;
+  return config;
+}
+
+double resolution_for(std::size_t index) { return 8.0 - 0.04 * static_cast<double>(index); }
+
+/// Submits case `index` of the canonical fleet (0-based).
+engine::CaseId submit_case(engine::EnactmentEngine& engine, std::size_t index) {
+  const double resolution = resolution_for(index);
+  return engine.submit(virolab::make_fig10_process(resolution),
+                       virolab::make_case_description(resolution));
+}
+
+/// The deterministic slice of a case outcome (mirrors recovery_test.cpp):
+/// wall-clock, placement and completion order are host facts, not enactment
+/// facts, and are excluded by design.
+struct OutcomeSignature {
+  engine::CaseState state{};
+  std::uint64_t makespan_bits = 0;
+  int activities_executed = 0;
+  int activities_replayed = 0;
+  int dispatch_failures = 0;
+  int replans = 0;
+  std::uint64_t goal_bits = 0;
+  std::uint64_t cost_bits = 0;
+
+  bool operator==(const OutcomeSignature& other) const {
+    return std::memcmp(this, &other, sizeof(OutcomeSignature)) == 0;
+  }
+};
+
+std::uint64_t bits(double value) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &value, sizeof(out));
+  return out;
+}
+
+OutcomeSignature signature(const engine::CaseOutcome& outcome) {
+  OutcomeSignature sig{};
+  sig.state = outcome.state;
+  sig.makespan_bits = bits(outcome.makespan);
+  sig.activities_executed = outcome.activities_executed;
+  sig.activities_replayed = outcome.activities_replayed;
+  sig.dispatch_failures = outcome.dispatch_failures;
+  sig.replans = outcome.replans;
+  sig.goal_bits = bits(outcome.goal_satisfaction);
+  sig.cost_bits = bits(outcome.total_cost);
+  return sig;
+}
+
+/// Runs the canonical workload (submit the fleet, drain) against `fops`,
+/// tolerating disk failures: a cut mid-open means nothing was acked, a cut
+/// mid-run degrades the engine but still drains. Returns the acked ids.
+std::vector<engine::CaseId> run_workload(const std::string& dir, store::FileOps* fops) {
+  std::vector<engine::CaseId> acked;
+  std::unique_ptr<engine::EnactmentEngine> engine;
+  try {
+    engine = std::make_unique<engine::EnactmentEngine>(matrix_config(dir, fops));
+  } catch (const store::Error&) {
+    return acked;  // the cut landed inside open/recovery: nothing acked
+  }
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const engine::CaseId id = submit_case(*engine, i);
+    if (id != engine::kInvalidCase) acked.push_back(id);
+  }
+  engine->drain();
+  return acked;
+}
+
+TEST(CrashMatrix, PowerCutAfterEveryIoOpLosesNoAckedCase) {
+  // Phase 1: the uninterrupted run — counts N and records the baseline.
+  std::uint64_t total_ops = 0;
+  std::vector<OutcomeSignature> baseline(kCases);
+  {
+    TempDir dir("baseline");
+    store::FaultFs pass_through{store::FaultFsOptions{}};
+    const std::vector<engine::CaseId> ids = run_workload(dir.str(), &pass_through);
+    ASSERT_EQ(ids.size(), kCases);
+    ASSERT_EQ(pass_through.stats().total_injected(), 0u);
+    // N is the workload's own op count; the readback below goes through the
+    // real filesystem so it does not inflate the matrix.
+    total_ops = pass_through.ops();
+    engine::EnactmentEngine readback(matrix_config(dir.str(), nullptr));
+    for (std::size_t i = 0; i < kCases; ++i) {
+      const auto outcome = readback.result(ids[i]);
+      ASSERT_TRUE(outcome.has_value()) << "baseline case " << ids[i] << " not terminal";
+      baseline[i] = signature(*outcome);
+    }
+  }
+  ASSERT_GT(total_ops, 10u);
+  RecordProperty("matrix_points", static_cast<int>(total_ops));
+
+  // Phase 2: the matrix — cut after every op, reopen, verify, resume.
+  for (std::uint64_t k = 1; k <= total_ops; ++k) {
+    SCOPED_TRACE("power cut after op " + std::to_string(k));
+    TempDir dir("cut");
+    std::vector<engine::CaseId> acked;
+    {
+      store::FaultFsOptions fault_options;
+      fault_options.power_cut_after = k;
+      store::FaultFs faults(fault_options);
+      acked = run_workload(dir.str(), &faults);
+      // Group commit makes the exact op count mildly timing-dependent (a
+      // commit may ride an earlier barrier), so a cut point near N can land
+      // past the run's last op — that run is simply uninterrupted, and the
+      // invariants below must hold either way.
+    }
+
+    // Reopen on the real filesystem. Zero acked-commit loss: every acked id
+    // must be known (Rejected is the engine's "never heard of it").
+    engine::EnactmentEngine restarted(matrix_config(dir.str(), nullptr));
+    for (const engine::CaseId id : acked)
+      ASSERT_NE(restarted.status(id), engine::CaseState::Rejected)
+          << "acked case " << id << " lost by the cut";
+    ASSERT_EQ(restarted.metrics().submitted, acked.size());
+
+    // Resume: resubmit the unacked tail of the fleet. Recovery restored
+    // next_case_id_, so case i must get id i+1 again — which is what makes
+    // the per-case chaos streams line up with the baseline.
+    for (std::size_t i = acked.size(); i < kCases; ++i) {
+      const engine::CaseId id = submit_case(restarted, i);
+      ASSERT_EQ(id, static_cast<engine::CaseId>(i + 1));
+    }
+    restarted.drain();
+    for (std::size_t i = 0; i < kCases; ++i) {
+      const auto outcome = restarted.result(static_cast<engine::CaseId>(i + 1));
+      ASSERT_TRUE(outcome.has_value()) << "case " << i + 1 << " not terminal after resume";
+      EXPECT_TRUE(signature(*outcome) == baseline[i])
+          << "case " << i + 1 << " diverged from the uninterrupted run (state "
+          << engine::to_string(outcome->state) << " vs "
+          << engine::to_string(baseline[i].state) << ")";
+    }
+    const engine::EngineMetrics after_resume = restarted.metrics();
+    EXPECT_EQ(after_resume.submitted, kCases);
+
+    // No duplicated case attempts: a third open recovers nothing, re-runs
+    // nothing, and reports the same terminal counts.
+    engine::EnactmentEngine verify(matrix_config(dir.str(), nullptr));
+    const engine::EngineMetrics final_metrics = verify.metrics();
+    EXPECT_EQ(final_metrics.recovered, 0u) << "a terminal case was re-admitted";
+    EXPECT_EQ(final_metrics.submitted, kCases);
+    EXPECT_EQ(final_metrics.completed + final_metrics.failed + final_metrics.cancelled,
+              kCases);
+    for (std::size_t i = 0; i < kCases; ++i) {
+      const auto outcome = verify.result(static_cast<engine::CaseId>(i + 1));
+      ASSERT_TRUE(outcome.has_value());
+      EXPECT_TRUE(signature(*outcome) == baseline[i]) << "case " << i + 1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ig

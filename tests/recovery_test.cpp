@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -274,6 +275,36 @@ TEST(DurableEngine, CancelledCaseStaysCancelledAfterRestart) {
   EXPECT_EQ(restarted.metrics().cancelled, 1u);
   restarted.drain();
   EXPECT_EQ(restarted.status(ids[0]), engine::CaseState::Completed);
+}
+
+// A crash between writing snap-N.snap.tmp and renaming it leaves the .tmp
+// on disk. The next open must discard it — the previous good snapshot stays
+// authoritative — and recover every terminal outcome as if the half-written
+// snapshot had never existed.
+TEST(DurableEngine, StaleSnapshotTmpIsRemovedAtReopenAndPreviousSnapshotWins) {
+  TempDir dir("staletmp");
+  const std::size_t kCases = 2;
+  std::vector<engine::CaseId> ids;
+  std::vector<OutcomeSignature> before;
+  {
+    engine::EnactmentEngine engine(durable_config(dir.str(), kCases, 0.0, 13));
+    ids = submit_fleet(engine, kCases);
+    engine.drain();
+    ASSERT_TRUE(engine.journal()->snapshot());  // the good, authoritative one
+    before = collect_signatures(engine, ids);
+  }
+  // Plant the crash artifact: a half-written snapshot that never got renamed.
+  const fs::path stale = fs::path(dir.str()) / "snap-9999999999999999.snap.tmp";
+  std::ofstream(stale) << "half-written snapshot garbage";
+  ASSERT_TRUE(fs::exists(stale));
+
+  engine::EnactmentEngine restarted(durable_config(dir.str(), kCases, 0.0, 13));
+  EXPECT_FALSE(fs::exists(stale)) << "stale .tmp survived reopen";
+  const engine::EngineMetrics metrics = restarted.metrics();
+  EXPECT_EQ(metrics.recovered, 0u);
+  EXPECT_EQ(metrics.completed, kCases);
+  const std::vector<OutcomeSignature> after = collect_signatures(restarted, ids);
+  for (std::size_t i = 0; i < before.size(); ++i) EXPECT_TRUE(after[i] == before[i]);
 }
 
 TEST(DurableEngine, JournalStatsAndMetricsArePublished) {

@@ -3,6 +3,7 @@
 // snapshots, compaction, and the StorageEngine KV/journal semantics.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -16,6 +17,8 @@
 
 #include "store/codec.hpp"
 #include "store/crc32c.hpp"
+#include "store/error.hpp"
+#include "store/fault_fs.hpp"
 #include "store/segment.hpp"
 #include "store/storage_engine.hpp"
 #include "store/wal.hpp"
@@ -102,13 +105,13 @@ TEST(Segment, AppendsAndReopensIntact) {
   TempDir dir("segment");
   const std::string path = (dir.path() / "seg-1.seg").string();
   {
-    auto segment = Segment::create(path, 4096, 1, 10);
+    auto segment = Segment::create(posix_file_ops(), path, 4096, 1, 10);
     ASSERT_NE(segment, nullptr);
     for (int i = 0; i < 3; ++i) segment->append("record-" + std::to_string(i));
     segment->sync();
     EXPECT_EQ(segment->last_lsn(), 12u);
   }
-  auto reopened = Segment::open(path);
+  auto reopened = Segment::open(posix_file_ops(), path);
   ASSERT_NE(reopened, nullptr);
   EXPECT_EQ(reopened->sequence(), 1u);
   EXPECT_EQ(reopened->first_lsn(), 10u);
@@ -124,8 +127,8 @@ TEST(Segment, RejectsAlienFiles) {
   TempDir dir("alien");
   const std::string path = (dir.path() / "not-a-segment.seg").string();
   std::ofstream(path) << "this is not a segment header at all";
-  EXPECT_EQ(Segment::open(path), nullptr);
-  EXPECT_EQ(Segment::open((dir.path() / "missing.seg").string()), nullptr);
+  EXPECT_EQ(Segment::open(posix_file_ops(), path), nullptr);
+  EXPECT_EQ(Segment::open(posix_file_ops(), (dir.path() / "missing.seg").string()), nullptr);
 }
 
 // -- WAL recovery --------------------------------------------------------------
@@ -517,6 +520,260 @@ TEST(StorageEngine, ConcurrentWritersRecoverCompletely) {
       const std::string suffix = std::to_string(t) + "-" + std::to_string(i);
       EXPECT_EQ(reopened.get("key-" + suffix).value_or(""), "value-" + suffix);
     }
+}
+
+// -- deterministic disk-fault injection ----------------------------------------
+
+TEST(FaultFs, SameSeedInjectsTheSameFaultsTwice) {
+  // Two identical runs over the same op sequence must agree on every
+  // injection decision — the property every sweep below leans on.
+  FaultFsOptions options;
+  options.seed = 42;
+  options.rules.push_back({FaultMatch{}, /*io_error=*/0.2, /*no_space=*/0.1,
+                           /*short_write=*/0.1, /*fsync_error=*/0.1});
+  std::vector<FaultFsStats> runs;
+  for (int run = 0; run < 2; ++run) {
+    TempDir dir("det-" + std::to_string(run));
+    FaultFs faults(options);
+    for (int i = 0; i < 200; ++i) {
+      const std::string path = (dir.path() / ("f" + std::to_string(i))).string();
+      const int fd = faults.open(path, O_CREAT | O_RDWR, 0644);
+      if (fd < 0) continue;
+      char byte = 'x';
+      faults.pwrite(fd, &byte, 1, 0);
+      faults.fsync(fd);
+      faults.close(fd);
+    }
+    runs.push_back(faults.stats());
+  }
+  EXPECT_EQ(runs[0].ops, runs[1].ops);
+  EXPECT_EQ(runs[0].io_errors, runs[1].io_errors);
+  EXPECT_EQ(runs[0].no_space, runs[1].no_space);
+  EXPECT_EQ(runs[0].short_writes, runs[1].short_writes);
+  EXPECT_EQ(runs[0].fsync_failures, runs[1].fsync_failures);
+  EXPECT_GT(runs[0].total_injected(), 0u);
+}
+
+/// The canonical three-segment workload: 30 committed puts through a tiny
+/// segment size.
+void three_segment_workload(StorageEngine& engine) {
+  for (int i = 0; i < 30; ++i)
+    engine.put("key-" + std::to_string(i), std::string(24, 'v'));
+}
+
+Options three_segment_options(const std::string& dir, FileOps* fops) {
+  Options options;
+  options.data_dir = dir;
+  options.segment_size = 512;
+  options.snapshot_interval = 0;
+  options.file_ops = fops;
+  return options;
+}
+
+// The ISSUE acceptance sweep: ENOSPC injected at every single I/O operation
+// of the three-segment workload. Whatever happens — a clean kNoSpace the
+// caller can retry, or a poisoned WAL if the fault landed on a durability
+// barrier — an acked put must survive reopen, and a poisoned store must
+// stay fail-stop for the rest of the run.
+TEST(FaultFs, EnospcAtEveryOpOfAThreeSegmentWorkload) {
+  std::uint64_t total_ops = 0;
+  {
+    TempDir dir("enospc-baseline");
+    FaultFs faults(FaultFsOptions{});  // pass-through: just counts ops
+    {
+      StorageEngine engine(three_segment_options(dir.str(), &faults));
+      three_segment_workload(engine);
+      ASSERT_GE(engine.stats().segments, 3u) << "workload must span >= 3 segments";
+    }
+    total_ops = faults.ops();
+    ASSERT_GT(total_ops, 10u);
+    EXPECT_EQ(faults.stats().total_injected(), 0u);
+  }
+
+  bool saw_clean_nospace = false;
+  bool saw_poisoned = false;
+  for (std::uint64_t k = 1; k <= total_ops; ++k) {
+    TempDir dir("enospc-" + std::to_string(k));
+    FaultFsOptions fault_options;
+    fault_options.one_shots.push_back({k, FaultAction::kNoSpace});
+    FaultFs faults(fault_options);
+    std::vector<std::string> acked;
+    bool poisoned = false;
+    {
+      std::unique_ptr<StorageEngine> engine;
+      try {
+        engine = std::make_unique<StorageEngine>(three_segment_options(dir.str(), &faults));
+      } catch (const Error&) {
+        // The fault landed inside open/recovery; nothing was acked.
+      }
+      if (engine) {
+        for (int i = 0; i < 30; ++i) {
+          const std::string key = "key-" + std::to_string(i);
+          try {
+            engine->put(key, std::string(24, 'v'));
+            ASSERT_FALSE(poisoned) << "op " << k << ": a poisoned store acked a put";
+            acked.push_back(key);
+          } catch (const Error& e) {
+            if (e.kind() == ErrorKind::kPoisoned) poisoned = true;
+            else
+              EXPECT_TRUE(e.kind() == ErrorKind::kNoSpace || e.kind() == ErrorKind::kIo)
+                  << "op " << k << ": unexpected kind " << to_string(e.kind());
+          }
+        }
+        if (!poisoned && acked.size() < 30u) saw_clean_nospace = true;
+        if (poisoned) saw_poisoned = true;
+      }
+    }
+    // Reopen with the real filesystem: every acked put must be there.
+    StorageEngine reopened(three_segment_options(dir.str(), nullptr));
+    for (const std::string& key : acked)
+      EXPECT_EQ(reopened.get(key).value_or(""), std::string(24, 'v'))
+          << "op " << k << ": acked key lost";
+  }
+  // The sweep must have exercised both rungs of the degradation ladder.
+  EXPECT_TRUE(saw_clean_nospace) << "no op produced a clean retryable ENOSPC";
+  EXPECT_TRUE(saw_poisoned) << "no op produced a poisoned durability barrier";
+}
+
+// fsyncgate semantics: one failed durability barrier poisons the WAL for
+// good. No retry ever reaches the disk, and everything after the failure
+// fails fast with kPoisoned.
+TEST(FaultFs, FsyncFailureOnCommitIsFailStop) {
+  TempDir dir("fsyncgate");
+  FaultFsOptions fault_options;
+  fault_options.rules.push_back({FaultMatch{"", FileOp::kMsync},
+                                 /*io_error=*/0.0, /*no_space=*/0.0,
+                                 /*short_write=*/0.0, /*fsync_error=*/1.0});
+  FaultFs faults(fault_options);
+  WalOptions options;
+  options.dir = dir.str();
+  options.sync = SyncMode::kCommit;
+  options.file_ops = &faults;
+  WriteAheadLog wal(options);
+  const Lsn lsn = wal.append("doomed");
+  EXPECT_THROW(wal.commit(lsn), Error);
+  EXPECT_TRUE(wal.stats().poisoned);
+  EXPECT_EQ(wal.stats().fsync_failures, 1u);
+  EXPECT_EQ(wal.durable_lsn(), 0u);
+  const std::uint64_t injected_after_first = faults.stats().fsync_failures;
+  EXPECT_EQ(injected_after_first, 1u);
+
+  // Fail-stop means fail-stop: another commit and another append both throw
+  // kPoisoned without the WAL ever touching the disk again.
+  try {
+    wal.commit(lsn);
+    FAIL() << "poisoned commit did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kPoisoned);
+  }
+  try {
+    wal.append("after-poison");
+    FAIL() << "poisoned append did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kPoisoned);
+  }
+  EXPECT_EQ(faults.stats().fsync_failures, injected_after_first)
+      << "the WAL retried a failed durability barrier";
+}
+
+// A torn flush: a deterministic prefix of the segment reaches the disk, the
+// barrier reports failure. Reopen must recover a clean prefix of the
+// appended records — possibly empty, never garbage, always appendable.
+TEST(FaultFs, ShortWriteTailRecoversACleanPrefixOnReopen) {
+  const std::size_t kRecords = 5;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    TempDir dir("tear-" + std::to_string(seed));
+    {
+      FaultFsOptions fault_options;
+      fault_options.seed = seed;
+      fault_options.rules.push_back({FaultMatch{"", FileOp::kMsync},
+                                     /*io_error=*/0.0, /*no_space=*/0.0,
+                                     /*short_write=*/1.0, /*fsync_error=*/0.0});
+      FaultFs faults(fault_options);
+      WalOptions options;
+      options.dir = dir.str();
+      options.sync = SyncMode::kCommit;
+      options.file_ops = &faults;
+      WriteAheadLog wal(options);
+      for (std::size_t i = 0; i < kRecords; ++i) wal.append("payload-" + std::to_string(i));
+      EXPECT_THROW(wal.commit(wal.last_lsn()), Error);
+      EXPECT_TRUE(wal.stats().poisoned);
+    }
+    // Reopen on the real filesystem: whatever prefix the tear persisted
+    // must parse as records 0..m-1, and the log must keep working.
+    WalOptions reopen_options;
+    reopen_options.dir = dir.str();
+    WriteAheadLog recovered(reopen_options);
+    const std::vector<std::string> records = replay_all(recovered);
+    ASSERT_LE(records.size(), kRecords) << "seed " << seed;
+    for (std::size_t i = 0; i < records.size(); ++i)
+      EXPECT_EQ(records[i], "payload-" + std::to_string(i)) << "seed " << seed;
+    const Lsn lsn = recovered.append("after-recovery");
+    recovered.commit(lsn);
+    EXPECT_EQ(replay_all(recovered).back(), "after-recovery");
+  }
+}
+
+TEST(FaultFs, PowerCutFreezesTheDiskForever) {
+  TempDir dir("cut");
+  FaultFsOptions fault_options;
+  fault_options.power_cut_after = 12;
+  FaultFs faults(fault_options);
+  Options options;
+  options.data_dir = dir.str();
+  options.file_ops = &faults;
+  std::vector<std::string> acked;
+  try {
+    StorageEngine engine(options);
+    for (int i = 0; i < 50; ++i) {
+      engine.put("key-" + std::to_string(i), "v");
+      acked.push_back("key-" + std::to_string(i));
+    }
+    FAIL() << "the power cut never fired";
+  } catch (const Error&) {
+    // Expected: either the open or some put hit the cut.
+  }
+  EXPECT_GT(faults.stats().power_cut_failures, 0u);
+  // Everything acked before the cut survives a posix reopen.
+  Options reopen_options;
+  reopen_options.data_dir = dir.str();
+  StorageEngine reopened(reopen_options);
+  for (const std::string& key : acked)
+    EXPECT_EQ(reopened.get(key).value_or(""), "v") << key;
+}
+
+// A failed snapshot rename must leave the previous snapshot authoritative
+// and never leave a half-written .tmp behind to confuse a later open.
+TEST(StorageEngine, SnapshotRenameFailureKeepsThePreviousSnapshotAuthoritative) {
+  TempDir dir("snaprename");
+  Options posix_options;
+  posix_options.data_dir = dir.str();
+  posix_options.snapshot_interval = 0;
+  posix_options.auto_compact = false;
+  {
+    StorageEngine engine(posix_options);
+    engine.put("k", "v1");
+    ASSERT_TRUE(engine.snapshot());
+  }
+  {
+    FaultFsOptions fault_options;
+    fault_options.rules.push_back({FaultMatch{"", FileOp::kRename},
+                                   /*io_error=*/1.0, /*no_space=*/0.0,
+                                   /*short_write=*/0.0, /*fsync_error=*/0.0});
+    FaultFs faults(fault_options);
+    Options faulty_options = posix_options;
+    faulty_options.file_ops = &faults;
+    StorageEngine engine(faulty_options);
+    engine.put("k", "v2");
+    EXPECT_FALSE(engine.snapshot()) << "snapshot survived a failed rename";
+    EXPECT_EQ(engine.stats().snapshots_written, 0u);
+  }
+  // No .tmp remains, the old snapshot still loads, the WAL carries v2.
+  for (const auto& entry : fs::directory_iterator(dir.path()))
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  StorageEngine reopened(posix_options);
+  EXPECT_EQ(reopened.get("k").value_or(""), "v2");
+  EXPECT_GT(reopened.stats().snapshot_lsn, 0u) << "previous snapshot was lost";
 }
 
 }  // namespace
